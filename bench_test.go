@@ -1,0 +1,216 @@
+// Package cmtos's root benchmark harness regenerates every table and
+// figure of the paper's design (see DESIGN.md §4 for the experiment index
+// and EXPERIMENTS.md for recorded results):
+//
+//	T1  BenchmarkTable1Connect          — establishment latency, local & remote (Fig. 3)
+//	T2  BenchmarkTable2QoSIndication    — soft-guarantee violation detection (Table 2)
+//	T3  BenchmarkTable3Renegotiate      — dynamic QoS re-negotiation (Table 3)
+//	T4  BenchmarkTable4OrchSession      — Orch.request session establishment (Table 4)
+//	T5  BenchmarkTable5GroupControl     — primed vs unprimed start skew (Table 5, Fig. 7)
+//	T6  BenchmarkTable6Regulate         — target tracking in the Fig. 6 loop (Table 6)
+//	A1  BenchmarkAblationRateVsWindow   — rate-based vs window-based flow control (§7)
+//	A2  BenchmarkAblationMuxVsSeparate  — multiplexed VC vs separate orchestrated VCs (§3.6)
+//	A3  BenchmarkAblationSharedBufVsCopy — §3.7 shared ring vs copy-based interface
+//	A4  BenchmarkDriftBounded           — long-run drift with/without orchestration (§3.6)
+//
+// These are scenario benchmarks: each iteration runs a full emulated
+// deployment, and the interesting output is the custom metrics
+// (b.ReportMetric), not ns/op.
+package cmtos_test
+
+import (
+	"testing"
+	"time"
+
+	"cmtos/internal/lab"
+)
+
+func BenchmarkTable1Connect(b *testing.B) {
+	var localSum, remoteSum time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := lab.ConnectOnce(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		localSum += res.Local
+		remoteSum += res.Remote
+	}
+	b.ReportMetric(float64(localSum.Microseconds())/float64(b.N), "local-connect-µs")
+	b.ReportMetric(float64(remoteSum.Microseconds())/float64(b.N), "remote-connect-µs")
+}
+
+func BenchmarkTable2QoSIndication(b *testing.B) {
+	var latSum time.Duration
+	var perSum float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.QoSIndicationOnce()
+		if err != nil {
+			b.Fatal(err)
+		}
+		latSum += res.DetectLatency
+		perSum += res.ReportedPER
+	}
+	b.ReportMetric(float64(latSum.Milliseconds())/float64(b.N), "detect-ms")
+	b.ReportMetric(perSum/float64(b.N), "reported-PER")
+}
+
+func BenchmarkTable3Renegotiate(b *testing.B) {
+	var latSum time.Duration
+	intact := 0
+	for i := 0; i < b.N; i++ {
+		res, err := lab.RenegotiateOnce()
+		if err != nil {
+			b.Fatal(err)
+		}
+		latSum += res.UpgradeLatency
+		if res.RejectedIntact {
+			intact++
+		}
+	}
+	b.ReportMetric(float64(latSum.Microseconds())/float64(b.N), "renegotiate-µs")
+	b.ReportMetric(float64(intact)/float64(b.N), "rejected-vc-intact")
+}
+
+func BenchmarkTable4OrchSession(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(benchName("vcs", n), func(b *testing.B) {
+			var sum time.Duration
+			for i := 0; i < b.N; i++ {
+				lat, err := lab.OrchSessionOnce(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += lat
+			}
+			b.ReportMetric(float64(sum.Microseconds())/float64(b.N), "orch-setup-µs")
+		})
+	}
+}
+
+func BenchmarkTable5GroupControl(b *testing.B) {
+	for _, n := range []int{2, 4} {
+		b.Run(benchName("streams", n), func(b *testing.B) {
+			var primed, unprimed, prime time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := lab.StartSkewOnce(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				primed += res.PrimedSkew
+				unprimed += res.UnprimedSkew
+				prime += res.PrimeLatency
+			}
+			b.ReportMetric(float64(primed.Milliseconds())/float64(b.N), "primed-start-skew-ms")
+			b.ReportMetric(float64(unprimed.Milliseconds())/float64(b.N), "unprimed-start-skew-ms")
+			b.ReportMetric(float64(prime.Milliseconds())/float64(b.N), "prime-latency-ms")
+		})
+	}
+}
+
+func BenchmarkTable6Regulate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := lab.RegulateOnce(15, 100*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanAbsLag, "mean-abs-lag-OSDUs")
+		b.ReportMetric(float64(res.MaxAbsLag), "max-abs-lag-OSDUs")
+		b.ReportMetric(float64(res.Intervals), "indications")
+	}
+}
+
+func BenchmarkAblationRateVsWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := lab.RateVsWindowOnce(300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.RateJitter.Microseconds()), "rate-jitter-µs")
+		b.ReportMetric(float64(res.WindowJitter.Microseconds()), "window-jitter-µs")
+		b.ReportMetric(res.RatePaceErr, "rate-pace-error")
+		b.ReportMetric(res.WindowPaceErr, "window-pace-error")
+		b.ReportMetric(float64(res.RateEarly), "rate-early-frames")
+		b.ReportMetric(float64(res.WindowEarly), "window-early-frames")
+	}
+}
+
+func BenchmarkAblationMuxVsSeparate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := lab.MuxVsSeparateOnce(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MuxAudioJitter.Microseconds()), "mux-audio-jitter-µs")
+		b.ReportMetric(float64(res.SeparateAudioJitter.Microseconds()), "separate-audio-jitter-µs")
+		b.ReportMetric(res.MuxBandwidth/1000, "mux-reserved-KBps")
+		b.ReportMetric(res.SeparateBandwidth/1000, "separate-reserved-KBps")
+	}
+}
+
+func BenchmarkAblationSharedBufVsCopy(b *testing.B) {
+	for _, size := range []int{256, 4096, 65536} {
+		b.Run(benchName("osdu", size), func(b *testing.B) {
+			var shared, copied float64
+			for i := 0; i < b.N; i++ {
+				res := lab.SharedBufVsCopyOnce(10000, size)
+				shared += res.SharedNsPerOSDU
+				copied += res.CopyNsPerOSDU
+			}
+			b.ReportMetric(shared/float64(b.N), "shared-ns/OSDU")
+			b.ReportMetric(copied/float64(b.N), "copy-ns/OSDU")
+		})
+	}
+}
+
+func BenchmarkDriftBounded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := lab.DriftOnce(3*time.Second, 0.02)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.UnregulatedSkew.Milliseconds()), "unregulated-skew-ms")
+		b.ReportMetric(float64(res.RegulatedSkew.Milliseconds()), "regulated-skew-ms")
+	}
+}
+
+// BenchmarkFig6FeedbackLoop isolates one regulate request→indication
+// cycle of the Fig. 6 interaction.
+func BenchmarkFig6FeedbackLoop(b *testing.B) {
+	res, err := lab.RegulateOnce(b.N, 50*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Intervals > 0 {
+		b.ReportMetric(float64(res.LoopDuration.Milliseconds())/float64(res.Intervals), "ms/interval")
+		b.ReportMetric(float64(res.ReportLoss)/float64(res.Intervals), "partial-report-rate")
+	}
+}
+
+// BenchmarkFig7Prime measures the Orch.Prime round trip (buffers filled
+// at every sink before the confirm, Fig. 7).
+func BenchmarkFig7Prime(b *testing.B) {
+	var sum time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := lab.StartSkewOnce(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += res.PrimeLatency
+	}
+	b.ReportMetric(float64(sum.Milliseconds())/float64(b.N), "prime-ms")
+}
+
+func benchName(k string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return k + "=0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return k + "=" + string(buf[i:])
+}

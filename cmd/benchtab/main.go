@@ -1,0 +1,129 @@
+// Benchtab regenerates every experiment in EXPERIMENTS.md in one run and
+// prints the results as tables: the six primitive tables (T1-T6), the two
+// time-sequence figures driven as latency probes (F6, F7 are covered by
+// T6 and T5 respectively), and the four ablations (A1-A4). Use -quick for
+// a faster, noisier pass.
+//
+//	go run ./cmd/benchtab [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"cmtos/internal/lab"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer repetitions, shorter runs")
+	flag.Parse()
+
+	reps := 5
+	driftFor := 6 * time.Second
+	frames := uint32(400)
+	if *quick {
+		reps = 2
+		driftFor = 2 * time.Second
+		frames = 150
+	}
+
+	fmt.Println("cmtos experiment harness — paper artifacts regenerated")
+	fmt.Println("=======================================================")
+
+	// T1 — Table 1.
+	var local, remote time.Duration
+	for i := 0; i < reps; i++ {
+		r, err := lab.ConnectOnce(i)
+		check("T1", err)
+		local += r.Local
+		remote += r.Remote
+	}
+	fmt.Printf("\nT1  Table 1 — connection establishment (mean of %d)\n", reps)
+	fmt.Printf("    local connect (initiator==source):   %8v\n", (local / time.Duration(reps)).Round(time.Microsecond))
+	fmt.Printf("    remote connect (3-address, Fig. 3):  %8v\n", (remote / time.Duration(reps)).Round(time.Microsecond))
+
+	// T2 — Table 2.
+	r2, err := lab.QoSIndicationOnce()
+	check("T2", err)
+	fmt.Printf("\nT2  Table 2 — T-QoS.indication under 20%% surprise loss\n")
+	fmt.Printf("    detection latency: %v   reported PER: %.3f (injected 0.20)\n",
+		r2.DetectLatency.Round(time.Millisecond), r2.ReportedPER)
+
+	// T3 — Table 3.
+	r3, err := lab.RenegotiateOnce()
+	check("T3", err)
+	fmt.Printf("\nT3  Table 3 — T-Renegotiate\n")
+	fmt.Printf("    upgrade 50→150 OSDU/s: %v, granted %.0f OSDU/s\n",
+		r3.UpgradeLatency.Round(time.Microsecond), r3.Upgraded)
+	fmt.Printf("    rejected renegotiation leaves VC intact: %v\n", r3.RejectedIntact)
+
+	// T4 — Table 4.
+	fmt.Printf("\nT4  Table 4 — Orch.request session establishment\n")
+	for _, n := range []int{2, 4, 8} {
+		lat, err := lab.OrchSessionOnce(n)
+		check("T4", err)
+		fmt.Printf("    %d VCs: %v\n", n, lat.Round(time.Microsecond))
+	}
+
+	// T5/F7 — Table 5.
+	r5, err := lab.StartSkewOnce(3)
+	check("T5", err)
+	fmt.Printf("\nT5  Table 5 / Fig. 7 — primed vs unprimed start (3 streams, asymmetric delays)\n")
+	fmt.Printf("    unprimed first-delivery spread: %8v\n", r5.UnprimedSkew.Round(time.Millisecond))
+	fmt.Printf("    primed   first-delivery spread: %8v\n", r5.PrimedSkew.Round(time.Millisecond))
+	fmt.Printf("    Orch.Prime latency (fill+confirm): %v\n", r5.PrimeLatency.Round(time.Millisecond))
+
+	// T6/F6 — Table 6.
+	r6, err := lab.RegulateOnce(20, 100*time.Millisecond)
+	check("T6", err)
+	fmt.Printf("\nT6  Table 6 / Fig. 6 — regulation target tracking (20 × 100ms intervals)\n")
+	fmt.Printf("    indications: %d   mean |lag|: %.1f OSDUs   max |lag|: %d OSDUs   drops: %d\n",
+		r6.Intervals, r6.MeanAbsLag, r6.MaxAbsLag, r6.Dropped)
+
+	// A1.
+	a1, err := lab.RateVsWindowOnce(frames)
+	check("A1", err)
+	fmt.Printf("\nA1  rate-based vs window-based flow control (unpaced source, 5%% loss)\n")
+	fmt.Printf("    %-24s %12s %12s\n", "", "rate-based", "window-based")
+	fmt.Printf("    %-24s %12v %12v\n", "delivery jitter (σ)",
+		a1.RateJitter.Round(100*time.Microsecond), a1.WindowJitter.Round(100*time.Microsecond))
+	fmt.Printf("    %-24s %11.1f%% %11.1f%%\n", "pace error vs isochrony",
+		a1.RatePaceErr*100, a1.WindowPaceErr*100)
+	fmt.Printf("    %-24s %12d %12d\n", "early frames (buffering)", a1.RateEarly, a1.WindowEarly)
+	fmt.Printf("    %-24s %12d %12d\n", "late frames", a1.RateLate, a1.WindowLate)
+
+	// A2.
+	a2, err := lab.MuxVsSeparateOnce(200)
+	check("A2", err)
+	fmt.Printf("\nA2  multiplexed single VC vs separate orchestrated VCs (§3.6)\n")
+	fmt.Printf("    %-22s %12s %12s\n", "", "multiplexed", "separate")
+	fmt.Printf("    %-22s %12v %12v\n", "audio jitter (σ)",
+		a2.MuxAudioJitter.Round(100*time.Microsecond), a2.SeparateAudioJitter.Round(100*time.Microsecond))
+	fmt.Printf("    %-22s %11.0fK %11.0fK\n", "reserved B/s",
+		a2.MuxBandwidth/1000, a2.SeparateBandwidth/1000)
+
+	// A3.
+	fmt.Printf("\nA3  shared circular buffer vs copy-based interface (§3.7)\n")
+	fmt.Printf("    %-10s %14s %14s\n", "OSDU size", "shared ns/OSDU", "copy ns/OSDU")
+	for _, size := range []int{256, 4096, 65536} {
+		a3 := lab.SharedBufVsCopyOnce(20000, size)
+		fmt.Printf("    %-10d %14.0f %14.0f\n", size, a3.SharedNsPerOSDU, a3.CopyNsPerOSDU)
+	}
+
+	// A4.
+	a4, err := lab.DriftOnce(driftFor, 0.02)
+	check("A4", err)
+	fmt.Printf("\nA4  drift bounding over %v with ±2%% clock skew (§3.6)\n", driftFor)
+	fmt.Printf("    unregulated max skew: %8v (grows without bound)\n", a4.UnregulatedSkew.Round(time.Millisecond))
+	fmt.Printf("    regulated   max skew: %8v (bounded by the Fig. 6 loop)\n", a4.RegulatedSkew.Round(time.Millisecond))
+
+	fmt.Println("\ndone.")
+}
+
+func check(stage string, err error) {
+	if err != nil {
+		log.Fatalf("%s: %v", stage, err)
+	}
+}

@@ -1,0 +1,128 @@
+// Netprobe builds an emulated network path from flags, reports the
+// negotiated capability (the provider side of QoS option negotiation),
+// then streams a probe flow across it and compares measured delay, jitter
+// and loss against the prediction — a sanity tool for the netem
+// substrate and the QoS machinery above it.
+//
+//	go run ./cmd/netprobe -hops 3 -bw 2e6 -delay 5ms -jitter 1ms -loss 0.02 -rate 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netem"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+func main() {
+	hops := flag.Int("hops", 2, "number of links in the path (hosts = hops+1)")
+	bw := flag.Float64("bw", 2e6, "per-link bandwidth in bytes/sec")
+	delay := flag.Duration("delay", 5*time.Millisecond, "per-link propagation delay")
+	jitter := flag.Duration("jitter", time.Millisecond, "per-link max jitter")
+	loss := flag.Float64("loss", 0.0, "per-link Bernoulli loss probability")
+	rate := flag.Float64("rate", 100, "probe OSDU rate (OSDUs/sec)")
+	size := flag.Int("size", 1024, "probe OSDU size (bytes)")
+	count := flag.Uint("count", 300, "probe OSDUs to send")
+	flag.Parse()
+
+	sys := clock.System{}
+	nw := netem.New(sys)
+	n := *hops + 1
+	for id := core.HostID(1); id <= core.HostID(n); id++ {
+		check(nw.AddHost(id, nil))
+	}
+	cfg := netem.LinkConfig{
+		Bandwidth: *bw, Delay: *delay, Jitter: *jitter, QueueLen: 4096,
+	}
+	if *loss > 0 {
+		cfg.Loss = netem.Bernoulli{P: *loss}
+	}
+	for id := core.HostID(1); id < core.HostID(n); id++ {
+		check(nw.AddLink(id, id+1, cfg))
+	}
+	check(nw.Start())
+	defer nw.Close()
+
+	src, dst := core.HostID(1), core.HostID(n)
+	pc, err := nw.PathCapability(src, dst, *size)
+	check(err)
+	fmt.Printf("path %v -> %v over %d hops\n", src, dst, *hops)
+	fmt.Printf("predicted capability: %.0f OSDU/s, delay >= %v, jitter <= %v, PER >= %.4f\n",
+		pc.MaxThroughput, pc.MinDelay.Round(time.Microsecond),
+		pc.MinJitter.Round(time.Microsecond), pc.MinPER)
+
+	rm := resv.New(nw)
+	eSrc, err := transport.NewEntity(src, sys, nw, rm, transport.Config{SamplePeriod: 500 * time.Millisecond})
+	check(err)
+	eDst, err := transport.NewEntity(dst, sys, nw, rm, transport.Config{SamplePeriod: 500 * time.Millisecond})
+	check(err)
+	defer eSrc.Close()
+	defer eDst.Close()
+
+	recvCh := make(chan *transport.RecvVC, 1)
+	check(eDst.Attach(20, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+	}))
+	send, err := eSrc.Connect(transport.ConnectRequest{
+		SrcTSAP: 10, Dest: core.Addr{Host: dst, TSAP: 20},
+		Class: qos.ClassDetectIndicate,
+		Spec: qos.Spec{
+			Throughput:  qos.Tolerance{Preferred: *rate, Acceptable: *rate / 10},
+			MaxOSDUSize: *size,
+			Delay:       qos.CeilTolerance{Preferred: 0.001, Acceptable: 2},
+			Jitter:      qos.CeilTolerance{Preferred: 0.001, Acceptable: 1},
+			PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.9},
+			BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-2},
+			Guarantee:   qos.Soft,
+		},
+	})
+	check(err)
+	rv := <-recvCh
+	c := send.Contract()
+	fmt.Printf("negotiated contract:  %.0f OSDU/s, delay <= %v, jitter <= %v\n",
+		c.Throughput, c.Delay.Round(time.Microsecond), c.Jitter.Round(time.Microsecond))
+
+	sink := media.NewSink()
+	sink.NominalRate = *rate
+	stop := make(chan struct{})
+	go media.Drain(sys, rv, sink, stop)
+	start := time.Now()
+	check(media.Pump(sys, &media.CBR{Size: *size - 16, FrameRate: *rate, Count: uint32(*count)}, send, nil))
+	for sink.Received() < int(*count) && time.Since(start) < 2*time.Duration(float64(*count)/(*rate)*float64(time.Second)) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+
+	st := sink.Stats()
+	// Pick the busiest sample period (the last one is often the empty
+	// tail after the probe finished).
+	var rep qos.Report
+	for _, r := range rv.Reports() {
+		if r.Delivered > rep.Delivered {
+			rep = r
+		}
+	}
+	fmt.Printf("\nprobe results (%d OSDUs at %.0f/s):\n", *count, *rate)
+	fmt.Printf("  delivered %d, gaps %d (measured loss %.4f)\n",
+		st.Received, st.Gaps, float64(st.Gaps)/float64(int(*count)))
+	fmt.Printf("  inter-arrival mean %v, σ %v, max %v\n",
+		st.MeanInterArrival.Round(10*time.Microsecond),
+		st.JitterStdDev.Round(10*time.Microsecond),
+		st.MaxInterArrival.Round(10*time.Microsecond))
+	fmt.Printf("  transport sample: throughput %.1f OSDU/s, mean delay %v, max %v\n",
+		rep.Throughput, rep.MeanDelay.Round(10*time.Microsecond), rep.MaxDelay.Round(10*time.Microsecond))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Orchdemo runs a scripted orchestration session with a live trace of the
+// Fig. 6 feedback loop: per-interval targets, deliveries, lag and
+// blocking-time attribution for every stream. Flags control the number of
+// streams, their rates, the injected clock skew and the regulation
+// interval.
+//
+//	go run ./cmd/orchdemo -streams 3 -rate 100 -skew 0.02 -interval 100ms -for 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netem"
+	"cmtos/internal/orch"
+	"cmtos/internal/orch/hlo"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+func main() {
+	streams := flag.Int("streams", 3, "orchestrated streams (one server host each)")
+	rate := flag.Float64("rate", 100, "media rate per stream (OSDUs/sec)")
+	skew := flag.Float64("skew", 0.02, "max clock skew magnitude across servers (fraction)")
+	interval := flag.Duration("interval", 100*time.Millisecond, "regulation interval")
+	runFor := flag.Duration("for", 5*time.Second, "play-out duration")
+	maxDrop := flag.Int("maxdrop", 3, "per-interval drop budget")
+	flag.Parse()
+
+	sys := clock.System{}
+	nw := netem.New(sys)
+	sinkHost := core.HostID(*streams + 1)
+	for id := core.HostID(1); id <= sinkHost; id++ {
+		check(nw.AddHost(id, nil))
+	}
+	link := netem.LinkConfig{Bandwidth: 4e6, Delay: 2 * time.Millisecond, Jitter: time.Millisecond, QueueLen: 4096}
+	for id := core.HostID(1); id < sinkHost; id++ {
+		check(nw.AddLink(id, sinkHost, link))
+	}
+	check(nw.Start())
+	defer nw.Close()
+	rm := resv.New(nw)
+
+	// Each server's clock drifts by a different amount in [-skew, +skew].
+	ents := make(map[core.HostID]*transport.Entity)
+	llos := make(map[core.HostID]*orch.LLO)
+	clocks := make(map[core.HostID]clock.Clock)
+	for id := core.HostID(1); id <= sinkHost; id++ {
+		clk := clock.Clock(sys)
+		if id < sinkHost && *streams > 1 {
+			f := 1 + *skew*(2*float64(id-1)/float64(*streams-1)-1)
+			clk = clock.NewSkewed(sys, f, 0)
+			fmt.Printf("server %v clock rate: %+.2f%%\n", id, (f-1)*100)
+		}
+		clocks[id] = clk
+		e, err := transport.NewEntity(id, clk, nw, rm, transport.Config{RingSlots: 16})
+		check(err)
+		defer e.Close()
+		ents[id] = e
+		llos[id] = orch.New(e)
+		defer llos[id].Close()
+	}
+
+	// Connect one stream per server and start the pumps.
+	cfgs := make([]hlo.StreamConfig, *streams)
+	sinks := make([]*media.Sink, *streams)
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < *streams; i++ {
+		src := core.HostID(i + 1)
+		recvCh := make(chan *transport.RecvVC, 1)
+		check(ents[sinkHost].Attach(core.TSAP(100+i), transport.UserCallbacks{
+			OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+		}))
+		s, err := ents[src].Connect(transport.ConnectRequest{
+			SrcTSAP: 10,
+			Dest:    core.Addr{Host: sinkHost, TSAP: core.TSAP(100 + i)},
+			Class:   qos.ClassDetectIndicate,
+			Spec: qos.Spec{
+				Throughput:  qos.Tolerance{Preferred: *rate * 1.5, Acceptable: *rate / 2},
+				MaxOSDUSize: 512,
+				Delay:       qos.CeilTolerance{Preferred: 0.005, Acceptable: 0.5},
+				Jitter:      qos.CeilTolerance{Preferred: 0.002, Acceptable: 0.25},
+				PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.2},
+				BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-3},
+				Guarantee:   qos.Soft,
+			},
+		})
+		check(err)
+		rv := <-recvCh
+		sinks[i] = media.NewSink()
+		cfgs[i] = hlo.StreamConfig{
+			Desc:    orch.VCDesc{VC: s.ID(), Source: src, Sink: sinkHost},
+			Rate:    *rate,
+			MaxDrop: *maxDrop,
+		}
+		go func(src core.HostID, s *transport.SendVC) {
+			_ = media.Pump(clocks[src], &media.CBR{Size: 256, FrameRate: *rate}, s, stop)
+		}(src, s)
+		go media.Drain(sys, rv, sinks[i], stop)
+	}
+
+	// The agent at the sink, with a live report trace.
+	agent, err := hlo.New(llos[sinkHost], sys, 1, cfgs, hlo.Policy{
+		Interval: *interval,
+		OnLag: func(vc core.VCID, attr hlo.Attribution, behind int) {
+			fmt.Printf("    !! %v lagging %d OSDUs, attributed to %v\n", vc, behind, attr)
+		},
+	})
+	check(err)
+	var mu sync.Mutex
+	agent.SetObserver(func(r orch.Report) {
+		mu.Lock()
+		defer mu.Unlock()
+		lag := int64(r.Target) - int64(r.Delivered)
+		fmt.Printf("  iv %3d %v target %5d delivered %5d lag %+4d drop %d blocks[aS %s pS %s pK %s aK %s]\n",
+			r.IntervalID, r.VC, r.Target, r.Delivered, lag, r.Dropped,
+			short(r.Blocks.AppSource), short(r.Blocks.ProtoSource),
+			short(r.Blocks.ProtoSink), short(r.Blocks.AppSink))
+	})
+	check(agent.Setup())
+	fmt.Println("prime + synchronised start")
+	check(agent.Prime(false))
+	check(agent.Start())
+
+	time.Sleep(*runFor)
+	fmt.Println("\nfinal state:")
+	for _, st := range agent.Status() {
+		fmt.Printf("  %v: target %d delivered %d behind %d dropped %d compensations %d\n",
+			st.VC, st.Target, st.Delivered, st.Behind, st.DroppedTotal, st.Compensations)
+	}
+	fmt.Printf("  agent skew: %v\n", agent.Skew().Round(time.Millisecond))
+	for i, s := range sinks {
+		fmt.Printf("  sink %d: %d OSDUs delivered\n", i, s.Received())
+	}
+	agent.Stop()
+	agent.Release()
+}
+
+func short(d time.Duration) string {
+	if d == 0 {
+		return "0"
+	}
+	return d.Round(time.Millisecond).String()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Captions: the §3.6 scenario of associating captions from a text file
+// with an on-going video play-out, using event-driven synchronisation
+// (§6.3.4). The video stream's source marks the OSDU where each scene
+// begins by setting its OPDU event field; the orchestration service
+// matches the registered pattern at the sink LLO and raises
+// Orch.Event.indication at the agent, which displays the caption for that
+// scene — without the application having to examine every frame.
+//
+//	go run ./examples/captions
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netem"
+	"cmtos/internal/orch"
+	"cmtos/internal/orch/hlo"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+// sceneMark is the application-defined event value flagging a scene change.
+const sceneMark core.EventPattern = 0x5CE7E
+
+var captions = []string{
+	"[scene 1] EXT. LANCASTER UNIVERSITY - DAY",
+	"[scene 2] INT. COMPUTING DEPARTMENT - MNI LAB",
+	"[scene 3] CLOSE-UP: A TRANSPUTER CLUSTER",
+	"[scene 4] THE ORCHESTRATOR AWAKENS",
+}
+
+func main() {
+	sys := clock.System{}
+	nw := netem.New(sys)
+	check(nw.AddHost(1, nil)) // video server
+	check(nw.AddHost(2, nil)) // viewer workstation
+	check(nw.AddLink(1, 2, netem.LinkConfig{Bandwidth: 6e6, Delay: 2 * time.Millisecond}))
+	check(nw.Start())
+	defer nw.Close()
+	rm := resv.New(nw)
+
+	eSrv, err := transport.NewEntity(1, sys, nw, rm, transport.Config{RingSlots: 8})
+	check(err)
+	eView, err := transport.NewEntity(2, sys, nw, rm, transport.Config{RingSlots: 8})
+	check(err)
+	defer eSrv.Close()
+	defer eView.Close()
+	lSrv, lView := orch.New(eSrv), orch.New(eView)
+	defer lSrv.Close()
+	defer lView.Close()
+
+	// Connect a 25fps video stream.
+	recvCh := make(chan *transport.RecvVC, 1)
+	check(eView.Attach(20, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+	}))
+	send, err := eSrv.Connect(transport.ConnectRequest{
+		SrcTSAP: 10, Dest: core.Addr{Host: 2, TSAP: 20},
+		Class: qos.ClassDetectIndicate,
+		Spec: qos.Spec{
+			Throughput:  qos.Tolerance{Preferred: 30, Acceptable: 10},
+			MaxOSDUSize: 2048,
+			Delay:       qos.CeilTolerance{Preferred: 0.005, Acceptable: 0.3},
+			Jitter:      qos.CeilTolerance{Preferred: 0.002, Acceptable: 0.2},
+			PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.1},
+			BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-4},
+			Guarantee:   qos.Soft,
+		},
+	})
+	check(err)
+	rv := <-recvCh
+
+	// The film: 100 frames at 25fps, a scene change every 25 frames.
+	film := &media.CBR{
+		Size: 1200, FrameRate: 25, Count: 100,
+		EventAt: map[uint32]core.EventPattern{
+			0: sceneMark, 25: sceneMark, 50: sceneMark, 75: sceneMark,
+		},
+	}
+
+	// The viewer orchestrates the single stream (the agent lives at the
+	// sink) purely to use the event machinery.
+	agent, err := hlo.New(lView, sys, 1, []hlo.StreamConfig{
+		{Desc: orch.VCDesc{VC: send.ID(), Source: 1, Sink: 2}, Rate: 25},
+	}, hlo.Policy{Interval: 100 * time.Millisecond})
+	check(err)
+	check(agent.Setup())
+
+	scene := 0
+	events := make(chan orch.EventIndication, 8)
+	agent.SetEventHandler(func(e orch.EventIndication) { events <- e })
+	check(agent.RegisterEvent(send.ID(), sceneMark))
+
+	sink := media.NewSink()
+	go media.Drain(sys, rv, sink, nil)
+	go func() { _ = media.Pump(sys, film, send, nil) }()
+	check(agent.Start())
+
+	fmt.Println("playing 100 frames at 25fps; captions raised by Orch.Event:")
+	deadline := time.After(8 * time.Second)
+	for scene < len(captions) {
+		select {
+		case ev := <-events:
+			fmt.Printf("   frame %3d: %s\n", ev.OSDU, captions[scene])
+			scene++
+		case <-deadline:
+			log.Fatalf("only %d of %d scene events arrived", scene, len(captions))
+		}
+	}
+	// Let the tail play out.
+	for sink.Received() < 100 {
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("film complete: %d frames delivered, %d captions shown\n",
+		sink.Received(), scene)
+	agent.Release()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Languagelab: the paper's language-laboratory scenario (§3.6) — separate
+// audio tracks in different languages are stored on a single server and
+// distributed to different student workstations in a real-time
+// interactive lesson. The common node is the SOURCE this time (Fig. 5),
+// so the server hosts the HLO agent. The teacher starts, pauses and
+// resumes the lesson; the atomic group Stop/Prime/Start keeps every
+// student at the same point in the lesson, and a mid-lesson seek shows
+// the flush-prime cleaning stale audio out of the buffers (§6.2.1).
+//
+//	go run ./examples/languagelab
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netem"
+	"cmtos/internal/orch"
+	"cmtos/internal/orch/hlo"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+const chunkRate = 50.0 // audio chunks per second
+
+var languages = []string{"french", "german", "spanish"}
+
+func main() {
+	sys := clock.System{}
+	nw := netem.New(sys)
+	// Host 1: the language server; hosts 2-4: student workstations.
+	for id := core.HostID(1); id <= 4; id++ {
+		check(nw.AddHost(id, nil))
+	}
+	link := netem.LinkConfig{Bandwidth: 2e6, Delay: 3 * time.Millisecond, Jitter: time.Millisecond}
+	for id := core.HostID(2); id <= 4; id++ {
+		check(nw.AddLink(1, id, link))
+	}
+	check(nw.Start())
+	defer nw.Close()
+	rm := resv.New(nw)
+
+	ents := make(map[core.HostID]*transport.Entity)
+	llos := make(map[core.HostID]*orch.LLO)
+	for id := core.HostID(1); id <= 4; id++ {
+		e, err := transport.NewEntity(id, sys, nw, rm, transport.Config{RingSlots: 12})
+		check(err)
+		defer e.Close()
+		ents[id] = e
+		llos[id] = orch.New(e)
+		defer llos[id].Close()
+	}
+
+	// One track per student; sources are seekable stored media.
+	students := make([]*student, len(languages))
+	var descs []hlo.StreamConfig
+	for i, lang := range languages {
+		host := core.HostID(2 + i)
+		recvCh := make(chan *transport.RecvVC, 1)
+		check(ents[host].Attach(20, transport.UserCallbacks{
+			OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+		}))
+		s, err := ents[1].Connect(transport.ConnectRequest{
+			SrcTSAP: core.TSAP(10 + i),
+			Dest:    core.Addr{Host: host, TSAP: 20},
+			Class:   qos.ClassDetectIndicate,
+			Spec: qos.Spec{
+				Throughput:  qos.Tolerance{Preferred: chunkRate * 1.3, Acceptable: chunkRate / 2},
+				MaxOSDUSize: 512,
+				Delay:       qos.CeilTolerance{Preferred: 0.005, Acceptable: 0.3},
+				Jitter:      qos.CeilTolerance{Preferred: 0.002, Acceptable: 0.2},
+				PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.1},
+				BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-4},
+				Guarantee:   qos.Soft,
+			},
+		})
+		check(err)
+		rv := <-recvCh
+		st := &student{
+			lang: lang, host: host, send: s,
+			src:   &media.CBR{Size: 320, FrameRate: chunkRate},
+			sink:  media.NewSink(),
+			pumpC: make(chan struct{}),
+		}
+		students[i] = st
+		go func() { _ = media.Pump(sys, st.src, st.send, st.pumpC) }()
+		go media.Drain(sys, rv, st.sink, nil)
+		defer close(st.pumpC)
+		descs = append(descs, hlo.StreamConfig{
+			Desc: orch.VCDesc{VC: s.ID(), Source: 1, Sink: host},
+			Rate: chunkRate, MaxDrop: 3,
+		})
+	}
+
+	// The agent runs at the common SOURCE node (the server).
+	node, err := hlo.SelectOrchestratingNode(configDescs(descs))
+	check(err)
+	fmt.Printf("orchestrating node: %v (the common source)\n", node)
+	agent, err := hlo.New(llos[node], sys, 1, descs, hlo.Policy{Interval: 100 * time.Millisecond})
+	check(err)
+	check(agent.Setup())
+
+	fmt.Println("teacher: prime + start the lesson")
+	check(agent.Prime(false))
+	check(agent.Start())
+	time.Sleep(time.Second)
+	report(students)
+
+	fmt.Println("teacher: pause (atomic Orch.Stop)")
+	check(agent.Stop())
+	time.Sleep(300 * time.Millisecond)
+	paused := make([]int, len(students))
+	for i, st := range students {
+		paused[i] = st.sink.Received()
+	}
+	time.Sleep(300 * time.Millisecond)
+	frozen := true
+	for i, st := range students {
+		if st.sink.Received() > paused[i]+1 {
+			frozen = false
+		}
+	}
+	fmt.Printf("   all students frozen: %v\n", frozen)
+
+	fmt.Println("teacher: seek to chunk 500 and resume (flush-prime + start)")
+	for _, st := range students {
+		st.src.Seek(500)
+	}
+	check(agent.Prime(true)) // flush stale audio from the buffers
+	check(agent.Start())
+	time.Sleep(time.Second)
+	report(students)
+	for _, st := range students {
+		// After the seek every student should be hearing chunk >= 500.
+		if st.sink.LastSeq() < 500 {
+			fmt.Printf("   WARNING %s heard stale chunk %d\n", st.lang, st.sink.LastSeq())
+		}
+	}
+	fmt.Println("teacher: end of lesson")
+	agent.Release()
+
+	// The lesson point must match across students.
+	max, min := students[0].sink.LastSeq(), students[0].sink.LastSeq()
+	for _, st := range students[1:] {
+		if v := st.sink.LastSeq(); v > max {
+			max = v
+		} else if v < min {
+			min = v
+		}
+	}
+	fmt.Printf("lesson-position spread across students: %d chunks (%.0fms)\n",
+		max-min, float64(max-min)/chunkRate*1000)
+}
+
+// student couples one language track with its workstation endpoints.
+type student struct {
+	lang  string
+	host  core.HostID
+	send  *transport.SendVC
+	src   *media.CBR
+	sink  *media.Sink
+	pumpC chan struct{}
+}
+
+func report(students []*student) {
+	for _, st := range students {
+		fmt.Printf("   %-8s @%v: %4d chunks delivered, at chunk %d\n",
+			st.lang, st.host, st.sink.Received(), st.sink.LastSeq())
+	}
+}
+
+func configDescs(cfgs []hlo.StreamConfig) []orch.VCDesc {
+	out := make([]orch.VCDesc, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = c.Desc
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

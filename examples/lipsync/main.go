@@ -1,0 +1,175 @@
+// Lipsync: the paper's motivating example (§1, §3.6) — the video and
+// sound-track components of a film are stored on two different servers
+// and must play out in lip sync (ten audio chunks per video frame) at a
+// single workstation. The servers' clocks drift (here ±2%, an
+// exaggerated crystal error so one minute of drift shows in seconds).
+//
+// The play-out runs twice: first unorchestrated, where the streams start
+// ragged and drift apart; then orchestrated, where Orch.Prime/Start give
+// a simultaneous start and the HLO agent's regulation (Fig. 6) pins both
+// streams to the orchestrating node's master clock.
+//
+//	go run ./examples/lipsync
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netem"
+	"cmtos/internal/orch"
+	"cmtos/internal/orch/hlo"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+const (
+	videoRate = 25.0  // frames/sec
+	audioRate = 250.0 // chunks/sec: the 10:1 ratio of §3.6
+	playFor   = 3 * time.Second
+)
+
+func main() {
+	sys := clock.System{}
+
+	fmt.Println("== play-out 1: unorchestrated (free-running servers) ==")
+	skewMax, start := run(sys, false)
+	fmt.Printf("   start skew %v, max lip-sync error %v\n\n",
+		start.Round(time.Millisecond), skewMax.Round(time.Millisecond))
+
+	fmt.Println("== play-out 2: orchestrated (Prime/Start + Fig. 6 regulation) ==")
+	skewMaxO, startO := run(sys, true)
+	fmt.Printf("   start skew %v, max lip-sync error %v\n\n",
+		startO.Round(time.Millisecond), skewMaxO.Round(time.Millisecond))
+
+	fmt.Printf("orchestration reduced the maximum lip-sync error %vx\n",
+		int(float64(skewMax)/float64(max(skewMaxO, time.Millisecond))))
+}
+
+// run plays the film once and returns (max skew, start skew).
+func run(sys clock.System, orchestrated bool) (time.Duration, time.Duration) {
+	nw := netem.New(sys)
+	for id := core.HostID(1); id <= 3; id++ {
+		check(nw.AddHost(id, nil))
+	}
+	link := netem.LinkConfig{Bandwidth: 12e6, Delay: 2 * time.Millisecond, Jitter: time.Millisecond}
+	check(nw.AddLink(1, 3, link))
+	check(nw.AddLink(2, 3, link))
+	check(nw.AddLink(1, 2, link))
+	check(nw.Start())
+	defer nw.Close()
+	rm := resv.New(nw)
+
+	// Server clocks drift in opposite directions.
+	videoClk := clock.NewSkewed(sys, 1.02, 0) // 2% fast
+	audioClk := clock.NewSkewed(sys, 0.98, 0) // 2% slow
+	eVideo, err := transport.NewEntity(1, videoClk, nw, rm, transport.Config{RingSlots: 16})
+	check(err)
+	eAudio, err := transport.NewEntity(2, audioClk, nw, rm, transport.Config{RingSlots: 16})
+	check(err)
+	eSink, err := transport.NewEntity(3, sys, nw, rm, transport.Config{RingSlots: 16})
+	check(err)
+	defer eVideo.Close()
+	defer eAudio.Close()
+	defer eSink.Close()
+	lVideo, lAudio, lSink := orch.New(eVideo), orch.New(eAudio), orch.New(eSink)
+	defer lVideo.Close()
+	defer lAudio.Close()
+	defer lSink.Close()
+
+	// Connect the two tracks to the workstation.
+	videoSink, audioSink := media.NewSink(), media.NewSink()
+	vs := connectTrack(eVideo, eSink, 10, videoRate, 2048)
+	as := connectTrack(eAudio, eSink, 11, audioRate, 256)
+
+	// Source pumps: each server plays its track at its own clock rate.
+	stopV, stopA := make(chan struct{}), make(chan struct{})
+	defer close(stopV)
+	defer close(stopA)
+	go func() {
+		_ = media.Pump(videoClk, &media.CBR{Size: 1400, FrameRate: videoRate}, vs.send, stopV)
+	}()
+	go func() {
+		_ = media.Pump(audioClk, &media.CBR{Size: 192, FrameRate: audioRate}, as.send, stopA)
+	}()
+	go media.Drain(sys, vs.recv, videoSink, nil)
+	go media.Drain(sys, as.recv, audioSink, nil)
+
+	pair := &media.SyncPair{A: videoSink, B: audioSink, RateA: videoRate, RateB: audioRate}
+
+	if orchestrated {
+		agent, err := hlo.New(lSink, sys, 1, []hlo.StreamConfig{
+			{Desc: orch.VCDesc{VC: vs.send.ID(), Source: 1, Sink: 3}, Rate: videoRate, MaxDrop: 2},
+			{Desc: orch.VCDesc{VC: as.send.ID(), Source: 2, Sink: 3}, Rate: audioRate, MaxDrop: 10},
+		}, hlo.Policy{Interval: 100 * time.Millisecond})
+		check(err)
+		check(agent.Setup())
+		check(agent.Prime(false))
+		check(agent.Start())
+		defer agent.Release()
+	}
+
+	// Sample the lip-sync error every 100ms over the play-out.
+	began := time.Now()
+	for time.Since(began) < playFor {
+		time.Sleep(250 * time.Millisecond)
+		if videoSink.Received() > 0 && audioSink.Received() > 0 {
+			skew := pair.Sample()
+			fmt.Printf("   t=%4dms video %3d frames, audio %4d chunks, lip-sync error %6v\n",
+				time.Since(began).Milliseconds(),
+				videoSink.Received(), audioSink.Received(), skew.Round(time.Millisecond))
+		}
+	}
+	vstats, astats := videoSink.Stats(), audioSink.Stats()
+	startSkew := vstats.First.Sub(astats.First)
+	if startSkew < 0 {
+		startSkew = -startSkew
+	}
+	return pair.MaxSkew(), startSkew
+}
+
+type track struct {
+	send *transport.SendVC
+	recv *transport.RecvVC
+}
+
+func connectTrack(src, dst *transport.Entity, tsap core.TSAP, rate float64, frame int) track {
+	recvCh := make(chan *transport.RecvVC, 1)
+	check(dst.Attach(tsap+100, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+	}))
+	s, err := src.Connect(transport.ConnectRequest{
+		SrcTSAP: tsap,
+		Dest:    core.Addr{Host: dst.Host(), TSAP: tsap + 100},
+		Class:   qos.ClassDetectIndicate,
+		Spec: qos.Spec{
+			Throughput:  qos.Tolerance{Preferred: rate * 1.3, Acceptable: rate / 2},
+			MaxOSDUSize: frame,
+			Delay:       qos.CeilTolerance{Preferred: 0.005, Acceptable: 0.3},
+			Jitter:      qos.CeilTolerance{Preferred: 0.002, Acceptable: 0.2},
+			PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.1},
+			BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-4},
+			Guarantee:   qos.Soft,
+		},
+	})
+	check(err)
+	return track{send: s, recv: <-recvCh}
+}
+
+func max(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

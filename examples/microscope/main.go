@@ -1,0 +1,111 @@
+// Microscope: the remote-access scenario that motivated the remote
+// connection facility (§2.2, §3.5, Figs. 2-3). A scientist's workstation
+// (host 3) connects the electron microscope's camera on host 1 to a
+// colleague's monitor on host 2: the initiator, source and sink are three
+// distinct end-systems. The session then demonstrates dynamic QoS
+// control (§3.3): the scientist downgrades the feed from "colour" to
+// "monochrome" (half the frame size and rate) mid-session with
+// T-Renegotiate, and finally releases the stream remotely.
+//
+//	go run ./examples/microscope
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netem"
+	"cmtos/internal/orch"
+	"cmtos/internal/platform"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+func main() {
+	sys := clock.System{}
+	nw := netem.New(sys)
+	for id := core.HostID(1); id <= 3; id++ {
+		check(nw.AddHost(id, nil))
+	}
+	link := netem.LinkConfig{Bandwidth: 4e6, Delay: 2 * time.Millisecond, Jitter: 500 * time.Microsecond}
+	check(nw.AddLink(1, 2, link))
+	check(nw.AddLink(1, 3, link))
+	check(nw.AddLink(2, 3, link))
+	check(nw.Start())
+	defer nw.Close()
+
+	rm := resv.New(nw)
+	plats := make(map[core.HostID]*platform.Platform)
+	for id := core.HostID(1); id <= 3; id++ {
+		e, err := transport.NewEntity(id, sys, nw, rm, transport.Config{})
+		check(err)
+		defer e.Close()
+		l := orch.New(e)
+		defer l.Close()
+		plats[id] = platform.NewPlatform(platform.NewCapsule(e), l)
+	}
+
+	// Host 1: the microscope. Its camera is a live 20fps source.
+	check(plats[1].RegisterProducer("em.camera", 20, 8192, func() media.Source {
+		return &media.CBR{Size: 6000, FrameRate: 20} // "colour" frames
+	}))
+
+	// Host 2: the colleague's monitor.
+	var frames atomic.Int64
+	var bytes atomic.Int64
+	check(plats[2].RegisterConsumer("monitor", func(f media.Frame, at time.Time) {
+		frames.Add(1)
+		bytes.Add(int64(len(f.Data)))
+	}))
+
+	// Host 3: the scientist initiates the remote connect (Fig. 2).
+	fmt.Println("scientist@h3: connecting em.camera@h1 -> monitor@h2 (remote connect)")
+	stream, err := plats[3].CreateStream(
+		platform.DeviceRef{Host: 1, Name: "em.camera"},
+		platform.DeviceRef{Host: 2, Name: "monitor"},
+		platform.MediaQoS{}, // adopt the camera's terms: 20fps colour
+	)
+	check(err)
+	fmt.Printf("  established %v: %.0f fps, frame bound %d B, delay <= %v\n",
+		stream.VC, stream.Contract.Throughput, stream.Contract.MaxOSDUSize,
+		stream.Contract.Delay.Round(time.Millisecond))
+
+	time.Sleep(time.Second)
+	f1, b1 := frames.Load(), bytes.Load()
+	fmt.Printf("  after 1s of colour video: %d frames, %.1f KB/s\n", f1, float64(b1)/1024)
+
+	// Mid-session downgrade to monochrome: half rate, smaller frames
+	// (the §3.3 example of using the same VC for different purposes).
+	fmt.Println("scientist@h3: renegotiating to monochrome (10 fps, small frames)")
+	contract, err := plats[3].RenegotiateStream(stream, platform.MediaQoS{
+		FrameRate: 10, FrameBound: 8192,
+	})
+	check(err)
+	fmt.Printf("  new contract: %.0f fps\n", contract.Throughput)
+
+	frames.Store(0)
+	bytes.Store(0)
+	time.Sleep(time.Second)
+	f2 := frames.Load()
+	fmt.Printf("  after 1s of monochrome: %d frames (rate roughly halved: %v)\n",
+		f2, f2 < f1)
+
+	// Remote release (§4.1.1): the initiator ends the session.
+	fmt.Println("scientist@h3: releasing the stream remotely")
+	check(plats[3].CloseStream(stream))
+	time.Sleep(100 * time.Millisecond)
+	n := frames.Load()
+	time.Sleep(200 * time.Millisecond)
+	fmt.Printf("  flow stopped: %v\n", frames.Load() <= n+1)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

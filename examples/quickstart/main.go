@@ -1,0 +1,112 @@
+// Quickstart: the smallest complete use of the continuous-media transport
+// service — two hosts, one negotiated simplex VC, a stored-media source
+// played across it, and the sink's measured QoS printed at the end.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netem"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+func main() {
+	sys := clock.System{}
+
+	// 1. A two-host network: 10 Mbit/s, 5ms propagation, 1ms jitter.
+	nw := netem.New(sys)
+	check(nw.AddHost(1, nil))
+	check(nw.AddHost(2, nil))
+	check(nw.AddLink(1, 2, netem.LinkConfig{
+		Bandwidth: 10e6 / 8,
+		Delay:     5 * time.Millisecond,
+		Jitter:    time.Millisecond,
+	}))
+	check(nw.Start())
+	defer nw.Close()
+
+	// 2. A transport entity per host, sharing one reservation manager.
+	rm := resv.New(nw)
+	server, err := transport.NewEntity(1, sys, nw, rm, transport.Config{})
+	check(err)
+	player, err := transport.NewEntity(2, sys, nw, rm, transport.Config{})
+	check(err)
+	defer server.Close()
+	defer player.Close()
+
+	// 3. The player attaches a TSAP and accepts incoming connections.
+	recvCh := make(chan *transport.RecvVC, 1)
+	check(player.Attach(20, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+		OnQoS: func(q transport.QoSIndication) {
+			fmt.Printf("T-QoS.indication: violated %v (throughput %.1f/s, PER %.3f)\n",
+				q.Violated, q.Report.Throughput, q.Report.PER)
+		},
+	}))
+
+	// 4. The server connects a 25 frames/sec video VC with negotiated QoS.
+	send, err := server.Connect(transport.ConnectRequest{
+		SrcTSAP: 10,
+		Dest:    core.Addr{Host: 2, TSAP: 20},
+		Profile: qos.ProfileCMRate,
+		Class:   qos.ClassDetectIndicate,
+		Spec: qos.Spec{
+			Throughput:  qos.Tolerance{Preferred: 25, Acceptable: 10},
+			MaxOSDUSize: 8 * 1024,
+			Delay:       qos.CeilTolerance{Preferred: 0.010, Acceptable: 0.200},
+			Jitter:      qos.CeilTolerance{Preferred: 0.002, Acceptable: 0.100},
+			PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.05},
+			BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-4},
+			Guarantee:   qos.Soft,
+		},
+	})
+	check(err)
+	rv := <-recvCh
+	c := send.Contract()
+	fmt.Printf("connected %v: %.0f OSDU/s, delay <= %v, jitter <= %v, PER <= %.2f\n",
+		send.ID(), c.Throughput, c.Delay, c.Jitter, c.PER)
+
+	// 5. Play 2 seconds of 25fps video through the VC.
+	src := &media.CBR{Size: 4096, FrameRate: 25, Count: 50}
+	sink := media.NewSink()
+	sink.VerifyCBR = true
+	sink.NominalRate = 25
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := media.Pump(sys, src, send, nil); err != nil {
+			log.Printf("pump: %v", err)
+		}
+	}()
+	go media.Drain(sys, rv, sink, nil)
+	<-done
+	time.Sleep(200 * time.Millisecond) // let the tail arrive
+
+	// 6. Report what the player saw.
+	st := sink.Stats()
+	fmt.Printf("delivered %d/50 frames, %d gaps, %d corrupt\n", st.Received, st.Gaps, st.Corrupt)
+	fmt.Printf("inter-arrival mean %v, max %v, jitter stddev %v\n",
+		st.MeanInterArrival.Round(time.Millisecond),
+		st.MaxInterArrival.Round(time.Millisecond),
+		st.JitterStdDev.Round(100*time.Microsecond))
+	rep := rv.LastReport()
+	fmt.Printf("last sample period: throughput %.1f OSDU/s, mean delay %v\n",
+		rep.Throughput, rep.MeanDelay.Round(100*time.Microsecond))
+	check(send.Close(core.ReasonUserInitiated))
+	fmt.Println("disconnected")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module cmtos
+
+go 1.22

@@ -1,0 +1,226 @@
+// Package clock abstracts time so that every timing-sensitive component of
+// the system — transport rate control, QoS monitoring, orchestration
+// intervals — can run against the real clock in examples, a manually
+// stepped clock in unit tests, or a deliberately drifting clock when the
+// experiments need to reproduce the inter-host clock-rate discrepancies
+// that cause long-running streams to fall out of synchronisation (§3.6).
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the system. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the clock's current time.
+	Now() time.Time
+	// Sleep blocks the caller for d of this clock's time.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d of
+	// this clock's time has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc runs f in its own goroutine after d of this clock's time
+	// has elapsed, and returns a handle that can cancel the call.
+	AfterFunc(d time.Duration, f func()) Timer
+	// Since returns the clock time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Timer is a cancellable pending call created by AfterFunc.
+type Timer interface {
+	// Stop cancels the pending call; it reports whether the call was
+	// still pending.
+	Stop() bool
+}
+
+// System is the real-time clock backed by package time.
+// The zero value is ready to use.
+type System struct{}
+
+// Now implements Clock.
+func (System) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (System) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (System) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// AfterFunc implements Clock.
+func (System) AfterFunc(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
+
+// Since implements Clock.
+func (System) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Skewed derives a drifting clock from a base clock: its time advances at
+// Rate times the base rate, offset so that base time Epoch maps to
+// Epoch+Offset. A Rate of 1.0001 models a crystal running 100 ppm fast —
+// the "inevitable discrepancies between remote clock rates" of §3.6.
+//
+// Sleep and After convert the requested skewed-clock duration back into
+// base-clock time, so a component sleeping "one frame period" on a fast
+// clock wakes slightly early in base time, exactly as real hardware would.
+type Skewed struct {
+	Base   Clock
+	Rate   float64       // skewed seconds per base second; must be > 0
+	Offset time.Duration // added to the mapped time
+	Epoch  time.Time     // base instant at which skewed time == Epoch+Offset
+}
+
+// NewSkewed returns a skewed view of base starting now, running at rate
+// (e.g. 1.0002 = 200 ppm fast) with an initial offset.
+func NewSkewed(base Clock, rate float64, offset time.Duration) *Skewed {
+	return &Skewed{Base: base, Rate: rate, Offset: offset, Epoch: base.Now()}
+}
+
+// Now implements Clock.
+func (s *Skewed) Now() time.Time {
+	elapsed := s.Base.Now().Sub(s.Epoch)
+	scaled := time.Duration(float64(elapsed) * s.Rate)
+	return s.Epoch.Add(scaled + s.Offset)
+}
+
+// baseDuration converts a skewed-clock duration to base-clock time.
+func (s *Skewed) baseDuration(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) / s.Rate)
+}
+
+// Sleep implements Clock.
+func (s *Skewed) Sleep(d time.Duration) { s.Base.Sleep(s.baseDuration(d)) }
+
+// After implements Clock.
+func (s *Skewed) After(d time.Duration) <-chan time.Time {
+	return s.Base.After(s.baseDuration(d))
+}
+
+// AfterFunc implements Clock.
+func (s *Skewed) AfterFunc(d time.Duration, f func()) Timer {
+	return s.Base.AfterFunc(s.baseDuration(d), f)
+}
+
+// Since implements Clock.
+func (s *Skewed) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Manual is a virtual clock advanced explicitly by tests. Sleepers and
+// timers fire when Advance moves the clock past their deadlines. The zero
+// value is not ready; use NewManual.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*manualWaiter
+}
+
+type manualWaiter struct {
+	deadline time.Time
+	ch       chan time.Time // nil for func waiters
+	f        func()
+	stopped  bool
+}
+
+// NewManual returns a manual clock reading start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves the clock forward by d, firing every sleeper and timer
+// whose deadline is reached, in deadline order.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	target := m.now.Add(d)
+	for {
+		var next *manualWaiter
+		for _, w := range m.waiters {
+			if w.stopped || w.deadline.After(target) {
+				continue
+			}
+			if next == nil || w.deadline.Before(next.deadline) {
+				next = w
+			}
+		}
+		if next == nil {
+			break
+		}
+		m.now = next.deadline
+		next.stopped = true
+		f, ch, now := next.f, next.ch, m.now
+		if f != nil {
+			m.mu.Unlock()
+			f()
+			m.mu.Lock()
+		} else {
+			ch <- now
+		}
+	}
+	m.now = target
+	// Compact the waiter list.
+	live := m.waiters[:0]
+	for _, w := range m.waiters {
+		if !w.stopped {
+			live = append(live, w)
+		}
+	}
+	m.waiters = live
+	m.mu.Unlock()
+}
+
+// Sleep implements Clock. It blocks until Advance passes the deadline.
+func (m *Manual) Sleep(d time.Duration) { <-m.After(d) }
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.waiters = append(m.waiters, &manualWaiter{deadline: m.now.Add(d), ch: ch})
+	return ch
+}
+
+// AfterFunc implements Clock.
+func (m *Manual) AfterFunc(d time.Duration, f func()) Timer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &manualWaiter{deadline: m.now.Add(d), f: f}
+	if d <= 0 {
+		w.stopped = true
+		go f()
+		return (*manualTimer)(nil)
+	}
+	m.waiters = append(m.waiters, w)
+	return &manualTimer{m: m, w: w}
+}
+
+// Since implements Clock.
+func (m *Manual) Since(t time.Time) time.Duration { return m.Now().Sub(t) }
+
+type manualTimer struct {
+	m *Manual
+	w *manualWaiter
+}
+
+// Stop implements Timer.
+func (t *manualTimer) Stop() bool {
+	if t == nil {
+		return false
+	}
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	was := !t.w.stopped
+	t.w.stopped = true
+	return was
+}

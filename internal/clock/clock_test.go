@@ -1,0 +1,219 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSystemNowAdvances(t *testing.T) {
+	var c System
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(a) {
+		t.Fatal("system clock did not advance across Sleep")
+	}
+	if c.Since(a) <= 0 {
+		t.Fatal("Since returned non-positive duration")
+	}
+}
+
+func TestSystemAfterFires(t *testing.T) {
+	var c System
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestSystemAfterFunc(t *testing.T) {
+	var c System
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("AfterFunc never fired")
+	}
+}
+
+func TestSystemAfterFuncStop(t *testing.T) {
+	var c System
+	var fired atomic.Bool
+	tm := c.AfterFunc(time.Hour, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestManualNowFixedUntilAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", m.Now(), start)
+	}
+	m.Advance(3 * time.Second)
+	if got, want := m.Now(), start.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestManualAfterFiresAtDeadline(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	ch := m.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before its deadline")
+	default:
+	}
+	m.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if want := time.Unix(10, 0); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("After did not fire at its deadline")
+	}
+}
+
+func TestManualAfterZeroFiresImmediately(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	select {
+	case <-m.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestManualSleepWakesOnAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	woke := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Sleep(5 * time.Second)
+		close(woke)
+	}()
+	// Give the sleeper a moment to register; then advance.
+	for i := 0; ; i++ {
+		m.mu.Lock()
+		n := len(m.waiters)
+		m.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("sleeper never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Advance(5 * time.Second)
+	select {
+	case <-woke:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not wake on Advance")
+	}
+	wg.Wait()
+}
+
+func TestManualTimersFireInDeadlineOrder(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	var mu sync.Mutex
+	var order []int
+	record := func(i int) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}
+	}
+	// Funcs run in their own goroutines per the Clock contract, but
+	// Manual fires them synchronously in deadline order during Advance.
+	m.AfterFunc(3*time.Second, record(3))
+	m.AfterFunc(1*time.Second, record(1))
+	m.AfterFunc(2*time.Second, record(2))
+	m.Advance(5 * time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestManualAfterFuncStop(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	var fired atomic.Bool
+	tm := m.AfterFunc(time.Second, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	m.Advance(2 * time.Second)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestSkewedRateScalesElapsedTime(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	s := NewSkewed(m, 2.0, 0) // runs twice as fast
+	m.Advance(10 * time.Second)
+	if got := s.Since(time.Unix(0, 0)); got != 20*time.Second {
+		t.Fatalf("skewed elapsed = %v, want 20s", got)
+	}
+}
+
+func TestSkewedOffset(t *testing.T) {
+	m := NewManual(time.Unix(100, 0))
+	s := NewSkewed(m, 1.0, 5*time.Second)
+	if got, want := s.Now(), time.Unix(105, 0); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestSkewedSleepConvertsToBaseTime(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	s := NewSkewed(m, 2.0, 0)
+	ch := s.After(10 * time.Second) // should need only 5s of base time
+	m.Advance(5 * time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("fast clock's After(10s) should fire after 5s base time")
+	}
+}
+
+func TestSkewedSlowClock(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	s := NewSkewed(m, 0.5, 0)
+	m.Advance(10 * time.Second)
+	if got := s.Since(time.Unix(0, 0)); got != 5*time.Second {
+		t.Fatalf("slow skewed elapsed = %v, want 5s", got)
+	}
+}
+
+func TestSkewedPPMDrift(t *testing.T) {
+	// A 200ppm-fast clock gains 200µs per second.
+	m := NewManual(time.Unix(0, 0))
+	s := NewSkewed(m, 1.0002, 0)
+	m.Advance(time.Second)
+	gain := s.Since(time.Unix(0, 0)) - time.Second
+	if gain < 150*time.Microsecond || gain > 250*time.Microsecond {
+		t.Fatalf("200ppm clock gained %v over 1s, want ~200µs", gain)
+	}
+}

@@ -1,0 +1,152 @@
+// Package clocksync estimates the clock offset between two hosts — the
+// "general purpose clock synchronisation function (e.g. NTP)" the paper's
+// §5 footnote proposes for lifting the common-node restriction on
+// orchestration. It implements Cristian-style probing over the transport's
+// datagram service: the client takes N round-trip samples, each yielding
+//
+//	offset_i = t_server − (t_send + t_recv)/2,
+//
+// and reports the estimate from the minimum-delay sample (the one least
+// distorted by queueing), exactly as classic NTP filtering does.
+package clocksync
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/pdu"
+	"cmtos/internal/transport"
+)
+
+// TSAP is the well-known datagram TSAP of the clock-sync responder.
+const TSAP core.TSAP = 2
+
+// Estimate is the result of a Measure run.
+type Estimate struct {
+	// Offset is the peer clock minus the local clock: add it to a local
+	// time to express it on the peer's clock.
+	Offset time.Duration
+	// Delay is the round-trip time of the winning (minimum-delay) sample.
+	Delay time.Duration
+	// Samples is how many probes completed.
+	Samples int
+}
+
+// Sync provides clock-offset probing for one host. Create one per entity;
+// it both answers probes and originates them. Safe for concurrent use.
+type Sync struct {
+	e *transport.Entity
+
+	mu      sync.Mutex
+	nextTok uint64
+	pending map[uint64]chan reply
+}
+
+type reply struct {
+	serverNs int64
+	at       time.Time
+}
+
+// probe wire format: kind(1) token(8) serverNs(8).
+const (
+	kindProbe = 1
+	kindReply = 2
+	msgLen    = 1 + 8 + 8
+)
+
+// New attaches a clock-sync service to the entity's datagram channel.
+func New(e *transport.Entity) *Sync {
+	s := &Sync{e: e, pending: make(map[uint64]chan reply)}
+	e.SetDatagramHandler(TSAP, s.onDatagram)
+	return s
+}
+
+func (s *Sync) onDatagram(from core.HostID, d *pdu.Datagram) {
+	if len(d.Payload) != msgLen {
+		return
+	}
+	kind := d.Payload[0]
+	tok := binary.BigEndian.Uint64(d.Payload[1:])
+	switch kind {
+	case kindProbe:
+		// Stamp with this host's clock and reflect.
+		out := make([]byte, msgLen)
+		out[0] = kindReply
+		binary.BigEndian.PutUint64(out[1:], tok)
+		binary.BigEndian.PutUint64(out[9:], uint64(s.e.Clock().Now().UnixNano()))
+		_ = s.e.SendDatagram(from, &pdu.Datagram{SrcTSAP: TSAP, DstTSAP: TSAP, Payload: out})
+	case kindReply:
+		serverNs := int64(binary.BigEndian.Uint64(d.Payload[9:]))
+		s.mu.Lock()
+		ch := s.pending[tok]
+		s.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- reply{serverNs: serverNs, at: s.e.Clock().Now()}:
+			default:
+			}
+		}
+	}
+}
+
+// ErrNoSamples is returned when every probe timed out.
+var ErrNoSamples = errors.New("clocksync: no probe completed")
+
+// Measure probes the peer n times (lost probes are skipped after
+// perProbe) and returns the minimum-delay estimate of the peer clock's
+// offset relative to this host's clock.
+func (s *Sync) Measure(peer core.HostID, n int, perProbe time.Duration) (Estimate, error) {
+	if n <= 0 {
+		n = 8
+	}
+	if perProbe <= 0 {
+		perProbe = 250 * time.Millisecond
+	}
+	clk := s.e.Clock()
+	best := Estimate{Delay: 1 << 62}
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.nextTok++
+		tok := s.nextTok
+		ch := make(chan reply, 1)
+		s.pending[tok] = ch
+		s.mu.Unlock()
+
+		out := make([]byte, msgLen)
+		out[0] = kindProbe
+		binary.BigEndian.PutUint64(out[1:], tok)
+		t1 := clk.Now()
+		err := s.e.SendDatagram(peer, &pdu.Datagram{SrcTSAP: TSAP, DstTSAP: TSAP, Payload: out})
+		if err != nil {
+			s.drop(tok)
+			return Estimate{}, err
+		}
+		select {
+		case r := <-ch:
+			t4 := r.at
+			delay := t4.Sub(t1)
+			mid := t1.Add(delay / 2)
+			offset := time.Unix(0, r.serverNs).Sub(mid)
+			best.Samples++
+			if delay < best.Delay {
+				best.Delay = delay
+				best.Offset = offset
+			}
+		case <-clk.After(perProbe):
+		}
+		s.drop(tok)
+	}
+	if best.Samples == 0 {
+		return Estimate{}, ErrNoSamples
+	}
+	return best, nil
+}
+
+func (s *Sync) drop(tok uint64) {
+	s.mu.Lock()
+	delete(s.pending, tok)
+	s.mu.Unlock()
+}

@@ -1,0 +1,159 @@
+package clocksync
+
+import (
+	"testing"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+var sys clock.System
+
+// pair builds two hosts whose second entity runs on clk2.
+func pair(t *testing.T, link netem.LinkConfig, clk2 clock.Clock) (*Sync, *Sync) {
+	t.Helper()
+	nw := netem.New(sys)
+	if err := nw.AddHost(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddHost(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddLink(1, 2, link); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	rm := resv.New(nw)
+	e1, err := transport.NewEntity(1, sys, nw, rm, transport.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := transport.NewEntity(2, clk2, nw, rm, transport.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e1.Close)
+	t.Cleanup(e2.Close)
+	return New(e1), New(e2)
+}
+
+func symLink() netem.LinkConfig {
+	return netem.LinkConfig{Bandwidth: 10e6, Delay: 2 * time.Millisecond, QueueLen: 1024}
+}
+
+func TestMeasureKnownOffset(t *testing.T) {
+	const offset = 500 * time.Millisecond
+	peer := clock.NewSkewed(sys, 1.0, offset)
+	s1, _ := pair(t, symLink(), peer)
+	est, err := s1.Measure(2, 8, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := est.Offset - offset
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 5*time.Millisecond {
+		t.Fatalf("offset estimate %v, want ~%v (err %v)", est.Offset, offset, diff)
+	}
+	if est.Delay < 4*time.Millisecond {
+		t.Fatalf("delay %v below the 2×2ms propagation floor", est.Delay)
+	}
+	if est.Samples != 8 {
+		t.Fatalf("samples = %d", est.Samples)
+	}
+}
+
+func TestMeasureZeroOffset(t *testing.T) {
+	s1, _ := pair(t, symLink(), sys)
+	est, err := s1.Measure(2, 4, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Offset > 3*time.Millisecond || est.Offset < -3*time.Millisecond {
+		t.Fatalf("offset %v, want ~0", est.Offset)
+	}
+}
+
+func TestMeasureBothDirections(t *testing.T) {
+	const offset = 200 * time.Millisecond
+	peer := clock.NewSkewed(sys, 1.0, offset)
+	s1, s2 := pair(t, symLink(), peer)
+	a, err := s1.Measure(2, 6, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s2.Measure(1, 6, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two directions must be mirror images.
+	sum := a.Offset + b.Offset
+	if sum > 5*time.Millisecond || sum < -5*time.Millisecond {
+		t.Fatalf("offsets not antisymmetric: %v and %v", a.Offset, b.Offset)
+	}
+}
+
+func TestMeasureSurvivesLoss(t *testing.T) {
+	link := symLink()
+	link.Loss = netem.Bernoulli{P: 0.3}
+	link.Seed = 5
+	peer := clock.NewSkewed(sys, 1.0, 100*time.Millisecond)
+	s1, _ := pair(t, link, peer)
+	est, err := s1.Measure(2, 10, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples == 0 || est.Samples == 10 {
+		t.Logf("samples = %d (lossy)", est.Samples)
+	}
+	diff := est.Offset - 100*time.Millisecond
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 10*time.Millisecond {
+		t.Fatalf("offset %v, want ~100ms", est.Offset)
+	}
+}
+
+func TestMeasureAllLost(t *testing.T) {
+	link := symLink()
+	link.Loss = netem.Bernoulli{P: 1.0}
+	s1, _ := pair(t, link, sys)
+	if _, err := s1.Measure(2, 3, 20*time.Millisecond); err != ErrNoSamples {
+		t.Fatalf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestMeasureUnknownPeer(t *testing.T) {
+	s1, _ := pair(t, symLink(), sys)
+	if _, err := s1.Measure(core.HostID(99), 2, 20*time.Millisecond); err == nil {
+		t.Fatal("Measure to unroutable peer succeeded")
+	}
+}
+
+func TestJitterPrefersMinDelaySample(t *testing.T) {
+	link := symLink()
+	link.Jitter = 5 * time.Millisecond // up to 10ms round-trip noise
+	peer := clock.NewSkewed(sys, 1.0, 250*time.Millisecond)
+	s1, _ := pair(t, link, peer)
+	est, err := s1.Measure(2, 16, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := est.Offset - 250*time.Millisecond
+	if diff < 0 {
+		diff = -diff
+	}
+	// Min-delay filtering keeps the error well under the jitter bound.
+	if diff > 6*time.Millisecond {
+		t.Fatalf("offset error %v despite min-delay filtering", diff)
+	}
+}

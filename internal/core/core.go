@@ -1,0 +1,284 @@
+// Package core defines the shared vocabulary of the continuous media
+// transport and orchestration service: network and transport addresses,
+// virtual-circuit and orchestration-session identifiers, service-primitive
+// names and reason codes.
+//
+// The types in this package are deliberately small and value-like; every
+// other package in the module speaks in terms of them. They correspond to
+// the parameter columns of Tables 1-6 in the paper.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HostID identifies an end-system (a node in the emulated network).
+// It corresponds to the "network address" half of a full transport address.
+type HostID uint32
+
+// String returns a short printable form such as "h3".
+func (h HostID) String() string { return fmt.Sprintf("h%d", uint32(h)) }
+
+// TSAP identifies a transport service access point within one end-system.
+// TSAPs are allocated per host; the zero TSAP is reserved and never valid.
+type TSAP uint16
+
+// String returns a short printable form such as "tsap:17".
+func (t TSAP) String() string { return fmt.Sprintf("tsap:%d", uint16(t)) }
+
+// Addr is a full transport address: an end-system plus a TSAP within it.
+// It identifies one unique connection endpoint (§3.5).
+type Addr struct {
+	Host HostID
+	TSAP TSAP
+}
+
+// String returns a printable form such as "h1/tsap:17".
+func (a Addr) String() string { return a.Host.String() + "/" + a.TSAP.String() }
+
+// IsZero reports whether the address is the zero value (no address).
+func (a Addr) IsZero() bool { return a == Addr{} }
+
+// ConnectTuple carries the three addresses of the remote connection
+// facility (§3.5, Table 1). For a conventional connect the initiator
+// equals the source.
+type ConnectTuple struct {
+	// Initiator is the caller of the service; connection-management
+	// responses are relayed to it as well as to the source.
+	Initiator Addr
+	// Source is the sending endpoint of the simplex VC.
+	Source Addr
+	// Dest is the receiving endpoint of the simplex VC.
+	Dest Addr
+}
+
+// Remote reports whether this is a "remote connect" in the paper's sense:
+// the initiator is neither the source nor the destination endpoint.
+func (c ConnectTuple) Remote() bool {
+	return c.Initiator != c.Source && c.Initiator != c.Dest
+}
+
+// String renders the tuple in the order the primitives carry it.
+func (c ConnectTuple) String() string {
+	return fmt.Sprintf("init=%s src=%s dst=%s", c.Initiator, c.Source, c.Dest)
+}
+
+// VCID identifies a transport virtual circuit. IDs are allocated by the
+// transport entity that owns the source endpoint and are unique within a
+// network.
+type VCID uint32
+
+// String returns a short printable form such as "vc:9".
+func (v VCID) String() string { return fmt.Sprintf("vc:%d", uint32(v)) }
+
+// SessionID identifies an orchestrated group of connections
+// (orch-session-id in Tables 4-6). Allocated by the HLO agent.
+type SessionID uint32
+
+// String returns a short printable form such as "orch:2".
+func (s SessionID) String() string { return fmt.Sprintf("orch:%d", uint32(s)) }
+
+// IntervalID matches an Orch.Regulate.indication to the request that set
+// the interval's target (Table 6).
+type IntervalID uint32
+
+// OSDUSeq is the orchestration-service-data-unit sequence number carried in
+// every OPDU. It starts from zero when the connection is first used (§5).
+type OSDUSeq uint64
+
+// EventPattern is the application-defined event value carried in the OPDU
+// event field and matched by Orch.Event (§6.3.4). The LLO does not
+// interpret it; zero means "no event".
+type EventPattern uint64
+
+// Reason codes accompany disconnects, denials and releases (Tables 1, 4, 5).
+type Reason uint8
+
+// Reason codes. UserInitiated covers deliberate releases; the remainder
+// identify which party or resource rejected a request.
+const (
+	ReasonNone            Reason = iota // no reason / success
+	ReasonUserInitiated                 // deliberate user release
+	ReasonUserRejected                  // called user refused the connection
+	ReasonNoSuchTSAP                    // destination TSAP not attached
+	ReasonNoResources                   // admission control failed en route
+	ReasonQoSUnattainable               // negotiation could not satisfy lower bounds
+	ReasonNoSuchVC                      // named VC does not exist
+	ReasonNoTableSpace                  // LLO has no session table space (§6.1)
+	ReasonNotPrimed                     // start issued on an unprimed group
+	ReasonAppDenied                     // application thread replied Orch.Deny
+	ReasonProtocolError                 // malformed or unexpected PDU
+	ReasonNetworkFailure                // underlying network failed the VC
+)
+
+var reasonNames = [...]string{
+	ReasonNone:            "none",
+	ReasonUserInitiated:   "user-initiated",
+	ReasonUserRejected:    "user-rejected",
+	ReasonNoSuchTSAP:      "no-such-tsap",
+	ReasonNoResources:     "no-resources",
+	ReasonQoSUnattainable: "qos-unattainable",
+	ReasonNoSuchVC:        "no-such-vc",
+	ReasonNoTableSpace:    "no-table-space",
+	ReasonNotPrimed:       "not-primed",
+	ReasonAppDenied:       "app-denied",
+	ReasonProtocolError:   "protocol-error",
+	ReasonNetworkFailure:  "network-failure",
+}
+
+// String returns the lower-case name of the reason code.
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Primitive names every service primitive in Tables 1-6. The values are
+// used in sequence traces so tests can assert the exact exchanges shown in
+// the paper's time-sequence diagrams (Figs. 3, 6, 7).
+type Primitive uint8
+
+// Transport service primitives (Tables 1-3).
+const (
+	TConnectRequest Primitive = iota + 1
+	TConnectIndication
+	TConnectResponse
+	TConnectConfirm
+	TDisconnectRequest
+	TDisconnectIndication
+	TQoSIndication
+	TRenegotiateRequest
+	TRenegotiateIndication
+	TRenegotiateResponse
+	TRenegotiateConfirm
+)
+
+// Orchestration service primitives (Tables 4-6).
+const (
+	OrchRequest Primitive = iota + 32
+	OrchIndication
+	OrchResponse
+	OrchConfirm
+	OrchReleaseRequest
+	OrchReleaseIndication
+	OrchPrimeRequest
+	OrchPrimeIndication
+	OrchPrimeResponse
+	OrchPrimeConfirm
+	OrchStartRequest
+	OrchStartIndication
+	OrchStartResponse
+	OrchStartConfirm
+	OrchStopRequest
+	OrchStopIndication
+	OrchStopResponse
+	OrchStopConfirm
+	OrchAddRequest
+	OrchAddIndication
+	OrchAddResponse
+	OrchAddConfirm
+	OrchRemoveRequest
+	OrchRemoveIndication
+	OrchRemoveResponse
+	OrchRemoveConfirm
+	OrchRegulateRequest
+	OrchRegulateIndication
+	OrchDelayedRequest
+	OrchDelayedIndication
+	OrchDelayedResponse
+	OrchDelayedConfirm
+	OrchEventRequest
+	OrchEventIndication
+	OrchDenyRequest
+	OrchDenyIndication
+)
+
+var primitiveNames = map[Primitive]string{
+	TConnectRequest:        "T-Connect.request",
+	TConnectIndication:     "T-Connect.indication",
+	TConnectResponse:       "T-Connect.response",
+	TConnectConfirm:        "T-Connect.confirm",
+	TDisconnectRequest:     "T-Disconnect.request",
+	TDisconnectIndication:  "T-Disconnect.indication",
+	TQoSIndication:         "T-QoS.indication",
+	TRenegotiateRequest:    "T-Renegotiate.request",
+	TRenegotiateIndication: "T-Renegotiate.indication",
+	TRenegotiateResponse:   "T-Renegotiate.response",
+	TRenegotiateConfirm:    "T-Renegotiate.confirm",
+	OrchRequest:            "Orch.request",
+	OrchIndication:         "Orch.indication",
+	OrchResponse:           "Orch.response",
+	OrchConfirm:            "Orch.confirm",
+	OrchReleaseRequest:     "Orch.Release.request",
+	OrchReleaseIndication:  "Orch.Release.indication",
+	OrchPrimeRequest:       "Orch.Prime.request",
+	OrchPrimeIndication:    "Orch.Prime.indication",
+	OrchPrimeResponse:      "Orch.Prime.response",
+	OrchPrimeConfirm:       "Orch.Prime.confirm",
+	OrchStartRequest:       "Orch.Start.request",
+	OrchStartIndication:    "Orch.Start.indication",
+	OrchStartResponse:      "Orch.Start.response",
+	OrchStartConfirm:       "Orch.Start.confirm",
+	OrchStopRequest:        "Orch.Stop.request",
+	OrchStopIndication:     "Orch.Stop.indication",
+	OrchStopResponse:       "Orch.Stop.response",
+	OrchStopConfirm:        "Orch.Stop.confirm",
+	OrchAddRequest:         "Orch.Add.request",
+	OrchAddIndication:      "Orch.Add.indication",
+	OrchAddResponse:        "Orch.Add.response",
+	OrchAddConfirm:         "Orch.Add.confirm",
+	OrchRemoveRequest:      "Orch.Remove.request",
+	OrchRemoveIndication:   "Orch.Remove.indication",
+	OrchRemoveResponse:     "Orch.Remove.response",
+	OrchRemoveConfirm:      "Orch.Remove.confirm",
+	OrchRegulateRequest:    "Orch.Regulate.request",
+	OrchRegulateIndication: "Orch.Regulate.indication",
+	OrchDelayedRequest:     "Orch.Delayed.request",
+	OrchDelayedIndication:  "Orch.Delayed.indication",
+	OrchDelayedResponse:    "Orch.Delayed.response",
+	OrchDelayedConfirm:     "Orch.Delayed.confirm",
+	OrchEventRequest:       "Orch.Event.request",
+	OrchEventIndication:    "Orch.Event.indication",
+	OrchDenyRequest:        "Orch.Deny.request",
+	OrchDenyIndication:     "Orch.Deny.indication",
+}
+
+// String returns the paper's dotted name for the primitive,
+// e.g. "T-Connect.request".
+func (p Primitive) String() string {
+	if s, ok := primitiveNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("primitive(%d)", uint8(p))
+}
+
+// TraceEvent is one entry in a primitive sequence trace: primitive p was
+// observed at a given role ("initiator", "source", "dest", ...).
+type TraceEvent struct {
+	At        string
+	Primitive Primitive
+}
+
+// String renders "role:Primitive", the form the figure-reproduction tests
+// assert against.
+func (e TraceEvent) String() string { return e.At + ":" + e.Primitive.String() }
+
+// Trace is an ordered record of service primitives, used to reproduce the
+// paper's time-sequence diagrams. The zero value is ready to use. Traces
+// are not safe for concurrent use; callers at different nodes each keep
+// their own and merge afterwards.
+type Trace []TraceEvent
+
+// Add appends an event to the trace.
+func (t *Trace) Add(at string, p Primitive) { *t = append(*t, TraceEvent{at, p}) }
+
+// String renders the trace as "a:X -> b:Y -> ...".
+func (t Trace) String() string {
+	parts := make([]string, len(t))
+	for i, e := range t {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " -> ")
+}

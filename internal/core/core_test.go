@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Host: 3, TSAP: 17}
+	if got := a.String(); got != "h3/tsap:17" {
+		t.Fatalf("Addr.String() = %q", got)
+	}
+}
+
+func TestAddrIsZero(t *testing.T) {
+	if !(Addr{}).IsZero() {
+		t.Fatal("zero Addr not reported zero")
+	}
+	if (Addr{Host: 1}).IsZero() {
+		t.Fatal("non-zero Addr reported zero")
+	}
+}
+
+func TestConnectTupleRemote(t *testing.T) {
+	a := Addr{Host: 1, TSAP: 1}
+	b := Addr{Host: 2, TSAP: 2}
+	c := Addr{Host: 3, TSAP: 3}
+	cases := []struct {
+		name  string
+		tup   ConnectTuple
+		wantR bool
+	}{
+		{"conventional", ConnectTuple{Initiator: a, Source: a, Dest: b}, false},
+		{"initiator-is-dest", ConnectTuple{Initiator: b, Source: a, Dest: b}, false},
+		{"fully-remote", ConnectTuple{Initiator: c, Source: a, Dest: b}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.tup.Remote(); got != tc.wantR {
+			t.Errorf("%s: Remote() = %v, want %v", tc.name, got, tc.wantR)
+		}
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	if ReasonNone.String() != "none" {
+		t.Errorf("ReasonNone = %q", ReasonNone.String())
+	}
+	if ReasonQoSUnattainable.String() != "qos-unattainable" {
+		t.Errorf("ReasonQoSUnattainable = %q", ReasonQoSUnattainable.String())
+	}
+	if got := Reason(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown reason = %q, want numeric fallback", got)
+	}
+}
+
+func TestPrimitiveStringsMatchPaperNames(t *testing.T) {
+	want := map[Primitive]string{
+		TConnectRequest:        "T-Connect.request",
+		TConnectConfirm:        "T-Connect.confirm",
+		TDisconnectIndication:  "T-Disconnect.indication",
+		TQoSIndication:         "T-QoS.indication",
+		TRenegotiateResponse:   "T-Renegotiate.response",
+		OrchPrimeRequest:       "Orch.Prime.request",
+		OrchStartConfirm:       "Orch.Start.confirm",
+		OrchRegulateIndication: "Orch.Regulate.indication",
+		OrchEventIndication:    "Orch.Event.indication",
+		OrchDenyRequest:        "Orch.Deny.request",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestAllPrimitivesHaveNames(t *testing.T) {
+	for p := TConnectRequest; p <= TRenegotiateConfirm; p++ {
+		if strings.HasPrefix(p.String(), "primitive(") {
+			t.Errorf("transport primitive %d has no name", p)
+		}
+	}
+	for p := OrchRequest; p <= OrchDenyIndication; p++ {
+		if strings.HasPrefix(p.String(), "primitive(") {
+			t.Errorf("orchestration primitive %d has no name", p)
+		}
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	var tr Trace
+	tr.Add("initiator", TConnectRequest)
+	tr.Add("source", TConnectIndication)
+	got := tr.String()
+	want := "initiator:T-Connect.request -> source:T-Connect.indication"
+	if got != want {
+		t.Fatalf("Trace.String() = %q, want %q", got, want)
+	}
+}
+
+func TestIDStrings(t *testing.T) {
+	if VCID(9).String() != "vc:9" {
+		t.Error("VCID string")
+	}
+	if SessionID(2).String() != "orch:2" {
+		t.Error("SessionID string")
+	}
+	if HostID(7).String() != "h7" {
+		t.Error("HostID string")
+	}
+}

@@ -1,0 +1,386 @@
+package lab
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netem"
+	"cmtos/internal/orch"
+	"cmtos/internal/orch/hlo"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+// ---------------------------------------------------------------------------
+// T1: Table 1 — connection establishment and release.
+
+// ConnectResult reports establishment latencies.
+type ConnectResult struct {
+	Local  time.Duration // conventional connect (initiator == source)
+	Remote time.Duration // three-address remote connect (Fig. 3)
+}
+
+// ConnectOnce measures one local and one remote establishment on a fresh
+// three-host environment.
+func ConnectOnce(idx int) (ConnectResult, error) {
+	env, err := NewEnv(EnvConfig{Hosts: 3, Link: DefaultLink()})
+	if err != nil {
+		return ConnectResult{}, err
+	}
+	defer env.Close()
+	spec := CMSpec(100, 1024)
+
+	start := time.Now()
+	p, err := env.Connect(1, 2, idx, qos.ClassDetectIndicate, qos.ProfileCMRate, spec)
+	if err != nil {
+		return ConnectResult{}, err
+	}
+	local := time.Since(start)
+	_ = p.Send.Close(core.ReasonUserInitiated)
+
+	// Remote connect: initiator h3, source h1, sink h2.
+	ready := make(chan struct{}, 1)
+	if err := env.Ents[1].Attach(0x3000, transport.UserCallbacks{
+		OnSendReady: func(*transport.SendVC) { ready <- struct{}{} },
+	}); err != nil {
+		return ConnectResult{}, err
+	}
+	if err := env.Ents[2].Attach(0x3001, transport.UserCallbacks{}); err != nil {
+		return ConnectResult{}, err
+	}
+	tup := core.ConnectTuple{
+		Initiator: core.Addr{Host: 3, TSAP: 0x3002},
+		Source:    core.Addr{Host: 1, TSAP: 0x3000},
+		Dest:      core.Addr{Host: 2, TSAP: 0x3001},
+	}
+	start = time.Now()
+	if _, _, err := env.Ents[3].ConnectRemote(tup, qos.ProfileCMRate, qos.ClassDetectIndicate, spec); err != nil {
+		return ConnectResult{}, err
+	}
+	remote := time.Since(start)
+	return ConnectResult{Local: local, Remote: remote}, nil
+}
+
+// ---------------------------------------------------------------------------
+// T2: Table 2 — QoS degradation indication.
+
+// QoSIndicationResult reports how the soft guarantee surfaced a fault.
+type QoSIndicationResult struct {
+	// DetectLatency is fault injection → T-QoS.indication at the source.
+	DetectLatency time.Duration
+	// ReportedPER is the measured packet error rate in the indication.
+	ReportedPER float64
+}
+
+// QoSIndicationOnce connects a soft-guaranteed VC over a link that turns
+// out lossy in service, and measures the time until the transport raises
+// T-QoS.indication with a PER violation at the source user.
+func QoSIndicationOnce() (QoSIndicationResult, error) {
+	link := DefaultLink()
+	link.Loss = bernoulli20{}
+	env, err := NewEnv(EnvConfig{
+		Hosts: 2, Link: link,
+		Trans: transport.Config{SamplePeriod: 100 * time.Millisecond},
+	})
+	if err != nil {
+		return QoSIndicationResult{}, err
+	}
+	defer env.Close()
+
+	got := make(chan transport.QoSIndication, 16)
+	if err := env.Ents[1].Attach(0x2000, transport.UserCallbacks{
+		OnQoS: func(q transport.QoSIndication) {
+			select {
+			case got <- q:
+			default:
+			}
+		},
+	}); err != nil {
+		return QoSIndicationResult{}, err
+	}
+	spec := CMSpec(200, 256)
+	spec.PER = qos.CeilTolerance{Preferred: 0, Acceptable: 0.02}
+	p, err := env.Connect(1, 2, 0, qos.ClassDetectIndicate, qos.ProfileCMRate, spec)
+	if err != nil {
+		return QoSIndicationResult{}, err
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { _ = media.PumpUnpaced(&media.CBR{Size: 128, FrameRate: 200}, p.Send, stop) }()
+	go func() {
+		for {
+			if _, err := p.Recv.Read(); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ind := <-got:
+			for _, v := range ind.Violated {
+				if v == qos.PER {
+					return QoSIndicationResult{
+						DetectLatency: time.Since(start),
+						ReportedPER:   ind.Report.PER,
+					}, nil
+				}
+			}
+		case <-deadline:
+			return QoSIndicationResult{}, fmt.Errorf("lab: no PER indication")
+		}
+	}
+}
+
+// bernoulli20 is a 20% loss model that admission control cannot foresee
+// (PathCapability only recognises the stock loss types), so the soft
+// guarantee admits the connection and then degrades in service.
+type bernoulli20 struct{}
+
+// Drop implements netem.LossModel.
+func (bernoulli20) Drop(r *rand.Rand) bool { return r.Float64() < 0.20 }
+
+// ---------------------------------------------------------------------------
+// T3: Table 3 — QoS re-negotiation.
+
+// RenegResult reports re-negotiation behaviour.
+type RenegResult struct {
+	UpgradeLatency time.Duration
+	Upgraded       float64 // throughput after upgrade
+	RejectedIntact bool    // VC alive after a rejected renegotiation
+}
+
+// RenegotiateOnce upgrades a VC mid-stream, then drives a rejected
+// renegotiation and verifies the VC survives (§4.1.3).
+func RenegotiateOnce() (RenegResult, error) {
+	env, err := NewEnv(EnvConfig{Hosts: 2, Link: DefaultLink()})
+	if err != nil {
+		return RenegResult{}, err
+	}
+	defer env.Close()
+	spec := CMSpec(50, 1024)
+	p, err := env.Connect(1, 2, 0, qos.ClassDetectIndicate, qos.ProfileCMRate, spec)
+	if err != nil {
+		return RenegResult{}, err
+	}
+	up := CMSpec(150, 1024)
+	start := time.Now()
+	final, err := p.Send.Renegotiate(up)
+	if err != nil {
+		return RenegResult{}, err
+	}
+	lat := time.Since(start)
+
+	// Now an impossible upgrade: beyond the link's capacity.
+	impossible := CMSpec(1e6, 1024)
+	impossible.Throughput.Acceptable = 9e5
+	_, err = p.Send.Renegotiate(impossible)
+	intact := false
+	if err != nil {
+		// The VC must still carry data.
+		if _, werr := p.Send.Write([]byte("alive"), 0); werr == nil {
+			if u, rerr := p.Recv.Read(); rerr == nil && string(u.Payload) == "alive" {
+				intact = true
+			}
+		}
+	}
+	return RenegResult{UpgradeLatency: lat, Upgraded: final.Throughput, RejectedIntact: intact}, nil
+}
+
+// ---------------------------------------------------------------------------
+// T4: Table 4 — orchestration session establishment and release.
+
+// OrchSessionOnce measures Orch.request over n VCs.
+func OrchSessionOnce(n int) (time.Duration, error) {
+	env, err := NewEnv(EnvConfig{Hosts: 3, Link: DefaultLink()})
+	if err != nil {
+		return 0, err
+	}
+	defer env.Close()
+	streams := make([]hlo.StreamConfig, 0, n)
+	for i := 0; i < n; i++ {
+		src := core.HostID(1 + i%2)
+		p, err := env.Connect(src, 3, i, qos.ClassDetectIndicate, qos.ProfileCMRate, CMSpec(50, 512))
+		if err != nil {
+			return 0, err
+		}
+		streams = append(streams, hlo.StreamConfig{Desc: p.Desc, Rate: 50})
+	}
+	agent, err := env.Agent(3, 1, streams, hlo.Policy{})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := agent.Setup(); err != nil {
+		return 0, err
+	}
+	lat := time.Since(start)
+	agent.Release()
+	return lat, nil
+}
+
+// ---------------------------------------------------------------------------
+// T5 / F7: Table 5 — group control; the primed-start experiment.
+
+// StartSkewResult compares primed and unprimed group starts.
+type StartSkewResult struct {
+	PrimedSkew   time.Duration // first-delivery spread after Prime+Start
+	UnprimedSkew time.Duration // spread when streams start independently
+	PrimeLatency time.Duration // Orch.Prime round trip (pipeline fill)
+}
+
+// StartSkewOnce runs both variants over nStreams from distinct servers to
+// one sink. The asymmetric link delays make the unprimed spread visible.
+func StartSkewOnce(nStreams int) (StartSkewResult, error) {
+	if nStreams < 2 {
+		nStreams = 2
+	}
+	// Build hosts: servers 1..n, sink n+1, with increasing link delay.
+	sys := clock.System{}
+	res := StartSkewResult{}
+	build := func() (*Env, []*Pipe, []*media.Sink, error) {
+		env, err := NewEnvAsymmetric(nStreams, 15*time.Millisecond)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pipes := make([]*Pipe, nStreams)
+		sinks := make([]*media.Sink, nStreams)
+		sinkHost := core.HostID(nStreams + 1)
+		for i := 0; i < nStreams; i++ {
+			p, err := env.Connect(core.HostID(i+1), sinkHost, i,
+				qos.ClassDetectIndicate, qos.ProfileCMRate, CMSpec(100, 512))
+			if err != nil {
+				env.Close()
+				return nil, nil, nil, err
+			}
+			pipes[i] = p
+			sinks[i] = media.NewSink()
+		}
+		return env, pipes, sinks, nil
+	}
+	spread := func(sinks []*media.Sink) time.Duration {
+		var lo, hi time.Time
+		for i, s := range sinks {
+			st := s.Stats()
+			if i == 0 || st.First.Before(lo) {
+				lo = st.First
+			}
+			if i == 0 || st.First.After(hi) {
+				hi = st.First
+			}
+		}
+		return hi.Sub(lo)
+	}
+
+	// Unprimed: sources start pumping one after another, delivery flows
+	// immediately.
+	env, pipes, sinks, err := build()
+	if err != nil {
+		return res, err
+	}
+	stop := make(chan struct{})
+	for i := range pipes {
+		go media.Drain(sys, pipes[i].Recv, sinks[i], stop)
+		go func(i int) {
+			_ = media.Pump(sys, &media.CBR{Size: 256, FrameRate: 100}, pipes[i].Send, stop)
+		}(i)
+		time.Sleep(10 * time.Millisecond) // staggered operator actions
+	}
+	time.Sleep(300 * time.Millisecond)
+	res.UnprimedSkew = spread(sinks)
+	close(stop)
+	env.Close()
+
+	// Primed: the paper's flow — Orch.Prime goes out FIRST; the
+	// Orch.Prime.indication is what tells each source application to
+	// start generating (§6.2.1), so no data reaches an open gate.
+	env, pipes, sinks, err = build()
+	if err != nil {
+		return res, err
+	}
+	defer env.Close()
+	stop = make(chan struct{})
+	defer close(stop)
+	sinkHost := core.HostID(nStreams + 1)
+	streams := make([]hlo.StreamConfig, nStreams)
+	for i := range pipes {
+		streams[i] = hlo.StreamConfig{Desc: pipes[i].Desc, Rate: 100}
+	}
+	// Source apps begin pumping when their Orch.Prime.indication fires.
+	for i := range pipes {
+		i := i
+		env.LLOs[core.HostID(i+1)].RegisterApp(pipes[i].Desc.VC, orch.AppCallbacks{
+			OnPrime: func(core.SessionID, core.VCID) bool {
+				go func(i int) {
+					time.Sleep(time.Duration(i) * 10 * time.Millisecond) // staggered operators
+					_ = media.Pump(sys, &media.CBR{Size: 256, FrameRate: 100}, pipes[i].Send, stop)
+				}(i)
+				return true
+			},
+		})
+		go media.Drain(sys, pipes[i].Recv, sinks[i], stop)
+	}
+	agent, err := env.Agent(sinkHost, 1, streams, hlo.Policy{Interval: 100 * time.Millisecond})
+	if err != nil {
+		return res, err
+	}
+	if err := agent.Setup(); err != nil {
+		return res, err
+	}
+	start := time.Now()
+	if err := agent.Prime(false); err != nil {
+		return res, err
+	}
+	res.PrimeLatency = time.Since(start)
+	if err := agent.Start(); err != nil {
+		return res, err
+	}
+	time.Sleep(300 * time.Millisecond)
+	res.PrimedSkew = spread(sinks)
+	agent.Release()
+	return res, nil
+}
+
+// NewEnvAsymmetric builds servers 1..n and sink n+1, where server i's
+// link to the sink has delay (i+1) × step — the asymmetry that makes
+// unprimed starts ragged.
+func NewEnvAsymmetric(n int, maxDelay time.Duration) (*Env, error) {
+	sys := clock.System{}
+	nw := netem.New(sys)
+	sink := core.HostID(n + 1)
+	for id := core.HostID(1); id <= sink; id++ {
+		if err := nw.AddHost(id, nil); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		link := DefaultLink()
+		link.Delay = time.Duration(i+1) * maxDelay / time.Duration(n)
+		if err := nw.AddLink(core.HostID(i+1), sink, link); err != nil {
+			return nil, err
+		}
+	}
+	if err := nw.Start(); err != nil {
+		return nil, err
+	}
+	rm := resv.New(nw)
+	env := &Env{Net: nw, RM: rm,
+		Ents: make(map[core.HostID]*transport.Entity),
+		LLOs: make(map[core.HostID]*orch.LLO)}
+	for id := core.HostID(1); id <= sink; id++ {
+		e, err := transport.NewEntity(id, sys, nw, rm, transport.Config{RingSlots: 16})
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		env.Ents[id] = e
+		env.LLOs[id] = orch.New(e)
+	}
+	return env, nil
+}

@@ -1,0 +1,174 @@
+// Package lab builds the experiment scenarios that regenerate every table
+// and figure of the paper (see DESIGN.md's per-experiment index). Each
+// scenario constructs its own emulated network, runs the workload, and
+// returns measured metrics; the root benchmark harness and cmd/benchtab
+// both drive these functions, so the numbers in EXPERIMENTS.md come from
+// exactly the code a test run exercises.
+package lab
+
+import (
+	"fmt"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netem"
+	"cmtos/internal/orch"
+	"cmtos/internal/orch/hlo"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+// Env is a complete emulated deployment: network, reservation manager,
+// and one transport entity + LLO per host.
+type Env struct {
+	Net  *netem.Network
+	RM   *resv.Manager
+	Ents map[core.HostID]*transport.Entity
+	LLOs map[core.HostID]*orch.LLO
+}
+
+// EnvConfig parameterises NewEnv.
+type EnvConfig struct {
+	Hosts  int
+	Link   netem.LinkConfig
+	Trans  transport.Config
+	Clocks map[core.HostID]clock.Clock // per-host clock override
+}
+
+// DefaultLink is the lab's standard link: 10 Mbit/s, 2ms, light jitter.
+func DefaultLink() netem.LinkConfig {
+	return netem.LinkConfig{
+		Bandwidth: 10e6 / 8,
+		Delay:     2 * time.Millisecond,
+		Jitter:    500 * time.Microsecond,
+		QueueLen:  4096,
+	}
+}
+
+// NewEnv builds a full mesh of hosts with entities and LLOs.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	sys := clock.System{}
+	nw := netem.New(sys)
+	for id := core.HostID(1); id <= core.HostID(cfg.Hosts); id++ {
+		if err := nw.AddHost(id, nil); err != nil {
+			return nil, err
+		}
+	}
+	for a := core.HostID(1); a <= core.HostID(cfg.Hosts); a++ {
+		for b := a + 1; b <= core.HostID(cfg.Hosts); b++ {
+			if err := nw.AddLink(a, b, cfg.Link); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := nw.Start(); err != nil {
+		return nil, err
+	}
+	rm := resv.New(nw)
+	env := &Env{
+		Net:  nw,
+		RM:   rm,
+		Ents: make(map[core.HostID]*transport.Entity),
+		LLOs: make(map[core.HostID]*orch.LLO),
+	}
+	for id := core.HostID(1); id <= core.HostID(cfg.Hosts); id++ {
+		clk := clock.Clock(sys)
+		if c, ok := cfg.Clocks[id]; ok {
+			clk = c
+		}
+		e, err := transport.NewEntity(id, clk, nw, rm, cfg.Trans)
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		env.Ents[id] = e
+		env.LLOs[id] = orch.New(e)
+	}
+	return env, nil
+}
+
+// Close tears the environment down.
+func (e *Env) Close() {
+	for _, l := range e.LLOs {
+		l.Close()
+	}
+	for _, ent := range e.Ents {
+		ent.Close()
+	}
+	e.Net.Close()
+}
+
+// CMSpec is the lab's standard CM spec at a given OSDU rate and size.
+func CMSpec(rate float64, size int) qos.Spec {
+	return qos.Spec{
+		Throughput:  qos.Tolerance{Preferred: rate, Acceptable: rate / 4},
+		MaxOSDUSize: size,
+		Delay:       qos.CeilTolerance{Preferred: 0.005, Acceptable: 0.5},
+		Jitter:      qos.CeilTolerance{Preferred: 0.002, Acceptable: 0.25},
+		PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.2},
+		BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-3},
+		Guarantee:   qos.Soft,
+	}
+}
+
+// Pipe is one connected VC.
+type Pipe struct {
+	Send *transport.SendVC
+	Recv *transport.RecvVC
+	Desc orch.VCDesc
+}
+
+// Connect builds a VC between two hosts; idx keeps TSAPs distinct.
+func (e *Env) Connect(src, dst core.HostID, idx int, class qos.Class, profile qos.Profile, spec qos.Spec) (*Pipe, error) {
+	recvCh := make(chan *transport.RecvVC, 1)
+	sinkTSAP := core.TSAP(0x1000 + idx)
+	if err := e.Ents[dst].Attach(sinkTSAP, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+	}); err != nil {
+		return nil, err
+	}
+	s, err := e.Ents[src].Connect(transport.ConnectRequest{
+		SrcTSAP: core.TSAP(0x2000 + idx),
+		Dest:    core.Addr{Host: dst, TSAP: sinkTSAP},
+		Profile: profile,
+		Class:   class,
+		Spec:    spec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case rv := <-recvCh:
+		return &Pipe{Send: s, Recv: rv, Desc: orch.VCDesc{VC: s.ID(), Source: src, Sink: dst}}, nil
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("lab: sink handle never arrived")
+	}
+}
+
+// Play pumps a CBR track over the pipe and measures at the sink. It
+// returns the sink once count frames have been delivered or deadline
+// passed.
+func (e *Env) Play(p *Pipe, rate float64, size int, count uint32, deadline time.Duration) *media.Sink {
+	sys := clock.System{}
+	src := &media.CBR{Size: size, FrameRate: rate, Count: count}
+	sink := media.NewSink()
+	sink.VerifyCBR = true
+	sink.NominalRate = rate
+	stop := make(chan struct{})
+	go func() { _ = media.Pump(sys, src, p.Send, stop) }()
+	go media.Drain(sys, p.Recv, sink, stop)
+	until := time.Now().Add(deadline)
+	for sink.Received() < int(count) && time.Now().Before(until) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	return sink
+}
+
+// Agent builds an HLO agent at node over the given streams.
+func (e *Env) Agent(node core.HostID, sid core.SessionID, streams []hlo.StreamConfig, pol hlo.Policy) (*hlo.Agent, error) {
+	return hlo.New(e.LLOs[node], e.Ents[node].Clock(), sid, streams, pol)
+}

@@ -1,0 +1,451 @@
+// Package media models the continuous-media endpoints of the Lancaster
+// platform: stored-media sources (constant and variable bit rate), live
+// sources, caption tracks, and measuring sinks that record the delivery
+// statistics (inter-arrival jitter, gaps, inter-stream skew) the
+// orchestration experiments report. The paper's A/V hardware (§2.1) is
+// replaced by these synthetic equivalents; the orchestrator only ever
+// sees OSDU production and consumption, so the substitution preserves
+// every code path above the device layer.
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cmtos/internal/core"
+)
+
+// Frame is one media quantum: a video frame, an audio chunk, or a text
+// caption. Frames map 1:1 onto OSDUs.
+type Frame struct {
+	// Seq is the frame number within its track, from zero.
+	Seq uint32
+	// PTS is the frame's presentation time relative to track start.
+	PTS time.Duration
+	// Event is an optional OPDU event-field value (§6.3.4).
+	Event core.EventPattern
+	// Data is the payload.
+	Data []byte
+}
+
+// frameHeader is Seq + PTS.
+const frameHeader = 4 + 8
+
+// Marshal encodes the frame for transmission as an OSDU payload.
+func (f Frame) Marshal() []byte {
+	buf := make([]byte, frameHeader+len(f.Data))
+	binary.BigEndian.PutUint32(buf, f.Seq)
+	binary.BigEndian.PutUint64(buf[4:], uint64(f.PTS))
+	copy(buf[frameHeader:], f.Data)
+	return buf
+}
+
+// UnmarshalFrame decodes an OSDU payload produced by Marshal.
+func UnmarshalFrame(payload []byte) (Frame, error) {
+	if len(payload) < frameHeader {
+		return Frame{}, errors.New("media: short frame")
+	}
+	return Frame{
+		Seq:  binary.BigEndian.Uint32(payload),
+		PTS:  time.Duration(binary.BigEndian.Uint64(payload[4:])),
+		Data: payload[frameHeader:],
+	}, nil
+}
+
+// Source produces a track of frames at a nominal rate.
+type Source interface {
+	// Next returns the next frame; ok is false at end of media.
+	Next() (f Frame, ok bool)
+	// Rate returns the nominal frame rate in frames per second.
+	Rate() float64
+	// FrameBound returns the largest frame payload the source emits,
+	// in bytes (for MaxOSDUSize negotiation).
+	FrameBound() int
+}
+
+// Seekable is implemented by stored-media sources that support the
+// stop-then-seek scenario of §6.2.1.
+type Seekable interface {
+	Source
+	// Seek repositions the track at frame n.
+	Seek(n uint32)
+}
+
+// CBR is a constant-bit-rate stored source: Count frames of exactly Size
+// bytes at Rate frames/sec. The payload encodes the frame number so sinks
+// can verify content integrity. The zero value is not usable; fill the
+// fields. CBR is not safe for concurrent use.
+type CBR struct {
+	Size      int     // payload bytes per frame
+	FrameRate float64 // frames per second
+	Count     uint32  // total frames; 0 = unbounded
+	EventAt   map[uint32]core.EventPattern
+
+	next uint32
+}
+
+// Next implements Source.
+func (c *CBR) Next() (Frame, bool) {
+	if c.Count != 0 && c.next >= c.Count {
+		return Frame{}, false
+	}
+	seq := c.next
+	c.next++
+	f := Frame{
+		Seq:  seq,
+		PTS:  time.Duration(float64(seq) / c.FrameRate * float64(time.Second)),
+		Data: pattern(seq, c.Size),
+	}
+	if ev, ok := c.EventAt[seq]; ok {
+		f.Event = ev
+	}
+	return f, true
+}
+
+// Rate implements Source.
+func (c *CBR) Rate() float64 { return c.FrameRate }
+
+// FrameBound implements Source.
+func (c *CBR) FrameBound() int { return c.Size + frameHeader }
+
+// Seek implements Seekable.
+func (c *CBR) Seek(n uint32) { c.next = n }
+
+// pattern fills a deterministic, seq-dependent payload.
+func pattern(seq uint32, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(seq) + byte(i)
+	}
+	return b
+}
+
+// VerifyPattern reports whether a CBR payload matches its frame number —
+// the end-to-end integrity check used by the experiments.
+func VerifyPattern(seq uint32, data []byte) bool {
+	for i, v := range data {
+		if v != byte(seq)+byte(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// VBR is a variable-bit-rate stored source driven by a two-state Markov
+// chain (scene/detail), approximating compressed video: frame sizes swing
+// between a base size and burst sizes. Deterministic for a given seed.
+// VBR is not safe for concurrent use.
+type VBR struct {
+	MeanSize  int     // average payload bytes per frame
+	Burst     float64 // burst frames are Burst× the mean (e.g. 3)
+	PBurst    float64 // probability of entering a burst run
+	PCalm     float64 // probability of leaving a burst run
+	FrameRate float64
+	Count     uint32
+	Seed      int64
+
+	rng     *rand.Rand
+	burstOn bool
+	next    uint32
+}
+
+// Next implements Source.
+func (v *VBR) Next() (Frame, bool) {
+	if v.Count != 0 && v.next >= v.Count {
+		return Frame{}, false
+	}
+	if v.rng == nil {
+		seed := v.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		v.rng = rand.New(rand.NewSource(seed))
+	}
+	if v.burstOn {
+		if v.rng.Float64() < v.PCalm {
+			v.burstOn = false
+		}
+	} else if v.rng.Float64() < v.PBurst {
+		v.burstOn = true
+	}
+	size := v.MeanSize / 2
+	if v.burstOn {
+		size = int(float64(v.MeanSize) * v.Burst)
+	}
+	size += v.rng.Intn(v.MeanSize/4 + 1)
+	seq := v.next
+	v.next++
+	return Frame{
+		Seq:  seq,
+		PTS:  time.Duration(float64(seq) / v.FrameRate * float64(time.Second)),
+		Data: pattern(seq, size),
+	}, true
+}
+
+// Rate implements Source.
+func (v *VBR) Rate() float64 { return v.FrameRate }
+
+// FrameBound implements Source.
+func (v *VBR) FrameBound() int {
+	return int(float64(v.MeanSize)*v.Burst) + v.MeanSize/4 + 1 + frameHeader
+}
+
+// Seek implements Seekable.
+func (v *VBR) Seek(n uint32) { v.next = n }
+
+// Captions is a low-rate text track whose every frame carries an event
+// mark — the caption-association scenario of §3.6.
+type Captions struct {
+	Lines     []string
+	FrameRate float64 // captions per second
+	Event     core.EventPattern
+
+	next uint32
+}
+
+// Next implements Source.
+func (c *Captions) Next() (Frame, bool) {
+	if int(c.next) >= len(c.Lines) {
+		return Frame{}, false
+	}
+	seq := c.next
+	c.next++
+	return Frame{
+		Seq:   seq,
+		PTS:   time.Duration(float64(seq) / c.FrameRate * float64(time.Second)),
+		Event: c.Event,
+		Data:  []byte(c.Lines[seq]),
+	}, true
+}
+
+// Rate implements Source.
+func (c *Captions) Rate() float64 { return c.FrameRate }
+
+// FrameBound implements Source.
+func (c *Captions) FrameBound() int {
+	max := 0
+	for _, l := range c.Lines {
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	return max + frameHeader
+}
+
+// Seek implements Seekable.
+func (c *Captions) Seek(n uint32) { c.next = n }
+
+// SinkStats summarises what a measuring sink observed.
+type SinkStats struct {
+	// Received counts frames delivered.
+	Received int
+	// Gaps counts missing frame numbers (drops/losses).
+	Gaps int
+	// OutOfOrder counts frames whose number went backwards.
+	OutOfOrder int
+	// Corrupt counts frames failing the CBR pattern check (when enabled).
+	Corrupt int
+	// First and Last are delivery times of the first and last frame.
+	First, Last time.Time
+	// MeanInterArrival and MaxInterArrival characterise delivery pacing.
+	MeanInterArrival time.Duration
+	MaxInterArrival  time.Duration
+	// JitterStdDev is the standard deviation of inter-arrival times —
+	// the delivery-jitter figure the flow-control ablation compares.
+	JitterStdDev time.Duration
+	// LateFrames counts frames delivered more than two nominal periods
+	// after their schedule (anchored at the first delivery, indexed by
+	// frame number so losses do not shift the schedule). The two-period
+	// margin keeps the count insensitive to sub-percent cadence noise.
+	LateFrames int
+	// EarlyFrames counts frames delivered more than two periods ahead of
+	// schedule — delivery faster than the media rate, which a real
+	// playout device must buffer or discard.
+	EarlyFrames int
+	// PaceError is |mean inter-arrival - nominal period| / period: how
+	// far delivery pacing is from isochronous (0 = perfect).
+	PaceError float64
+}
+
+// Sink is a measuring media sink. It is safe for concurrent use.
+type Sink struct {
+	// VerifyCBR enables the payload pattern check.
+	VerifyCBR bool
+	// NominalRate, when set, enables schedule-lateness accounting.
+	NominalRate float64
+
+	mu       sync.Mutex
+	times    []time.Time
+	seqs     []uint32
+	lastSeq  int64
+	received int
+	gaps     int
+	ooo      int
+	corrupt  int
+}
+
+// NewSink returns an empty measuring sink.
+func NewSink() *Sink { return &Sink{lastSeq: -1} }
+
+// Consume records the delivery of one frame at time now.
+func (s *Sink) Consume(f Frame, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.received++
+	s.times = append(s.times, now)
+	s.seqs = append(s.seqs, f.Seq)
+	switch {
+	case int64(f.Seq) > s.lastSeq+1:
+		s.gaps += int(int64(f.Seq) - s.lastSeq - 1)
+		s.lastSeq = int64(f.Seq)
+	case int64(f.Seq) <= s.lastSeq:
+		s.ooo++
+	default:
+		s.lastSeq = int64(f.Seq)
+	}
+	if s.VerifyCBR && !VerifyPattern(f.Seq, f.Data) {
+		s.corrupt++
+	}
+}
+
+// Received returns the frames delivered so far.
+func (s *Sink) Received() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// LastSeq returns the highest frame number seen, or -1.
+func (s *Sink) LastSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// Stats computes the summary.
+func (s *Sink) Stats() SinkStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SinkStats{
+		Received:   s.received,
+		Gaps:       s.gaps,
+		OutOfOrder: s.ooo,
+		Corrupt:    s.corrupt,
+	}
+	if len(s.times) == 0 {
+		return st
+	}
+	st.First = s.times[0]
+	st.Last = s.times[len(s.times)-1]
+	if len(s.times) < 2 {
+		return st
+	}
+	var sum, sumSq float64
+	var maxIA time.Duration
+	for i := 1; i < len(s.times); i++ {
+		ia := s.times[i].Sub(s.times[i-1])
+		if ia > maxIA {
+			maxIA = ia
+		}
+		x := ia.Seconds()
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(s.times) - 1)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	st.MeanInterArrival = time.Duration(mean * float64(time.Second))
+	st.MaxInterArrival = maxIA
+	st.JitterStdDev = time.Duration(math.Sqrt(variance) * float64(time.Second))
+	if s.NominalRate > 0 {
+		period := time.Duration(float64(time.Second) / s.NominalRate)
+		first := s.seqs[0]
+		margin := 2 * period
+		for i, at := range s.times {
+			due := st.First.Add(time.Duration(s.seqs[i]-first) * period)
+			if at.After(due.Add(margin)) {
+				st.LateFrames++
+			} else if at.Before(due.Add(-margin)) {
+				st.EarlyFrames++
+			}
+		}
+		if period > 0 {
+			diff := st.MeanInterArrival - period
+			if diff < 0 {
+				diff = -diff
+			}
+			st.PaceError = float64(diff) / float64(period)
+		}
+	}
+	return st
+}
+
+// Progress returns the sink's media-time progress given its nominal rate:
+// how many seconds of media have been delivered.
+func (s *Sink) Progress(rate float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(s.received) / rate * float64(time.Second))
+}
+
+// SyncPair measures the on-going temporal relationship between two sinks
+// playing related tracks (lip-sync, §3.6): the skew is the difference of
+// their media-time progress.
+type SyncPair struct {
+	A, B         *Sink
+	RateA, RateB float64
+
+	mu      sync.Mutex
+	maxSkew time.Duration
+	samples int
+	sumAbs  time.Duration
+}
+
+// Sample records the instantaneous skew; call it periodically.
+func (p *SyncPair) Sample() time.Duration {
+	skew := p.A.Progress(p.RateA) - p.B.Progress(p.RateB)
+	if skew < 0 {
+		skew = -skew
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.samples++
+	p.sumAbs += skew
+	if skew > p.maxSkew {
+		p.maxSkew = skew
+	}
+	return skew
+}
+
+// MaxSkew returns the largest sampled skew.
+func (p *SyncPair) MaxSkew() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.maxSkew
+}
+
+// MeanSkew returns the mean absolute sampled skew.
+func (p *SyncPair) MeanSkew() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.samples == 0 {
+		return 0
+	}
+	return p.sumAbs / time.Duration(p.samples)
+}
+
+// String renders the pair's summary.
+func (p *SyncPair) String() string {
+	return fmt.Sprintf("skew max=%v mean=%v", p.MaxSkew(), p.MeanSkew())
+}

@@ -1,0 +1,261 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cmtos/internal/core"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{Seq: 42, PTS: 1680 * time.Millisecond, Data: []byte("frame body")}
+	got, err := UnmarshalFrame(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != f.Seq || got.PTS != f.PTS || string(got.Data) != string(f.Data) {
+		t.Fatalf("round trip: %+v vs %+v", got, f)
+	}
+}
+
+func TestUnmarshalShortFrame(t *testing.T) {
+	if _, err := UnmarshalFrame([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(seq uint32, pts int64, data []byte) bool {
+		fr := Frame{Seq: seq, PTS: time.Duration(pts), Data: data}
+		got, err := UnmarshalFrame(fr.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Seq == seq && got.PTS == time.Duration(pts) && string(got.Data) == string(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCBRFrames(t *testing.T) {
+	src := &CBR{Size: 100, FrameRate: 25, Count: 3}
+	for i := uint32(0); i < 3; i++ {
+		f, ok := src.Next()
+		if !ok {
+			t.Fatalf("frame %d missing", i)
+		}
+		if f.Seq != i || len(f.Data) != 100 {
+			t.Fatalf("frame %d: seq %d size %d", i, f.Seq, len(f.Data))
+		}
+		if !VerifyPattern(f.Seq, f.Data) {
+			t.Fatalf("frame %d fails pattern check", i)
+		}
+		wantPTS := time.Duration(float64(i) / 25 * float64(time.Second))
+		if f.PTS != wantPTS {
+			t.Fatalf("frame %d PTS %v, want %v", i, f.PTS, wantPTS)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source did not end at Count")
+	}
+	if src.Rate() != 25 || src.FrameBound() != 100+frameHeader {
+		t.Fatal("CBR metadata")
+	}
+}
+
+func TestCBRSeek(t *testing.T) {
+	src := &CBR{Size: 8, FrameRate: 10, Count: 100}
+	src.Seek(50)
+	f, ok := src.Next()
+	if !ok || f.Seq != 50 {
+		t.Fatalf("after Seek(50): %v %v", f.Seq, ok)
+	}
+}
+
+func TestCBRUnboundedAndEvents(t *testing.T) {
+	src := &CBR{Size: 4, FrameRate: 10, EventAt: map[uint32]core.EventPattern{2: 0xE}}
+	for i := 0; i < 5; i++ {
+		f, ok := src.Next()
+		if !ok {
+			t.Fatal("unbounded source ended")
+		}
+		if i == 2 && f.Event != 0xE {
+			t.Fatal("event mark missing")
+		}
+		if i != 2 && f.Event != 0 {
+			t.Fatal("spurious event mark")
+		}
+	}
+}
+
+func TestVerifyPatternDetectsCorruption(t *testing.T) {
+	d := pattern(7, 32)
+	if !VerifyPattern(7, d) {
+		t.Fatal("pristine pattern rejected")
+	}
+	d[13] ^= 0xFF
+	if VerifyPattern(7, d) {
+		t.Fatal("corrupt pattern accepted")
+	}
+}
+
+func TestVBRSizesVaryAndAreDeterministic(t *testing.T) {
+	mk := func() *VBR {
+		return &VBR{MeanSize: 1000, Burst: 3, PBurst: 0.2, PCalm: 0.3,
+			FrameRate: 25, Count: 200, Seed: 42}
+	}
+	a, b := mk(), mk()
+	sizes := map[int]bool{}
+	var total int
+	for i := 0; i < 200; i++ {
+		fa, okA := a.Next()
+		fb, okB := b.Next()
+		if !okA || !okB {
+			t.Fatal("source ended early")
+		}
+		if len(fa.Data) != len(fb.Data) {
+			t.Fatal("VBR not deterministic for equal seeds")
+		}
+		if len(fa.Data) > a.FrameBound()-frameHeader {
+			t.Fatalf("frame %d exceeds FrameBound", i)
+		}
+		sizes[len(fa.Data)] = true
+		total += len(fa.Data)
+	}
+	if len(sizes) < 10 {
+		t.Fatalf("VBR produced only %d distinct sizes", len(sizes))
+	}
+	mean := total / 200
+	if mean < 300 || mean > 3000 {
+		t.Fatalf("VBR mean size %d far from configured 1000", mean)
+	}
+}
+
+func TestCaptionsCarryEvents(t *testing.T) {
+	c := &Captions{Lines: []string{"hello", "world"}, FrameRate: 1, Event: 0xCC}
+	f, ok := c.Next()
+	if !ok || string(f.Data) != "hello" || f.Event != 0xCC {
+		t.Fatalf("caption 0: %+v", f)
+	}
+	if c.FrameBound() != 5+frameHeader {
+		t.Fatalf("FrameBound = %d", c.FrameBound())
+	}
+	_, _ = c.Next()
+	if _, ok := c.Next(); ok {
+		t.Fatal("captions did not end")
+	}
+	c.Seek(1)
+	f, _ = c.Next()
+	if string(f.Data) != "world" {
+		t.Fatal("caption Seek")
+	}
+}
+
+func TestSinkStats(t *testing.T) {
+	s := NewSink()
+	s.VerifyCBR = true
+	base := time.Unix(0, 0)
+	// Frames 0,1,3 (gap at 2), then a duplicate of 1.
+	s.Consume(Frame{Seq: 0, Data: pattern(0, 8)}, base)
+	s.Consume(Frame{Seq: 1, Data: pattern(1, 8)}, base.Add(10*time.Millisecond))
+	s.Consume(Frame{Seq: 3, Data: pattern(3, 8)}, base.Add(40*time.Millisecond))
+	s.Consume(Frame{Seq: 1, Data: pattern(9, 8)}, base.Add(50*time.Millisecond)) // ooo + corrupt
+	st := s.Stats()
+	if st.Received != 4 {
+		t.Errorf("Received = %d", st.Received)
+	}
+	if st.Gaps != 1 {
+		t.Errorf("Gaps = %d, want 1", st.Gaps)
+	}
+	if st.OutOfOrder != 1 {
+		t.Errorf("OutOfOrder = %d", st.OutOfOrder)
+	}
+	if st.Corrupt != 1 {
+		t.Errorf("Corrupt = %d", st.Corrupt)
+	}
+	if st.MaxInterArrival != 30*time.Millisecond {
+		t.Errorf("MaxInterArrival = %v", st.MaxInterArrival)
+	}
+	if st.First != base || st.Last != base.Add(50*time.Millisecond) {
+		t.Errorf("First/Last wrong")
+	}
+	if s.Received() != 4 || s.LastSeq() != 3 {
+		t.Errorf("accessors: %d/%d", s.Received(), s.LastSeq())
+	}
+}
+
+func TestSinkJitterStdDev(t *testing.T) {
+	s := NewSink()
+	base := time.Unix(0, 0)
+	// Perfectly periodic: stddev 0.
+	for i := 0; i < 10; i++ {
+		s.Consume(Frame{Seq: uint32(i)}, base.Add(time.Duration(i)*10*time.Millisecond))
+	}
+	if st := s.Stats(); st.JitterStdDev > time.Millisecond {
+		t.Fatalf("periodic stream jitter = %v", st.JitterStdDev)
+	}
+	// Irregular: stddev grows.
+	s2 := NewSink()
+	times := []int{0, 5, 30, 31, 70, 71, 72, 120}
+	for i, ms := range times {
+		s2.Consume(Frame{Seq: uint32(i)}, base.Add(time.Duration(ms)*time.Millisecond))
+	}
+	if st := s2.Stats(); st.JitterStdDev < 5*time.Millisecond {
+		t.Fatalf("irregular stream jitter = %v", st.JitterStdDev)
+	}
+}
+
+func TestSinkLateFrames(t *testing.T) {
+	s := NewSink()
+	s.NominalRate = 100 // 10ms period
+	base := time.Unix(0, 0)
+	s.Consume(Frame{Seq: 0}, base)
+	s.Consume(Frame{Seq: 1}, base.Add(10*time.Millisecond))
+	s.Consume(Frame{Seq: 2}, base.Add(100*time.Millisecond)) // 80ms late (8 periods)
+	st := s.Stats()
+	if st.LateFrames != 1 {
+		t.Fatalf("LateFrames = %d, want 1", st.LateFrames)
+	}
+}
+
+func TestSinkEmptyStats(t *testing.T) {
+	st := NewSink().Stats()
+	if st.Received != 0 || st.MeanInterArrival != 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+}
+
+func TestSyncPair(t *testing.T) {
+	a, b := NewSink(), NewSink()
+	base := time.Unix(0, 0)
+	// a: 10 frames at 100/s = 100ms of media; b: 3 frames at 25/s = 120ms.
+	for i := 0; i < 10; i++ {
+		a.Consume(Frame{Seq: uint32(i)}, base)
+	}
+	for i := 0; i < 3; i++ {
+		b.Consume(Frame{Seq: uint32(i)}, base)
+	}
+	p := &SyncPair{A: a, B: b, RateA: 100, RateB: 25}
+	skew := p.Sample()
+	if skew != 20*time.Millisecond {
+		t.Fatalf("skew = %v, want 20ms", skew)
+	}
+	if p.MaxSkew() != 20*time.Millisecond || p.MeanSkew() != 20*time.Millisecond {
+		t.Fatalf("pair stats: %s", p)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	s := NewSink()
+	for i := 0; i < 50; i++ {
+		s.Consume(Frame{Seq: uint32(i)}, time.Unix(0, 0))
+	}
+	if got := s.Progress(25); got != 2*time.Second {
+		t.Fatalf("Progress = %v, want 2s", got)
+	}
+	if s.Progress(0) != 0 {
+		t.Fatal("Progress with zero rate")
+	}
+}

@@ -1,0 +1,79 @@
+package media
+
+import (
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/transport"
+)
+
+// Pump plays a source into a send VC at the source's nominal rate,
+// measured on clk — the source host's own (possibly drifting) clock, which
+// is exactly how a stored-media server paces itself. Pacing uses an
+// absolute schedule (frame i due at start + i/rate) so sleep overshoot
+// never erodes the rate. Pump returns when the source ends, the VC
+// closes, or stop is closed.
+func Pump(clk clock.Clock, src Source, vc *transport.SendVC, stop <-chan struct{}) error {
+	rate := src.Rate()
+	start := clk.Now()
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		f, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+		if d := due.Sub(clk.Now()); d > 0 {
+			clk.Sleep(d)
+		}
+		if _, err := vc.Write(f.Marshal(), f.Event); err != nil {
+			return err
+		}
+	}
+}
+
+// PumpUnpaced plays a source into a send VC as fast as the transport
+// accepts it (the transport's own rate-based flow control then paces the
+// wire). Used where the application is not the pacing element.
+func PumpUnpaced(src Source, vc *transport.SendVC, stop <-chan struct{}) error {
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		f, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if _, err := vc.Write(f.Marshal(), f.Event); err != nil {
+			return err
+		}
+	}
+}
+
+// Drain reads OSDUs from a receive VC into a measuring sink until the VC
+// closes or stop is closed, stamping deliveries with clk.
+func Drain(clk clock.Clock, rv *transport.RecvVC, sink *Sink, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		u, err := rv.Read()
+		if err != nil {
+			return
+		}
+		f, err := UnmarshalFrame(u.Payload)
+		if err != nil {
+			continue
+		}
+		f.Event = u.Event
+		sink.Consume(f, clk.Now())
+	}
+}

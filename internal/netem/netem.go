@@ -1,0 +1,836 @@
+// Package netem is the in-process packet network emulator that stands in
+// for the paper's transputer-based high-speed network emulator (§2.1). It
+// provides hosts joined by links with configurable bandwidth, propagation
+// delay, bounded random jitter, packet-loss models (Bernoulli and
+// Gilbert-Elliott bursts), residual bit errors, bounded drop-tail queues,
+// and reservation-aware priority scheduling (control > guaranteed >
+// best-effort), plus static shortest-path routing across intermediate
+// nodes.
+//
+// Transport entities attach to hosts and exchange opaque payloads; the
+// emulator damages, delays, drops and forwards them exactly as the paper's
+// testbed network would, which is what the QoS machinery above needs to
+// have something real to negotiate against.
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/qos"
+)
+
+// Priority classes for link scheduling. Control traffic (connection
+// management, orchestration OPDUs) preempts guaranteed media traffic,
+// which preempts best-effort traffic — the emulator's realisation of the
+// "special internal control VC" with guaranteed bandwidth (§5).
+type Priority uint8
+
+// Priorities, highest first.
+const (
+	PrioControl Priority = iota
+	PrioGuaranteed
+	PrioBestEffort
+	numPrios
+)
+
+// String returns the priority's name.
+func (p Priority) String() string {
+	switch p {
+	case PrioControl:
+		return "control"
+	case PrioGuaranteed:
+		return "guaranteed"
+	case PrioBestEffort:
+		return "best-effort"
+	}
+	return fmt.Sprintf("prio(%d)", uint8(p))
+}
+
+// Packet is one network-layer datagram.
+type Packet struct {
+	Src, Dst core.HostID
+	Flow     core.VCID // owning VC for per-flow accounting; 0 = none
+	Prio     Priority
+	Payload  []byte
+	// Damaged marks payloads whose bits were flipped in transit; the
+	// payload itself is also corrupted so checksums fail naturally.
+	Damaged bool
+}
+
+// Size returns the packet's size in bytes for transmission-time purposes.
+func (p *Packet) Size() int { return len(p.Payload) + headerOverhead }
+
+// headerOverhead models the network-layer header cost per packet.
+const headerOverhead = 32
+
+// Handler receives packets delivered to a host. Handlers run on the
+// host's delivery goroutine; they must not block for long.
+type Handler func(Packet)
+
+// LossModel decides packet drops. Implementations are driven by the
+// owning link's RNG and need not be safe for concurrent use.
+type LossModel interface {
+	// Drop reports whether the next packet is lost.
+	Drop(r *rand.Rand) bool
+}
+
+// NoLoss never drops.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(*rand.Rand) bool { return false }
+
+// Bernoulli drops each packet independently with probability P.
+type Bernoulli struct{ P float64 }
+
+// Drop implements LossModel.
+func (b Bernoulli) Drop(r *rand.Rand) bool { return r.Float64() < b.P }
+
+// GilbertElliott is the classic two-state burst-loss model: in the Good
+// state packets drop with PLossGood, in the Bad state with PLossBad; the
+// chain moves Good→Bad with PGoodBad and Bad→Good with PBadGood per
+// packet. It reproduces the correlated loss bursts ("glitches", §3.6)
+// that knock individual VCs out of synchronisation.
+type GilbertElliott struct {
+	PGoodBad, PBadGood  float64
+	PLossGood, PLossBad float64
+	bad                 bool
+}
+
+// Clone implements the optional cloning interface: the chain state is
+// per-link, so each link gets its own copy of a configured model.
+func (g *GilbertElliott) Clone() LossModel {
+	dup := *g
+	dup.bad = false
+	return &dup
+}
+
+// Drop implements LossModel.
+func (g *GilbertElliott) Drop(r *rand.Rand) bool {
+	if g.bad {
+		if r.Float64() < g.PBadGood {
+			g.bad = false
+		}
+	} else if r.Float64() < g.PGoodBad {
+		g.bad = true
+	}
+	p := g.PLossGood
+	if g.bad {
+		p = g.PLossBad
+	}
+	return r.Float64() < p
+}
+
+// LinkConfig describes one simplex link.
+type LinkConfig struct {
+	// Bandwidth in bytes per second; must be positive.
+	Bandwidth float64
+	// Delay is the propagation delay.
+	Delay time.Duration
+	// Jitter is the maximum additional uniformly distributed delay.
+	Jitter time.Duration
+	// Loss decides packet drops; nil means no loss.
+	Loss LossModel
+	// BitErrorRate is the probability that any single payload bit is
+	// flipped in transit (damaged packets still arrive).
+	BitErrorRate float64
+	// QueueLen bounds the per-priority output queue in packets;
+	// 0 means DefaultQueueLen. The queue is drop-tail.
+	QueueLen int
+	// Seed seeds the link's RNG; 0 picks a fixed default so runs are
+	// reproducible.
+	Seed int64
+}
+
+// DefaultQueueLen bounds output queues when LinkConfig.QueueLen is zero.
+const DefaultQueueLen = 256
+
+// link is one simplex link with its transmitter goroutine.
+type link struct {
+	from, to core.HostID
+	cfg      LinkConfig
+	net      *Network
+	rng      *rand.Rand
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [numPrios][]Packet
+	queued   int
+	closed   bool
+	reserved float64 // bytes/sec promised to guaranteed flows
+
+	// wire carries transmitted packets to the propagation goroutine,
+	// which delivers them in FIFO order at their computed arrival times
+	// (monotonic per link, so jitter never reorders a link's traffic).
+	wire chan wirePacket
+
+	stats LinkStats
+}
+
+// wirePacket is a transmitted packet and its arrival deadline.
+type wirePacket struct {
+	pkt      Packet
+	arriveAt time.Time
+}
+
+// LinkStats counts per-link activity for the experiment harness.
+type LinkStats struct {
+	Sent      int // packets transmitted
+	Dropped   int // lost to the loss model
+	Damaged   int // delivered with bit errors
+	Overflows int // dropped at the queue
+	Bytes     int64
+}
+
+// GroupBase is the floor of the multicast group-address space: HostIDs at
+// or above it name groups, not hosts (§3.8's group addressing).
+const GroupBase core.HostID = 1 << 31
+
+// Network is a set of hosts joined by links. Create with New, add hosts
+// and links, then Start. All methods are safe for concurrent use after
+// Start.
+type Network struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	hosts   map[core.HostID]*host
+	links   map[[2]core.HostID]*link
+	routes  map[[2]core.HostID]core.HostID // (at,dst) -> next hop
+	groups  map[core.HostID][]core.HostID  // multicast groups
+	started bool
+	closed  bool
+}
+
+type host struct {
+	id      core.HostID
+	handler Handler
+	inbox   chan Packet
+	done    chan struct{}
+}
+
+// New returns an empty network using clk for all timing.
+func New(clk clock.Clock) *Network {
+	return &Network{
+		clk:    clk,
+		hosts:  make(map[core.HostID]*host),
+		links:  make(map[[2]core.HostID]*link),
+		routes: make(map[[2]core.HostID]core.HostID),
+		groups: make(map[core.HostID][]core.HostID),
+	}
+}
+
+// AddHost registers a host. The handler receives packets addressed to it;
+// a nil handler discards. Must be called before Start.
+func (n *Network) AddHost(id core.HostID, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return errors.New("netem: AddHost after Start")
+	}
+	if _, dup := n.hosts[id]; dup {
+		return fmt.Errorf("netem: duplicate host %v", id)
+	}
+	n.hosts[id] = &host{
+		id:      id,
+		handler: h,
+		inbox:   make(chan Packet, 1024),
+		done:    make(chan struct{}),
+	}
+	return nil
+}
+
+// SetHandler replaces a host's packet handler (used by transport entities
+// that attach after network construction).
+func (n *Network) SetHandler(id core.HostID, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	hst, ok := n.hosts[id]
+	if !ok {
+		return fmt.Errorf("netem: unknown host %v", id)
+	}
+	hst.handler = h
+	return nil
+}
+
+// AddLink joins a and b with a pair of simplex links sharing cfg. Must be
+// called before Start.
+func (n *Network) AddLink(a, b core.HostID, cfg LinkConfig) error {
+	if err := n.AddSimplexLink(a, b, cfg); err != nil {
+		return err
+	}
+	return n.AddSimplexLink(b, a, cfg)
+}
+
+// AddSimplexLink adds a one-way link from a to b. Must be called before
+// Start.
+func (n *Network) AddSimplexLink(a, b core.HostID, cfg LinkConfig) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return errors.New("netem: AddSimplexLink after Start")
+	}
+	if cfg.Bandwidth <= 0 {
+		return errors.New("netem: link bandwidth must be positive")
+	}
+	if _, ok := n.hosts[a]; !ok {
+		return fmt.Errorf("netem: unknown host %v", a)
+	}
+	if _, ok := n.hosts[b]; !ok {
+		return fmt.Errorf("netem: unknown host %v", b)
+	}
+	key := [2]core.HostID{a, b}
+	if _, dup := n.links[key]; dup {
+		return fmt.Errorf("netem: duplicate link %v->%v", a, b)
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = NoLoss{}
+	}
+	// Stateful loss models must not be shared across links; clone them.
+	if c, ok := cfg.Loss.(interface{ Clone() LossModel }); ok {
+		cfg.Loss = c.Clone()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(a)<<32 | int64(b) | 1
+	}
+	l := &link{
+		from: a, to: b, cfg: cfg, net: n,
+		rng:  rand.New(rand.NewSource(seed)),
+		wire: make(chan wirePacket, 4*cfg.QueueLen),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	n.links[key] = l
+	return nil
+}
+
+// Start computes routes and starts every link transmitter and host
+// delivery loop.
+func (n *Network) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return errors.New("netem: already started")
+	}
+	n.started = true
+	n.computeRoutesLocked()
+	for _, h := range n.hosts {
+		go h.run()
+	}
+	for _, l := range n.links {
+		go l.run()
+	}
+	return nil
+}
+
+// Close shuts down all links and hosts. Packets in flight are discarded.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	hosts := make([]*host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.close()
+	}
+	for _, h := range hosts {
+		close(h.done)
+	}
+}
+
+// computeRoutesLocked fills the next-hop table with BFS shortest paths.
+func (n *Network) computeRoutesLocked() {
+	// Adjacency from the link set.
+	adj := make(map[core.HostID][]core.HostID)
+	for key := range n.links {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, peers := range adj {
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	}
+	// BFS from every destination over reversed edges would be cheaper,
+	// but host counts are small; BFS from every source is clear.
+	for src := range n.hosts {
+		prev := map[core.HostID]core.HostID{src: src}
+		queue := []core.HostID{src}
+		for len(queue) > 0 {
+			at := queue[0]
+			queue = queue[1:]
+			for _, next := range adj[at] {
+				if _, seen := prev[next]; !seen {
+					prev[next] = at
+					queue = append(queue, next)
+				}
+			}
+		}
+		for dst := range n.hosts {
+			if dst == src {
+				continue
+			}
+			if _, ok := prev[dst]; !ok {
+				continue // unreachable
+			}
+			// Walk back from dst to find the first hop out of src.
+			hop := dst
+			for prev[hop] != src {
+				hop = prev[hop]
+			}
+			n.routes[[2]core.HostID{src, dst}] = hop
+		}
+	}
+}
+
+// Route returns the host-by-host path from src to dst, inclusive.
+func (n *Network) Route(src, dst core.HostID) ([]core.HostID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.routeLocked(src, dst)
+}
+
+func (n *Network) routeLocked(src, dst core.HostID) ([]core.HostID, error) {
+	if src == dst {
+		return []core.HostID{src}, nil
+	}
+	path := []core.HostID{src}
+	at := src
+	for at != dst {
+		hop, ok := n.routes[[2]core.HostID{at, dst}]
+		if !ok {
+			return nil, fmt.Errorf("netem: no route %v -> %v", src, dst)
+		}
+		path = append(path, hop)
+		at = hop
+		if len(path) > len(n.hosts) {
+			return nil, fmt.Errorf("netem: routing loop %v -> %v", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// AddGroup registers (or replaces) a multicast group: packets addressed
+// to gid are fanned out to every member at the source node. Groups may be
+// added after Start. The simple source-side fan-out realises the paper's
+// "simple 1:N topology" (§3.8); branch-point duplication is left to the
+// underlying network in the paper too.
+func (n *Network) AddGroup(gid core.HostID, members []core.HostID) error {
+	if gid < GroupBase {
+		return fmt.Errorf("netem: group id %v below GroupBase", gid)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, m := range members {
+		if _, ok := n.hosts[m]; !ok {
+			return fmt.Errorf("netem: group member %v unknown", m)
+		}
+	}
+	n.groups[gid] = append([]core.HostID(nil), members...)
+	return nil
+}
+
+// RemoveGroup deletes a multicast group.
+func (n *Network) RemoveGroup(gid core.HostID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.groups, gid)
+}
+
+// Send injects a packet at its source host. It fails if the network is
+// not started or no route exists. Group destinations fan out to every
+// member. Delivery is asynchronous.
+func (n *Network) Send(p Packet) error {
+	if p.Dst >= GroupBase {
+		n.mu.Lock()
+		members, ok := n.groups[p.Dst]
+		n.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("netem: unknown group %v", p.Dst)
+		}
+		var firstErr error
+		for _, m := range members {
+			dup := p
+			dup.Dst = m
+			if err := n.Send(dup); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	n.mu.Lock()
+	if !n.started {
+		n.mu.Unlock()
+		return errors.New("netem: Send before Start")
+	}
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("netem: network closed")
+	}
+	if p.Src == p.Dst {
+		h := n.hosts[p.Dst]
+		n.mu.Unlock()
+		if h == nil {
+			return fmt.Errorf("netem: unknown host %v", p.Dst)
+		}
+		h.deliver(p)
+		return nil
+	}
+	hop, ok := n.routes[[2]core.HostID{p.Src, p.Dst}]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("netem: no route %v -> %v", p.Src, p.Dst)
+	}
+	l := n.links[[2]core.HostID{p.Src, hop}]
+	n.mu.Unlock()
+	l.enqueue(p)
+	return nil
+}
+
+// forward moves a packet arriving at an intermediate node toward dst.
+func (n *Network) forward(at core.HostID, p Packet) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	hop, ok := n.routes[[2]core.HostID{at, p.Dst}]
+	if !ok {
+		n.mu.Unlock()
+		return // destination vanished; drop
+	}
+	l := n.links[[2]core.HostID{at, hop}]
+	n.mu.Unlock()
+	l.enqueue(p)
+}
+
+// deliverLocal hands a packet to the host's inbox.
+func (n *Network) deliverLocal(id core.HostID, p Packet) {
+	n.mu.Lock()
+	h := n.hosts[id]
+	n.mu.Unlock()
+	if h != nil {
+		h.deliver(p)
+	}
+}
+
+func (h *host) deliver(p Packet) {
+	select {
+	case h.inbox <- p:
+	case <-h.done:
+	}
+}
+
+func (h *host) run() {
+	for {
+		select {
+		case p := <-h.inbox:
+			if h.handler != nil {
+				h.handler(p)
+			}
+		case <-h.done:
+			return
+		}
+	}
+}
+
+// enqueue appends to the priority queue, drop-tail per class.
+func (l *link) enqueue(p Packet) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	q := &l.queues[p.Prio]
+	if len(*q) >= l.cfg.QueueLen {
+		l.stats.Overflows++
+		return
+	}
+	*q = append(*q, p)
+	l.queued++
+	l.cond.Signal()
+}
+
+func (l *link) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// dequeue blocks for the next packet in priority order.
+func (l *link) dequeue() (Packet, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.queued == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return Packet{}, false
+	}
+	for prio := range l.queues {
+		q := &l.queues[prio]
+		if len(*q) > 0 {
+			p := (*q)[0]
+			copy(*q, (*q)[1:])
+			*q = (*q)[:len(*q)-1]
+			l.queued--
+			return p, true
+		}
+	}
+	return Packet{}, false
+}
+
+// run is the transmitter: serialise (bandwidth), apply loss and damage,
+// then hand the packet to the propagation goroutine with its arrival
+// deadline. Arrival deadlines are kept monotonic per link so jitter never
+// reorders a link's traffic (the emulator models a FIFO pipe).
+func (l *link) run() {
+	go l.propagate()
+	defer close(l.wire)
+	var lastArrival time.Time
+	for {
+		p, ok := l.dequeue()
+		if !ok {
+			return
+		}
+		// Transmission time at link bandwidth.
+		txTime := time.Duration(float64(p.Size()) / l.cfg.Bandwidth * float64(time.Second))
+		if txTime > 0 {
+			l.net.clk.Sleep(txTime)
+		}
+
+		l.mu.Lock()
+		if l.cfg.Loss.Drop(l.rng) {
+			l.stats.Dropped++
+			l.mu.Unlock()
+			continue
+		}
+		jitter := time.Duration(0)
+		if l.cfg.Jitter > 0 {
+			jitter = time.Duration(l.rng.Int63n(int64(l.cfg.Jitter)))
+		}
+		if l.cfg.BitErrorRate > 0 && len(p.Payload) > 0 {
+			bits := float64(len(p.Payload) * 8)
+			if l.rng.Float64() < 1-pow1m(l.cfg.BitErrorRate, bits) {
+				// Corrupt a copy so other references stay intact.
+				dup := make([]byte, len(p.Payload))
+				copy(dup, p.Payload)
+				bit := l.rng.Intn(len(dup) * 8)
+				dup[bit/8] ^= 1 << (bit % 8)
+				p.Payload = dup
+				p.Damaged = true
+				l.stats.Damaged++
+			}
+		}
+		l.stats.Sent++
+		l.stats.Bytes += int64(p.Size())
+		l.mu.Unlock()
+
+		arriveAt := l.net.clk.Now().Add(l.cfg.Delay + jitter)
+		if arriveAt.Before(lastArrival) {
+			arriveAt = lastArrival
+		}
+		lastArrival = arriveAt
+		l.wire <- wirePacket{pkt: p, arriveAt: arriveAt}
+	}
+}
+
+// propagate delivers transmitted packets at their arrival deadlines, in
+// transmission order.
+func (l *link) propagate() {
+	for wp := range l.wire {
+		if wait := wp.arriveAt.Sub(l.net.clk.Now()); wait > 0 {
+			l.net.clk.Sleep(wait)
+		}
+		if wp.pkt.Dst == l.to {
+			l.net.deliverLocal(l.to, wp.pkt)
+		} else {
+			l.net.forward(l.to, wp.pkt)
+		}
+	}
+}
+
+// pow1m returns (1-p)^n for small p without math.Pow instability.
+func pow1m(p, n float64) float64 {
+	// For the emulator's purposes the exponential approximation is
+	// exact enough: (1-p)^n ≈ exp(-p*n) ≈ 1 - p*n for p*n << 1.
+	x := p * n
+	if x > 1 {
+		return 0
+	}
+	return 1 - x
+}
+
+// Degrade mutates a live link's loss model and jitter — the in-service
+// degradation that soft guarantees exist to detect (§3.2's "the QoS level
+// may degrade"). Pass a nil loss model to keep the current one.
+func (n *Network) Degrade(from, to core.HostID, loss LossModel, jitter time.Duration) error {
+	n.mu.Lock()
+	l, ok := n.links[[2]core.HostID{from, to}]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("netem: no link %v->%v", from, to)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if loss != nil {
+		l.cfg.Loss = loss
+	}
+	if jitter >= 0 {
+		l.cfg.Jitter = jitter
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the directed link's counters.
+func (n *Network) Stats(from, to core.HostID) (LinkStats, error) {
+	n.mu.Lock()
+	l, ok := n.links[[2]core.HostID{from, to}]
+	n.mu.Unlock()
+	if !ok {
+		return LinkStats{}, fmt.Errorf("netem: no link %v->%v", from, to)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats, nil
+}
+
+// Reserve sets aside bytesPerSec of guaranteed bandwidth on the directed
+// link, failing if the remaining unreserved capacity is insufficient. A
+// small fraction of each link is always withheld for control traffic.
+func (n *Network) Reserve(from, to core.HostID, bytesPerSec float64) error {
+	n.mu.Lock()
+	l, ok := n.links[[2]core.HostID{from, to}]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("netem: no link %v->%v", from, to)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if bytesPerSec <= 0 {
+		return errors.New("netem: reservation must be positive")
+	}
+	if l.reserved+bytesPerSec > l.cfg.Bandwidth*reservableFraction {
+		return fmt.Errorf("netem: link %v->%v cannot reserve %.0f B/s (%.0f of %.0f reserved)",
+			from, to, bytesPerSec, l.reserved, l.cfg.Bandwidth*reservableFraction)
+	}
+	l.reserved += bytesPerSec
+	return nil
+}
+
+// Release returns previously reserved bandwidth on the directed link.
+func (n *Network) Release(from, to core.HostID, bytesPerSec float64) error {
+	n.mu.Lock()
+	l, ok := n.links[[2]core.HostID{from, to}]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("netem: no link %v->%v", from, to)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reserved -= bytesPerSec
+	if l.reserved < 0 {
+		l.reserved = 0
+	}
+	return nil
+}
+
+// reservableFraction is the share of link capacity available to
+// guaranteed flows; the remainder is withheld for control traffic and
+// scheduling headroom.
+const reservableFraction = 0.9
+
+// Available returns the unreserved guaranteed capacity of the directed
+// link in bytes per second.
+func (n *Network) Available(from, to core.HostID) (float64, error) {
+	n.mu.Lock()
+	l, ok := n.links[[2]core.HostID{from, to}]
+	n.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("netem: no link %v->%v", from, to)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cfg.Bandwidth*reservableFraction - l.reserved, nil
+}
+
+// PathCapability computes what the route from src to dst can offer a flow
+// of pktSize-byte packets: the bottleneck unreserved bandwidth, the summed
+// propagation+transmission delay, summed jitter bounds, and combined loss
+// and bit-error probabilities. It is the provider-side input to QoS
+// negotiation (§4.1.1).
+func (n *Network) PathCapability(src, dst core.HostID, pktSize int) (qos.Capability, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	path, err := n.routeLocked(src, dst)
+	if err != nil {
+		return qos.Capability{}, err
+	}
+	bottleneck := -1.0
+	var delay, jitter time.Duration
+	survive := 1.0
+	okBits := 1.0
+	for i := 0; i+1 < len(path); i++ {
+		l := n.links[[2]core.HostID{path[i], path[i+1]}]
+		l.mu.Lock()
+		avail := l.cfg.Bandwidth*reservableFraction - l.reserved
+		txTime := time.Duration(float64(pktSize+headerOverhead) / l.cfg.Bandwidth * float64(time.Second))
+		delay += l.cfg.Delay + txTime
+		jitter += l.cfg.Jitter
+		if b, isB := l.cfg.Loss.(Bernoulli); isB {
+			survive *= 1 - b.P
+		} else if g, isG := l.cfg.Loss.(*GilbertElliott); isG {
+			// Steady-state loss probability of the two-state chain.
+			denom := g.PGoodBad + g.PBadGood
+			if denom > 0 {
+				pBad := g.PGoodBad / denom
+				survive *= 1 - (pBad*g.PLossBad + (1-pBad)*g.PLossGood)
+			}
+		}
+		okBits *= pow1m(l.cfg.BitErrorRate, 1)
+		if bottleneck < 0 || avail < bottleneck {
+			bottleneck = avail
+		}
+		l.mu.Unlock()
+	}
+	if src == dst {
+		return qos.Capability{MaxThroughput: 1e9}, nil
+	}
+	perPkt := float64(pktSize + headerOverhead)
+	return qos.Capability{
+		MaxThroughput: bottleneck / perPkt,
+		MinDelay:      delay,
+		MinJitter:     jitter,
+		MinPER:        1 - survive,
+		MinBER:        1 - okBits,
+	}, nil
+}
+
+// Hosts returns the registered host IDs in ascending order.
+func (n *Network) Hosts() []core.HostID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]core.HostID, 0, len(n.hosts))
+	for id := range n.hosts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

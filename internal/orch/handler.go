@@ -1,0 +1,524 @@
+package orch
+
+import (
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/pdu"
+	"cmtos/internal/transport"
+)
+
+// onPDU is the participant side of the orchestration protocol: it runs on
+// its own goroutine per PDU (dispatched by the transport entity).
+func (l *LLO) onPDU(from core.HostID, o *pdu.Orch) {
+	switch o.Op {
+	case pdu.OrchSetupAck, pdu.OrchPrimed, pdu.OrchStartAck, pdu.OrchStopAck,
+		pdu.OrchAddAck, pdu.OrchRemoveAck, pdu.OrchDelayedAck, pdu.OrchDeny:
+		l.mu.Lock()
+		ch := l.pending[o.Token]
+		l.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- o:
+			default:
+			}
+		}
+	case pdu.OrchSetup:
+		l.handleSetup(from, o)
+	case pdu.OrchRelease:
+		l.handleRelease(o)
+	case pdu.OrchPrime:
+		l.handlePrime(from, o)
+	case pdu.OrchStart:
+		l.handleStart(from, o)
+	case pdu.OrchStop:
+		l.handleStop(from, o)
+	case pdu.OrchAdd:
+		l.handleAdd(from, o)
+	case pdu.OrchRemove:
+		l.handleRemove(from, o)
+	case pdu.OrchRegulate:
+		l.handleRegulate(o)
+	case pdu.OrchReport:
+		l.handleReport(o)
+	case pdu.OrchDelayed:
+		l.handleDelayed(from, o)
+	case pdu.OrchEventReg:
+		l.handleEventReg(from, o)
+	case pdu.OrchEventHit:
+		l.mu.Lock()
+		fn := l.eventFn
+		l.mu.Unlock()
+		if fn != nil {
+			l.e.EmitTrace("agent", core.OrchEventIndication)
+			fn(EventIndication{Session: o.Session, VC: o.VC, OSDU: o.OSDU, Event: o.Event})
+		}
+	}
+}
+
+// ack answers a request with the given reply kind.
+func (l *LLO) ack(dst core.HostID, req *pdu.Orch, kind pdu.OrchKind, ok bool, reason core.Reason) {
+	l.reply(dst, &pdu.Orch{
+		Op: kind, Session: req.Session, VC: req.VC,
+		OK: ok, Reason: reason, Token: req.Token,
+	})
+}
+
+// localVCs lists the session VCs this host participates in, with their
+// local roles resolved against the transport entity.
+type localVC struct {
+	vc   core.VCID
+	send *transport.SendVC // non-nil when this host is the source
+	recv *transport.RecvVC // non-nil when this host is the sink
+}
+
+func (l *LLO) localVCs(s *session) []localVC {
+	var out []localVC
+	for vc := range s.vcs {
+		lv := localVC{vc: vc}
+		if sv, ok := l.e.SourceVC(vc); ok {
+			lv.send = sv
+		}
+		if rv, ok := l.e.SinkVC(vc); ok {
+			lv.recv = rv
+		}
+		if lv.send != nil || lv.recv != nil {
+			out = append(out, lv)
+		}
+	}
+	return out
+}
+
+// lookupSession returns this LLO's record of a session.
+func (l *LLO) lookupSession(sid core.SessionID) (*session, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.sessions[sid]
+	return s, ok
+}
+
+// app returns the application callbacks registered for a VC at this host.
+func (l *LLO) app(vc core.VCID) AppCallbacks {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.apps[vc]
+}
+
+// handleSetup validates and records an orchestration session
+// (Orch.indication side of Table 4). Rejections carry the paper's
+// reasons: exhausted table space or nonexistent VCs (§6.1).
+func (l *LLO) handleSetup(from core.HostID, o *pdu.Orch) {
+	l.mu.Lock()
+	if existing, dup := l.sessions[o.Session]; dup {
+		// Agent-local record or a retransmitted setup: accept
+		// idempotently if we host at least one endpoint.
+		l.mu.Unlock()
+		hosted := false
+		for vc := range existing.vcs {
+			if _, ok := l.e.SourceVC(vc); ok {
+				hosted = true
+			}
+			if _, ok := l.e.SinkVC(vc); ok {
+				hosted = true
+			}
+		}
+		l.ack(from, o, pdu.OrchSetupAck, hosted, reasonIf(!hosted, core.ReasonNoSuchVC))
+		return
+	}
+	if len(l.sessions) >= l.maxSess {
+		l.mu.Unlock()
+		l.ack(from, o, pdu.OrchSetupAck, false, core.ReasonNoTableSpace)
+		return
+	}
+	l.mu.Unlock()
+
+	vcs := make(map[core.VCID]VCDesc, len(o.VCs))
+	hosted := 0
+	for _, vc := range o.VCs {
+		d := VCDesc{VC: vc}
+		if _, ok := l.e.SourceVC(vc); ok {
+			d.Source = l.e.Host()
+			hosted++
+		}
+		if _, ok := l.e.SinkVC(vc); ok {
+			d.Sink = l.e.Host()
+			hosted++
+		}
+		vcs[vc] = d
+	}
+	if hosted == 0 {
+		l.ack(from, o, pdu.OrchSetupAck, false, core.ReasonNoSuchVC)
+		return
+	}
+	l.mu.Lock()
+	l.sessions[o.Session] = &session{
+		id: o.Session, agent: from, vcs: vcs,
+		regs: make(map[core.VCID]*regState),
+	}
+	l.mu.Unlock()
+	l.e.EmitTrace("participant", core.OrchIndication)
+	l.ack(from, o, pdu.OrchSetupAck, true, core.ReasonNone)
+}
+
+func reasonIf(cond bool, r core.Reason) core.Reason {
+	if cond {
+		return r
+	}
+	return core.ReasonNone
+}
+
+// handleRelease drops the session silently (Orch.Release.indication).
+func (l *LLO) handleRelease(o *pdu.Orch) {
+	l.mu.Lock()
+	s, ok := l.sessions[o.Session]
+	if ok {
+		delete(l.sessions, o.Session)
+	}
+	l.mu.Unlock()
+	if !ok {
+		return
+	}
+	l.e.EmitTrace("participant", core.OrchReleaseIndication)
+	for _, rs := range s.regs {
+		if rs.cancel != nil {
+			rs.cancel()
+		}
+	}
+}
+
+// handlePrime implements the participant side of Fig. 7: indications to
+// the application threads, source release so the pipeline fills, sink
+// delivery hold, and a Primed reply once every local sink buffer is full.
+func (l *LLO) handlePrime(from core.HostID, o *pdu.Orch) {
+	s, ok := l.lookupSession(o.Session)
+	if !ok {
+		l.ack(from, o, pdu.OrchDeny, false, core.ReasonNoSuchVC)
+		return
+	}
+	locals := l.localVCs(s)
+	var sinks []*transport.RecvVC
+	for _, lv := range locals {
+		l.e.EmitTrace("participant", core.OrchPrimeIndication)
+		cb := l.app(lv.vc)
+		if cb.OnPrime != nil && !cb.OnPrime(o.Session, lv.vc) {
+			l.e.EmitTrace("participant", core.OrchDenyRequest)
+			l.ack(from, o, pdu.OrchDeny, false, core.ReasonAppDenied)
+			return
+		}
+		if lv.recv != nil {
+			lv.recv.HoldDelivery()
+			if o.Flush {
+				lv.recv.FlushBuffered()
+			}
+			sinks = append(sinks, lv.recv)
+		}
+		if lv.send != nil {
+			if o.Flush {
+				lv.send.FlushQueued()
+			}
+			lv.send.Release() // let the pipeline fill
+		}
+	}
+	// Wait for every local sink buffer to fill (the "receive buffers are
+	// eventually full" point of §6.2.1).
+	deadline := l.e.Clock().Now().Add(l.e.Config().ConnectTimeout)
+	for _, rv := range sinks {
+		for !rv.BufferFull() {
+			if l.e.Clock().Now().After(deadline) {
+				l.ack(from, o, pdu.OrchDeny, false, core.ReasonNetworkFailure)
+				return
+			}
+			l.e.Clock().Sleep(time.Millisecond)
+		}
+	}
+	l.e.EmitTrace("participant", core.OrchPrimeResponse)
+	l.ack(from, o, pdu.OrchPrimed, true, core.ReasonNone)
+}
+
+// handleStart releases the group's data flow at this host (§6.2.2).
+func (l *LLO) handleStart(from core.HostID, o *pdu.Orch) {
+	s, ok := l.lookupSession(o.Session)
+	if !ok {
+		l.ack(from, o, pdu.OrchDeny, false, core.ReasonNoSuchVC)
+		return
+	}
+	for _, lv := range l.localVCs(s) {
+		l.e.EmitTrace("participant", core.OrchStartIndication)
+		cb := l.app(lv.vc)
+		if cb.OnStart != nil && !cb.OnStart(o.Session, lv.vc) {
+			l.ack(from, o, pdu.OrchDeny, false, core.ReasonAppDenied)
+			return
+		}
+		if lv.send != nil {
+			lv.send.Release()
+		}
+		if lv.recv != nil {
+			lv.recv.ReleaseDelivery()
+		}
+	}
+	l.ack(from, o, pdu.OrchStartAck, true, core.ReasonNone)
+}
+
+// handleStop freezes the group's data flow at this host (§6.2.3): sources
+// hold, sink buffers keep their contents but stop delivering.
+func (l *LLO) handleStop(from core.HostID, o *pdu.Orch) {
+	s, ok := l.lookupSession(o.Session)
+	if !ok {
+		l.ack(from, o, pdu.OrchDeny, false, core.ReasonNoSuchVC)
+		return
+	}
+	for _, lv := range l.localVCs(s) {
+		l.e.EmitTrace("participant", core.OrchStopIndication)
+		cb := l.app(lv.vc)
+		if cb.OnStop != nil && !cb.OnStop(o.Session, lv.vc) {
+			l.ack(from, o, pdu.OrchDeny, false, core.ReasonAppDenied)
+			return
+		}
+		if lv.send != nil {
+			lv.send.Hold()
+		}
+		if lv.recv != nil {
+			lv.recv.HoldDelivery()
+		}
+	}
+	l.ack(from, o, pdu.OrchStopAck, true, core.ReasonNone)
+}
+
+// handleAdd inserts a VC into the session at this host, creating the
+// session record when this host was not previously involved.
+func (l *LLO) handleAdd(from core.HostID, o *pdu.Orch) {
+	_, isSrc := l.e.SourceVC(o.VC)
+	_, isSink := l.e.SinkVC(o.VC)
+	if !isSrc && !isSink {
+		l.ack(from, o, pdu.OrchAddAck, false, core.ReasonNoSuchVC)
+		return
+	}
+	d := VCDesc{VC: o.VC}
+	if isSrc {
+		d.Source = l.e.Host()
+	}
+	if isSink {
+		d.Sink = l.e.Host()
+	}
+	l.mu.Lock()
+	s, ok := l.sessions[o.Session]
+	if !ok {
+		if len(l.sessions) >= l.maxSess {
+			l.mu.Unlock()
+			l.ack(from, o, pdu.OrchAddAck, false, core.ReasonNoTableSpace)
+			return
+		}
+		s = &session{id: o.Session, agent: from,
+			vcs: make(map[core.VCID]VCDesc), regs: make(map[core.VCID]*regState)}
+		l.sessions[o.Session] = s
+	}
+	// Merge with any richer record (the agent's own table holds the full
+	// topology; a loopback Add must not clobber it).
+	if old, have := s.vcs[o.VC]; have {
+		if old.Source != 0 {
+			d.Source = old.Source
+		}
+		if old.Sink != 0 {
+			d.Sink = old.Sink
+		}
+	}
+	s.vcs[o.VC] = d
+	l.mu.Unlock()
+	l.e.EmitTrace("participant", core.OrchAddIndication)
+	l.ack(from, o, pdu.OrchAddAck, true, core.ReasonNone)
+}
+
+// handleRemove takes a VC out of the session at this host; the VC keeps
+// flowing (§6.2.4).
+func (l *LLO) handleRemove(from core.HostID, o *pdu.Orch) {
+	l.mu.Lock()
+	s, ok := l.sessions[o.Session]
+	if ok {
+		if rs, has := s.regs[o.VC]; has && rs.cancel != nil {
+			rs.cancel()
+			delete(s.regs, o.VC)
+		}
+		delete(s.vcs, o.VC)
+	}
+	l.mu.Unlock()
+	l.e.EmitTrace("participant", core.OrchRemoveIndication)
+	l.ack(from, o, pdu.OrchRemoveAck, ok, reasonIf(!ok, core.ReasonNoSuchVC))
+}
+
+// handleRegulate runs one regulation interval at this end of the VC
+// (§6.3.1.1): the sink paces delivery toward the target; the source drops
+// up to the max-drop budget when the target is out of reach. At interval
+// end each side sends its half of the Orch.Regulate.indication data.
+func (l *LLO) handleRegulate(o *pdu.Orch) {
+	s, ok := l.lookupSession(o.Session)
+	if !ok {
+		return
+	}
+	l.mu.Lock()
+	rs := s.regs[o.VC]
+	if rs == nil {
+		rs = &regState{}
+		s.regs[o.VC] = rs
+	}
+	// Each interval's end-of-interval timer must fire exactly once; a
+	// new Regulate for the next interval does NOT cancel it (the agent
+	// pairs reports by interval id). rs.cancel only covers release.
+	agent := s.agent
+	l.mu.Unlock()
+
+	if o.AtSource {
+		sv, ok := l.e.SourceVC(o.VC)
+		if !ok {
+			return
+		}
+		// Behind and unable to catch up at the contract rate: spend the
+		// drop budget (§6.3.1.1 — the sole source-side compensation).
+		projected := uint64(sv.SentSeq()) + uint64(sv.Contract().Throughput*o.Interval.Seconds())
+		if deficit := int64(o.TargetOSDU) - int64(projected); deficit > 0 && o.MaxDrop > 0 {
+			budget := int(o.MaxDrop)
+			if int64(budget) > deficit {
+				budget = int(deficit)
+			}
+			sv.DropQueued(budget)
+		}
+		timer := l.e.Clock().AfterFunc(o.Interval, func() {
+			app, proto := sv.TakeBlockStats()
+			l.mu.Lock()
+			dropped := sv.Dropped() - rs.lastDropped
+			rs.lastDropped = sv.Dropped()
+			l.mu.Unlock()
+			l.reply(agent, &pdu.Orch{
+				Op: pdu.OrchReport, Session: o.Session, VC: o.VC,
+				IntervalID: o.IntervalID, TargetOSDU: o.TargetOSDU,
+				Interval: o.Interval, AtSource: true,
+				Dropped: uint32(dropped),
+				Blocks:  pdu.BlockTimes{AppSource: app, ProtoSource: proto},
+			})
+		})
+		l.mu.Lock()
+		rs.cancel = func() { timer.Stop() }
+		l.mu.Unlock()
+		return
+	}
+
+	rv, ok := l.e.SinkVC(o.VC)
+	if !ok {
+		return
+	}
+	// Pace delivery so the target OSDU lands at the interval's end; a
+	// connection already at or past the target is blocked (ahead case).
+	need := int64(o.TargetOSDU) - int64(rv.DeliveredSeq())
+	if need <= 0 {
+		// Ahead of target: block (§6.3.1.1). The block is a trickle of
+		// one OSDU per two intervals rather than a hard stop, so a
+		// reader already inside the pacer wakes within bounded time
+		// when the next interval raises the rate again.
+		rv.SetDeliveryRate(0.5 / o.Interval.Seconds())
+	} else {
+		rv.SetDeliveryRate(float64(need) / o.Interval.Seconds())
+	}
+	timer := l.e.Clock().AfterFunc(o.Interval, func() {
+		app, proto := rv.TakeBlockStats()
+		l.e.EmitTrace("participant", core.OrchRegulateIndication)
+		l.reply(agent, &pdu.Orch{
+			Op: pdu.OrchReport, Session: o.Session, VC: o.VC,
+			IntervalID: o.IntervalID, TargetOSDU: o.TargetOSDU,
+			Interval: o.Interval, AtSource: false,
+			OSDU:   rv.DeliveredSeq(),
+			Blocks: pdu.BlockTimes{AppSink: app, ProtoSink: proto},
+		})
+	})
+	l.mu.Lock()
+	rs.cancel = func() { timer.Stop() }
+	l.mu.Unlock()
+}
+
+// handleReport pairs the source and sink halves of one interval's report
+// and raises Orch.Regulate.indication at the HLO agent.
+func (l *LLO) handleReport(o *pdu.Orch) {
+	key := halfKey{vc: o.VC, iv: o.IntervalID}
+	l.mu.Lock()
+	rep, ok := l.halves[key]
+	if !ok {
+		rep = &Report{
+			Session: o.Session, VC: o.VC, IntervalID: o.IntervalID,
+			Target: o.TargetOSDU,
+		}
+		l.halves[key] = rep
+		// Fire a partial report if the other half never arrives.
+		l.e.Clock().AfterFunc(2*o.Interval, func() {
+			l.mu.Lock()
+			pending, still := l.halves[key]
+			if still {
+				delete(l.halves, key)
+			}
+			fn := l.regulateFn
+			l.mu.Unlock()
+			if still && fn != nil {
+				fn(*pending)
+			}
+		})
+	}
+	if o.AtSource {
+		rep.Dropped = int(o.Dropped)
+		rep.Blocks.AppSource = o.Blocks.AppSource
+		rep.Blocks.ProtoSource = o.Blocks.ProtoSource
+	} else {
+		rep.Delivered = o.OSDU
+		rep.Blocks.AppSink = o.Blocks.AppSink
+		rep.Blocks.ProtoSink = o.Blocks.ProtoSink
+	}
+	if ok { // second half: complete
+		rep.Complete = true
+		delete(l.halves, key)
+		fn := l.regulateFn
+		l.mu.Unlock()
+		if fn != nil {
+			fn(*rep)
+		}
+		return
+	}
+	l.mu.Unlock()
+}
+
+// handleDelayed raises Orch.Delayed.indication at the lagging application
+// thread (§6.3.3) and reports its answer.
+func (l *LLO) handleDelayed(from core.HostID, o *pdu.Orch) {
+	l.e.EmitTrace("participant", core.OrchDelayedIndication)
+	cb := l.app(o.VC)
+	ok := true
+	if cb.OnDelayed != nil {
+		ok = cb.OnDelayed(o.Session, o.VC, o.AtSource, int(o.OSDUsBehind))
+	}
+	if !ok {
+		l.e.EmitTrace("participant", core.OrchDenyRequest)
+		l.ack(from, o, pdu.OrchDelayedAck, false, core.ReasonAppDenied)
+		return
+	}
+	l.ack(from, o, pdu.OrchDelayedAck, true, core.ReasonNone)
+}
+
+// handleEventReg registers an event pattern on the sink VC and forwards
+// matches to the agent (§6.3.4).
+func (l *LLO) handleEventReg(from core.HostID, o *pdu.Orch) {
+	rv, ok := l.e.SinkVC(o.VC)
+	if !ok {
+		l.ack(from, o, pdu.OrchDeny, false, core.ReasonNoSuchVC)
+		return
+	}
+	s, ok := l.lookupSession(o.Session)
+	if !ok {
+		l.ack(from, o, pdu.OrchDeny, false, core.ReasonNoSuchVC)
+		return
+	}
+	agent := s.agent
+	sid := o.Session
+	rv.RegisterEvent(o.Event)
+	rv.SetEventHandler(func(seq core.OSDUSeq, ev core.EventPattern) {
+		_ = l.e.SendOrch(agent, &pdu.Orch{
+			Op: pdu.OrchEventHit, Session: sid, VC: o.VC,
+			OSDU: seq, Event: ev,
+		})
+	})
+	l.ack(from, o, pdu.OrchDelayedAck, true, core.ReasonNone)
+}

@@ -1,0 +1,547 @@
+// Package hlo implements the upper two layers of the orchestration
+// architecture (§5): the HLO agent that runs at the orchestrating node,
+// computes per-interval flow-rate targets for every orchestrated VC
+// against its master reference clock, drives the local LLO in the
+// continuous feedback loop of Fig. 6, and applies compensation policy
+// when connections persistently miss their targets — issuing Orch.Delayed
+// toward slow application threads or escalating to the application's
+// policy hook (which may re-negotiate QoS), exactly as §6.3.1.2
+// prescribes; and the orchestrating-node selection rule of Fig. 5 (the
+// node common to the greatest number of VCs).
+package hlo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/orch"
+)
+
+// StreamConfig describes one orchestrated connection to the agent.
+type StreamConfig struct {
+	// Desc locates the VC's endpoints.
+	Desc orch.VCDesc
+	// Rate is the OSDU delivery rate the synchronisation relationship
+	// requires, in OSDUs per second of master-clock time (e.g. 25 for
+	// the video track and 250 for the audio track of a 10:1 lip-sync
+	// ratio, §3.6).
+	Rate float64
+	// MaxDrop is the per-interval drop budget handed to the LLO
+	// (max-drop#, Table 6); zero for loss-intolerant media.
+	MaxDrop int
+}
+
+// Attribution classifies who was responsible for a missed target, from
+// the blocking-time statistics (§6.3.1.2).
+type Attribution uint8
+
+// Attributions.
+const (
+	AttrNone      Attribution = iota // on target or no dominant cause
+	AttrSourceApp                    // source application produced too slowly
+	AttrSinkApp                      // sink application consumed too slowly
+	AttrProtocol                     // transport throughput too low (re-negotiate)
+)
+
+var attrNames = [...]string{
+	AttrNone:      "none",
+	AttrSourceApp: "source-app",
+	AttrSinkApp:   "sink-app",
+	AttrProtocol:  "protocol",
+}
+
+// String returns the attribution's name.
+func (a Attribution) String() string {
+	if int(a) < len(attrNames) {
+		return attrNames[a]
+	}
+	return fmt.Sprintf("attr(%d)", uint8(a))
+}
+
+// Policy tunes the agent's control loop. The zero value selects all
+// defaults.
+type Policy struct {
+	// Interval is the regulation interval length (default 100ms).
+	Interval time.Duration
+	// MaxLagIntervals is how many consecutive lagging intervals are
+	// tolerated before compensation (default 3).
+	MaxLagIntervals int
+	// LagToleranceOSDUs is the per-stream lag (in OSDUs, scaled by the
+	// stream's rate relative to one interval) below which an interval
+	// counts as on-target; expressed as a fraction of one interval's
+	// OSDUs (default 0.5).
+	LagToleranceOSDUs float64
+	// IssueDelayed makes the agent send Orch.Delayed automatically when
+	// lag is attributed to an application thread (default true; set
+	// DisableDelayed to turn off).
+	DisableDelayed bool
+	// OnLag, if set, is invoked when a stream has lagged for
+	// MaxLagIntervals intervals, with the attribution; the application
+	// can re-negotiate QoS, drop a stream, or re-structure (§3.3's
+	// "re-assess his priorities" example).
+	OnLag func(vc core.VCID, attr Attribution, behind int)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Interval <= 0 {
+		p.Interval = 100 * time.Millisecond
+	}
+	if p.MaxLagIntervals <= 0 {
+		p.MaxLagIntervals = 3
+	}
+	if p.LagToleranceOSDUs <= 0 {
+		p.LagToleranceOSDUs = 0.5
+	}
+	return p
+}
+
+// StreamStatus is one stream's view in Status().
+type StreamStatus struct {
+	VC            core.VCID
+	Rate          float64
+	Target        core.OSDUSeq // last target issued
+	Delivered     core.OSDUSeq // last reported delivery
+	Behind        int          // OSDUs behind at the last report
+	LagIntervals  int          // consecutive lagging intervals
+	DroppedTotal  int          // OSDUs dropped at the source so far
+	LastBlocks    orch.Report  // most recent full report
+	ReportsSeen   int
+	Compensations int // times compensation policy fired
+}
+
+// Agent is an HLO agent for one orchestrated session. Create it on the
+// orchestrating node, then Setup → Prime → Start; the agent then runs the
+// Fig. 6 interval loop until Stop or Release.
+type Agent struct {
+	llo *orch.LLO
+	clk clock.Clock
+	sid core.SessionID
+	pol Policy
+
+	mu      sync.Mutex
+	streams map[core.VCID]*streamState
+	order   []core.VCID // stable iteration order
+	epoch   time.Time   // master-clock origin of the current play-out
+	ivID    core.IntervalID
+	running bool
+	stop    chan struct{}
+
+	eventFn  func(orch.EventIndication)
+	observer func(orch.Report)
+}
+
+type streamState struct {
+	cfg    StreamConfig
+	base   core.OSDUSeq // delivered seq at the last (re)start
+	status StreamStatus
+}
+
+// New creates an agent for session sid over the given streams, driving
+// the LLO co-located with it. The LLO's regulate and event handlers are
+// taken over by the agent.
+func New(llo *orch.LLO, clk clock.Clock, sid core.SessionID, streams []StreamConfig, pol Policy) (*Agent, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("hlo: no streams")
+	}
+	a := &Agent{
+		llo:     llo,
+		clk:     clk,
+		sid:     sid,
+		pol:     pol.withDefaults(),
+		streams: make(map[core.VCID]*streamState, len(streams)),
+	}
+	for _, sc := range streams {
+		if sc.Rate <= 0 {
+			return nil, fmt.Errorf("hlo: stream %v has non-positive rate", sc.Desc.VC)
+		}
+		a.streams[sc.Desc.VC] = &streamState{
+			cfg:    sc,
+			status: StreamStatus{VC: sc.Desc.VC, Rate: sc.Rate},
+		}
+		a.order = append(a.order, sc.Desc.VC)
+	}
+	llo.SetRegulateHandler(a.onReport)
+	llo.SetEventHandler(a.onEvent)
+	return a, nil
+}
+
+// Session returns the agent's session id.
+func (a *Agent) Session() core.SessionID { return a.sid }
+
+// Setup establishes the orchestration session at every participant
+// (Orch.request, Table 4).
+func (a *Agent) Setup() error {
+	descs := make([]orch.VCDesc, 0, len(a.order))
+	a.mu.Lock()
+	for _, vc := range a.order {
+		descs = append(descs, a.streams[vc].cfg.Desc)
+	}
+	a.mu.Unlock()
+	return a.llo.Setup(a.sid, descs)
+}
+
+// Prime fills every sink buffer while withholding delivery so the group
+// can start simultaneously (§6.2.1). flush discards stale data first.
+func (a *Agent) Prime(flush bool) error {
+	return a.llo.Prime(a.sid, flush)
+}
+
+// Start atomically releases the whole group and begins the regulation
+// loop against the master clock (§6.2.2, Fig. 6).
+func (a *Agent) Start() error {
+	a.mu.Lock()
+	if a.running {
+		a.mu.Unlock()
+		return fmt.Errorf("hlo: already running")
+	}
+	a.epoch = a.clk.Now()
+	for _, st := range a.streams {
+		st.base = st.status.Delivered
+		st.status.LagIntervals = 0
+	}
+	a.running = true
+	a.stop = make(chan struct{})
+	stop := a.stop
+	a.mu.Unlock()
+	// Issue the first interval's targets BEFORE releasing the group:
+	// regulate and start travel the same in-order control channel, so
+	// every sink's delivery pacer is installed by the time its gate
+	// opens — a primed backlog is played out at the schedule, not in a
+	// burst.
+	a.issueTargets()
+	if err := a.llo.Start(a.sid); err != nil {
+		a.mu.Lock()
+		a.running = false
+		close(a.stop)
+		a.mu.Unlock()
+		return err
+	}
+	go a.loop(stop)
+	return nil
+}
+
+// Stop freezes the group and pauses the regulation loop (§6.2.3). A
+// subsequent Prime/Start resumes from the frozen position.
+func (a *Agent) Stop() error {
+	a.mu.Lock()
+	if a.running {
+		close(a.stop)
+		a.running = false
+	}
+	a.mu.Unlock()
+	return a.llo.Stop(a.sid)
+}
+
+// Release ends the session everywhere.
+func (a *Agent) Release() {
+	a.mu.Lock()
+	if a.running {
+		close(a.stop)
+		a.running = false
+	}
+	a.mu.Unlock()
+	a.llo.Release(a.sid)
+}
+
+// Add brings one more stream into the running session (Orch.Add).
+func (a *Agent) Add(sc StreamConfig) error {
+	if sc.Rate <= 0 {
+		return fmt.Errorf("hlo: non-positive rate")
+	}
+	if err := a.llo.Add(a.sid, sc.Desc); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.streams[sc.Desc.VC] = &streamState{
+		cfg:    sc,
+		status: StreamStatus{VC: sc.Desc.VC, Rate: sc.Rate},
+	}
+	a.order = append(a.order, sc.Desc.VC)
+	return nil
+}
+
+// Remove drops a stream from the session; the VC keeps flowing
+// unregulated (Orch.Remove, §6.2.4).
+func (a *Agent) Remove(vc core.VCID) error {
+	if err := a.llo.Remove(a.sid, vc); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.streams, vc)
+	for i, id := range a.order {
+		if id == vc {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// RegisterEvent registers an event pattern on one stream's sink
+// (Orch.Event.request, §6.3.4).
+func (a *Agent) RegisterEvent(vc core.VCID, pattern core.EventPattern) error {
+	return a.llo.RegisterEvent(a.sid, vc, pattern)
+}
+
+// SetEventHandler installs the Orch.Event.indication receiver.
+func (a *Agent) SetEventHandler(fn func(orch.EventIndication)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.eventFn = fn
+}
+
+// SetObserver installs a tap on every Orch.Regulate.indication the agent
+// consumes — for tracing and experiment instrumentation.
+func (a *Agent) SetObserver(fn func(orch.Report)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.observer = fn
+}
+
+func (a *Agent) onEvent(e orch.EventIndication) {
+	a.mu.Lock()
+	fn := a.eventFn
+	a.mu.Unlock()
+	if fn != nil {
+		fn(e)
+	}
+}
+
+// Status returns a snapshot of every stream's regulation state, in the
+// order the streams were configured.
+func (a *Agent) Status() []StreamStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]StreamStatus, 0, len(a.order))
+	for _, vc := range a.order {
+		out = append(out, a.streams[vc].status)
+	}
+	return out
+}
+
+// Skew returns the current maximum pairwise synchronisation error between
+// streams, in master-clock time units: each stream's delivered progress
+// is normalised by its rate and the spread is reported.
+func (a *Agent) Skew() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var minP, maxP float64
+	first := true
+	for _, st := range a.streams {
+		p := float64(st.status.Delivered-st.base) / st.cfg.Rate
+		if first {
+			minP, maxP = p, p
+			first = false
+			continue
+		}
+		if p < minP {
+			minP = p
+		}
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if first {
+		return 0
+	}
+	return time.Duration((maxP - minP) * float64(time.Second))
+}
+
+// loop is the Fig. 6 interval loop: issue targets, sleep one interval,
+// repeat. Reports arrive asynchronously via onReport.
+func (a *Agent) loop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-a.clk.After(a.pol.Interval):
+		}
+		a.issueTargets()
+	}
+}
+
+// issueTargets computes next-interval targets from the master clock — an
+// absolute schedule, so lag in one interval is automatically compensated
+// by the next interval's target rather than accumulating.
+func (a *Agent) issueTargets() {
+	a.mu.Lock()
+	elapsed := a.clk.Since(a.epoch)
+	a.ivID++
+	iv := a.ivID
+	type job struct {
+		vc      core.VCID
+		target  core.OSDUSeq
+		maxDrop int
+	}
+	jobs := make([]job, 0, len(a.order))
+	horizon := elapsed + a.pol.Interval
+	for _, vc := range a.order {
+		st := a.streams[vc]
+		target := st.base + core.OSDUSeq(st.cfg.Rate*horizon.Seconds())
+		st.status.Target = target
+		jobs = append(jobs, job{vc, target, st.cfg.MaxDrop})
+	}
+	interval := a.pol.Interval
+	sid := a.sid
+	a.mu.Unlock()
+	for _, j := range jobs {
+		_ = a.llo.Regulate(sid, j.vc, j.target, j.maxDrop, interval, iv)
+	}
+}
+
+// onReport is the Orch.Regulate.indication receiver: update stream state,
+// detect persistent lag, attribute it via the blocking statistics and
+// compensate per policy (§6.3.1.2).
+func (a *Agent) onReport(r orch.Report) {
+	a.mu.Lock()
+	obs := a.observer
+	st, ok := a.streams[r.VC]
+	if !ok {
+		a.mu.Unlock()
+		return
+	}
+	st.status.Delivered = r.Delivered
+	st.status.DroppedTotal += r.Dropped
+	st.status.LastBlocks = r
+	st.status.ReportsSeen++
+	behind := int(int64(r.Target) - int64(r.Delivered))
+	st.status.Behind = behind
+	tolerance := int(a.pol.LagToleranceOSDUs * st.cfg.Rate * a.pol.Interval.Seconds())
+	if tolerance < 1 {
+		tolerance = 1
+	}
+	if behind > tolerance {
+		st.status.LagIntervals++
+	} else {
+		st.status.LagIntervals = 0
+	}
+	fire := st.status.LagIntervals >= a.pol.MaxLagIntervals
+	var attr Attribution
+	if fire {
+		attr = attribute(r, a.pol.Interval)
+		st.status.LagIntervals = 0
+		st.status.Compensations++
+	}
+	pol := a.pol
+	sid := a.sid
+	a.mu.Unlock()
+
+	if obs != nil {
+		obs(r)
+	}
+	if !fire {
+		return
+	}
+	if !pol.DisableDelayed {
+		switch attr {
+		case AttrSourceApp:
+			_ = a.llo.Delayed(sid, r.VC, true, behind)
+		case AttrSinkApp:
+			_ = a.llo.Delayed(sid, r.VC, false, behind)
+		}
+	}
+	if pol.OnLag != nil {
+		pol.OnLag(r.VC, attr, behind)
+	}
+}
+
+// attribute decides who caused a missed target from the §6.3.1.2 rule:
+// protocol threads blocked → the application was slow producing or
+// consuming; application threads blocked → the protocol's throughput was
+// too low.
+func attribute(r orch.Report, interval time.Duration) Attribution {
+	threshold := interval / 4
+	b := r.Blocks
+	// Protocol-blocked evidence outranks app-blocked evidence: when an
+	// application thread is slow, backpressure makes the OTHER end's
+	// application block too, so the app-blocked numbers are downstream
+	// symptoms. Protocol threads only block on the slow application
+	// adjacent to them.
+	if b.ProtoSink >= threshold && b.ProtoSink >= b.ProtoSource {
+		return AttrSinkApp // sink buffer stayed full: sink app slow
+	}
+	if b.ProtoSource >= threshold {
+		return AttrSourceApp // sender starved: source app slow
+	}
+	if b.AppSource >= threshold || b.AppSink >= threshold {
+		return AttrProtocol // apps waited on the transport: network slow
+	}
+	return AttrNone
+}
+
+// SelectOrchestratingNode applies the Fig. 5 rule: the orchestrating node
+// is the host common to the greatest number of the VCs to be orchestrated;
+// the initial architecture requires a node common to all of them (§5
+// footnote), so an error is returned when no such host exists.
+func SelectOrchestratingNode(descs []orch.VCDesc) (core.HostID, error) {
+	if len(descs) == 0 {
+		return 0, fmt.Errorf("hlo: no connections")
+	}
+	count := make(map[core.HostID]int)
+	for _, d := range descs {
+		if d.Source == d.Sink {
+			count[d.Source]++
+			continue
+		}
+		count[d.Source]++
+		count[d.Sink]++
+	}
+	var best core.HostID
+	bestN := -1
+	hosts := make([]core.HostID, 0, len(count))
+	for h := range count {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, h := range hosts {
+		if count[h] > bestN {
+			best, bestN = h, count[h]
+		}
+	}
+	if bestN < len(descs) {
+		return 0, fmt.Errorf("hlo: no node is common to all %d connections (best %v covers %d)",
+			len(descs), best, bestN)
+	}
+	return best, nil
+}
+
+// SelectAnyNode is the relaxed form of SelectOrchestratingNode for the
+// paper's future-work case (§7: "the orchestration of VCs with no common
+// node"): it returns the host covering the most connections even when no
+// host is common to all of them. The interval-based regulation protocol
+// tolerates this — targets are OSDU counts and interval lengths, not
+// absolute times, so only the (bounded) per-interval clock-rate error of
+// each participant enters the loop; package clocksync measures the
+// residual offsets where an application wants them.
+func SelectAnyNode(descs []orch.VCDesc) (core.HostID, error) {
+	if len(descs) == 0 {
+		return 0, fmt.Errorf("hlo: no connections")
+	}
+	count := make(map[core.HostID]int)
+	for _, d := range descs {
+		if d.Source == d.Sink {
+			count[d.Source]++
+			continue
+		}
+		count[d.Source]++
+		count[d.Sink]++
+	}
+	hosts := make([]core.HostID, 0, len(count))
+	for h := range count {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	best, bestN := hosts[0], -1
+	for _, h := range hosts {
+		if count[h] > bestN {
+			best, bestN = h, count[h]
+		}
+	}
+	return best, nil
+}

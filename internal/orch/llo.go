@@ -1,0 +1,273 @@
+// Package orch implements the low-level orchestrator (LLO) of §6: the
+// transport-adjacent layer that primes, starts and stops orchestrated
+// groups of connections atomically (Table 5, Fig. 7), regulates individual
+// connections to per-interval OSDU delivery targets with source-side drop
+// budgets and ahead-of-target blocking (Table 6, §6.3.1), relays
+// Orch.Delayed toward lagging application threads, and raises Orch.Event
+// indications from OPDU event-field matches (§6.3.4).
+//
+// One LLO instance runs on every host that is a source or sink of an
+// orchestrated VC; the instance co-located with the HLO agent (the
+// orchestrating node, Fig. 5) is the one the agent drives, and the
+// instances coordinate among themselves with orchestration PDUs on the
+// control-priority channel (§5).
+package orch
+
+import (
+	"fmt"
+	"sync"
+
+	"cmtos/internal/core"
+	"cmtos/internal/pdu"
+	"cmtos/internal/transport"
+)
+
+// VCDesc tells the orchestration layer where a VC's endpoints live.
+type VCDesc struct {
+	VC     core.VCID
+	Source core.HostID
+	Sink   core.HostID
+}
+
+// AppCallbacks lets an application thread participate in orchestration:
+// Orch.Prime/Start/Stop indications arrive before the corresponding
+// action, and returning false answers with Orch.Deny (§6.2.1). A nil
+// callback accepts. OnDelayed tells a lagging thread it is too slow
+// (§6.3.3); returning false is the thread "giving up".
+type AppCallbacks struct {
+	OnPrime   func(sid core.SessionID, vc core.VCID) bool
+	OnStart   func(sid core.SessionID, vc core.VCID) bool
+	OnStop    func(sid core.SessionID, vc core.VCID) bool
+	OnDelayed func(sid core.SessionID, vc core.VCID, atSource bool, behind int) bool
+}
+
+// Report is the Orch.Regulate.indication payload (Table 6): what one VC
+// achieved over one regulation interval, with the shared-buffer blocking
+// times of both ends for lag attribution.
+type Report struct {
+	Session    core.SessionID
+	VC         core.VCID
+	IntervalID core.IntervalID
+	Target     core.OSDUSeq
+	Delivered  core.OSDUSeq // OSDU count delivered at the sink by interval end
+	Dropped    int          // OSDUs discarded at the source this interval
+	Blocks     pdu.BlockTimes
+	Complete   bool // both half-reports arrived before the deadline
+}
+
+// EventIndication is the Orch.Event.indication payload (§6.3.4).
+type EventIndication struct {
+	Session core.SessionID
+	VC      core.VCID
+	OSDU    core.OSDUSeq
+	Event   core.EventPattern
+}
+
+// LLO is one host's low-level orchestrator, bound to that host's
+// transport entity. All methods are safe for concurrent use. The group
+// methods (Setup, Prime, Start, ...) are intended to be called on the
+// orchestrating node's instance by its HLO agent.
+type LLO struct {
+	e *transport.Entity
+
+	mu       sync.Mutex
+	sessions map[core.SessionID]*session
+	apps     map[core.VCID]AppCallbacks
+	pending  map[uint32]chan *pdu.Orch
+	nextTok  uint32
+	maxSess  int
+
+	regulateFn func(Report)
+	eventFn    func(EventIndication)
+
+	// halves pairs the source and sink half-reports of one interval.
+	halves map[halfKey]*Report
+
+	closed bool
+}
+
+type halfKey struct {
+	vc core.VCID
+	iv core.IntervalID
+}
+
+// session is this LLO's view of one orchestrated group.
+type session struct {
+	id    core.SessionID
+	agent core.HostID // orchestrating node
+	vcs   map[core.VCID]VCDesc
+
+	// Sink-side regulation state, keyed by VC.
+	regs map[core.VCID]*regState
+}
+
+type regState struct {
+	cancel      func() // stops the running interval timer
+	lastDropped uint64 // source drop counter at the last interval close
+}
+
+// DefaultMaxSessions bounds the per-LLO session table (rejection reason
+// no-table-space, §6.1).
+const DefaultMaxSessions = 16
+
+// opTimeout bounds one confirmed OPDU exchange attempt.
+const opAttempts = 3
+
+// New binds an LLO to a transport entity and installs itself as the
+// entity's orchestration PDU handler.
+func New(e *transport.Entity) *LLO {
+	l := &LLO{
+		e:        e,
+		sessions: make(map[core.SessionID]*session),
+		apps:     make(map[core.VCID]AppCallbacks),
+		pending:  make(map[uint32]chan *pdu.Orch),
+		halves:   make(map[halfKey]*Report),
+		maxSess:  DefaultMaxSessions,
+	}
+	e.SetOrchHandler(l.onPDU)
+	return l
+}
+
+// SetMaxSessions adjusts the session table bound.
+func (l *LLO) SetMaxSessions(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.maxSess = n
+}
+
+// RegisterApp attaches application callbacks to a VC's orchestration
+// indications at this host.
+func (l *LLO) RegisterApp(vc core.VCID, cb AppCallbacks) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.apps[vc] = cb
+}
+
+// SetRegulateHandler installs the HLO agent's receiver for
+// Orch.Regulate.indication reports.
+func (l *LLO) SetRegulateHandler(fn func(Report)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.regulateFn = fn
+}
+
+// SetEventHandler installs the HLO agent's receiver for
+// Orch.Event.indication.
+func (l *LLO) SetEventHandler(fn func(EventIndication)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.eventFn = fn
+}
+
+// Host returns the host this LLO runs on.
+func (l *LLO) Host() core.HostID { return l.e.Host() }
+
+// hostsOf returns the distinct source and sink hosts of a VC set.
+func hostsOf(vcs map[core.VCID]VCDesc) []core.HostID {
+	seen := make(map[core.HostID]bool)
+	var out []core.HostID
+	for _, d := range vcs {
+		for _, h := range []core.HostID{d.Source, d.Sink} {
+			if !seen[h] {
+				seen[h] = true
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// request sends one OPDU and waits for its correlated reply, retrying on
+// loss. The target may be this host itself (loopback), keeping group
+// operations uniform.
+func (l *LLO) request(dst core.HostID, o *pdu.Orch) (*pdu.Orch, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("orch: LLO closed")
+	}
+	l.nextTok++
+	tok := l.nextTok
+	ch := make(chan *pdu.Orch, 1)
+	l.pending[tok] = ch
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.pending, tok)
+		l.mu.Unlock()
+	}()
+	o.Token = tok
+	timeout := l.e.Config().ConnectTimeout / opAttempts
+	for attempt := 0; attempt < opAttempts; attempt++ {
+		if err := l.e.SendOrch(dst, o); err != nil {
+			return nil, err
+		}
+		select {
+		case reply := <-ch:
+			return reply, nil
+		case <-l.e.Clock().After(timeout):
+		}
+	}
+	return nil, fmt.Errorf("orch: %v exchange with %v timed out", o.Op, dst)
+}
+
+// broadcast runs one confirmed exchange with every host concurrently and
+// returns the first denial or error encountered.
+func (l *LLO) broadcast(hosts []core.HostID, build func() *pdu.Orch) error {
+	type outcome struct {
+		host  core.HostID
+		reply *pdu.Orch
+		err   error
+	}
+	ch := make(chan outcome, len(hosts))
+	for _, h := range hosts {
+		go func(h core.HostID) {
+			reply, err := l.request(h, build())
+			ch <- outcome{h, reply, err}
+		}(h)
+	}
+	var firstErr error
+	for range hosts {
+		out := <-ch
+		if firstErr != nil {
+			continue
+		}
+		switch {
+		case out.err != nil:
+			firstErr = out.err
+		case out.reply.Op == pdu.OrchDeny || !out.reply.OK:
+			firstErr = &DenyError{Host: out.host, Reason: out.reply.Reason}
+		}
+	}
+	return firstErr
+}
+
+// DenyError reports an Orch.Deny from a participant.
+type DenyError struct {
+	Host   core.HostID
+	Reason core.Reason
+}
+
+// Error implements error.
+func (e *DenyError) Error() string {
+	return fmt.Sprintf("orch: denied by %v (%v)", e.Host, e.Reason)
+}
+
+// reply answers a correlated OPDU.
+func (l *LLO) reply(dst core.HostID, o *pdu.Orch) {
+	_ = l.e.SendOrch(dst, o)
+}
+
+// Close detaches the LLO.
+func (l *LLO) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	for _, s := range l.sessions {
+		for _, rs := range s.regs {
+			if rs.cancel != nil {
+				rs.cancel()
+			}
+		}
+	}
+}

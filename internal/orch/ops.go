@@ -1,0 +1,274 @@
+package orch
+
+import (
+	"fmt"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/pdu"
+)
+
+// Setup establishes an orchestration session over the given VCs
+// (Orch.request, Table 4): every source and sink LLO is contacted and
+// must accept; any rejection (no table space, unknown VC) releases the
+// partially established session and returns the denial.
+func (l *LLO) Setup(sid core.SessionID, vcs []VCDesc) error {
+	if len(vcs) == 0 {
+		return fmt.Errorf("orch: empty VC set")
+	}
+	l.e.EmitTrace("agent", core.OrchRequest)
+	m := make(map[core.VCID]VCDesc, len(vcs))
+	ids := make([]core.VCID, 0, len(vcs))
+	for _, d := range vcs {
+		m[d.VC] = d
+		ids = append(ids, d.VC)
+	}
+	l.mu.Lock()
+	if _, dup := l.sessions[sid]; dup {
+		l.mu.Unlock()
+		return fmt.Errorf("orch: session %v already exists", sid)
+	}
+	// The agent-side record holds the full topology for addressing.
+	l.sessions[sid] = &session{id: sid, agent: l.e.Host(), vcs: m, regs: make(map[core.VCID]*regState)}
+	l.mu.Unlock()
+
+	err := l.broadcast(hostsOf(m), func() *pdu.Orch {
+		return &pdu.Orch{Op: pdu.OrchSetup, Session: sid, VCs: ids}
+	})
+	if err != nil {
+		l.e.EmitTrace("agent", core.OrchReleaseIndication)
+		l.Release(sid)
+		return err
+	}
+	l.e.EmitTrace("agent", core.OrchConfirm)
+	return nil
+}
+
+// Release ends a session everywhere (Orch.Release.request, Table 4). It
+// is unconfirmed, like the paper's primitive.
+func (l *LLO) Release(sid core.SessionID) {
+	l.mu.Lock()
+	s, ok := l.sessions[sid]
+	if ok {
+		delete(l.sessions, sid)
+	}
+	l.mu.Unlock()
+	if !ok {
+		return
+	}
+	l.e.EmitTrace("agent", core.OrchReleaseRequest)
+	for _, h := range hostsOf(s.vcs) {
+		if h == l.e.Host() {
+			continue
+		}
+		_ = l.e.SendOrch(h, &pdu.Orch{Op: pdu.OrchRelease, Session: sid})
+	}
+	for _, rs := range s.regs {
+		if rs.cancel != nil {
+			rs.cancel()
+		}
+	}
+}
+
+// groupOp runs one confirmed group primitive over every host of the
+// session.
+func (l *LLO) groupOp(sid core.SessionID, op pdu.OrchKind, customize func(*pdu.Orch)) error {
+	l.mu.Lock()
+	s, ok := l.sessions[sid]
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("orch: unknown session %v", sid)
+	}
+	return l.broadcast(hostsOf(s.vcs), func() *pdu.Orch {
+		o := &pdu.Orch{Op: op, Session: sid}
+		if customize != nil {
+			customize(o)
+		}
+		return o
+	})
+}
+
+// Prime fills every sink buffer of the session while withholding delivery
+// (Orch.Prime, §6.2.1, Fig. 7). With flush set, stale buffered data is
+// discarded first (the stop-then-seek case). Prime confirms only when
+// every sink reports its buffers full; an application that is not ready
+// answers Orch.Deny, which surfaces as a *DenyError.
+func (l *LLO) Prime(sid core.SessionID, flush bool) error {
+	l.e.EmitTrace("agent", core.OrchPrimeRequest)
+	err := l.groupOp(sid, pdu.OrchPrime, func(o *pdu.Orch) { o.Flush = flush })
+	if err != nil {
+		return err
+	}
+	l.e.EmitTrace("agent", core.OrchPrimeConfirm)
+	return nil
+}
+
+// Start atomically releases the data flow of the whole group
+// (Orch.Start, §6.2.2): every sink's delivery gate opens and every source
+// resumes, so primed groups begin delivery at (almost) the same instant.
+func (l *LLO) Start(sid core.SessionID) error {
+	l.e.EmitTrace("agent", core.OrchStartRequest)
+	if err := l.groupOp(sid, pdu.OrchStart, nil); err != nil {
+		return err
+	}
+	l.e.EmitTrace("agent", core.OrchStartConfirm)
+	return nil
+}
+
+// Stop freezes the data flow of the whole group (Orch.Stop, §6.2.3):
+// sources hold transmission and sink buffers become unavailable to the
+// application so their content survives for a primed restart.
+func (l *LLO) Stop(sid core.SessionID) error {
+	l.e.EmitTrace("agent", core.OrchStopRequest)
+	if err := l.groupOp(sid, pdu.OrchStop, nil); err != nil {
+		return err
+	}
+	l.e.EmitTrace("agent", core.OrchStopConfirm)
+	return nil
+}
+
+// Add inserts a VC into a running session (Orch.Add, Table 5).
+func (l *LLO) Add(sid core.SessionID, d VCDesc) error {
+	l.mu.Lock()
+	s, ok := l.sessions[sid]
+	if ok {
+		s.vcs[d.VC] = d
+	}
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("orch: unknown session %v", sid)
+	}
+	err := l.broadcast([]core.HostID{d.Source, d.Sink}, func() *pdu.Orch {
+		return &pdu.Orch{Op: pdu.OrchAdd, Session: sid, VC: d.VC, VCs: []core.VCID{d.VC}}
+	})
+	if err != nil {
+		l.mu.Lock()
+		if s, ok := l.sessions[sid]; ok {
+			delete(s.vcs, d.VC)
+		}
+		l.mu.Unlock()
+	}
+	return err
+}
+
+// Remove takes a VC out of a session without disconnecting it
+// (Orch.Remove, §6.2.4: "data may still be flowing").
+func (l *LLO) Remove(sid core.SessionID, vc core.VCID) error {
+	l.mu.Lock()
+	s, ok := l.sessions[sid]
+	var d VCDesc
+	if ok {
+		d, ok = s.vcs[vc]
+	}
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("orch: %v not in session %v", vc, sid)
+	}
+	err := l.broadcast([]core.HostID{d.Source, d.Sink}, func() *pdu.Orch {
+		return &pdu.Orch{Op: pdu.OrchRemove, Session: sid, VC: vc}
+	})
+	if err == nil {
+		l.mu.Lock()
+		if s, ok := l.sessions[sid]; ok {
+			delete(s.vcs, vc)
+		}
+		l.mu.Unlock()
+	}
+	return err
+}
+
+// Regulate sets one VC's flow-rate target for the coming interval
+// (Orch.Regulate.request, §6.3.1.1): the OSDU with sequence number
+// target should be delivered to the sink application exactly at the end
+// of the interval; the source may discard up to maxDrop OSDUs to catch
+// up. The matching Orch.Regulate.indication arrives at the handler
+// installed with SetRegulateHandler once the interval closes.
+//
+// Regulate is unconfirmed (like the paper's primitive); requests for VCs
+// whose endpoints vanished are silently void.
+func (l *LLO) Regulate(sid core.SessionID, vc core.VCID, target core.OSDUSeq, maxDrop int, interval time.Duration, ivID core.IntervalID) error {
+	l.mu.Lock()
+	s, ok := l.sessions[sid]
+	var d VCDesc
+	if ok {
+		d, ok = s.vcs[vc]
+	}
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("orch: %v not in session %v", vc, sid)
+	}
+	l.e.EmitTrace("agent", core.OrchRegulateRequest)
+	o := func(atSource bool) *pdu.Orch {
+		return &pdu.Orch{
+			Op: pdu.OrchRegulate, Session: sid, VC: vc,
+			TargetOSDU: target, MaxDrop: uint32(maxDrop),
+			Interval: interval, IntervalID: ivID, AtSource: atSource,
+		}
+	}
+	if err := l.e.SendOrch(d.Source, o(true)); err != nil {
+		return err
+	}
+	if err := l.e.SendOrch(d.Sink, o(false)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Delayed tells the application thread at one end of a VC that it is not
+// keeping up (Orch.Delayed, §6.3.3). It returns nil when the application
+// acknowledged and a *DenyError when it gave up (Orch.Deny.request).
+func (l *LLO) Delayed(sid core.SessionID, vc core.VCID, atSource bool, behind int) error {
+	l.mu.Lock()
+	s, ok := l.sessions[sid]
+	var d VCDesc
+	if ok {
+		d, ok = s.vcs[vc]
+	}
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("orch: %v not in session %v", vc, sid)
+	}
+	host := d.Sink
+	if atSource {
+		host = d.Source
+	}
+	l.e.EmitTrace("agent", core.OrchDelayedRequest)
+	reply, err := l.request(host, &pdu.Orch{
+		Op: pdu.OrchDelayed, Session: sid, VC: vc,
+		AtSource: atSource, OSDUsBehind: uint32(behind),
+	})
+	if err != nil {
+		return err
+	}
+	if !reply.OK {
+		return &DenyError{Host: host, Reason: reply.Reason}
+	}
+	return nil
+}
+
+// RegisterEvent registers an application-defined event pattern at the
+// sink LLO of a VC (Orch.Event.request, §6.3.4). Matches surface at the
+// handler installed with SetEventHandler.
+func (l *LLO) RegisterEvent(sid core.SessionID, vc core.VCID, pattern core.EventPattern) error {
+	l.mu.Lock()
+	s, ok := l.sessions[sid]
+	var d VCDesc
+	if ok {
+		d, ok = s.vcs[vc]
+	}
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("orch: %v not in session %v", vc, sid)
+	}
+	l.e.EmitTrace("agent", core.OrchEventRequest)
+	reply, err := l.request(d.Sink, &pdu.Orch{
+		Op: pdu.OrchEventReg, Session: sid, VC: vc, Event: pattern,
+	})
+	if err != nil {
+		return err
+	}
+	if !reply.OK {
+		return &DenyError{Host: d.Sink, Reason: reply.Reason}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package pdu
+
+import (
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/qos"
+)
+
+// QoSReport relays a sink-side measurement report toward the source (and,
+// for remote connects, the initiator), carrying the content of
+// T-QoS.indication (Table 2): the VC, the sample period, the measured
+// performance and a bitmask of the tolerance levels that were violated.
+type QoSReport struct {
+	VC       core.VCID
+	Tuple    core.ConnectTuple
+	Report   qos.Report
+	Violated []qos.Param
+}
+
+// MessageKind implements Message.
+func (q *QoSReport) MessageKind() Kind { return KindQoSReport }
+
+// Marshal implements Message.
+func (q *QoSReport) Marshal(dst []byte) []byte {
+	w := writer{buf: dst}
+	w.u8(uint8(KindQoSReport))
+	w.u32(uint32(q.VC))
+	putAddr(&w, q.Tuple.Initiator)
+	putAddr(&w, q.Tuple.Source)
+	putAddr(&w, q.Tuple.Dest)
+	w.u64(uint64(q.Report.Period))
+	w.u32(uint32(q.Report.Delivered))
+	w.u32(uint32(q.Report.Lost))
+	w.u32(uint32(q.Report.BitErrors))
+	w.u32(uint32(q.Report.Bytes))
+	w.f64(q.Report.Throughput)
+	w.u64(uint64(q.Report.MeanDelay))
+	w.u64(uint64(q.Report.MaxDelay))
+	w.u64(uint64(q.Report.Jitter))
+	w.f64(q.Report.PER)
+	w.f64(q.Report.BER)
+	var mask uint8
+	for _, p := range q.Violated {
+		mask |= 1 << uint(p)
+	}
+	w.u8(mask)
+	return w.trailer(dst)
+}
+
+func decodeQoSReport(r *reader) (*QoSReport, error) {
+	q := &QoSReport{VC: core.VCID(r.u32())}
+	q.Tuple.Initiator = getAddr(r)
+	q.Tuple.Source = getAddr(r)
+	q.Tuple.Dest = getAddr(r)
+	q.Report.Period = time.Duration(r.u64())
+	q.Report.Delivered = int(r.u32())
+	q.Report.Lost = int(r.u32())
+	q.Report.BitErrors = int(r.u32())
+	q.Report.Bytes = int(r.u32())
+	q.Report.Throughput = r.f64()
+	q.Report.MeanDelay = time.Duration(r.u64())
+	q.Report.MaxDelay = time.Duration(r.u64())
+	q.Report.Jitter = time.Duration(r.u64())
+	q.Report.PER = r.f64()
+	q.Report.BER = r.f64()
+	mask := r.u8()
+	for p := qos.Throughput; p <= qos.BER; p++ {
+		if mask&(1<<uint(p)) != 0 {
+			q.Violated = append(q.Violated, p)
+		}
+	}
+	return q, r.err
+}

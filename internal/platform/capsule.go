@@ -1,0 +1,277 @@
+// Package platform is the object-based distributed application platform
+// of §2.2 — the ANSA-derived layer applications actually program against.
+// It provides the two communication abstractions the paper describes:
+//
+//   - Invocation: location-independent, delay-bounded invocation of named
+//     operations in ADT interfaces, in the style of the REX RPC protocol
+//     (at-most-once execution, bounded by a caller deadline);
+//   - Streams: first-class continuous-media connection objects expressed
+//     in media-specific QoS terms (frame rates, frame sizes, latency)
+//     that the platform maps onto transport QoS, created with the remote
+//     connection facility (§3.5) and orchestrated through the HLO
+//     service (§5).
+//
+// One Capsule runs per host; it owns that host's object registry,
+// devices, streams and the platform ends of the orchestration service.
+package platform
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/pdu"
+	"cmtos/internal/transport"
+)
+
+// Ref is a location-independent interface reference: a named service on
+// some capsule.
+type Ref struct {
+	Host core.HostID
+	Name string
+}
+
+// String renders "h2/name".
+func (r Ref) String() string { return fmt.Sprintf("%v/%s", r.Host, r.Name) }
+
+// Object is a registered ADT interface: named operations over opaque
+// (gob-encoded) arguments.
+type Object interface {
+	// Invoke executes one operation. Errors are relayed to the caller.
+	Invoke(op string, args []byte) ([]byte, error)
+}
+
+// Ops is the convenience Object: a map of operation handlers.
+type Ops map[string]func(args []byte) ([]byte, error)
+
+// Invoke implements Object.
+func (o Ops) Invoke(op string, args []byte) ([]byte, error) {
+	fn, ok := o[op]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown operation %q", op)
+	}
+	return fn(args)
+}
+
+// Invocation errors.
+var (
+	ErrDeadline  = errors.New("platform: invocation deadline exceeded")
+	ErrNoService = errors.New("platform: no such service")
+)
+
+// RemoteError is an application error relayed from the invoked object.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "platform: remote: " + e.Msg }
+
+// rpcMsg is the REX-like wire format carried in transport datagrams.
+type rpcMsg struct {
+	Call    uint64
+	Reply   bool
+	Service string
+	Op      string
+	Err     string
+	Body    []byte
+}
+
+func (m *rpcMsg) marshal() []byte {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(m)
+	return buf.Bytes()
+}
+
+func parseRPC(p []byte) (*rpcMsg, error) {
+	var m rpcMsg
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Capsule is one host's platform runtime.
+type Capsule struct {
+	ent *transport.Entity
+
+	mu       sync.Mutex
+	services map[string]Object
+	nextCall uint64
+	pending  map[uint64]chan *rpcMsg
+	// executed caches replies for at-most-once semantics across REX
+	// retransmissions, keyed by caller host and call id.
+	executed map[execKey]*rpcMsg
+	execHist []execKey // FIFO eviction
+}
+
+type execKey struct {
+	host core.HostID
+	call uint64
+}
+
+// execCacheSize bounds the at-most-once reply cache.
+const execCacheSize = 1024
+
+// platformTSAP is the well-known TSAP of the capsule's RPC endpoint.
+const platformTSAP core.TSAP = 1
+
+// NewCapsule attaches a platform capsule to a transport entity; it takes
+// over the entity's datagram channel.
+func NewCapsule(ent *transport.Entity) *Capsule {
+	c := &Capsule{
+		ent:      ent,
+		services: make(map[string]Object),
+		pending:  make(map[uint64]chan *rpcMsg),
+		executed: make(map[execKey]*rpcMsg),
+	}
+	ent.SetDatagramHandler(platformTSAP, c.onDatagram)
+	return c
+}
+
+// Entity returns the capsule's transport entity.
+func (c *Capsule) Entity() *transport.Entity { return c.ent }
+
+// Host returns the capsule's host.
+func (c *Capsule) Host() core.HostID { return c.ent.Host() }
+
+// Register publishes an object under a name.
+func (c *Capsule) Register(name string, obj Object) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.services[name]; dup {
+		return fmt.Errorf("platform: service %q already registered", name)
+	}
+	c.services[name] = obj
+	return nil
+}
+
+// Unregister removes a named object.
+func (c *Capsule) Unregister(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.services, name)
+}
+
+// Invoke performs a delay-bounded, at-most-once invocation of ref.op.
+// The deadline bounds the whole exchange including retransmissions — the
+// "delay bounded communication required for the real-time control of
+// multimedia applications" (§2.2).
+func (c *Capsule) Invoke(ref Ref, op string, args []byte, deadline time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	c.nextCall++
+	call := c.nextCall
+	ch := make(chan *rpcMsg, 1)
+	c.pending[call] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, call)
+		c.mu.Unlock()
+	}()
+
+	req := &rpcMsg{Call: call, Service: ref.Name, Op: op, Body: args}
+	payload := req.marshal()
+	clk := c.ent.Clock()
+	start := clk.Now()
+	const attempts = 3
+	per := deadline / attempts
+	for i := 0; i < attempts; i++ {
+		if err := c.ent.SendDatagram(ref.Host, &pdu.Datagram{
+			SrcTSAP: platformTSAP, DstTSAP: platformTSAP, Payload: payload,
+		}); err != nil {
+			return nil, err
+		}
+		remaining := deadline - clk.Since(start)
+		wait := per
+		if wait > remaining {
+			wait = remaining
+		}
+		if wait <= 0 {
+			break
+		}
+		select {
+		case reply := <-ch:
+			if reply.Err != "" {
+				return nil, &RemoteError{Msg: reply.Err}
+			}
+			return reply.Body, nil
+		case <-clk.After(wait):
+		}
+	}
+	return nil, ErrDeadline
+}
+
+// onDatagram demultiplexes RPC requests and replies.
+func (c *Capsule) onDatagram(from core.HostID, d *pdu.Datagram) {
+	m, err := parseRPC(d.Payload)
+	if err != nil {
+		return
+	}
+	if m.Reply {
+		c.mu.Lock()
+		ch := c.pending[m.Call]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+		return
+	}
+	// Request: at-most-once — replay the cached reply for a retransmit.
+	key := execKey{host: from, call: m.Call}
+	c.mu.Lock()
+	if cached, dup := c.executed[key]; dup {
+		c.mu.Unlock()
+		if cached != nil {
+			c.send(from, cached)
+		}
+		return
+	}
+	c.executed[key] = nil // execution in progress
+	svc := c.services[m.Service]
+	c.mu.Unlock()
+
+	reply := &rpcMsg{Call: m.Call, Reply: true}
+	if svc == nil {
+		reply.Err = ErrNoService.Error() + ": " + m.Service
+	} else {
+		body, err := svc.Invoke(m.Op, m.Body)
+		if err != nil {
+			reply.Err = err.Error()
+		} else {
+			reply.Body = body
+		}
+	}
+	c.mu.Lock()
+	c.executed[key] = reply
+	c.execHist = append(c.execHist, key)
+	for len(c.execHist) > execCacheSize {
+		delete(c.executed, c.execHist[0])
+		c.execHist = c.execHist[1:]
+	}
+	c.mu.Unlock()
+	c.send(from, reply)
+}
+
+func (c *Capsule) send(to core.HostID, m *rpcMsg) {
+	_ = c.ent.SendDatagram(to, &pdu.Datagram{
+		SrcTSAP: platformTSAP, DstTSAP: platformTSAP, Payload: m.marshal(),
+	})
+}
+
+// encode gob-encodes an RPC argument or result structure.
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(v)
+	return buf.Bytes()
+}
+
+// decode gob-decodes into out.
+func decode(p []byte, out any) error {
+	return gob.NewDecoder(bytes.NewReader(p)).Decode(out)
+}

@@ -1,0 +1,274 @@
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/orch"
+	"cmtos/internal/orch/hlo"
+)
+
+// OrchStream couples a stream with its synchronisation requirements.
+type OrchStream struct {
+	Stream StreamInfo
+	// Rate overrides the stream's media rate for the synchronisation
+	// relationship (0 adopts Stream.Rate).
+	Rate float64
+	// MaxDrop is the per-interval drop budget (Table 6).
+	MaxDrop int
+}
+
+// OrchPolicy is the application-visible orchestration policy — "policies
+// include constraints on how strict the continuous synchronisation should
+// be and actions to take on failure" (§5).
+type OrchPolicy struct {
+	// Interval is the regulation interval (0 = 100ms).
+	Interval time.Duration
+	// MaxLagIntervals before compensation (0 = 3).
+	MaxLagIntervals int
+}
+
+// agentSlot is a hosted HLO agent.
+type agentSlot struct {
+	agent *hlo.Agent
+}
+
+// registerOrchService publishes the "_orch" ADT interface: the HLO's
+// platform-level service (§5). The HLO selects the orchestrating node
+// and creates the agent there; the caller gets back an interface
+// reference it controls the session through — here, an OrchSession.
+func (p *Platform) registerOrchService() {
+	_ = p.cap.Register("_orch", Ops{
+		"create":  p.opOrchCreate,
+		"prime":   p.opOrchPrime,
+		"start":   p.opOrchStart,
+		"stop":    p.opOrchStop,
+		"release": p.opOrchRelease,
+		"status":  p.opOrchStatus,
+		"skew":    p.opOrchSkew,
+	})
+}
+
+type orchCreateArgs struct {
+	Streams  []OrchStream
+	Interval time.Duration
+	MaxLag   int
+}
+type orchCreateReply struct{ Session core.SessionID }
+
+func (p *Platform) opOrchCreate(args []byte) ([]byte, error) {
+	var a orchCreateArgs
+	if err := decode(args, &a); err != nil {
+		return nil, err
+	}
+	if p.llo == nil {
+		return nil, fmt.Errorf("platform: host %v has no orchestrator", p.Host())
+	}
+	cfgs := make([]hlo.StreamConfig, 0, len(a.Streams))
+	for _, os := range a.Streams {
+		rate := os.Rate
+		if rate == 0 {
+			rate = os.Stream.Rate
+		}
+		cfgs = append(cfgs, hlo.StreamConfig{
+			Desc:    os.Stream.Desc(),
+			Rate:    rate,
+			MaxDrop: os.MaxDrop,
+		})
+	}
+	p.mu.Lock()
+	p.nextSess++
+	sid := core.SessionID(uint32(p.Host())<<16 | p.nextSess)
+	p.mu.Unlock()
+	agent, err := hlo.New(p.llo, p.ent.Clock(), sid, cfgs, hlo.Policy{
+		Interval:        a.Interval,
+		MaxLagIntervals: a.MaxLag,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := agent.Setup(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.agents[sid] = &agentSlot{agent: agent}
+	p.mu.Unlock()
+	return encode(orchCreateReply{Session: sid}), nil
+}
+
+type orchSessionArgs struct {
+	Session core.SessionID
+	Flush   bool
+}
+
+func (p *Platform) agentFor(args []byte) (*hlo.Agent, orchSessionArgs, error) {
+	var a orchSessionArgs
+	if err := decode(args, &a); err != nil {
+		return nil, a, err
+	}
+	p.mu.Lock()
+	slot, ok := p.agents[a.Session]
+	p.mu.Unlock()
+	if !ok {
+		return nil, a, fmt.Errorf("no orchestration session %v", a.Session)
+	}
+	return slot.agent, a, nil
+}
+
+func (p *Platform) opOrchPrime(args []byte) ([]byte, error) {
+	agent, a, err := p.agentFor(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := agent.Prime(a.Flush); err != nil {
+		return nil, err
+	}
+	return encode(struct{}{}), nil
+}
+
+func (p *Platform) opOrchStart(args []byte) ([]byte, error) {
+	agent, _, err := p.agentFor(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := agent.Start(); err != nil {
+		return nil, err
+	}
+	return encode(struct{}{}), nil
+}
+
+func (p *Platform) opOrchStop(args []byte) ([]byte, error) {
+	agent, _, err := p.agentFor(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := agent.Stop(); err != nil {
+		return nil, err
+	}
+	return encode(struct{}{}), nil
+}
+
+func (p *Platform) opOrchRelease(args []byte) ([]byte, error) {
+	agent, a, err := p.agentFor(args)
+	if err != nil {
+		return nil, err
+	}
+	agent.Release()
+	p.mu.Lock()
+	delete(p.agents, a.Session)
+	p.mu.Unlock()
+	return encode(struct{}{}), nil
+}
+
+type orchStatusReply struct{ Statuses []hlo.StreamStatus }
+
+func (p *Platform) opOrchStatus(args []byte) ([]byte, error) {
+	agent, _, err := p.agentFor(args)
+	if err != nil {
+		return nil, err
+	}
+	return encode(orchStatusReply{Statuses: agent.Status()}), nil
+}
+
+type orchSkewReply struct{ Skew time.Duration }
+
+func (p *Platform) opOrchSkew(args []byte) ([]byte, error) {
+	agent, _, err := p.agentFor(args)
+	if err != nil {
+		return nil, err
+	}
+	return encode(orchSkewReply{Skew: agent.Skew()}), nil
+}
+
+// OrchSession is the application's handle on an orchestrated group: an
+// interface reference onto the HLO agent at the orchestrating node,
+// driven by invocation (§5: "this is passed back to the initiating
+// application, and enables the application to control the on-going
+// orchestration session via invocation").
+type OrchSession struct {
+	p    *Platform
+	node core.HostID
+	sid  core.SessionID
+}
+
+// Node returns the orchestrating node.
+func (o *OrchSession) Node() core.HostID { return o.node }
+
+// Session returns the session id.
+func (o *OrchSession) Session() core.SessionID { return o.sid }
+
+// Orchestrate forms a continuous-synchronisation relationship over the
+// given streams: the HLO selects the orchestrating node (the common node,
+// Fig. 5), creates an agent there, and returns the session handle.
+func (p *Platform) Orchestrate(streams []OrchStream, pol OrchPolicy) (*OrchSession, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("platform: no streams to orchestrate")
+	}
+	descs := make([]orch.VCDesc, 0, len(streams))
+	for _, os := range streams {
+		descs = append(descs, os.Stream.Desc())
+	}
+	node, err := hlo.SelectOrchestratingNode(descs)
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.cap.Invoke(Ref{Host: node, Name: "_orch"}, "create",
+		encode(orchCreateArgs{Streams: streams, Interval: pol.Interval, MaxLag: pol.MaxLagIntervals}),
+		invokeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var r orchCreateReply
+	if err := decode(body, &r); err != nil {
+		return nil, err
+	}
+	return &OrchSession{p: p, node: node, sid: r.Session}, nil
+}
+
+// call performs one session operation via invocation.
+func (o *OrchSession) call(op string, flush bool) error {
+	_, err := o.p.cap.Invoke(Ref{Host: o.node, Name: "_orch"}, op,
+		encode(orchSessionArgs{Session: o.sid, Flush: flush}), invokeTimeout)
+	return err
+}
+
+// Prime fills all sink buffers without delivering (§6.2.1).
+func (o *OrchSession) Prime(flush bool) error { return o.call("prime", flush) }
+
+// Start begins (or resumes) synchronised play-out (§6.2.2).
+func (o *OrchSession) Start() error { return o.call("start", false) }
+
+// Stop freezes the group (§6.2.3).
+func (o *OrchSession) Stop() error { return o.call("stop", false) }
+
+// Release ends the session.
+func (o *OrchSession) Release() error { return o.call("release", false) }
+
+// Status fetches per-stream regulation state from the agent.
+func (o *OrchSession) Status() ([]hlo.StreamStatus, error) {
+	body, err := o.p.cap.Invoke(Ref{Host: o.node, Name: "_orch"}, "status",
+		encode(orchSessionArgs{Session: o.sid}), invokeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var r orchStatusReply
+	if err := decode(body, &r); err != nil {
+		return nil, err
+	}
+	return r.Statuses, nil
+}
+
+// Skew fetches the agent's current inter-stream synchronisation error.
+func (o *OrchSession) Skew() (time.Duration, error) {
+	body, err := o.p.cap.Invoke(Ref{Host: o.node, Name: "_orch"}, "skew",
+		encode(orchSessionArgs{Session: o.sid}), invokeTimeout)
+	if err != nil {
+		return 0, err
+	}
+	var r orchSkewReply
+	if err := decode(body, &r); err != nil {
+		return 0, err
+	}
+	return r.Skew, nil
+}

@@ -1,0 +1,429 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netem"
+	"cmtos/internal/orch"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+var sys clock.System
+
+type rig struct {
+	net  *netem.Network
+	plat map[core.HostID]*Platform
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	nw := netem.New(sys)
+	link := netem.LinkConfig{Bandwidth: 50e6, Delay: 200 * time.Microsecond, QueueLen: 4096}
+	for id := core.HostID(1); id <= core.HostID(n); id++ {
+		if err := nw.AddHost(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := core.HostID(1); a <= core.HostID(n); a++ {
+		for b := a + 1; b <= core.HostID(n); b++ {
+			if err := nw.AddLink(a, b, link); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	rm := resv.New(nw)
+	r := &rig{net: nw, plat: make(map[core.HostID]*Platform)}
+	for id := core.HostID(1); id <= core.HostID(n); id++ {
+		e, err := transport.NewEntity(id, sys, nw, rm, transport.Config{RingSlots: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		l := orch.New(e)
+		t.Cleanup(l.Close)
+		r.plat[id] = NewPlatform(NewCapsule(e), l)
+	}
+	return r
+}
+
+func TestInvokeLocalService(t *testing.T) {
+	r := newRig(t, 2)
+	calls := 0
+	_ = r.plat[1].Capsule().Register("adder", Ops{
+		"add": func(args []byte) ([]byte, error) {
+			var in [2]int
+			if err := decode(args, &in); err != nil {
+				return nil, err
+			}
+			calls++
+			return encode(in[0] + in[1]), nil
+		},
+	})
+	body, err := r.plat[2].Capsule().Invoke(Ref{Host: 1, Name: "adder"}, "add",
+		encode([2]int{20, 22}), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int
+	if err := decode(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestInvokeUnknownServiceAndOp(t *testing.T) {
+	r := newRig(t, 2)
+	_, err := r.plat[2].Capsule().Invoke(Ref{Host: 1, Name: "ghost"}, "x", nil, time.Second)
+	if _, ok := err.(*RemoteError); !ok {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	_ = r.plat[1].Capsule().Register("thing", Ops{})
+	_, err = r.plat[2].Capsule().Invoke(Ref{Host: 1, Name: "thing"}, "nope", nil, time.Second)
+	if _, ok := err.(*RemoteError); !ok {
+		t.Fatalf("err = %v, want RemoteError for unknown op", err)
+	}
+}
+
+func TestInvokeDeadline(t *testing.T) {
+	r := newRig(t, 2)
+	_ = r.plat[1].Capsule().Register("slow", Ops{
+		"wait": func([]byte) ([]byte, error) {
+			time.Sleep(2 * time.Second)
+			return nil, nil
+		},
+	})
+	start := time.Now()
+	_, err := r.plat[2].Capsule().Invoke(Ref{Host: 1, Name: "slow"}, "wait", nil, 150*time.Millisecond)
+	if err != ErrDeadline {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadline not honoured")
+	}
+}
+
+func TestInvokeAtMostOnce(t *testing.T) {
+	// Lossy control path: REX retransmits, but the operation must
+	// execute at most once.
+	nw := netem.New(sys)
+	link := netem.LinkConfig{Bandwidth: 50e6, Delay: 200 * time.Microsecond,
+		Loss: netem.Bernoulli{P: 0.3}, Seed: 3, QueueLen: 4096}
+	_ = nw.AddHost(1, nil)
+	_ = nw.AddHost(2, nil)
+	_ = nw.AddLink(1, 2, link)
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	rm := resv.New(nw)
+	e1, _ := transport.NewEntity(1, sys, nw, rm, transport.Config{})
+	e2, _ := transport.NewEntity(2, sys, nw, rm, transport.Config{})
+	defer e1.Close()
+	defer e2.Close()
+	c1, c2 := NewCapsule(e1), NewCapsule(e2)
+	var execs atomic.Int32
+	_ = c1.Register("counter", Ops{
+		"bump": func([]byte) ([]byte, error) {
+			execs.Add(1)
+			return encode(struct{}{}), nil
+		},
+	})
+	succeeded := 0
+	for i := 0; i < 20; i++ {
+		if _, err := c2.Invoke(Ref{Host: 1, Name: "counter"}, "bump", nil, time.Second); err == nil {
+			succeeded++
+		}
+	}
+	if succeeded == 0 {
+		t.Fatal("no invocation survived the lossy path")
+	}
+	if int(execs.Load()) != succeeded {
+		// executions beyond successes would mean a retransmitted
+		// request re-executed (at-most-once violated); fewer would mean
+		// a phantom success.
+		if int(execs.Load()) < succeeded {
+			t.Fatalf("phantom successes: %d succeeded, %d executed", succeeded, execs.Load())
+		}
+		// More executions than successes can only happen if a reply was
+		// lost after execution — the caller saw a deadline, not a
+		// success. That is legal for at-most-once.
+		t.Logf("note: %d executed, %d confirmed (lost replies)", execs.Load(), succeeded)
+	}
+}
+
+func TestMediaQoSSpecDefaults(t *testing.T) {
+	q := MediaQoS{FrameRate: 25, FrameBound: 4096}
+	s := q.Spec()
+	if s.Throughput.Preferred != 25 || s.Throughput.Acceptable != 12.5 {
+		t.Errorf("throughput window: %+v", s.Throughput)
+	}
+	if s.Delay.Acceptable != 0.5 {
+		t.Errorf("delay acceptable = %v", s.Delay.Acceptable)
+	}
+	if s.PER.Acceptable != 0.05 {
+		t.Errorf("PER acceptable = %v", s.PER.Acceptable)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rq := MediaQoS{FrameRate: 10, FrameBound: 100, Reliable: true}
+	if rq.class().Corrects() != true {
+		t.Error("Reliable must select a correcting class")
+	}
+	if rq.Spec().PER.Acceptable != 1 {
+		t.Error("Reliable spec must tolerate raw PER")
+	}
+}
+
+// camSink builds a 3-host platform rig with a camera producer on host 1
+// and a recording consumer on host 2.
+func camSink(t *testing.T, r *rig, frames *atomic.Int64) {
+	t.Helper()
+	err := r.plat[1].RegisterProducer("camera", 100, 256, func() media.Source {
+		return &media.CBR{Size: 64, FrameRate: 100}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.plat[2].RegisterConsumer("monitor", func(f media.Frame, at time.Time) {
+		frames.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateStreamRemoteConnect(t *testing.T) {
+	// The microscope scenario: host 3 (the scientist's workstation)
+	// connects the camera on host 1 to the monitor on host 2 (§3.5).
+	r := newRig(t, 3)
+	var frames atomic.Int64
+	camSink(t, r, &frames)
+	info, err := r.plat[3].CreateStream(
+		DeviceRef{Host: 1, Name: "camera"},
+		DeviceRef{Host: 2, Name: "monitor"},
+		MediaQoS{}) // adopt the camera's terms
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rate != 100 || info.Source != 1 || info.Sink != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Contract.Throughput != 100 {
+		t.Fatalf("contract throughput = %g", info.Contract.Throughput)
+	}
+	deadline := time.After(3 * time.Second)
+	for frames.Load() < 20 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d frames flowed", frames.Load())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// Remote close from the initiator.
+	if err := r.plat[3].CloseStream(info); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	n := frames.Load()
+	time.Sleep(100 * time.Millisecond)
+	if after := frames.Load(); after > n+2 {
+		t.Fatalf("stream flowed after CloseStream: %d -> %d", n, after)
+	}
+}
+
+func TestCreateStreamUnknownDevice(t *testing.T) {
+	r := newRig(t, 3)
+	_, err := r.plat[3].CreateStream(
+		DeviceRef{Host: 1, Name: "nope"},
+		DeviceRef{Host: 2, Name: "also-nope"}, MediaQoS{})
+	if err == nil {
+		t.Fatal("CreateStream with unknown devices succeeded")
+	}
+}
+
+func TestCreateStreamRejectsConsumerAsSource(t *testing.T) {
+	r := newRig(t, 3)
+	var frames atomic.Int64
+	camSink(t, r, &frames)
+	_, err := r.plat[3].CreateStream(
+		DeviceRef{Host: 2, Name: "monitor"},
+		DeviceRef{Host: 2, Name: "monitor"}, MediaQoS{})
+	if err == nil {
+		t.Fatal("consumer accepted as producer")
+	}
+}
+
+func TestRenegotiateStreamViaPlatform(t *testing.T) {
+	r := newRig(t, 3)
+	var frames atomic.Int64
+	camSink(t, r, &frames)
+	info, err := r.plat[3].CreateStream(
+		DeviceRef{Host: 1, Name: "camera"},
+		DeviceRef{Host: 2, Name: "monitor"}, MediaQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monochrome downgrade: halve the rate (§3.3's dynamic QoS example).
+	contract, err := r.plat[3].RenegotiateStream(info, MediaQoS{FrameRate: 50, FrameBound: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contract.Throughput != 50 {
+		t.Fatalf("renegotiated throughput = %g", contract.Throughput)
+	}
+}
+
+func TestOrchestratedLipSyncViaPlatform(t *testing.T) {
+	// Full-stack lip-sync: video (25fps) and audio (250 chunks/s — the
+	// paper's 10:1 ratio) from two servers to one workstation, created
+	// and orchestrated entirely through the platform API.
+	r := newRig(t, 3)
+	if err := r.plat[1].RegisterProducer("film.video", 25, 1024, func() media.Source {
+		return &media.CBR{Size: 512, FrameRate: 25}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.plat[2].RegisterProducer("film.audio", 250, 128, func() media.Source {
+		return &media.CBR{Size: 64, FrameRate: 250}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	video, audio := media.NewSink(), media.NewSink()
+	if err := r.plat[3].RegisterConsumer("tv", func(f media.Frame, at time.Time) {
+		video.Consume(f, at)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.plat[3].RegisterConsumer("speaker", func(f media.Frame, at time.Time) {
+		audio.Consume(f, at)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := r.plat[3].CreateStream(DeviceRef{1, "film.video"}, DeviceRef{3, "tv"}, MediaQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := r.plat[3].CreateStream(DeviceRef{2, "film.audio"}, DeviceRef{3, "speaker"}, MediaQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := r.plat[3].Orchestrate([]OrchStream{
+		{Stream: vs, MaxDrop: 2},
+		{Stream: as, MaxDrop: 5},
+	}, OrchPolicy{Interval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Node() != 3 {
+		t.Fatalf("orchestrating node = %v, want common sink 3", sess.Node())
+	}
+	if err := sess.Prime(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Second)
+	pair := &media.SyncPair{A: video, B: audio, RateA: 25, RateB: 250}
+	skew := pair.Sample()
+	if video.Received() < 10 || audio.Received() < 100 {
+		t.Fatalf("flow too thin: video %d audio %d", video.Received(), audio.Received())
+	}
+	if skew > 400*time.Millisecond {
+		t.Fatalf("lip-sync skew = %v", skew)
+	}
+	if agentSkew, err := sess.Skew(); err != nil || agentSkew > 400*time.Millisecond {
+		t.Fatalf("agent skew = %v err %v", agentSkew, err)
+	}
+	sts, err := sess.Status()
+	if err != nil || len(sts) != 2 {
+		t.Fatalf("status: %v %v", sts, err)
+	}
+	if err := sess.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// Operations on a released session fail.
+	if err := sess.Start(); err == nil {
+		t.Fatal("Start on released session succeeded")
+	}
+}
+
+func TestOrchestrateNoCommonNode(t *testing.T) {
+	r := newRig(t, 4)
+	streams := []OrchStream{
+		{Stream: StreamInfo{VC: 1, Source: 1, Sink: 2, Rate: 10}},
+		{Stream: StreamInfo{VC: 2, Source: 3, Sink: 4, Rate: 10}},
+	}
+	if _, err := r.plat[1].Orchestrate(streams, OrchPolicy{}); err == nil {
+		t.Fatal("orchestration without a common node succeeded")
+	}
+}
+
+func TestRegisterDuplicates(t *testing.T) {
+	r := newRig(t, 2)
+	mk := func() media.Source { return &media.CBR{Size: 8, FrameRate: 1} }
+	if err := r.plat[1].RegisterProducer("p", 1, 8, mk); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.plat[1].RegisterProducer("p", 1, 8, mk); err == nil {
+		t.Fatal("duplicate producer accepted")
+	}
+	if err := r.plat[1].RegisterConsumer("c", func(media.Frame, time.Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.plat[1].RegisterConsumer("c", func(media.Frame, time.Time) {}); err == nil {
+		t.Fatal("duplicate consumer accepted")
+	}
+	if err := r.plat[1].Capsule().Register("_stream", Ops{}); err == nil {
+		t.Fatal("duplicate service accepted")
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	r := newRig(t, 2)
+	_ = r.plat[1].Capsule().Register("echo", Ops{
+		"echo": func(args []byte) ([]byte, error) { return args, nil },
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arg := encode(fmt.Sprintf("msg-%d", i))
+			body, err := r.plat[2].Capsule().Invoke(Ref{Host: 1, Name: "echo"}, "echo", arg, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var got string
+			_ = decode(body, &got)
+			if got != fmt.Sprintf("msg-%d", i) {
+				errs <- fmt.Errorf("mismatched reply %q for %d", got, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,369 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/orch"
+	"cmtos/internal/qos"
+	"cmtos/internal/transport"
+)
+
+// MediaQoS expresses stream quality in the media-specific terms the
+// platform's Stream services use (§2.2); the platform maps them onto the
+// transport's QoS tolerance levels.
+type MediaQoS struct {
+	// FrameRate is the preferred frame rate; zero adopts the producing
+	// device's nominal rate.
+	FrameRate float64
+	// MinFrameRate is the lowest acceptable rate; zero means half the
+	// preferred rate.
+	MinFrameRate float64
+	// FrameBound is the largest frame in bytes; zero adopts the
+	// producing device's bound.
+	FrameBound int
+	// Latency is the acceptable end-to-end delay; zero means 500ms.
+	Latency time.Duration
+	// JitterBound is the acceptable delay variation; zero means
+	// Latency/2.
+	JitterBound time.Duration
+	// LossTolerance is the acceptable frame-loss fraction; zero means
+	// 5%. Loss-intolerant media should also set Reliable.
+	LossTolerance float64
+	// Reliable selects the error-correcting class of service (§3.4).
+	Reliable bool
+}
+
+// Spec maps the media terms onto transport QoS tolerance levels.
+func (m MediaQoS) Spec() qos.Spec {
+	min := m.MinFrameRate
+	if min <= 0 {
+		min = m.FrameRate / 2
+	}
+	lat := m.Latency
+	if lat <= 0 {
+		lat = 500 * time.Millisecond
+	}
+	jit := m.JitterBound
+	if jit <= 0 {
+		jit = lat / 2
+	}
+	loss := m.LossTolerance
+	if loss <= 0 {
+		loss = 0.05
+	}
+	if m.Reliable {
+		loss = 1 // correction recovers losses; don't fail negotiation on PER
+	}
+	return qos.Spec{
+		Throughput:  qos.Tolerance{Preferred: m.FrameRate, Acceptable: min},
+		MaxOSDUSize: m.FrameBound,
+		Delay:       qos.CeilTolerance{Preferred: lat.Seconds() / 10, Acceptable: lat.Seconds()},
+		Jitter:      qos.CeilTolerance{Preferred: jit.Seconds() / 10, Acceptable: jit.Seconds()},
+		PER:         qos.CeilTolerance{Preferred: 0, Acceptable: loss},
+		BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-3},
+		Guarantee:   qos.Soft,
+	}
+}
+
+// class returns the class of service for the media terms.
+func (m MediaQoS) class() qos.Class {
+	if m.Reliable {
+		return qos.ClassDetectCorrectIndicate
+	}
+	return qos.ClassDetectIndicate
+}
+
+// DeviceRef names a registered media device on some capsule.
+type DeviceRef struct {
+	Host core.HostID
+	Name string
+}
+
+// StreamInfo describes a created stream — the platform-level handle the
+// application passes to orchestration.
+type StreamInfo struct {
+	VC       core.VCID
+	Source   core.HostID
+	Sink     core.HostID
+	Rate     float64 // media frame rate in frames/sec
+	Contract qos.Contract
+}
+
+// Desc returns the orchestration-layer description of the stream.
+func (s StreamInfo) Desc() orch.VCDesc {
+	return orch.VCDesc{VC: s.VC, Source: s.Source, Sink: s.Sink}
+}
+
+// Consumer receives delivered frames at a sink device.
+type Consumer func(f media.Frame, at time.Time)
+
+// Platform is the per-host application platform: a capsule plus the
+// stream and orchestration services. Construct with NewPlatform.
+type Platform struct {
+	cap *Capsule
+	ent *transport.Entity
+	llo *orch.LLO
+
+	mu        sync.Mutex
+	producers map[string]*device
+	consumers map[string]*device
+	nextTSAP  core.TSAP
+	streams   map[core.VCID]*runningStream
+	agents    map[core.SessionID]*agentSlot
+	nextSess  uint32
+}
+
+type device struct {
+	name    string
+	tsap    core.TSAP
+	source  func() media.Source // producers
+	consume Consumer            // consumers
+	rate    float64
+	bound   int
+}
+
+type runningStream struct {
+	send *transport.SendVC
+	stop chan struct{}
+}
+
+// NewPlatform builds the platform runtime for one host. The LLO may be
+// nil on hosts that never orchestrate (pure device hosts still need one
+// if their VCs are to be orchestrated — pass it).
+func NewPlatform(cap *Capsule, llo *orch.LLO) *Platform {
+	p := &Platform{
+		cap:       cap,
+		ent:       cap.Entity(),
+		llo:       llo,
+		producers: make(map[string]*device),
+		consumers: make(map[string]*device),
+		nextTSAP:  0x100,
+		streams:   make(map[core.VCID]*runningStream),
+		agents:    make(map[core.SessionID]*agentSlot),
+	}
+	_ = cap.Register("_stream", Ops{
+		"resolve": p.opResolve,
+		"close":   p.opClose,
+		"reneg":   p.opReneg,
+	})
+	p.registerOrchService()
+	return p
+}
+
+// Capsule returns the platform's capsule.
+func (p *Platform) Capsule() *Capsule { return p.cap }
+
+// Host returns the platform's host.
+func (p *Platform) Host() core.HostID { return p.ent.Host() }
+
+// invokeTimeout bounds platform-internal invocations.
+const invokeTimeout = 3 * time.Second
+
+// RegisterProducer publishes a media source device: factory is called
+// once per stream created from the device, and the resulting source is
+// pumped into the stream at its nominal rate on this host's clock.
+func (p *Platform) RegisterProducer(name string, rate float64, bound int, factory func() media.Source) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.producers[name]; dup {
+		return fmt.Errorf("platform: producer %q exists", name)
+	}
+	p.nextTSAP++
+	d := &device{name: name, tsap: p.nextTSAP, source: factory, rate: rate, bound: bound}
+	p.producers[name] = d
+	return p.ent.Attach(d.tsap, transport.UserCallbacks{
+		OnSendReady: func(s *transport.SendVC) { p.startPump(d, s) },
+	})
+}
+
+// RegisterConsumer publishes a media sink device; every frame delivered
+// on a stream terminating at the device is handed to consume.
+func (p *Platform) RegisterConsumer(name string, consume Consumer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.consumers[name]; dup {
+		return fmt.Errorf("platform: consumer %q exists", name)
+	}
+	p.nextTSAP++
+	d := &device{name: name, tsap: p.nextTSAP, consume: consume}
+	p.consumers[name] = d
+	return p.ent.Attach(d.tsap, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) { p.startDrain(d, rv) },
+	})
+}
+
+// startPump launches the producing application thread for one stream.
+func (p *Platform) startPump(d *device, s *transport.SendVC) {
+	stop := make(chan struct{})
+	p.mu.Lock()
+	p.streams[s.ID()] = &runningStream{send: s, stop: stop}
+	p.mu.Unlock()
+	go func() {
+		defer func() {
+			p.mu.Lock()
+			delete(p.streams, s.ID())
+			p.mu.Unlock()
+		}()
+		_ = media.Pump(p.ent.Clock(), d.source(), s, stop)
+	}()
+}
+
+// startDrain launches the consuming application thread for one stream.
+func (p *Platform) startDrain(d *device, rv *transport.RecvVC) {
+	go func() {
+		for {
+			u, err := rv.Read()
+			if err != nil {
+				return
+			}
+			f, err := media.UnmarshalFrame(u.Payload)
+			if err != nil {
+				continue
+			}
+			f.Event = u.Event
+			d.consume(f, p.ent.Clock().Now())
+		}
+	}()
+}
+
+// resolveArgs/resolveReply are the "_stream.resolve" exchange.
+type resolveArgs struct{ Name string }
+type resolveReply struct {
+	TSAP     core.TSAP
+	Rate     float64
+	Bound    int
+	Producer bool
+}
+
+func (p *Platform) opResolve(args []byte) ([]byte, error) {
+	var a resolveArgs
+	if err := decode(args, &a); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d, ok := p.producers[a.Name]; ok {
+		return encode(resolveReply{TSAP: d.tsap, Rate: d.rate, Bound: d.bound, Producer: true}), nil
+	}
+	if d, ok := p.consumers[a.Name]; ok {
+		return encode(resolveReply{TSAP: d.tsap}), nil
+	}
+	return nil, fmt.Errorf("no device %q", a.Name)
+}
+
+type closeArgs struct{ VC core.VCID }
+
+func (p *Platform) opClose(args []byte) ([]byte, error) {
+	var a closeArgs
+	if err := decode(args, &a); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	rs, ok := p.streams[a.VC]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("no stream %v", a.VC)
+	}
+	close(rs.stop)
+	if err := rs.send.Close(core.ReasonUserInitiated); err != nil {
+		return nil, err
+	}
+	return encode(struct{}{}), nil
+}
+
+type renegArgs struct {
+	VC core.VCID
+	Q  MediaQoS
+}
+type renegReply struct{ Contract qos.Contract }
+
+func (p *Platform) opReneg(args []byte) ([]byte, error) {
+	var a renegArgs
+	if err := decode(args, &a); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	rs, ok := p.streams[a.VC]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("no stream %v", a.VC)
+	}
+	contract, err := rs.send.Renegotiate(a.Q.Spec())
+	if err != nil {
+		return nil, err
+	}
+	return encode(renegReply{Contract: contract}), nil
+}
+
+// CreateStream connects a producer device to a consumer device using the
+// remote connection facility (§3.5): this platform is the initiator, and
+// the device hosts' platforms are the source and sink users. Media QoS
+// fields left zero adopt the producing device's parameters.
+func (p *Platform) CreateStream(src, dst DeviceRef, q MediaQoS) (StreamInfo, error) {
+	var rs resolveReply
+	body, err := p.cap.Invoke(Ref{Host: src.Host, Name: "_stream"}, "resolve",
+		encode(resolveArgs{Name: src.Name}), invokeTimeout)
+	if err != nil {
+		return StreamInfo{}, fmt.Errorf("resolving source %v: %w", src, err)
+	}
+	if err := decode(body, &rs); err != nil {
+		return StreamInfo{}, err
+	}
+	if !rs.Producer {
+		return StreamInfo{}, fmt.Errorf("platform: %v is not a producer", src)
+	}
+	var rd resolveReply
+	body, err = p.cap.Invoke(Ref{Host: dst.Host, Name: "_stream"}, "resolve",
+		encode(resolveArgs{Name: dst.Name}), invokeTimeout)
+	if err != nil {
+		return StreamInfo{}, fmt.Errorf("resolving sink %v: %w", dst, err)
+	}
+	if err := decode(body, &rd); err != nil {
+		return StreamInfo{}, err
+	}
+	if q.FrameRate == 0 {
+		q.FrameRate = rs.Rate
+	}
+	if q.FrameBound == 0 {
+		q.FrameBound = rs.Bound
+	}
+	tup := core.ConnectTuple{
+		Initiator: core.Addr{Host: p.Host(), TSAP: platformTSAP},
+		Source:    core.Addr{Host: src.Host, TSAP: rs.TSAP},
+		Dest:      core.Addr{Host: dst.Host, TSAP: rd.TSAP},
+	}
+	vc, contract, err := p.ent.ConnectRemote(tup, qos.ProfileCMRate, q.class(), q.Spec())
+	if err != nil {
+		return StreamInfo{}, err
+	}
+	return StreamInfo{
+		VC: vc, Source: src.Host, Sink: dst.Host,
+		Rate: q.FrameRate, Contract: contract,
+	}, nil
+}
+
+// CloseStream releases a stream from anywhere (remote release, §4.1.1).
+func (p *Platform) CloseStream(s StreamInfo) error {
+	_, err := p.cap.Invoke(Ref{Host: s.Source, Name: "_stream"}, "close",
+		encode(closeArgs{VC: s.VC}), invokeTimeout)
+	return err
+}
+
+// RenegotiateStream performs T-Renegotiate on a stream in media terms,
+// from anywhere.
+func (p *Platform) RenegotiateStream(s StreamInfo, q MediaQoS) (qos.Contract, error) {
+	body, err := p.cap.Invoke(Ref{Host: s.Source, Name: "_stream"}, "reneg",
+		encode(renegArgs{VC: s.VC, Q: q}), invokeTimeout)
+	if err != nil {
+		return qos.Contract{}, err
+	}
+	var r renegReply
+	if err := decode(body, &r); err != nil {
+		return qos.Contract{}, err
+	}
+	return r.Contract, nil
+}

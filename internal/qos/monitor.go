@@ -1,0 +1,145 @@
+package qos
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Report is the measured performance of a connection over one sample
+// period — the "measured performance of the negotiated QoS tolerance
+// levels within that sample period" carried by T-QoS.indication (Table 2).
+type Report struct {
+	// Period is the sample period the report covers.
+	Period time.Duration
+	// Delivered is the number of OSDUs delivered in the period.
+	Delivered int
+	// Lost is the number of OSDUs known lost or discarded in the period.
+	Lost int
+	// BitErrors is the number of residual bit errors detected.
+	BitErrors int
+	// Bytes is the total payload delivered, used for BER computation.
+	Bytes int
+	// Throughput is the measured delivery rate in OSDUs per second.
+	Throughput float64
+	// MeanDelay is the mean end-to-end delay of delivered OSDUs.
+	MeanDelay time.Duration
+	// MaxDelay is the largest delay observed.
+	MaxDelay time.Duration
+	// Jitter is the measured delay variation (max - min observed delay).
+	Jitter time.Duration
+	// PER is the measured packet error rate: Lost/(Delivered+Lost).
+	PER float64
+	// BER is the measured residual bit error rate.
+	BER float64
+}
+
+// Violations compares the report against a contract and returns the
+// parameters whose agreed tolerance levels were exceeded — the error-number
+// content of T-QoS.indication. A small slack fraction absorbs measurement
+// noise; the paper's soft guarantee only requires that violations be
+// indicated, not that marginal jitter trip instantly.
+func (r Report) Violations(c Contract, slack float64) []Param {
+	var v []Param
+	if r.Throughput < c.Throughput*(1-slack) {
+		v = append(v, Throughput)
+	}
+	// The delay bound is on nominal delay; observed maxima legitimately
+	// include the contracted jitter allowance on top of it.
+	if c.Delay > 0 && float64(r.MaxDelay) > float64(c.Delay+c.Jitter)*(1+slack) {
+		v = append(v, Delay)
+	}
+	if c.Jitter > 0 && float64(r.Jitter) > float64(c.Jitter)*(1+slack) {
+		v = append(v, Jitter)
+	}
+	if r.PER > c.PER+slack*0.01 {
+		v = append(v, PER)
+	}
+	if r.BER > c.BER+slack*1e-6 {
+		v = append(v, BER)
+	}
+	return v
+}
+
+// Monitor accumulates per-OSDU measurements and closes them into Reports
+// at the end of each sample period. It is the transport entity's
+// instrument behind the class-of-service error-indication facility
+// (§4.1.2). Monitors are safe for concurrent use.
+type Monitor struct {
+	mu        sync.Mutex
+	delivered int
+	lost      int
+	bitErrs   int
+	bytes     int
+	delaySum  time.Duration
+	delayMin  time.Duration
+	delayMax  time.Duration
+}
+
+// NewMonitor returns a monitor with an empty current period.
+func NewMonitor() *Monitor {
+	return &Monitor{delayMin: math.MaxInt64}
+}
+
+// Delivered records one delivered OSDU of the given size with the given
+// measured end-to-end delay.
+func (m *Monitor) Delivered(size int, delay time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.delivered++
+	m.bytes += size
+	m.delaySum += delay
+	if delay < m.delayMin {
+		m.delayMin = delay
+	}
+	if delay > m.delayMax {
+		m.delayMax = delay
+	}
+}
+
+// Lost records n OSDUs known lost, damaged beyond repair, or discarded.
+func (m *Monitor) Lost(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lost += n
+}
+
+// BitErrors records n residual bit errors passed to the user (classes
+// without correction).
+func (m *Monitor) BitErrors(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bitErrs += n
+}
+
+// Close ends the current sample period of the given length, returning its
+// Report and resetting the monitor for the next period.
+func (m *Monitor) Close(period time.Duration) Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := Report{
+		Period:    period,
+		Delivered: m.delivered,
+		Lost:      m.lost,
+		BitErrors: m.bitErrs,
+		Bytes:     m.bytes,
+	}
+	if period > 0 {
+		r.Throughput = float64(m.delivered) / period.Seconds()
+	}
+	if m.delivered > 0 {
+		r.MeanDelay = m.delaySum / time.Duration(m.delivered)
+		r.MaxDelay = m.delayMax
+		r.Jitter = m.delayMax - m.delayMin
+	}
+	if total := m.delivered + m.lost; total > 0 {
+		r.PER = float64(m.lost) / float64(total)
+	}
+	if bits := m.bytes * 8; bits > 0 {
+		r.BER = float64(m.bitErrs) / float64(bits)
+	}
+	m.delivered, m.lost, m.bitErrs, m.bytes = 0, 0, 0, 0
+	m.delaySum, m.delayMax = 0, 0
+	m.delayMin = math.MaxInt64
+	return r
+}

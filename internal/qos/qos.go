@@ -1,0 +1,389 @@
+// Package qos models the extended Quality of Service provision of §3.2:
+// the five CM connection parameters (throughput, end-to-end delay, delay
+// jitter, packet error rate, bit error rate), user tolerance levels with
+// preferred and worst-acceptable limits, full end-to-end option
+// negotiation, agreed contracts with soft guarantees, and the measurement
+// machinery behind T-QoS.indication (Table 2).
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Param identifies one of the negotiable QoS parameters of §3.2.
+type Param uint8
+
+// The five QoS parameters of §3.2.
+const (
+	Throughput Param = iota // OSDUs per second, higher is better
+	Delay                   // end-to-end delay, lower is better
+	Jitter                  // delay variance bound, lower is better
+	PER                     // packet error rate, lower is better
+	BER                     // bit error rate, lower is better
+	numParams
+)
+
+var paramNames = [...]string{
+	Throughput: "throughput",
+	Delay:      "delay",
+	Jitter:     "jitter",
+	PER:        "packet-error-rate",
+	BER:        "bit-error-rate",
+}
+
+// String returns the parameter's name.
+func (p Param) String() string {
+	if int(p) < len(paramNames) {
+		return paramNames[p]
+	}
+	return fmt.Sprintf("param(%d)", uint8(p))
+}
+
+// Tolerance expresses a user's preferred and worst-acceptable levels for a
+// parameter where larger values are better (throughput). The service may
+// settle anywhere in [Acceptable, Preferred].
+type Tolerance struct {
+	Preferred  float64
+	Acceptable float64
+}
+
+// Valid reports whether the tolerance is well formed (both non-negative,
+// acceptable not stricter than preferred).
+func (t Tolerance) Valid() bool {
+	return t.Acceptable >= 0 && t.Preferred >= t.Acceptable
+}
+
+// Contains reports whether v lies within the tolerance window.
+func (t Tolerance) Contains(v float64) bool {
+	return v >= t.Acceptable && v <= t.Preferred
+}
+
+// CeilTolerance expresses preferred and worst-acceptable levels for a
+// parameter where smaller values are better (delay, jitter, error rates).
+// The service may settle anywhere in [Preferred, Acceptable].
+type CeilTolerance struct {
+	Preferred  float64
+	Acceptable float64
+}
+
+// Valid reports whether the tolerance is well formed.
+func (t CeilTolerance) Valid() bool {
+	return t.Preferred >= 0 && t.Acceptable >= t.Preferred
+}
+
+// Contains reports whether v lies within the tolerance window.
+func (t CeilTolerance) Contains(v float64) bool {
+	return v >= t.Preferred && v <= t.Acceptable
+}
+
+// Guarantee selects how firmly the negotiated values are to be held
+// (§3.2): a hard guarantee reserves for the worst case and admission fails
+// if the reservation cannot be made; a soft guarantee admits the
+// connection but the provider monitors the contract and raises
+// T-QoS.indication when it is violated.
+type Guarantee uint8
+
+// Guarantee levels.
+const (
+	BestEffort Guarantee = iota // no reservation, no monitoring
+	Soft                        // reserve, monitor, indicate violations
+	Hard                        // reserve, refuse rather than degrade
+)
+
+var guaranteeNames = [...]string{BestEffort: "best-effort", Soft: "soft", Hard: "hard"}
+
+// String returns the guarantee level's name.
+func (g Guarantee) String() string {
+	if int(g) < len(guaranteeNames) {
+		return guaranteeNames[g]
+	}
+	return fmt.Sprintf("guarantee(%d)", uint8(g))
+}
+
+// Class is the §3.4 class-of-service selection for error control.
+type Class uint8
+
+// Error-control classes of service (§3.4).
+const (
+	// ClassDetect detects errors and discards damaged TPDUs silently.
+	ClassDetect Class = iota
+	// ClassDetectIndicate detects errors and indicates them to the user
+	// via QoS degradation reports without attempting recovery — the usual
+	// choice for loss-tolerant continuous media.
+	ClassDetectIndicate
+	// ClassDetectCorrect detects errors and corrects them by selective
+	// retransmission; suitable only where the added delay is acceptable.
+	ClassDetectCorrect
+	// ClassDetectCorrectIndicate corrects and additionally reports
+	// residual errors and degradations.
+	ClassDetectCorrectIndicate
+)
+
+var classNames = [...]string{
+	ClassDetect:                "detect",
+	ClassDetectIndicate:        "detect+indicate",
+	ClassDetectCorrect:         "detect+correct",
+	ClassDetectCorrectIndicate: "detect+correct+indicate",
+}
+
+// String returns the class's name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Indicates reports whether the class includes error indication.
+func (c Class) Indicates() bool {
+	return c == ClassDetectIndicate || c == ClassDetectCorrectIndicate
+}
+
+// Corrects reports whether the class includes error correction.
+func (c Class) Corrects() bool {
+	return c == ClassDetectCorrect || c == ClassDetectCorrectIndicate
+}
+
+// Profile selects the protocol profile from the "protocol matrix" of §3.4:
+// different protocols for different traffic types, chosen at connect time.
+type Profile uint8
+
+// Protocol profiles.
+const (
+	// ProfileCMRate is the continuous-media protocol with rate-based
+	// flow control ([Shepherd,91]); the default for streams.
+	ProfileCMRate Profile = iota
+	// ProfileWindow is a conventional window-based transport, provided
+	// as the comparison baseline the paper argues against for CM (§7).
+	ProfileWindow
+)
+
+var profileNames = [...]string{ProfileCMRate: "cm-rate", ProfileWindow: "window"}
+
+// String returns the profile's name.
+func (p Profile) String() string {
+	if int(p) < len(profileNames) {
+		return profileNames[p]
+	}
+	return fmt.Sprintf("profile(%d)", uint8(p))
+}
+
+// Spec is the QoS-tolerance-levels parameter of T-Connect and
+// T-Renegotiate (Tables 1 and 3): the user's window for every parameter,
+// plus the fixed per-connection properties negotiated alongside them.
+type Spec struct {
+	// Throughput is the OSDU rate window in OSDUs per second.
+	Throughput Tolerance
+	// MaxOSDUSize is the largest OSDU the user will submit, in bytes.
+	// It is interpreted as a lower bound on buffer allocation (§5).
+	MaxOSDUSize int
+	// Delay is the end-to-end delay window in seconds.
+	Delay CeilTolerance
+	// Jitter is the delay-variance window in seconds.
+	Jitter CeilTolerance
+	// PER is the packet error rate window (fraction of OSDUs lost or
+	// damaged beyond repair).
+	PER CeilTolerance
+	// BER is the residual bit error rate window.
+	BER CeilTolerance
+	// Guarantee selects hard/soft/best-effort treatment.
+	Guarantee Guarantee
+}
+
+// Validate checks that every tolerance window is well formed.
+func (s Spec) Validate() error {
+	switch {
+	case !s.Throughput.Valid():
+		return fmt.Errorf("qos: invalid throughput tolerance %+v", s.Throughput)
+	case s.Throughput.Acceptable <= 0 && s.Throughput.Preferred <= 0:
+		return errors.New("qos: throughput window is empty")
+	case s.MaxOSDUSize <= 0:
+		return fmt.Errorf("qos: MaxOSDUSize %d must be positive", s.MaxOSDUSize)
+	case !s.Delay.Valid():
+		return fmt.Errorf("qos: invalid delay tolerance %+v", s.Delay)
+	case !s.Jitter.Valid():
+		return fmt.Errorf("qos: invalid jitter tolerance %+v", s.Jitter)
+	case !s.PER.Valid() || s.PER.Acceptable > 1:
+		return fmt.Errorf("qos: invalid PER tolerance %+v", s.PER)
+	case !s.BER.Valid() || s.BER.Acceptable > 1:
+		return fmt.Errorf("qos: invalid BER tolerance %+v", s.BER)
+	}
+	return nil
+}
+
+// Contract is the outcome of negotiation: the agreed tolerance level for
+// every parameter, guaranteed (or soft-guaranteed) for the lifetime of the
+// connection (§3.2).
+type Contract struct {
+	// Throughput is the agreed OSDU rate in OSDUs per second.
+	Throughput float64
+	// MaxOSDUSize bounds OSDU size and buffer allocation, in bytes.
+	MaxOSDUSize int
+	// Delay is the agreed end-to-end delay bound.
+	Delay time.Duration
+	// Jitter is the agreed delay-variance bound.
+	Jitter time.Duration
+	// PER is the agreed packet error rate ceiling.
+	PER float64
+	// BER is the agreed residual bit error rate ceiling.
+	BER float64
+	// Guarantee records the negotiated firmness.
+	Guarantee Guarantee
+}
+
+// BytesPerSecond returns the bandwidth the contract requires from the
+// network, assuming worst-case OSDU sizes.
+func (c Contract) BytesPerSecond() float64 {
+	return c.Throughput * float64(c.MaxOSDUSize)
+}
+
+// Period returns the nominal inter-OSDU interval.
+func (c Contract) Period() time.Duration {
+	if c.Throughput <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / c.Throughput)
+}
+
+// Satisfies reports whether the contract lies within the user spec's
+// acceptable windows.
+func (c Contract) Satisfies(s Spec) bool {
+	return c.Throughput >= s.Throughput.Acceptable &&
+		c.MaxOSDUSize >= s.MaxOSDUSize &&
+		c.Delay.Seconds() <= s.Delay.Acceptable &&
+		c.Jitter.Seconds() <= s.Jitter.Acceptable &&
+		c.PER <= s.PER.Acceptable &&
+		c.BER <= s.BER.Acceptable
+}
+
+// Capability describes what a network path (or a responding user) can
+// offer: the best values attainable end to end. Negotiation settles each
+// parameter at the better of "preferred" and "attainable", failing if the
+// attainable value is outside the acceptable window.
+type Capability struct {
+	// MaxThroughput is the highest OSDU rate the path can carry for the
+	// requested MaxOSDUSize, in OSDUs per second.
+	MaxThroughput float64
+	// MinDelay is the lowest end-to-end delay attainable.
+	MinDelay time.Duration
+	// MinJitter is the lowest jitter bound attainable.
+	MinJitter time.Duration
+	// MinPER is the lowest packet error rate attainable.
+	MinPER float64
+	// MinBER is the lowest residual bit error rate attainable.
+	MinBER float64
+}
+
+// NegotiationError reports which parameter could not be settled inside the
+// user's acceptable window, and the best value that was attainable.
+type NegotiationError struct {
+	Param      Param
+	Attainable float64
+	Acceptable float64
+}
+
+// Error implements error.
+func (e *NegotiationError) Error() string {
+	return fmt.Sprintf("qos: %s unattainable: best %g vs acceptable %g",
+		e.Param, e.Attainable, e.Acceptable)
+}
+
+// Negotiate performs the provider side of full option negotiation (§4.1.1):
+// it settles each parameter of the user's spec against what the path can
+// attain. The result honours the user's preferred level where attainable
+// and weakens toward the acceptable bound otherwise; if even the
+// acceptable bound is unattainable the negotiation fails with a
+// *NegotiationError naming the offending parameter.
+func Negotiate(s Spec, cap Capability) (Contract, error) {
+	if err := s.Validate(); err != nil {
+		return Contract{}, err
+	}
+	c := Contract{MaxOSDUSize: s.MaxOSDUSize, Guarantee: s.Guarantee}
+
+	// Throughput: grant the preferred rate if the path can carry it,
+	// otherwise grant what the path can, if still acceptable.
+	switch {
+	case cap.MaxThroughput >= s.Throughput.Preferred:
+		c.Throughput = s.Throughput.Preferred
+	case cap.MaxThroughput >= s.Throughput.Acceptable:
+		c.Throughput = cap.MaxThroughput
+	default:
+		return Contract{}, &NegotiationError{Throughput, cap.MaxThroughput, s.Throughput.Acceptable}
+	}
+
+	settleCeil := func(p Param, tol CeilTolerance, best float64) (float64, error) {
+		switch {
+		case best <= tol.Preferred:
+			return tol.Preferred, nil
+		case best <= tol.Acceptable:
+			return best, nil
+		default:
+			return 0, &NegotiationError{p, best, tol.Acceptable}
+		}
+	}
+
+	d, err := settleCeil(Delay, s.Delay, cap.MinDelay.Seconds())
+	if err != nil {
+		return Contract{}, err
+	}
+	c.Delay = time.Duration(d * float64(time.Second))
+
+	j, err := settleCeil(Jitter, s.Jitter, cap.MinJitter.Seconds())
+	if err != nil {
+		return Contract{}, err
+	}
+	c.Jitter = time.Duration(j * float64(time.Second))
+
+	if c.PER, err = settleCeil(PER, s.PER, cap.MinPER); err != nil {
+		return Contract{}, err
+	}
+	if c.BER, err = settleCeil(BER, s.BER, cap.MinBER); err != nil {
+		return Contract{}, err
+	}
+	return c, nil
+}
+
+// Weaken lets the responding user counter-propose within its own spec
+// (the T-Connect.response step of full option negotiation). The result is
+// the contract weakened so it also satisfies the responder's acceptable
+// windows where the offered values were stricter than needed, or an error
+// if the offer lies outside the responder's acceptable windows entirely.
+//
+// Weakening never strengthens any parameter: the final contract satisfies
+// both parties or the negotiation fails.
+func Weaken(offer Contract, responder Spec) (Contract, error) {
+	if err := responder.Validate(); err != nil {
+		return Contract{}, err
+	}
+	c := offer
+	// The responder cannot accept more throughput than it prefers (it
+	// would waste reserved resources); clamp down to its preferred rate.
+	if c.Throughput > responder.Throughput.Preferred {
+		c.Throughput = responder.Throughput.Preferred
+	}
+	if c.Throughput < responder.Throughput.Acceptable {
+		return Contract{}, &NegotiationError{Throughput, c.Throughput, responder.Throughput.Acceptable}
+	}
+	if c.MaxOSDUSize < responder.MaxOSDUSize {
+		// Receiver needs buffers for the larger of the two views.
+		c.MaxOSDUSize = responder.MaxOSDUSize
+	}
+	type ceilCheck struct {
+		p   Param
+		v   float64
+		tol CeilTolerance
+	}
+	for _, cc := range []ceilCheck{
+		{Delay, c.Delay.Seconds(), responder.Delay},
+		{Jitter, c.Jitter.Seconds(), responder.Jitter},
+		{PER, c.PER, responder.PER},
+		{BER, c.BER, responder.BER},
+	} {
+		if cc.v > cc.tol.Acceptable {
+			return Contract{}, &NegotiationError{cc.p, cc.v, cc.tol.Acceptable}
+		}
+	}
+	return c, nil
+}

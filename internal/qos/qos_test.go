@@ -1,0 +1,436 @@
+package qos
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// videoSpec is a typical 25 fps video request used across tests.
+func videoSpec() Spec {
+	return Spec{
+		Throughput:  Tolerance{Preferred: 25, Acceptable: 15},
+		MaxOSDUSize: 64 * 1024,
+		Delay:       CeilTolerance{Preferred: 0.050, Acceptable: 0.250},
+		Jitter:      CeilTolerance{Preferred: 0.005, Acceptable: 0.050},
+		PER:         CeilTolerance{Preferred: 0, Acceptable: 0.05},
+		BER:         CeilTolerance{Preferred: 0, Acceptable: 1e-6},
+		Guarantee:   Soft,
+	}
+}
+
+// richPath can satisfy videoSpec at its preferred levels.
+func richPath() Capability {
+	return Capability{
+		MaxThroughput: 100,
+		MinDelay:      10 * time.Millisecond,
+		MinJitter:     time.Millisecond,
+		MinPER:        0,
+		MinBER:        0,
+	}
+}
+
+func TestValidateAcceptsTypicalSpec(t *testing.T) {
+	if err := videoSpec().Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Spec)
+	}{
+		{"inverted-throughput", func(s *Spec) { s.Throughput = Tolerance{Preferred: 1, Acceptable: 2} }},
+		{"zero-throughput-window", func(s *Spec) { s.Throughput = Tolerance{} }},
+		{"zero-osdu-size", func(s *Spec) { s.MaxOSDUSize = 0 }},
+		{"negative-osdu-size", func(s *Spec) { s.MaxOSDUSize = -1 }},
+		{"inverted-delay", func(s *Spec) { s.Delay = CeilTolerance{Preferred: 2, Acceptable: 1} }},
+		{"negative-jitter", func(s *Spec) { s.Jitter = CeilTolerance{Preferred: -1, Acceptable: 1} }},
+		{"per-above-one", func(s *Spec) { s.PER = CeilTolerance{Preferred: 0, Acceptable: 1.5} }},
+		{"ber-above-one", func(s *Spec) { s.BER = CeilTolerance{Preferred: 0, Acceptable: 2} }},
+	}
+	for _, tc := range cases {
+		s := videoSpec()
+		tc.mod(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted invalid spec", tc.name)
+		}
+	}
+}
+
+func TestNegotiateGrantsPreferredOnRichPath(t *testing.T) {
+	c, err := Negotiate(videoSpec(), richPath())
+	if err != nil {
+		t.Fatalf("Negotiate: %v", err)
+	}
+	if c.Throughput != 25 {
+		t.Errorf("throughput = %g, want preferred 25", c.Throughput)
+	}
+	if c.Delay != 50*time.Millisecond {
+		t.Errorf("delay = %v, want preferred 50ms", c.Delay)
+	}
+	if c.Jitter != 5*time.Millisecond {
+		t.Errorf("jitter = %v, want preferred 5ms", c.Jitter)
+	}
+	if c.PER != 0 || c.BER != 0 {
+		t.Errorf("error rates = %g/%g, want 0/0", c.PER, c.BER)
+	}
+	if c.Guarantee != Soft {
+		t.Errorf("guarantee = %v, want Soft", c.Guarantee)
+	}
+}
+
+func TestNegotiateWeakensTowardAcceptable(t *testing.T) {
+	path := Capability{
+		MaxThroughput: 20, // below preferred 25, above acceptable 15
+		MinDelay:      100 * time.Millisecond,
+		MinJitter:     20 * time.Millisecond,
+		MinPER:        0.01,
+		MinBER:        1e-9,
+	}
+	c, err := Negotiate(videoSpec(), path)
+	if err != nil {
+		t.Fatalf("Negotiate: %v", err)
+	}
+	if c.Throughput != 20 {
+		t.Errorf("throughput = %g, want attainable 20", c.Throughput)
+	}
+	if c.Delay != 100*time.Millisecond {
+		t.Errorf("delay = %v, want attainable 100ms", c.Delay)
+	}
+	if c.PER != 0.01 {
+		t.Errorf("PER = %g, want attainable 0.01", c.PER)
+	}
+	if !c.Satisfies(videoSpec()) {
+		t.Error("negotiated contract does not satisfy the requesting spec")
+	}
+}
+
+func TestNegotiateFailsOutsideAcceptable(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Capability)
+		want Param
+	}{
+		{"throughput", func(c *Capability) { c.MaxThroughput = 10 }, Throughput},
+		{"delay", func(c *Capability) { c.MinDelay = time.Second }, Delay},
+		{"jitter", func(c *Capability) { c.MinJitter = time.Second }, Jitter},
+		{"per", func(c *Capability) { c.MinPER = 0.5 }, PER},
+		{"ber", func(c *Capability) { c.MinBER = 0.01 }, BER},
+	}
+	for _, tc := range cases {
+		path := richPath()
+		tc.mod(&path)
+		_, err := Negotiate(videoSpec(), path)
+		var ne *NegotiationError
+		if !errors.As(err, &ne) {
+			t.Errorf("%s: err = %v, want *NegotiationError", tc.name, err)
+			continue
+		}
+		if ne.Param != tc.want {
+			t.Errorf("%s: failed param = %v, want %v", tc.name, ne.Param, tc.want)
+		}
+	}
+}
+
+func TestNegotiateRejectsInvalidSpec(t *testing.T) {
+	s := videoSpec()
+	s.MaxOSDUSize = 0
+	if _, err := Negotiate(s, richPath()); err == nil {
+		t.Fatal("Negotiate accepted invalid spec")
+	}
+}
+
+func TestWeakenClampsToResponderPreference(t *testing.T) {
+	offer, err := Negotiate(videoSpec(), richPath())
+	if err != nil {
+		t.Fatalf("Negotiate: %v", err)
+	}
+	resp := videoSpec()
+	resp.Throughput = Tolerance{Preferred: 20, Acceptable: 10}
+	final, err := Weaken(offer, resp)
+	if err != nil {
+		t.Fatalf("Weaken: %v", err)
+	}
+	if final.Throughput != 20 {
+		t.Errorf("final throughput = %g, want responder-preferred 20", final.Throughput)
+	}
+	if !final.Satisfies(resp) {
+		t.Error("final contract does not satisfy responder")
+	}
+}
+
+func TestWeakenRejectsUnacceptableOffer(t *testing.T) {
+	offer := Contract{
+		Throughput:  25,
+		MaxOSDUSize: 1024,
+		Delay:       500 * time.Millisecond, // responder accepts at most 250ms
+		Jitter:      time.Millisecond,
+	}
+	resp := videoSpec()
+	_, err := Weaken(offer, resp)
+	var ne *NegotiationError
+	if !errors.As(err, &ne) || ne.Param != Delay {
+		t.Fatalf("Weaken err = %v, want delay NegotiationError", err)
+	}
+}
+
+func TestWeakenGrowsOSDUSizeForReceiver(t *testing.T) {
+	offer := Contract{Throughput: 25, MaxOSDUSize: 512,
+		Delay: 10 * time.Millisecond, Jitter: time.Millisecond}
+	resp := videoSpec() // wants 64 KiB buffers
+	final, err := Weaken(offer, resp)
+	if err != nil {
+		t.Fatalf("Weaken: %v", err)
+	}
+	if final.MaxOSDUSize != 64*1024 {
+		t.Errorf("MaxOSDUSize = %d, want 65536", final.MaxOSDUSize)
+	}
+}
+
+func TestContractDerivedQuantities(t *testing.T) {
+	c := Contract{Throughput: 25, MaxOSDUSize: 1000}
+	if got := c.BytesPerSecond(); got != 25000 {
+		t.Errorf("BytesPerSecond = %g, want 25000", got)
+	}
+	if got := c.Period(); got != 40*time.Millisecond {
+		t.Errorf("Period = %v, want 40ms", got)
+	}
+	if (Contract{}).Period() != 0 {
+		t.Error("zero contract Period should be 0")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Throughput.String() != "throughput" || Param(99).String() == "" {
+		t.Error("Param strings")
+	}
+	if Soft.String() != "soft" || Hard.String() != "hard" {
+		t.Error("Guarantee strings")
+	}
+	if ClassDetectCorrectIndicate.String() != "detect+correct+indicate" {
+		t.Error("Class strings")
+	}
+	if ProfileCMRate.String() != "cm-rate" || ProfileWindow.String() != "window" {
+		t.Error("Profile strings")
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if ClassDetect.Indicates() || ClassDetect.Corrects() {
+		t.Error("ClassDetect should neither indicate nor correct")
+	}
+	if !ClassDetectIndicate.Indicates() || ClassDetectIndicate.Corrects() {
+		t.Error("ClassDetectIndicate predicates wrong")
+	}
+	if ClassDetectCorrect.Indicates() || !ClassDetectCorrect.Corrects() {
+		t.Error("ClassDetectCorrect predicates wrong")
+	}
+	if !ClassDetectCorrectIndicate.Indicates() || !ClassDetectCorrectIndicate.Corrects() {
+		t.Error("ClassDetectCorrectIndicate predicates wrong")
+	}
+}
+
+// quickSpec builds a valid Spec from arbitrary generator outputs.
+func quickSpec(tpPref, tpGap, dPref, dGap, jPref, jGap, perPref, perGap uint16) Spec {
+	tp := float64(tpPref%1000) + 1
+	return Spec{
+		Throughput:  Tolerance{Preferred: tp + float64(tpGap%100), Acceptable: tp},
+		MaxOSDUSize: 1 + int(tpPref%8192),
+		Delay: CeilTolerance{Preferred: float64(dPref%100) / 1000,
+			Acceptable: float64(dPref%100)/1000 + float64(dGap%500)/1000 + 0.001},
+		Jitter: CeilTolerance{Preferred: float64(jPref%50) / 1000,
+			Acceptable: float64(jPref%50)/1000 + float64(jGap%100)/1000 + 0.001},
+		PER: CeilTolerance{Preferred: 0, Acceptable: float64(perPref%100) / 100},
+		BER: CeilTolerance{Preferred: 0, Acceptable: float64(perGap%100) / 1e8},
+	}
+}
+
+// quickCap builds a Capability from arbitrary generator outputs.
+func quickCap(tp, d, j, per, ber uint16) Capability {
+	return Capability{
+		MaxThroughput: float64(tp % 2000),
+		MinDelay:      time.Duration(d%1000) * time.Millisecond,
+		MinJitter:     time.Duration(j%200) * time.Millisecond,
+		MinPER:        float64(per%100) / 100,
+		MinBER:        float64(ber%100) / 1e9,
+	}
+}
+
+// Property: whenever Negotiate succeeds, the contract satisfies the spec's
+// acceptable window for every parameter and never exceeds the preferred
+// throughput (no over-reservation).
+func TestNegotiateContractAlwaysWithinWindows(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i, x, y, z, w, v uint16) bool {
+		s := quickSpec(a, b, c, d, e, g, h, i)
+		pc := quickCap(x, y, z, w, v)
+		ct, err := Negotiate(s, pc)
+		if err != nil {
+			return true // failure is a legal outcome
+		}
+		if !ct.Satisfies(s) {
+			return false
+		}
+		if ct.Throughput > s.Throughput.Preferred {
+			return false
+		}
+		if ct.Delay.Seconds() < pc.MinDelay.Seconds()-1e-9 &&
+			ct.Delay.Seconds() < s.Delay.Preferred-1e-9 {
+			return false // cannot promise better than both path and preference
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Negotiate fails exactly when some parameter is unattainable at
+// the acceptable bound.
+func TestNegotiateFailureIsJustified(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i, x, y, z, w, v uint16) bool {
+		s := quickSpec(a, b, c, d, e, g, h, i)
+		pc := quickCap(x, y, z, w, v)
+		_, err := Negotiate(s, pc)
+		attainable := pc.MaxThroughput >= s.Throughput.Acceptable &&
+			pc.MinDelay.Seconds() <= s.Delay.Acceptable &&
+			pc.MinJitter.Seconds() <= s.Jitter.Acceptable &&
+			pc.MinPER <= s.PER.Acceptable &&
+			pc.MinBER <= s.BER.Acceptable
+		return (err == nil) == attainable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Weaken never strengthens a parameter beyond the original offer.
+func TestWeakenNeverStrengthens(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i, x, y, z, w, v uint16) bool {
+		s := quickSpec(a, b, c, d, e, g, h, i)
+		offer, err := Negotiate(s, quickCap(x, y, z, w, v))
+		if err != nil {
+			return true
+		}
+		resp := quickSpec(b, a, d, c, g, e, i, h)
+		final, err := Weaken(offer, resp)
+		if err != nil {
+			return true
+		}
+		return final.Throughput <= offer.Throughput &&
+			final.Delay >= offer.Delay-1 &&
+			final.Jitter >= offer.Jitter-1 &&
+			final.PER >= offer.PER &&
+			final.BER >= offer.BER
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorReport(t *testing.T) {
+	m := NewMonitor()
+	m.Delivered(1000, 10*time.Millisecond)
+	m.Delivered(1000, 30*time.Millisecond)
+	m.Delivered(1000, 20*time.Millisecond)
+	m.Lost(1)
+	m.BitErrors(4)
+	r := m.Close(time.Second)
+	if r.Delivered != 3 || r.Lost != 1 {
+		t.Fatalf("delivered/lost = %d/%d", r.Delivered, r.Lost)
+	}
+	if r.Throughput != 3 {
+		t.Errorf("throughput = %g, want 3", r.Throughput)
+	}
+	if r.MeanDelay != 20*time.Millisecond {
+		t.Errorf("mean delay = %v, want 20ms", r.MeanDelay)
+	}
+	if r.MaxDelay != 30*time.Millisecond {
+		t.Errorf("max delay = %v, want 30ms", r.MaxDelay)
+	}
+	if r.Jitter != 20*time.Millisecond {
+		t.Errorf("jitter = %v, want 20ms", r.Jitter)
+	}
+	if r.PER != 0.25 {
+		t.Errorf("PER = %g, want 0.25", r.PER)
+	}
+	if want := 4.0 / (3000 * 8); math.Abs(r.BER-want) > 1e-12 {
+		t.Errorf("BER = %g, want %g", r.BER, want)
+	}
+}
+
+func TestMonitorCloseResets(t *testing.T) {
+	m := NewMonitor()
+	m.Delivered(10, time.Millisecond)
+	m.Lost(5)
+	_ = m.Close(time.Second)
+	r := m.Close(time.Second)
+	if r.Delivered != 0 || r.Lost != 0 || r.Throughput != 0 || r.Jitter != 0 {
+		t.Fatalf("second report not empty: %+v", r)
+	}
+}
+
+func TestMonitorEmptyPeriod(t *testing.T) {
+	m := NewMonitor()
+	r := m.Close(time.Second)
+	if r.PER != 0 || r.BER != 0 || r.MeanDelay != 0 {
+		t.Fatalf("empty report has non-zero rates: %+v", r)
+	}
+}
+
+func TestReportViolations(t *testing.T) {
+	c := Contract{
+		Throughput: 25,
+		Delay:      100 * time.Millisecond,
+		Jitter:     10 * time.Millisecond,
+		PER:        0.01,
+		BER:        1e-6,
+	}
+	ok := Report{Throughput: 25, MaxDelay: 90 * time.Millisecond,
+		Jitter: 9 * time.Millisecond, PER: 0.005, BER: 0}
+	if v := ok.Violations(c, 0.05); len(v) != 0 {
+		t.Fatalf("compliant report flagged: %v", v)
+	}
+	bad := Report{Throughput: 10, MaxDelay: 300 * time.Millisecond,
+		Jitter: 50 * time.Millisecond, PER: 0.2, BER: 1e-3}
+	// 300ms max delay far exceeds the 100ms+10ms contract allowance.
+	v := bad.Violations(c, 0.05)
+	if len(v) != 5 {
+		t.Fatalf("violations = %v, want all five params", v)
+	}
+}
+
+func TestViolationsSlackAbsorbsNoise(t *testing.T) {
+	c := Contract{Throughput: 25, Jitter: 10 * time.Millisecond}
+	r := Report{Throughput: 24.5, Jitter: 10400 * time.Microsecond}
+	if v := r.Violations(c, 0.05); len(v) != 0 {
+		t.Fatalf("marginal report flagged with 5%% slack: %v", v)
+	}
+	if v := r.Violations(c, 0); len(v) == 0 {
+		t.Fatal("marginal report not flagged with zero slack")
+	}
+}
+
+func TestMonitorConcurrentUse(t *testing.T) {
+	m := NewMonitor()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				m.Delivered(100, time.Millisecond)
+				m.Lost(1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	r := m.Close(time.Second)
+	if r.Delivered != 4000 || r.Lost != 4000 {
+		t.Fatalf("concurrent counts = %d/%d, want 4000/4000", r.Delivered, r.Lost)
+	}
+}

@@ -1,0 +1,162 @@
+// Package resv performs network-level resource reservation along routed
+// paths, standing in for ST-II / SRP ([Topolcic,90], [Anderson,91]): the
+// paper assumes such a protocol guarantees resources at intermediate nodes
+// (§7), and the transport's QoS re-negotiation relies on being able to
+// alter link-level bandwidth reservations in place (§3.3).
+//
+// Reservations are atomic per path: either every hop admits the flow or no
+// hop keeps any of it. Adjusting a reservation (the re-negotiation path)
+// is equally atomic — on failure the original reservation stays intact,
+// matching the paper's rule that a rejected T-Renegotiate leaves the
+// existing VC untouched (§4.1.3).
+package resv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+)
+
+// ID names one path reservation.
+type ID uint32
+
+// Manager owns the reservation table for one network.
+type Manager struct {
+	net *netem.Network
+
+	mu    sync.Mutex
+	next  ID
+	table map[ID]*reservation
+}
+
+type reservation struct {
+	path []core.HostID
+	rate float64 // bytes per second per hop
+}
+
+// New returns a manager for net.
+func New(net *netem.Network) *Manager {
+	return &Manager{net: net, table: make(map[ID]*reservation)}
+}
+
+// Reserve admits a flow of bytesPerSec along the current route from src to
+// dst, reserving that rate on every hop. On any hop's refusal all prior
+// hops are rolled back and the admission error is returned. The returned
+// path is the hop sequence the reservation covers.
+func (m *Manager) Reserve(src, dst core.HostID, bytesPerSec float64) (ID, []core.HostID, error) {
+	if bytesPerSec <= 0 {
+		return 0, nil, errors.New("resv: rate must be positive")
+	}
+	path, err := m.net.Route(src, dst)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := m.reservePath(path, bytesPerSec); err != nil {
+		return 0, nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.next++
+	id := m.next
+	m.table[id] = &reservation{path: path, rate: bytesPerSec}
+	return id, path, nil
+}
+
+// reservePath reserves rate on each hop of path, rolling back on failure.
+func (m *Manager) reservePath(path []core.HostID, rate float64) error {
+	for i := 0; i+1 < len(path); i++ {
+		if err := m.net.Reserve(path[i], path[i+1], rate); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				_ = m.net.Release(path[j], path[j+1], rate)
+			}
+			return fmt.Errorf("resv: admission failed at hop %v->%v: %w",
+				path[i], path[i+1], err)
+		}
+	}
+	return nil
+}
+
+// releasePath releases rate on each hop of path.
+func (m *Manager) releasePath(path []core.HostID, rate float64) {
+	for i := 0; i+1 < len(path); i++ {
+		_ = m.net.Release(path[i], path[i+1], rate)
+	}
+}
+
+// Adjust changes an existing reservation to newRate. Increases are
+// admitted hop by hop and rolled back entirely on failure, leaving the
+// original reservation in force; decreases always succeed.
+func (m *Manager) Adjust(id ID, newRate float64) error {
+	if newRate <= 0 {
+		return errors.New("resv: rate must be positive")
+	}
+	m.mu.Lock()
+	r, ok := m.table[id]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("resv: unknown reservation %d", id)
+	}
+	switch {
+	case newRate > r.rate:
+		// Reserve only the delta so concurrent flows see a consistent
+		// view; rollback restores the previous state exactly.
+		if err := m.reservePath(r.path, newRate-r.rate); err != nil {
+			return err
+		}
+	case newRate < r.rate:
+		m.releasePath(r.path, r.rate-newRate)
+	}
+	m.mu.Lock()
+	r.rate = newRate
+	m.mu.Unlock()
+	return nil
+}
+
+// Release frees the reservation.
+func (m *Manager) Release(id ID) error {
+	m.mu.Lock()
+	r, ok := m.table[id]
+	if ok {
+		delete(m.table, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("resv: unknown reservation %d", id)
+	}
+	m.releasePath(r.path, r.rate)
+	return nil
+}
+
+// Path returns the hop sequence of a live reservation.
+func (m *Manager) Path(id ID) ([]core.HostID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.table[id]
+	if !ok {
+		return nil, fmt.Errorf("resv: unknown reservation %d", id)
+	}
+	out := make([]core.HostID, len(r.path))
+	copy(out, r.path)
+	return out, nil
+}
+
+// Rate returns the reserved rate of a live reservation in bytes/sec.
+func (m *Manager) Rate(id ID) (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.table[id]
+	if !ok {
+		return 0, fmt.Errorf("resv: unknown reservation %d", id)
+	}
+	return r.rate, nil
+}
+
+// Count returns the number of live reservations.
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.table)
+}

@@ -1,0 +1,202 @@
+package resv
+
+import (
+	"sync"
+	"testing"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+)
+
+// chain builds 1 -- 2 -- 3 with 1000 B/s links (900 reservable each).
+func chain(t *testing.T) (*netem.Network, *Manager) {
+	t.Helper()
+	n := netem.New(clock.System{})
+	for id := core.HostID(1); id <= 3; id++ {
+		if err := n.AddHost(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddLink(1, 2, netem.LinkConfig{Bandwidth: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink(2, 3, netem.LinkConfig{Bandwidth: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n, New(n)
+}
+
+func avail(t *testing.T, n *netem.Network, a, b core.HostID) float64 {
+	t.Helper()
+	v, err := n.Available(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestReserveAlongPath(t *testing.T) {
+	n, m := chain(t)
+	id, path, err := m.Reserve(1, 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path = %v", path)
+	}
+	if got := avail(t, n, 1, 2); got != 400 {
+		t.Errorf("hop 1->2 available = %g, want 400", got)
+	}
+	if got := avail(t, n, 2, 3); got != 400 {
+		t.Errorf("hop 2->3 available = %g, want 400", got)
+	}
+	r, err := m.Rate(id)
+	if err != nil || r != 500 {
+		t.Errorf("Rate = %g/%v", r, err)
+	}
+	p, err := m.Path(id)
+	if err != nil || len(p) != 3 {
+		t.Errorf("Path = %v/%v", p, err)
+	}
+	if m.Count() != 1 {
+		t.Errorf("Count = %d", m.Count())
+	}
+}
+
+func TestAdmissionFailureRollsBack(t *testing.T) {
+	n, m := chain(t)
+	// Consume most of hop 2->3 directly, leaving 100 B/s there.
+	if err := n.Reserve(2, 3, 800); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Reserve(1, 3, 500); err == nil {
+		t.Fatal("over-subscribing reservation succeeded")
+	}
+	// The first hop must have been rolled back completely.
+	if got := avail(t, n, 1, 2); got != 900 {
+		t.Fatalf("hop 1->2 available = %g after rollback, want 900", got)
+	}
+	if m.Count() != 0 {
+		t.Fatalf("Count = %d after failed reserve", m.Count())
+	}
+}
+
+func TestReleaseRestoresCapacity(t *testing.T) {
+	n, m := chain(t)
+	id, _, err := m.Reserve(1, 3, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := avail(t, n, 1, 2); got != 900 {
+		t.Fatalf("available = %g after release, want 900", got)
+	}
+	if err := m.Release(id); err == nil {
+		t.Fatal("double release succeeded")
+	}
+}
+
+func TestAdjustUpAndDown(t *testing.T) {
+	n, m := chain(t)
+	id, _, err := m.Reserve(1, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Adjust(id, 600); err != nil {
+		t.Fatal(err)
+	}
+	if got := avail(t, n, 1, 2); got != 300 {
+		t.Fatalf("available after grow = %g, want 300", got)
+	}
+	if err := m.Adjust(id, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := avail(t, n, 1, 2); got != 800 {
+		t.Fatalf("available after shrink = %g, want 800", got)
+	}
+	if r, _ := m.Rate(id); r != 100 {
+		t.Fatalf("rate = %g, want 100", r)
+	}
+}
+
+func TestAdjustFailureKeepsOriginal(t *testing.T) {
+	n, m := chain(t)
+	id, _, err := m.Reserve(1, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block hop 2->3 so growth to 900 cannot be admitted.
+	if err := n.Reserve(2, 3, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Adjust(id, 900); err == nil {
+		t.Fatal("impossible adjust succeeded")
+	}
+	// Original 300 intact on both hops; no partial delta left behind.
+	if got := avail(t, n, 1, 2); got != 600 {
+		t.Fatalf("hop 1->2 available = %g, want 600", got)
+	}
+	if got := avail(t, n, 2, 3); got != 100 {
+		t.Fatalf("hop 2->3 available = %g, want 100", got)
+	}
+	if r, _ := m.Rate(id); r != 300 {
+		t.Fatalf("rate = %g, want original 300", r)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, m := chain(t)
+	if _, _, err := m.Reserve(1, 3, 0); err == nil {
+		t.Error("zero-rate reserve succeeded")
+	}
+	if _, _, err := m.Reserve(1, 99, 10); err == nil {
+		t.Error("reserve to unknown host succeeded")
+	}
+	if err := m.Adjust(42, 10); err == nil {
+		t.Error("adjust of unknown id succeeded")
+	}
+	if err := m.Adjust(42, -1); err == nil {
+		t.Error("negative adjust succeeded")
+	}
+	if _, err := m.Path(42); err == nil {
+		t.Error("Path of unknown id succeeded")
+	}
+	if _, err := m.Rate(42); err == nil {
+		t.Error("Rate of unknown id succeeded")
+	}
+}
+
+func TestConcurrentReservationsNeverOversubscribe(t *testing.T) {
+	n, m := chain(t)
+	var wg sync.WaitGroup
+	granted := make(chan ID, 100)
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if id, _, err := m.Reserve(1, 3, 100); err == nil {
+				granted <- id
+			}
+		}()
+	}
+	wg.Wait()
+	close(granted)
+	count := 0
+	for range granted {
+		count++
+	}
+	// 900 reservable at 100 each: at most 9 grants.
+	if count > 9 {
+		t.Fatalf("%d grants of 100 B/s on a 900 B/s reservable path", count)
+	}
+	if got := avail(t, n, 1, 2); got != 900-float64(count*100) {
+		t.Fatalf("available = %g, want %d", got, 900-count*100)
+	}
+}

@@ -1,0 +1,467 @@
+package transport
+
+import (
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+	"cmtos/internal/pdu"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"fmt"
+	"sync"
+)
+
+// Entity is the transport protocol entity of one host. It owns that
+// host's TSAPs, the send and receive sides of its VCs, and the host's
+// attachment to the network emulator. All methods are safe for concurrent
+// use.
+type Entity struct {
+	host core.HostID
+	clk  clock.Clock
+	net  *netem.Network
+	rm   *resv.Manager
+	cfg  Config
+
+	mu        sync.Mutex
+	users     map[core.TSAP]UserCallbacks
+	sends     map[core.VCID]*SendVC
+	recvs     map[core.VCID]*RecvVC
+	nextVC    uint32
+	nextTok   uint32
+	nextGroup uint32
+	pending   map[uint32]chan *pdu.Control
+	served    map[servedKey]*pdu.Control // remote-connect replay cache
+	orchFn    func(from core.HostID, o *pdu.Orch)
+	dgramFn   map[core.TSAP]func(from core.HostID, d *pdu.Datagram)
+	traceFn   func(at string, p core.Primitive)
+	closed    bool
+}
+
+// NewEntity attaches a transport entity to host on net. The host must
+// already exist in the network; the entity installs itself as the host's
+// packet handler. rm is the network's shared reservation manager. clk is
+// this host's clock (possibly skewed relative to other hosts).
+func NewEntity(host core.HostID, clk clock.Clock, net *netem.Network, rm *resv.Manager, cfg Config) (*Entity, error) {
+	e := &Entity{
+		host:    host,
+		clk:     clk,
+		net:     net,
+		rm:      rm,
+		cfg:     cfg.withDefaults(),
+		users:   make(map[core.TSAP]UserCallbacks),
+		sends:   make(map[core.VCID]*SendVC),
+		recvs:   make(map[core.VCID]*RecvVC),
+		pending: make(map[uint32]chan *pdu.Control),
+		served:  make(map[servedKey]*pdu.Control),
+	}
+	if err := net.SetHandler(host, e.onPacket); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Host returns the entity's host ID.
+func (e *Entity) Host() core.HostID { return e.host }
+
+// Clock returns the entity's clock.
+func (e *Entity) Clock() clock.Clock { return e.clk }
+
+// Config returns the entity's effective configuration.
+func (e *Entity) Config() Config { return e.cfg }
+
+// Attach binds user callbacks to a TSAP. A TSAP may be attached once;
+// reattach after Detach.
+func (e *Entity) Attach(t core.TSAP, u UserCallbacks) error {
+	if t == 0 {
+		return fmt.Errorf("transport: TSAP 0 is reserved")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.users[t]; dup {
+		return fmt.Errorf("transport: %v already attached", t)
+	}
+	e.users[t] = u
+	return nil
+}
+
+// Detach removes a TSAP's callbacks.
+func (e *Entity) Detach(t core.TSAP) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.users, t)
+}
+
+// user returns the callbacks attached to t.
+func (e *Entity) user(t core.TSAP) (UserCallbacks, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u, ok := e.users[t]
+	return u, ok
+}
+
+// SetOrchHandler installs the receiver for orchestration PDUs addressed
+// to this host (used by the LLO).
+func (e *Entity) SetOrchHandler(fn func(from core.HostID, o *pdu.Orch)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.orchFn = fn
+}
+
+// SendOrch transmits an orchestration PDU to the LLO at dst over the
+// control-priority channel (§5's out-of-band connection with guaranteed
+// bandwidth).
+func (e *Entity) SendOrch(dst core.HostID, o *pdu.Orch) error {
+	return e.net.Send(netem.Packet{
+		Src: e.host, Dst: dst, Prio: netem.PrioControl,
+		Payload: o.Marshal(nil),
+	})
+}
+
+// SendDatagram transmits a connectionless user-data unit to a TSAP on a
+// remote host — the datagram service the platform's invocation protocol
+// uses (§2.2). Delivery is unacknowledged and may be lost.
+func (e *Entity) SendDatagram(dst core.HostID, d *pdu.Datagram) error {
+	return e.net.Send(netem.Packet{
+		Src: e.host, Dst: dst, Prio: netem.PrioControl,
+		Payload: d.Marshal(nil),
+	})
+}
+
+// SetDatagramHandler installs the receiver for datagrams addressed to
+// the given TSAP on this host, so independent services (the platform's
+// RPC, clock synchronisation, ...) can share the datagram channel.
+func (e *Entity) SetDatagramHandler(t core.TSAP, fn func(from core.HostID, d *pdu.Datagram)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dgramFn == nil {
+		e.dgramFn = make(map[core.TSAP]func(from core.HostID, d *pdu.Datagram))
+	}
+	e.dgramFn[t] = fn
+}
+
+// SetTrace installs a primitive-sequence hook used by the
+// figure-reproduction tests; at identifies the role observing the
+// primitive ("initiator", "source", "dest").
+func (e *Entity) SetTrace(fn func(at string, p core.Primitive)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.traceFn = fn
+}
+
+// EmitTrace reports a primitive observation through the installed trace
+// hook; the orchestration layer uses it so Fig. 6/7 sequences interleave
+// with transport primitives in one trace.
+func (e *Entity) EmitTrace(at string, p core.Primitive) { e.trace(at, p) }
+
+func (e *Entity) trace(at string, p core.Primitive) {
+	e.mu.Lock()
+	fn := e.traceFn
+	e.mu.Unlock()
+	if fn != nil {
+		fn(at, p)
+	}
+}
+
+// Close tears down every VC without peer notification and detaches from
+// the network.
+func (e *Entity) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	sends := make([]*SendVC, 0, len(e.sends))
+	for _, s := range e.sends {
+		sends = append(sends, s)
+	}
+	recvs := make([]*RecvVC, 0, len(e.recvs))
+	for _, r := range e.recvs {
+		recvs = append(recvs, r)
+	}
+	pend := e.pending
+	e.pending = make(map[uint32]chan *pdu.Control)
+	e.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+	for _, s := range sends {
+		s.teardown()
+	}
+	for _, r := range recvs {
+		r.teardown()
+	}
+}
+
+// SourceVC returns the send side of a VC whose source is this host.
+func (e *Entity) SourceVC(id core.VCID) (*SendVC, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sends[id]
+	return s, ok
+}
+
+// SinkVC returns the receive side of a VC whose sink is this host.
+func (e *Entity) SinkVC(id core.VCID) (*RecvVC, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.recvs[id]
+	return r, ok
+}
+
+// allocVC returns a network-unique VC ID (host in the high bits).
+func (e *Entity) allocVC() core.VCID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextVC++
+	return core.VCID(uint32(e.host)<<16 | e.nextVC&0xFFFF)
+}
+
+// servedKey identifies a remote-connect request for replay suppression.
+type servedKey struct {
+	host core.HostID
+	tok  uint32
+}
+
+// controlAttempts is how many times a confirmed control exchange is
+// retried before reporting a timeout; control PDUs cross the same lossy
+// network as everything else, so loss must be survivable.
+const controlAttempts = 4
+
+// request sends a control PDU and waits for the correlated reply,
+// retransmitting a few times before giving up. Peers treat repeated
+// requests idempotently.
+func (e *Entity) request(dst core.HostID, c *pdu.Control) (*pdu.Control, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.nextTok++
+	tok := e.nextTok
+	ch := make(chan *pdu.Control, 1)
+	e.pending[tok] = ch
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, tok)
+		e.mu.Unlock()
+	}()
+
+	c.Token = tok
+	attemptTimeout := e.cfg.ConnectTimeout / controlAttempts
+	for attempt := 0; attempt < controlAttempts; attempt++ {
+		if err := e.net.Send(netem.Packet{
+			Src: e.host, Dst: dst, Prio: netem.PrioControl,
+			Payload: c.Marshal(nil),
+		}); err != nil {
+			return nil, err
+		}
+		select {
+		case reply, ok := <-ch:
+			if !ok {
+				return nil, ErrClosed
+			}
+			return reply, nil
+		case <-e.clk.After(attemptTimeout):
+		}
+	}
+	return nil, ErrTimeout
+}
+
+// reply sends a correlated control reply.
+func (e *Entity) reply(dst core.HostID, c *pdu.Control) {
+	_ = e.net.Send(netem.Packet{
+		Src: e.host, Dst: dst, Prio: netem.PrioControl,
+		Payload: c.Marshal(nil),
+	})
+}
+
+// sendCtl sends an uncorrelated control PDU (DR, XON/XOFF, ...).
+func (e *Entity) sendCtl(dst core.HostID, c *pdu.Control) {
+	_ = e.net.Send(netem.Packet{
+		Src: e.host, Dst: dst, Prio: netem.PrioControl,
+		Payload: c.Marshal(nil),
+	})
+}
+
+// onPacket is the host's network receive handler. It must stay fast: data
+// TPDUs are handled inline (non-blocking ring puts), everything that can
+// call user code runs on its own goroutine.
+func (e *Entity) onPacket(p netem.Packet) {
+	m, err := pdu.Decode(p.Payload)
+	if err != nil {
+		// Damaged in transit. Attribute to the owning VC if the
+		// network tagged one; the receive side treats it as a
+		// detected error per its class of service.
+		if p.Flow != 0 {
+			if r, ok := e.SinkVC(p.Flow); ok {
+				r.onDamaged()
+			}
+		}
+		return
+	}
+	switch msg := m.(type) {
+	case *pdu.Data:
+		if r, ok := e.SinkVC(msg.VC); ok {
+			r.onData(msg)
+		}
+	case *pdu.Ack:
+		if s, ok := e.SourceVC(msg.VC); ok {
+			s.onAck(msg)
+		}
+	case *pdu.Orch:
+		e.mu.Lock()
+		fn := e.orchFn
+		e.mu.Unlock()
+		if fn != nil {
+			go fn(p.Src, msg)
+		}
+	case *pdu.QoSReport:
+		go e.onQoSReport(p.Src, msg)
+	case *pdu.Datagram:
+		e.mu.Lock()
+		dfn := e.dgramFn[msg.DstTSAP]
+		e.mu.Unlock()
+		if dfn != nil {
+			go dfn(p.Src, msg)
+		}
+	case *pdu.Control:
+		e.onControl(p.Src, msg)
+	}
+}
+
+// onControl dispatches control PDUs; handlers that may block or call user
+// code are spun off.
+func (e *Entity) onControl(from core.HostID, c *pdu.Control) {
+	switch c.Kind {
+	case pdu.KindConnConf, pdu.KindConnRej, pdu.KindRenegConf, pdu.KindRenegRej,
+		pdu.KindRemoteConnResult:
+		e.mu.Lock()
+		ch := e.pending[c.Token]
+		e.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- c:
+			default:
+			}
+		}
+	case pdu.KindConnReq:
+		go e.handleConnReq(from, c)
+	case pdu.KindRemoteConnReq:
+		go e.handleRemoteConnReq(from, c)
+	case pdu.KindRemoteDiscReq:
+		go e.handleRemoteDiscReq(c)
+	case pdu.KindRenegReq:
+		go e.handleRenegReq(from, c)
+	case pdu.KindDiscReq:
+		go e.handleDiscReq(c)
+	case pdu.KindDiscConf:
+		// Release confirmations need no action in this implementation.
+	case pdu.KindFlowOff:
+		if s, ok := e.SourceVC(c.VC); ok {
+			s.peerHold(true)
+		}
+	case pdu.KindFlowOn:
+		if s, ok := e.SourceVC(c.VC); ok {
+			s.peerHold(false)
+		}
+	}
+}
+
+// onQoSReport delivers T-QoS.indication at this host and relays it to the
+// remote initiator when the VC was remotely connected (§3.5 requires
+// management responses to reach both initiator and source).
+func (e *Entity) onQoSReport(from core.HostID, q *pdu.QoSReport) {
+	ind := QoSIndication{VC: q.VC, Tuple: q.Tuple, Report: q.Report, Violated: q.Violated}
+	if s, ok := e.SourceVC(q.VC); ok {
+		ind.Contract = s.Contract()
+	}
+	if e.host == q.Tuple.Source.Host {
+		e.trace("source", core.TQoSIndication)
+		if u, ok := e.user(q.Tuple.Source.TSAP); ok && u.OnQoS != nil {
+			u.OnQoS(ind)
+		}
+		if q.Tuple.Remote() {
+			_ = e.net.Send(netem.Packet{
+				Src: e.host, Dst: q.Tuple.Initiator.Host, Prio: netem.PrioControl,
+				Payload: q.Marshal(nil),
+			})
+		}
+		return
+	}
+	if e.host == q.Tuple.Initiator.Host {
+		e.trace("initiator", core.TQoSIndication)
+		if u, ok := e.user(q.Tuple.Initiator.TSAP); ok && u.OnQoS != nil {
+			u.OnQoS(ind)
+		}
+	}
+}
+
+// handleDiscReq tears down the local side of a VC at the peer's request.
+func (e *Entity) handleDiscReq(c *pdu.Control) {
+	if s, ok := e.SourceVC(c.VC); ok {
+		e.trace("source", core.TDisconnectIndication)
+		s.teardown()
+		if u, ok := e.user(s.tuple.Source.TSAP); ok && u.OnDisconnect != nil {
+			u.OnDisconnect(c.VC, c.Reason, false)
+		}
+	}
+	if r, ok := e.SinkVC(c.VC); ok {
+		e.trace("dest", core.TDisconnectIndication)
+		r.teardown()
+		if u, ok := e.user(r.tuple.Dest.TSAP); ok && u.OnDisconnect != nil {
+			u.OnDisconnect(c.VC, c.Reason, false)
+		}
+	}
+}
+
+// dropSend removes a send VC from the table — only if the caller is the
+// registered instance (a torn-down duplicate from a retransmitted CR must
+// not evict the live VC).
+func (e *Entity) dropSend(s *SendVC) {
+	e.mu.Lock()
+	if e.sends[s.id] == s {
+		delete(e.sends, s.id)
+	}
+	e.mu.Unlock()
+}
+
+// dropRecv removes a receive VC from the table, with the same
+// pointer-identity guard as dropSend.
+func (e *Entity) dropRecv(r *RecvVC) {
+	e.mu.Lock()
+	if e.recvs[r.id] == r {
+		delete(e.recvs, r.id)
+	}
+	e.mu.Unlock()
+}
+
+// pathSpecSize picks the packet size used for path capability estimates:
+// the wire unit is the smaller of the OSDU and the TPDU bound.
+func (e *Entity) pathSpecSize(s qos.Spec) int {
+	if s.MaxOSDUSize < e.cfg.MaxTPDU {
+		return s.MaxOSDUSize
+	}
+	return e.cfg.MaxTPDU
+}
+
+// bytesPerSecond estimates the network bandwidth a contract needs. It
+// deliberately uses the same per-OSDU cost model as the network's
+// PathCapability (OSDU size plus one network-header overhead), so a rate
+// granted by negotiation is always admissible by reservation.
+func (e *Entity) bytesPerSecond(c qos.Contract) float64 {
+	return c.Throughput * float64(c.MaxOSDUSize+32)
+}
+
+// capabilityFor computes what the path from src to dst can offer a flow
+// with the given spec, in OSDUs per second. A hair of headroom is shaved
+// off so float rounding can never make the granted rate unreservable.
+func (e *Entity) capabilityFor(src, dst core.HostID, spec qos.Spec) (qos.Capability, error) {
+	pc, err := e.net.PathCapability(src, dst, spec.MaxOSDUSize)
+	if err != nil {
+		return qos.Capability{}, err
+	}
+	pc.MaxThroughput *= 0.999
+	return pc, nil
+}

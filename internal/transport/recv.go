@@ -1,0 +1,673 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cmtos/internal/cbuf"
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+	"cmtos/internal/pdu"
+	"cmtos/internal/qos"
+	"cmtos/internal/rate"
+)
+
+// RecvVC is the sink side of a simplex virtual circuit: it reassembles
+// OSDUs from data TPDUs (preserving boundaries, §3.7), applies the class
+// of service's error control (§3.4), measures QoS per sample period and
+// raises T-QoS.indication (Table 2), matches registered event patterns in
+// the OPDU fields (§6.3.4), and hands OSDUs to the application through
+// the shared circular buffer whose delivery gate and pacing the low-level
+// orchestrator controls.
+type RecvVC struct {
+	e       *Entity
+	id      core.VCID
+	tuple   core.ConnectTuple
+	profile qos.Profile
+	class   qos.Class
+
+	ring *cbuf.Ring
+	mon  *qos.Monitor
+
+	mu       sync.Mutex
+	contract qos.Contract
+	closed   bool
+
+	// Delivery regulation (set by the LLO).
+	pacer atomic.Pointer[rate.Bucket]
+
+	// Event matching.
+	evMu     sync.Mutex
+	patterns map[core.EventPattern]bool
+	eventFn  func(core.OSDUSeq, core.EventPattern)
+
+	// Protocol receive state; touched only on the host delivery
+	// goroutine plus the periodic ack loop, hence its own lock.
+	rxMu        sync.Mutex
+	stalledAt   time.Time     // when the protocol last failed to deliver (zero: not stalled)
+	stalled     time.Duration // accumulated protocol stall (ring full) time
+	asm         map[core.OSDUSeq]*partial
+	pendingOut  map[core.OSDUSeq]cbuf.OSDU // complete, awaiting in-order delivery
+	nextDeliver core.OSDUSeq               // next OSDU seq owed to the ring
+	expected    uint64                     // next in-order TPDU seq
+	maxSeen     uint64                     // highest TPDU seq seen
+	missing     map[uint64]time.Time       // TPDU gaps (correcting classes)
+	inOrderRun  int                        // TPDUs since last ack
+	xoff        bool
+
+	delivered    atomic.Uint64 // OSDUs handed to the application
+	deliveredSeq atomic.Uint64 // sequence number just past the last delivered OSDU
+	lastEvent    atomic.Uint64 // most recent matched event value
+
+	reports struct {
+		sync.Mutex
+		last qos.Report
+		all  []qos.Report
+	}
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// partial is an OSDU under reassembly.
+type partial struct {
+	size    int
+	got     int
+	have    []bool
+	buf     []byte
+	event   core.EventPattern
+	sentAt  time.Time
+	started time.Time
+}
+
+func newRecvVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profile, class qos.Class, contract qos.Contract) *RecvVC {
+	return &RecvVC{
+		e:          e,
+		id:         id,
+		tuple:      tup,
+		profile:    profile,
+		class:      class,
+		ring:       cbuf.New(e.clk, e.cfg.RingSlots, contract.MaxOSDUSize),
+		mon:        qos.NewMonitor(),
+		contract:   contract,
+		patterns:   make(map[core.EventPattern]bool),
+		asm:        make(map[core.OSDUSeq]*partial),
+		pendingOut: make(map[core.OSDUSeq]cbuf.OSDU),
+		missing:    make(map[uint64]time.Time),
+		expected:   1, // TPDU sequence numbers start at 1
+		done:       make(chan struct{}),
+	}
+}
+
+// start launches the sink's periodic work: QoS sampling and, for
+// acknowledging classes, the ack/sweep loop.
+func (r *RecvVC) start() {
+	go r.sampleLoop()
+	go r.flowLoop()
+	if r.acks() {
+		go r.ackLoop()
+	}
+}
+
+// flowLoop maintains the XOFF lease: while backpressure is wanted it is
+// refreshed every RTO (the source's lease outlives two refresh losses),
+// and a lost XON is repaired on the next tick.
+func (r *RecvVC) flowLoop() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.e.clk.After(r.e.cfg.RTO):
+		}
+		r.rxMu.Lock()
+		r.flushInOrderLocked()
+		if r.xoff {
+			if r.xonReadyLocked() {
+				r.xoff = false
+				r.endStallLocked()
+				r.e.sendCtl(r.tuple.Source.Host, &pdu.Control{Kind: pdu.KindFlowOn, VC: r.id})
+			} else {
+				r.e.sendCtl(r.tuple.Source.Host, &pdu.Control{Kind: pdu.KindFlowOff, VC: r.id})
+			}
+		}
+		r.rxMu.Unlock()
+	}
+}
+
+// acks reports whether this VC generates acknowledgements.
+func (r *RecvVC) acks() bool {
+	return r.class.Corrects() || r.profile == qos.ProfileWindow
+}
+
+// ID returns the VC identifier.
+func (r *RecvVC) ID() core.VCID { return r.id }
+
+// Tuple returns the VC's connect addresses.
+func (r *RecvVC) Tuple() core.ConnectTuple { return r.tuple }
+
+// Class returns the VC's class of service.
+func (r *RecvVC) Class() qos.Class { return r.class }
+
+// Contract returns the currently agreed QoS contract.
+func (r *RecvVC) Contract() qos.Contract {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.contract
+}
+
+// Read removes the next OSDU in sequence order, blocking while the buffer
+// is empty, the delivery gate is held (primed), or the orchestrator's
+// delivery pacer withholds credit. The returned payload aliases buffer
+// storage and is valid until the next Read. Read is intended for a
+// single application thread per VC.
+func (r *RecvVC) Read() (cbuf.OSDU, error) {
+	u, err := r.ring.Get()
+	if err != nil {
+		return cbuf.OSDU{}, err
+	}
+	if b := r.pacer.Load(); b != nil {
+		b.Wait(1)
+	}
+	r.delivered.Add(1)
+	r.deliveredSeq.Store(uint64(u.Seq) + 1)
+	r.maybeXon()
+	return u, nil
+}
+
+// TryRead is Read without blocking.
+func (r *RecvVC) TryRead() (cbuf.OSDU, bool, error) {
+	u, ok, err := r.ring.TryGet()
+	if ok {
+		if b := r.pacer.Load(); b != nil {
+			b.Wait(1)
+		}
+		r.delivered.Add(1)
+		r.deliveredSeq.Store(uint64(u.Seq) + 1)
+		r.maybeXon()
+	}
+	return u, ok, err
+}
+
+// Delivered returns the count of OSDUs handed to the application.
+func (r *RecvVC) Delivered() uint64 { return r.delivered.Load() }
+
+// DeliveredSeq returns the OSDU sequence number one past the last OSDU
+// handed to the application — the "OSDU# actually delivered" of
+// Orch.Regulate.indication (Table 6).
+func (r *RecvVC) DeliveredSeq() core.OSDUSeq { return core.OSDUSeq(r.deliveredSeq.Load()) }
+
+// Buffered returns the number of OSDUs queued for the application.
+func (r *RecvVC) Buffered() int { return r.ring.Len() }
+
+// BufferCap returns the sink buffer's OSDU capacity.
+func (r *RecvVC) BufferCap() int { return r.ring.Cap() }
+
+// BufferFull reports whether the sink buffer is full — the LLO's "primed"
+// condition (§6.2.1).
+func (r *RecvVC) BufferFull() bool { return r.ring.Full() }
+
+// HoldDelivery closes the delivery gate so arriving OSDUs accumulate
+// without reaching the application (Orch.Prime / Orch.Stop at the sink).
+func (r *RecvVC) HoldDelivery() { r.ring.HoldDelivery() }
+
+// ReleaseDelivery opens the delivery gate (Orch.Start).
+func (r *RecvVC) ReleaseDelivery() { r.ring.ReleaseDelivery() }
+
+// DeliveryHeld reports whether the delivery gate is closed.
+func (r *RecvVC) DeliveryHeld() bool { return r.ring.Gated() }
+
+// FlushBuffered discards every undelivered OSDU (stop-then-seek cleanup,
+// §6.2.1) and returns how many were discarded.
+func (r *RecvVC) FlushBuffered() int {
+	n := r.ring.Flush()
+	r.maybeXon()
+	return n
+}
+
+// SetDeliveryRate installs (or, at rate 0, removes) an OSDU-per-second
+// pacer on delivery to the application — the sink LLO's mechanism for
+// releasing quanta "at times determined by the HLO initiated targets"
+// (§5, Fig. 6).
+func (r *RecvVC) SetDeliveryRate(osduPerSec float64) {
+	if osduPerSec <= 0 {
+		r.pacer.Store(nil)
+		return
+	}
+	if b := r.pacer.Load(); b != nil {
+		b.SetRate(osduPerSec)
+		return
+	}
+	r.pacer.Store(rate.NewBucket(r.e.clk, osduPerSec, 1))
+}
+
+// TakeBlockStats returns and resets the sink-side blocking times: how
+// long the protocol thread was unable to deliver into a full buffer and
+// how long the application thread blocked on an empty (or gated) one (§6.3.1.2).
+func (r *RecvVC) TakeBlockStats() (app, proto time.Duration) {
+	st := r.ring.TakeStats()
+	r.rxMu.Lock()
+	proto = r.stalled + st.ProducerBlocked
+	r.stalled = 0
+	if !r.stalledAt.IsZero() {
+		// Still stalled: charge the open stall to this period.
+		now := r.e.clk.Now()
+		proto += now.Sub(r.stalledAt)
+		r.stalledAt = now
+	}
+	r.rxMu.Unlock()
+	return st.ConsumerBlocked, proto
+}
+
+// RegisterEvent adds an event pattern to match against arriving OSDUs'
+// OPDU event fields (Orch.Event.request, §6.3.4).
+func (r *RecvVC) RegisterEvent(p core.EventPattern) {
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	r.patterns[p] = true
+}
+
+// UnregisterEvent removes a registered pattern.
+func (r *RecvVC) UnregisterEvent(p core.EventPattern) {
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	delete(r.patterns, p)
+}
+
+// SetEventHandler installs the callback raised when a registered pattern
+// matches (Orch.Event.indication). The handler runs on the receive path
+// and must be brief.
+func (r *RecvVC) SetEventHandler(fn func(core.OSDUSeq, core.EventPattern)) {
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	r.eventFn = fn
+}
+
+// LastReport returns the most recent sample-period QoS report.
+func (r *RecvVC) LastReport() qos.Report {
+	r.reports.Lock()
+	defer r.reports.Unlock()
+	return r.reports.last
+}
+
+// Reports returns all sample-period reports gathered so far.
+func (r *RecvVC) Reports() []qos.Report {
+	r.reports.Lock()
+	defer r.reports.Unlock()
+	out := make([]qos.Report, len(r.reports.all))
+	copy(out, r.reports.all)
+	return out
+}
+
+// onDamaged handles a TPDU that failed its checksum (or arrived marked
+// damaged by the network): every class detects; the error surfaces as a
+// bit-error count and, for correcting classes, the TPDU-gap machinery
+// recovers the data.
+func (r *RecvVC) onDamaged() {
+	r.mon.BitErrors(1)
+}
+
+// onData is the receive path for one data TPDU. It runs on the host's
+// delivery goroutine and never blocks.
+func (r *RecvVC) onData(d *pdu.Data) {
+	r.rxMu.Lock()
+	r.trackTPDU(d.Seq)
+
+	p := r.asm[d.OSDU]
+	if p == nil {
+		if d.OSDU < r.nextDeliver {
+			// Duplicate of an OSDU already delivered or declared dead.
+			r.rxMu.Unlock()
+			return
+		}
+		p = &partial{
+			size:    int(d.OSDUSize),
+			have:    make([]bool, d.FragCount),
+			buf:     make([]byte, d.OSDUSize),
+			event:   d.Event,
+			sentAt:  d.SentAt,
+			started: r.e.clk.Now(),
+		}
+		r.asm[d.OSDU] = p
+	}
+	if int(d.Frag) < len(p.have) && !p.have[d.Frag] {
+		p.have[d.Frag] = true
+		p.got++
+		copy(p.buf[int(d.Frag)*r.e.cfg.MaxTPDU:], d.Payload)
+	}
+	if p.got == len(p.have) {
+		delete(r.asm, d.OSDU)
+		r.pendingOut[d.OSDU] = cbuf.OSDU{Seq: d.OSDU, Event: p.event, Payload: p.buf[:p.size]}
+		r.mon.Delivered(p.size, r.e.clk.Since(p.sentAt))
+	}
+	if !r.class.Corrects() {
+		// Without retransmission an OSDU older than a completed one can
+		// never finish: discard stale partials so delivery advances.
+		for seq := range r.asm {
+			if seq < d.OSDU {
+				delete(r.asm, seq)
+			}
+		}
+	}
+	r.flushInOrderLocked()
+	r.rxMu.Unlock()
+}
+
+// trackTPDU advances the in-order TPDU tracking and, for acknowledging
+// classes, maintains the missing set and triggers acks. Caller holds rxMu.
+func (r *RecvVC) trackTPDU(seq uint64) {
+	newGap := false
+	switch {
+	case seq == r.expected:
+		r.expected++
+		// A retransmission may have already filled later gaps; advance
+		// past anything no longer missing.
+		for len(r.missing) == 0 && r.expected <= r.maxSeen {
+			r.expected++
+		}
+	case seq > r.expected:
+		if r.acks() {
+			now := r.e.clk.Now()
+			for s := r.expected; s < seq; s++ {
+				if _, dup := r.missing[s]; !dup {
+					r.missing[s] = now
+					newGap = true
+				}
+			}
+		}
+		r.expected = seq + 1
+	default: // retransmission filling a gap
+		delete(r.missing, seq)
+	}
+	if seq > r.maxSeen {
+		r.maxSeen = seq
+	}
+	if r.acks() {
+		r.inOrderRun++
+		if r.inOrderRun >= r.e.cfg.AckEvery || (newGap && r.class.Corrects()) {
+			r.sendAckLocked()
+		}
+	}
+}
+
+// sendAckLocked emits a cumulative + selective acknowledgement. Caller
+// holds rxMu.
+func (r *RecvVC) sendAckLocked() {
+	r.inOrderRun = 0
+	a := &pdu.Ack{VC: r.id, CumSeq: r.maxSeen + 1, Window: uint32(r.e.cfg.WindowSize)}
+	if r.class.Corrects() {
+		for s := range r.missing {
+			a.Naks = append(a.Naks, s)
+			if len(a.Naks) >= 32 {
+				break
+			}
+		}
+	}
+	_ = r.e.net.Send(netem.Packet{
+		Src: r.tuple.Dest.Host, Dst: r.tuple.Source.Host,
+		Flow: r.id, Prio: netem.PrioControl, Payload: a.Marshal(nil),
+	})
+}
+
+// flushInOrderLocked moves complete OSDUs into the ring in sequence
+// order, skipping sequence numbers declared dead and pausing while the
+// ring is full (the pendingOut map is the elastic reorder stage; Read
+// nudges it as slots free). Caller holds rxMu.
+func (r *RecvVC) flushInOrderLocked() {
+	for {
+		u, ok := r.pendingOut[r.nextDeliver]
+		if !ok {
+			if r.class.Corrects() {
+				// Wait for retransmission; the sweep declares death.
+				return
+			}
+			// Non-correcting: if newer OSDUs are complete, the head is
+			// gone for good — account it lost and skip forward.
+			next, okNext := r.oldestPendingLocked()
+			if !okNext {
+				return
+			}
+			lost := int(next - r.nextDeliver)
+			r.mon.Lost(lost)
+			r.nextDeliver = next
+			continue
+		}
+		if !r.deliverLocked(u) {
+			if r.stalledAt.IsZero() {
+				r.stalledAt = r.e.clk.Now()
+			}
+			r.overflowLocked()
+			return
+		}
+		if !r.xoff {
+			r.endStallLocked()
+		}
+		delete(r.pendingOut, r.nextDeliver)
+		r.nextDeliver++
+	}
+}
+
+// overflowLocked bounds the reorder stage: beyond 4x the ring capacity
+// the oldest pending OSDUs are discarded and counted lost. Caller holds
+// rxMu.
+func (r *RecvVC) overflowLocked() {
+	limit := 4 * r.ring.Cap()
+	for len(r.pendingOut) > limit {
+		seq, ok := r.oldestPendingLocked()
+		if !ok {
+			return
+		}
+		delete(r.pendingOut, seq)
+		r.mon.Lost(1)
+		if seq >= r.nextDeliver {
+			r.nextDeliver = seq + 1
+		}
+	}
+}
+
+// oldestPendingLocked returns the lowest completed-but-undelivered OSDU
+// sequence. Caller holds rxMu.
+func (r *RecvVC) oldestPendingLocked() (core.OSDUSeq, bool) {
+	var best core.OSDUSeq
+	found := false
+	for s := range r.pendingOut {
+		if !found || s < best {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// deliverLocked matches events and places one OSDU into the shared
+// buffer, reporting whether it fit; callers keep OSDUs that do not fit in
+// the reorder stage. Caller holds rxMu.
+func (r *RecvVC) deliverLocked(u cbuf.OSDU) bool {
+	ok, err := r.ring.TryPut(u)
+	if err != nil {
+		return true // closed: discard silently, the VC is going away
+	}
+	if !ok {
+		// Full: make sure the source is backpressured and keep the OSDU.
+		r.sendXoffLocked()
+		return false
+	}
+	if u.Event != 0 {
+		r.evMu.Lock()
+		fn := r.eventFn
+		hit := r.patterns[u.Event]
+		r.evMu.Unlock()
+		if hit {
+			r.lastEvent.Store(uint64(u.Event))
+			if fn != nil {
+				fn(u.Seq, u.Event)
+			}
+		}
+	}
+	// Backpressure early: leave headroom for TPDUs already in flight.
+	if free := r.ring.Free(); free <= r.xoffThreshold() {
+		r.sendXoffLocked()
+	}
+	return true
+}
+
+// xoffThreshold is the free-slot level at which backpressure engages.
+// While the delivery gate is held (priming), the buffer must fill
+// completely before the source is blocked — that is the whole point of
+// Orch.Prime (§6.2.1) — so the threshold drops to zero.
+func (r *RecvVC) xoffThreshold() int {
+	if r.ring.Gated() {
+		return 0
+	}
+	th := r.ring.Cap() / 4
+	if th < 2 {
+		th = 2
+	}
+	return th
+}
+
+// sendXoffLocked engages source backpressure once. XOFF time counts as
+// protocol stall: while engaged, the sink protocol thread is logically
+// blocked on a full buffer, even though the implementation parks the
+// backpressure at the source instead of blocking a goroutine. Caller
+// holds rxMu.
+func (r *RecvVC) sendXoffLocked() {
+	if r.xoff {
+		return
+	}
+	r.xoff = true
+	if r.stalledAt.IsZero() {
+		r.stalledAt = r.e.clk.Now()
+	}
+	r.e.sendCtl(r.tuple.Source.Host, &pdu.Control{Kind: pdu.KindFlowOff, VC: r.id})
+}
+
+// endStallLocked closes an open stall period. Caller holds rxMu.
+func (r *RecvVC) endStallLocked() {
+	if !r.stalledAt.IsZero() {
+		r.stalled += r.e.clk.Since(r.stalledAt)
+		r.stalledAt = time.Time{}
+	}
+}
+
+// maybeXon flushes any OSDUs parked in the reorder stage into freed ring
+// slots and lifts backpressure once the buffer has drained below half.
+func (r *RecvVC) maybeXon() {
+	r.rxMu.Lock()
+	defer r.rxMu.Unlock()
+	r.flushInOrderLocked()
+	if r.xoff && r.xonReadyLocked() {
+		r.xoff = false
+		r.endStallLocked()
+		r.e.sendCtl(r.tuple.Source.Host, &pdu.Control{Kind: pdu.KindFlowOn, VC: r.id})
+	}
+}
+
+// xonReadyLocked reports whether backpressure can be lifted: the ring has
+// drained below half and nothing is parked in the reorder stage. Caller
+// holds rxMu.
+func (r *RecvVC) xonReadyLocked() bool {
+	return r.ring.Free() >= r.ring.Cap()/2 && len(r.pendingOut) == 0
+}
+
+// ackLoop periodically acknowledges and sweeps stale state for
+// acknowledging classes: it re-requests long-missing TPDUs and declares
+// dead OSDUs whose retransmissions never arrived.
+func (r *RecvVC) ackLoop() {
+	deadAfter := 4 * r.e.cfg.RTO
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.e.clk.After(r.e.cfg.RTO):
+		}
+		r.rxMu.Lock()
+		if r.maxSeen > 0 {
+			r.sendAckLocked()
+		}
+		if r.class.Corrects() {
+			now := r.e.clk.Now()
+			for s, since := range r.missing {
+				if now.Sub(since) > deadAfter {
+					delete(r.missing, s)
+				}
+			}
+			// Declare head-of-line OSDUs dead when their reassembly has
+			// stalled past the dead horizon.
+			for seq, p := range r.asm {
+				if now.Sub(p.started) > deadAfter {
+					delete(r.asm, seq)
+				}
+			}
+			// If the head OSDU can no longer complete — nothing of it
+			// is under reassembly and no missing TPDU (which a
+			// retransmission could still fill) remains — skip past it.
+			if next, ok := r.oldestPendingLocked(); ok && len(r.missing) == 0 && next > r.nextDeliver {
+				headStalled := true
+				for s := r.nextDeliver; s < next; s++ {
+					if _, inAsm := r.asm[s]; inAsm {
+						headStalled = false
+						break
+					}
+				}
+				if headStalled {
+					r.mon.Lost(int(next - r.nextDeliver))
+					r.nextDeliver = next
+					r.flushInOrderLocked()
+				}
+			}
+		}
+		r.rxMu.Unlock()
+	}
+}
+
+// sampleLoop closes the QoS monitor every sample period and raises
+// T-QoS.indication when the class indicates and the contract was violated
+// (Table 2).
+func (r *RecvVC) sampleLoop() {
+	period := r.e.cfg.SamplePeriod
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.e.clk.After(period):
+		}
+		rep := r.mon.Close(period)
+		r.reports.Lock()
+		r.reports.last = rep
+		r.reports.all = append(r.reports.all, rep)
+		r.reports.Unlock()
+
+		contract := r.Contract()
+		violated := rep.Violations(contract, r.e.cfg.QoSSlack)
+		if len(violated) == 0 || !r.class.Indicates() {
+			continue
+		}
+		// Local T-QoS.indication at the sink user ...
+		r.e.trace("dest", core.TQoSIndication)
+		if u, ok := r.e.user(r.tuple.Dest.TSAP); ok && u.OnQoS != nil {
+			u.OnQoS(QoSIndication{
+				VC: r.id, Tuple: r.tuple, Contract: contract,
+				Report: rep, Violated: violated,
+			})
+		}
+		// ... and relay toward source (and initiator, via the source).
+		q := &pdu.QoSReport{VC: r.id, Tuple: r.tuple, Report: rep, Violated: violated}
+		_ = r.e.net.Send(netem.Packet{
+			Src: r.tuple.Dest.Host, Dst: r.tuple.Source.Host,
+			Prio: netem.PrioControl, Payload: q.Marshal(nil),
+		})
+	}
+}
+
+// teardown stops the VC's goroutines and frees its resources. Safe to
+// call more than once.
+func (r *RecvVC) teardown() {
+	r.closeOnce.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		r.mu.Unlock()
+		close(r.done)
+		r.ring.Close()
+		r.e.dropRecv(r)
+	})
+}

@@ -1,0 +1,463 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cmtos/internal/cbuf"
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+	"cmtos/internal/pdu"
+	"cmtos/internal/qos"
+	"cmtos/internal/rate"
+	"cmtos/internal/resv"
+)
+
+// SendVC is the source side of a simplex virtual circuit. The application
+// thread queues OSDUs with Write into the shared circular buffer (§3.7);
+// the protocol thread drains the buffer, segments OSDUs into TPDUs, paces
+// them with the profile's flow-control discipline, and retransmits per the
+// class of service. The exported regulation hooks (Hold, DropQueued,
+// ScaleRate, block statistics) are driven by the low-level orchestrator.
+type SendVC struct {
+	e         *Entity
+	id        core.VCID
+	tuple     core.ConnectTuple
+	profile   qos.Profile
+	class     qos.Class
+	resvID    resv.ID
+	resvExtra []resv.ID   // multicast: one reservation per branch
+	group     core.HostID // multicast group address (0 = unicast)
+
+	ring *cbuf.Ring
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	contract qos.Contract
+	gates    gateBit
+	nextSeq  core.OSDUSeq
+	tpduSeq  uint64
+	lastCum  uint64 // highest cumulative ack seen (window credit)
+	closed   bool
+
+	bucket *rate.Bucket // cm-rate profile pacing (bytes/sec)
+	window *rate.Window // window profile credit / correcting-class bound
+
+	written atomic.Uint64 // OSDUs accepted by Write
+	sent    atomic.Uint64 // OSDUs fully transmitted
+	sentSeq atomic.Uint64 // sequence number just past the last transmitted OSDU
+	dropped atomic.Uint64 // OSDUs discarded at the source by regulation
+
+	retrans struct {
+		sync.Mutex
+		buf map[uint64]retransEntry
+	}
+
+	// xoffTimer expires a peer-flow-control hold if the sink's XON is
+	// lost; the sink refreshes XOFF while it still needs the pause.
+	xoffMu    sync.Mutex
+	xoffTimer clock.Timer
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+type retransEntry struct {
+	data   *pdu.Data
+	sentAt time.Time
+}
+
+func newSendVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profile, class qos.Class, contract qos.Contract, resvID resv.ID) *SendVC {
+	s := &SendVC{
+		e:       e,
+		id:      id,
+		tuple:   tup,
+		profile: profile,
+		class:   class,
+		resvID:  resvID,
+		ring:    cbuf.New(e.clk, e.cfg.RingSlots, contract.MaxOSDUSize),
+		done:    make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.contract = contract
+	// Rate-based flow control paces logical units: the contract's
+	// throughput is an OSDU rate, and "at each time period there will
+	// always be something to transmit (one logical unit)" (§3.7) — so
+	// the bucket is denominated in OSDUs, with a two-OSDU burst.
+	s.bucket = rate.NewBucket(e.clk, contract.Throughput, 2)
+	if profile == qos.ProfileWindow {
+		s.window = rate.NewWindow(e.cfg.WindowSize)
+	} else if class.Corrects() {
+		s.window = rate.NewWindow(e.cfg.RetransBuf)
+	}
+	if class.Corrects() {
+		s.retrans.buf = make(map[uint64]retransEntry)
+	}
+	return s
+}
+
+// start launches the protocol threads.
+func (s *SendVC) start() {
+	go s.sendLoop()
+	if s.class.Corrects() {
+		go s.retransmitLoop()
+	}
+}
+
+// ID returns the VC identifier.
+func (s *SendVC) ID() core.VCID { return s.id }
+
+// Tuple returns the VC's connect addresses.
+func (s *SendVC) Tuple() core.ConnectTuple { return s.tuple }
+
+// Class returns the VC's class of service.
+func (s *SendVC) Class() qos.Class { return s.class }
+
+// Profile returns the VC's protocol profile.
+func (s *SendVC) Profile() qos.Profile { return s.profile }
+
+// Contract returns the currently agreed QoS contract.
+func (s *SendVC) Contract() qos.Contract {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.contract
+}
+
+// Write queues one OSDU with an optional event-field value, blocking
+// while the shared buffer is full (that blocking time is the
+// "application blocked at source" statistic of §6.3.1.2). It returns the
+// OSDU sequence number assigned. Write is intended for a single
+// application thread per VC.
+func (s *SendVC) Write(payload []byte, event core.EventPattern) (core.OSDUSeq, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	s.mu.Unlock()
+	if err := s.ring.Put(cbuf.OSDU{Seq: seq, Event: event, Payload: payload}); err != nil {
+		return 0, err
+	}
+	s.written.Add(1)
+	return seq, nil
+}
+
+// Written returns the count of OSDUs accepted by Write.
+func (s *SendVC) Written() uint64 { return s.written.Load() }
+
+// Sent returns the count of OSDUs fully transmitted.
+func (s *SendVC) Sent() uint64 { return s.sent.Load() }
+
+// SentSeq returns the OSDU sequence number one past the last OSDU fully
+// transmitted. It leads Sent() once regulation drops OSDUs at the source.
+func (s *SendVC) SentSeq() core.OSDUSeq { return core.OSDUSeq(s.sentSeq.Load()) }
+
+// Dropped returns the count of OSDUs discarded at the source by
+// regulation (Orch.Regulate's max-drop budget).
+func (s *SendVC) Dropped() uint64 { return s.dropped.Load() }
+
+// Queued returns the number of OSDUs waiting in the source buffer.
+func (s *SendVC) Queued() int { return s.ring.Len() }
+
+// DropQueued discards up to max queued OSDUs, newest first, returning how
+// many were dropped — the source-side catch-up compensation of §6.3.1.1.
+func (s *SendVC) DropQueued(max int) int {
+	n := 0
+	for n < max {
+		if _, ok := s.ring.DropNewest(); !ok {
+			break
+		}
+		n++
+	}
+	s.dropped.Add(uint64(n))
+	return n
+}
+
+// FlushQueued discards every queued OSDU (stop-then-seek buffer clean,
+// §6.2.1) and returns how many were discarded.
+func (s *SendVC) FlushQueued() int { return s.ring.Flush() }
+
+// Hold freezes transmission (Orch.Stop / ahead-of-target blocking).
+func (s *SendVC) Hold() { s.setGate(gateOrch, true) }
+
+// Release resumes transmission.
+func (s *SendVC) Release() { s.setGate(gateOrch, false) }
+
+// Held reports whether an orchestration hold is in force.
+func (s *SendVC) Held() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gates&gateOrch != 0
+}
+
+// ScaleRate adjusts the pacing rate to factor × the contract rate — the
+// fine-grained speed correction available to the orchestration layer.
+// factor 1 restores the contract rate.
+func (s *SendVC) ScaleRate(factor float64) {
+	if factor <= 0 {
+		return
+	}
+	s.mu.Lock()
+	osduRate := s.contract.Throughput
+	s.mu.Unlock()
+	s.bucket.SetRate(osduRate * factor)
+}
+
+// TakeBlockStats returns and resets the source-side blocking times: how
+// long the application thread blocked on a full buffer, and how long the
+// protocol thread blocked on an empty one (§6.3.1.2).
+func (s *SendVC) TakeBlockStats() (app, proto time.Duration) {
+	st := s.ring.TakeStats()
+	return st.ProducerBlocked, st.ConsumerBlocked
+}
+
+// Close releases the VC with T-Disconnect.request toward the sink.
+func (s *SendVC) Close(reason core.Reason) error {
+	return s.e.Disconnect(s.id, reason)
+}
+
+// peerHold engages or releases the sink's flow-control hold. Holds are
+// leases: they expire after a few RTOs unless the sink refreshes them, so
+// a lost XON cannot stall the VC forever.
+func (s *SendVC) peerHold(on bool) {
+	s.xoffMu.Lock()
+	if s.xoffTimer != nil {
+		s.xoffTimer.Stop()
+		s.xoffTimer = nil
+	}
+	if on {
+		ttl := 4 * s.e.cfg.RTO
+		s.xoffTimer = s.e.clk.AfterFunc(ttl, func() {
+			s.bucket.Resume()
+			s.setGate(gatePeer, false)
+		})
+		// Stop accruing pacing credit while held: resuming must not
+		// release a burst that overruns the sink again.
+		s.bucket.Pause()
+	} else {
+		s.bucket.Resume()
+	}
+	s.xoffMu.Unlock()
+	s.setGate(gatePeer, on)
+}
+
+// setGate sets or clears one hold bit.
+func (s *SendVC) setGate(bit gateBit, on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if on {
+		s.gates |= bit
+	} else {
+		s.gates &^= bit
+	}
+	s.cond.Broadcast()
+}
+
+// waitGates blocks while any hold bit is set; it reports false once the
+// VC is closed.
+func (s *SendVC) waitGates() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.gates != 0 && !s.closed {
+		s.cond.Wait()
+	}
+	return !s.closed
+}
+
+// sendLoop is the protocol thread: drain the ring, segment, pace, send.
+func (s *SendVC) sendLoop() {
+	maxTPDU := s.e.cfg.MaxTPDU
+	for {
+		u, err := s.ring.Get()
+		if err != nil {
+			return
+		}
+		size := len(u.Payload)
+		frags := (size + maxTPDU - 1) / maxTPDU
+		if frags == 0 {
+			frags = 1 // zero-length OSDUs still occupy one TPDU
+		}
+		for f := 0; f < frags; f++ {
+			if !s.waitGates() {
+				return
+			}
+			lo := f * maxTPDU
+			hi := lo + maxTPDU
+			if hi > size {
+				hi = size
+			}
+			var payload []byte
+			if size > 0 {
+				// Copy out of the ring slot: the slot is reused as
+				// soon as the ring wraps, and retransmission may
+				// need the bytes much later.
+				payload = append([]byte(nil), u.Payload[lo:hi]...)
+			}
+			d := &pdu.Data{
+				VC:        s.id,
+				Seq:       0, // assigned below
+				OSDU:      u.Seq,
+				Frag:      uint16(f),
+				FragCount: uint16(frags),
+				OSDUSize:  uint32(size),
+				Event:     u.Event,
+				Payload:   payload,
+			}
+			if !s.sendTPDU(d) {
+				return
+			}
+		}
+		s.sent.Add(1)
+		s.sentSeq.Store(uint64(u.Seq) + 1)
+	}
+}
+
+// sendTPDU paces and transmits one data TPDU, recording it for
+// retransmission when the class corrects. It reports false when the VC
+// closed underneath it.
+func (s *SendVC) sendTPDU(d *pdu.Data) bool {
+	// Credit first (window profile and correcting classes), then rate.
+	if s.window != nil {
+		if !s.window.Acquire() {
+			return false
+		}
+	}
+	if s.profile == qos.ProfileCMRate {
+		s.bucket.Wait(1 / float64(d.FragCount))
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	seq := s.nextTPDUSeqLocked()
+	s.mu.Unlock()
+	d.Seq = seq
+	d.SentAt = s.e.clk.Now()
+	if s.class.Corrects() {
+		s.retrans.Lock()
+		s.retrans.buf[seq] = retransEntry{data: d, sentAt: d.SentAt}
+		s.retrans.Unlock()
+	}
+	s.transmit(d)
+	return true
+}
+
+// nextTPDUSeqLocked allocates the next TPDU sequence number; caller holds mu.
+func (s *SendVC) nextTPDUSeqLocked() uint64 {
+	s.tpduSeq++
+	return s.tpduSeq
+}
+
+// transmit puts one TPDU on the wire at the VC's priority.
+func (s *SendVC) transmit(d *pdu.Data) {
+	prio := netem.PrioGuaranteed
+	if s.Contract().Guarantee == qos.BestEffort {
+		prio = netem.PrioBestEffort
+	}
+	_ = s.e.net.Send(netem.Packet{
+		Src: s.tuple.Source.Host, Dst: s.tuple.Dest.Host,
+		Flow: s.id, Prio: prio, Payload: d.Marshal(nil),
+	})
+}
+
+// onAck processes cumulative and selective acknowledgements (correcting
+// classes and the window profile).
+func (s *SendVC) onAck(a *pdu.Ack) {
+	if s.retrans.buf == nil {
+		if s.window != nil {
+			// Window profile without correction: the cumulative ack
+			// returns credit for every newly covered TPDU.
+			s.mu.Lock()
+			released := int64(a.CumSeq) - int64(s.lastCum)
+			if released > 0 {
+				s.lastCum = a.CumSeq
+			}
+			s.mu.Unlock()
+			if released > 0 {
+				s.window.Release(int(released))
+			}
+		}
+		return
+	}
+	nak := make(map[uint64]bool, len(a.Naks))
+	for _, n := range a.Naks {
+		nak[n] = true
+	}
+	var resend []*pdu.Data
+	released := 0
+	s.retrans.Lock()
+	for seq, entry := range s.retrans.buf {
+		switch {
+		case nak[seq]:
+			resend = append(resend, entry.data)
+			entry.sentAt = s.e.clk.Now()
+			s.retrans.buf[seq] = entry
+		case seq < a.CumSeq:
+			delete(s.retrans.buf, seq)
+			released++
+		}
+	}
+	s.retrans.Unlock()
+	if s.window != nil && released > 0 {
+		s.window.Release(released)
+	}
+	for _, d := range resend {
+		s.transmit(d)
+	}
+}
+
+// retransmitLoop re-sends unacknowledged TPDUs older than the RTO.
+func (s *SendVC) retransmitLoop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.e.clk.After(s.e.cfg.RTO):
+		}
+		now := s.e.clk.Now()
+		var resend []*pdu.Data
+		s.retrans.Lock()
+		for seq, entry := range s.retrans.buf {
+			if now.Sub(entry.sentAt) >= s.e.cfg.RTO {
+				resend = append(resend, entry.data)
+				entry.sentAt = now
+				s.retrans.buf[seq] = entry
+			}
+		}
+		s.retrans.Unlock()
+		for _, d := range resend {
+			s.transmit(d)
+		}
+	}
+}
+
+// teardown stops the VC's goroutines and frees its resources. Safe to
+// call more than once.
+func (s *SendVC) teardown() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		close(s.done)
+		s.ring.Close()
+		if s.window != nil {
+			s.window.Close()
+		}
+		if s.resvID != 0 {
+			_ = s.e.rm.Release(s.resvID)
+		}
+		for _, id := range s.resvExtra {
+			_ = s.e.rm.Release(id)
+		}
+		if s.group != 0 {
+			s.e.net.RemoveGroup(s.group)
+		}
+		s.e.dropSend(s)
+	})
+}

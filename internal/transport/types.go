@@ -1,0 +1,195 @@
+// Package transport implements the continuous-media transport service of
+// §4: simplex virtual circuits with fully negotiated QoS (Table 1), soft
+// guarantees monitored per sample period with T-QoS.indication (Table 2),
+// dynamic re-negotiation including transparent re-establishment (Table 3),
+// the three-address remote connection facility (§3.5, Figs. 2-3),
+// class-of-service error control (§3.4), rate-based or window-based flow
+// control profiles, and the shared circular-buffer data transfer interface
+// of §3.7 with OSDU boundary preservation and per-OSDU OPDU fields (§5).
+//
+// One Entity runs per emulated host. Applications attach UserCallbacks to
+// TSAPs, connect with Connect/ConnectRemote, and then move OSDUs through
+// SendVC.Write and RecvVC.Read. The orchestration layer (package orch)
+// drives the exported regulation hooks on SendVC/RecvVC and the Orch PDU
+// channel on Entity.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/qos"
+)
+
+// Config tunes an Entity. The zero value selects all defaults.
+type Config struct {
+	// MaxTPDU bounds the payload of one data TPDU in bytes; OSDUs larger
+	// than this are segmented. Default 1024.
+	MaxTPDU int
+	// RingSlots is the OSDU capacity of each shared circular buffer
+	// (§3.7); it is also the depth Orch.Prime fills. Default 16.
+	RingSlots int
+	// ConnectTimeout bounds every confirmed control exchange. Default 2s.
+	ConnectTimeout time.Duration
+	// SamplePeriod is the QoS monitoring period behind T-QoS.indication
+	// (Table 2). Default 250ms.
+	SamplePeriod time.Duration
+	// AckEvery makes the receiver acknowledge after this many in-order
+	// TPDUs in the error-correcting classes. Default 8.
+	AckEvery int
+	// RTO is the sender retransmission timeout for the error-correcting
+	// classes. Default 100ms.
+	RTO time.Duration
+	// RetransBuf bounds outstanding unacknowledged TPDUs in the
+	// error-correcting classes; the sender blocks at the bound. Default 64.
+	RetransBuf int
+	// QoSSlack is the measurement slack fraction applied before a
+	// violation is indicated. Default 0.05.
+	QoSSlack float64
+	// WindowSize is the initial credit for the window-based profile.
+	// Default 16.
+	WindowSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTPDU <= 0 {
+		c.MaxTPDU = 1024
+	}
+	if c.RingSlots <= 0 {
+		c.RingSlots = 16
+	}
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 2 * time.Second
+	}
+	if c.SamplePeriod <= 0 {
+		c.SamplePeriod = 250 * time.Millisecond
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 8
+	}
+	if c.RTO <= 0 {
+		c.RTO = 100 * time.Millisecond
+	}
+	if c.RetransBuf <= 0 {
+		c.RetransBuf = 64
+	}
+	if c.QoSSlack <= 0 {
+		c.QoSSlack = 0.05
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 16
+	}
+	return c
+}
+
+// Role tells a T-Connect.indication which end of the proposed VC the
+// called TSAP would play.
+type Role uint8
+
+// Roles.
+const (
+	RoleSource Role = iota // the TSAP would transmit
+	RoleSink               // the TSAP would receive
+)
+
+// String returns "source" or "sink".
+func (r Role) String() string {
+	if r == RoleSource {
+		return "source"
+	}
+	return "sink"
+}
+
+// QoSIndication is the payload of T-QoS.indication (Table 2): the VC, its
+// negotiated contract, the sample period's measured report, and the
+// parameters found violated.
+type QoSIndication struct {
+	VC       core.VCID
+	Tuple    core.ConnectTuple
+	Contract qos.Contract
+	Report   qos.Report
+	Violated []qos.Param
+}
+
+// UserCallbacks is how an application (or the platform's Stream layer)
+// attaches behaviour to a TSAP. Any nil callback takes the default noted
+// on the field. Callbacks run on transport goroutines and should not
+// block for long.
+type UserCallbacks struct {
+	// OnConnectIndication is T-Connect.indication: a peer (or a remote
+	// initiator) proposes that this TSAP become the source or sink of a
+	// VC with the given spec. Return accept and the responder's own QoS
+	// spec for counter-negotiation. Nil accepts with the offered spec.
+	OnConnectIndication func(tup core.ConnectTuple, role Role, spec qos.Spec) (accept bool, responder qos.Spec)
+	// OnSendReady delivers the send handle once a VC with this TSAP as
+	// source is established (needed for remote connects, where the
+	// source did not call Connect itself). Nil discards the handle.
+	OnSendReady func(*SendVC)
+	// OnRecvReady delivers the receive handle once a VC with this TSAP
+	// as sink is established. Nil discards the handle.
+	OnRecvReady func(*RecvVC)
+	// OnDisconnect is T-Disconnect.indication. It is also used, per
+	// §4.1.3, to report a rejected re-negotiation — in that case the VC
+	// is still alive, which the Live field distinguishes.
+	OnDisconnect func(vc core.VCID, reason core.Reason, live bool)
+	// OnQoS is T-QoS.indication (Table 2), delivered when the class of
+	// service includes indication and the sample period showed
+	// violations.
+	OnQoS func(QoSIndication)
+	// OnRenegotiate is T-Renegotiate.indication: the peer proposes a new
+	// spec; the offer contract is what the provider can support. Return
+	// accept and the responder's spec. Nil accepts the offer.
+	OnRenegotiate func(vc core.VCID, offer qos.Contract, spec qos.Spec) (accept bool, responder qos.Spec)
+	// OnRenegotiated reports the new contract after a successful
+	// re-negotiation (both ends).
+	OnRenegotiated func(vc core.VCID, contract qos.Contract)
+}
+
+// ConnectRequest carries the parameters of T-Connect.request (Table 1)
+// for the conventional case where the caller is the source.
+type ConnectRequest struct {
+	// SrcTSAP is the local source TSAP. It need not be attached; attach
+	// first if indications are wanted.
+	SrcTSAP core.TSAP
+	// Dest is the remote sink endpoint.
+	Dest core.Addr
+	// Profile selects the protocol profile (§3.4).
+	Profile qos.Profile
+	// Class selects the error-control class of service (§3.4).
+	Class qos.Class
+	// Spec is the requested QoS tolerance window.
+	Spec qos.Spec
+}
+
+// Errors returned by connection management.
+var (
+	ErrClosed  = errors.New("transport: entity closed")
+	ErrTimeout = errors.New("transport: control exchange timed out")
+)
+
+// RejectError reports a connection or re-negotiation refused by the peer,
+// the network provider, or admission control.
+type RejectError struct {
+	Reason core.Reason
+	Detail string
+}
+
+// Error implements error.
+func (e *RejectError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("transport: rejected (%s): %s", e.Reason, e.Detail)
+	}
+	return fmt.Sprintf("transport: rejected (%s)", e.Reason)
+}
+
+// gate is a multi-condition hold on the sender: any held bit blocks
+// transmission. It keeps peer flow control (XOFF) and orchestration holds
+// (Orch.Stop, ahead-of-target blocking) independent.
+type gateBit uint8
+
+const (
+	gatePeer gateBit = 1 << iota // sink buffers full (XOFF)
+	gateOrch                     // orchestration hold
+)
