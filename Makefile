@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race vet fmt check bench tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# check is the full pre-merge gate: gofmt (failing on unformatted
+# files), build, vet, and the suite under the race detector.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -run - -bench . -benchtime 1x ./...
+
+# tables regenerates the EXPERIMENTS.md tables.
+tables:
+	$(GO) run ./cmd/benchtab

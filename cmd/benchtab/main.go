@@ -79,7 +79,7 @@ func main() {
 	r6, err := lab.RegulateOnce(20, 100*time.Millisecond)
 	check("T6", err)
 	fmt.Printf("\nT6  Table 6 / Fig. 6 — regulation target tracking (20 × 100ms intervals)\n")
-	fmt.Printf("    indications: %d   mean |lag|: %.1f OSDUs   max |lag|: %d OSDUs   drops: %d\n",
+	fmt.Printf("    indications: %d   mean |lag|: %.1f OSDUs   max |lag|: %d OSDUs   drops: %d (registry send/osdus_dropped)\n",
 		r6.Intervals, r6.MeanAbsLag, r6.MaxAbsLag, r6.Dropped)
 
 	// A1.

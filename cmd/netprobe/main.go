@@ -19,6 +19,7 @@ import (
 	"cmtos/internal/netem"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
+	"cmtos/internal/stats"
 	"cmtos/internal/transport"
 )
 
@@ -31,10 +32,13 @@ func main() {
 	rate := flag.Float64("rate", 100, "probe OSDU rate (OSDUs/sec)")
 	size := flag.Int("size", 1024, "probe OSDU size (bytes)")
 	count := flag.Uint("count", 300, "probe OSDUs to send")
+	dumpStats := flag.Bool("stats", false, "dump the metrics registry after the probe")
 	flag.Parse()
 
+	reg := stats.NewRegistry()
 	sys := clock.System{}
 	nw := netem.New(sys)
+	nw.SetStats(reg.Scope(""))
 	n := *hops + 1
 	for id := core.HostID(1); id <= core.HostID(n); id++ {
 		check(nw.AddHost(id, nil))
@@ -60,9 +64,10 @@ func main() {
 		pc.MinJitter.Round(time.Microsecond), pc.MinPER)
 
 	rm := resv.New(nw)
-	eSrc, err := transport.NewEntity(src, sys, nw, rm, transport.Config{SamplePeriod: 500 * time.Millisecond})
+	tcfg := transport.Config{SamplePeriod: 500 * time.Millisecond, Stats: reg}
+	eSrc, err := transport.NewEntity(src, sys, nw, rm, tcfg)
 	check(err)
-	eDst, err := transport.NewEntity(dst, sys, nw, rm, transport.Config{SamplePeriod: 500 * time.Millisecond})
+	eDst, err := transport.NewEntity(dst, sys, nw, rm, tcfg)
 	check(err)
 	defer eSrc.Close()
 	defer eDst.Close()
@@ -119,6 +124,10 @@ func main() {
 		st.MaxInterArrival.Round(10*time.Microsecond))
 	fmt.Printf("  transport sample: throughput %.1f OSDU/s, mean delay %v, max %v\n",
 		rep.Throughput, rep.MeanDelay.Round(10*time.Microsecond), rep.MaxDelay.Round(10*time.Microsecond))
+
+	if *dumpStats {
+		fmt.Printf("\nmetrics registry:\n%s", reg.String())
+	}
 }
 
 func check(err error) {

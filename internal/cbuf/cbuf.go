@@ -20,6 +20,7 @@ import (
 
 	"cmtos/internal/clock"
 	"cmtos/internal/core"
+	"cmtos/internal/stats"
 )
 
 // ErrClosed is returned once the ring is closed and drained.
@@ -68,6 +69,21 @@ type Ring struct {
 
 	prodBlocked time.Duration
 	consBlocked time.Duration
+
+	// Optional registry histograms observing each blocking episode in
+	// seconds; nil (the default) means disabled.
+	prodHist *stats.Histogram
+	consHist *stats.Histogram
+}
+
+// SetBlockStats attaches histograms that record every producer/consumer
+// blocking episode (in seconds) alongside the cumulative TakeStats
+// durations. Either may be nil.
+func (r *Ring) SetBlockStats(producer, consumer *stats.Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prodHist = producer
+	r.consHist = consumer
 }
 
 // New returns a ring of n slots, each able to hold OSDUs up to maxOSDU
@@ -133,7 +149,9 @@ func (r *Ring) Put(u OSDU) error {
 		for r.count == len(r.slots) && !r.closed {
 			r.notFull.Wait()
 		}
-		r.prodBlocked += r.clk.Since(start)
+		d := r.clk.Since(start)
+		r.prodBlocked += d
+		r.prodHist.Observe(d.Seconds())
 	}
 	if r.closed {
 		return ErrClosed
@@ -184,7 +202,9 @@ func (r *Ring) Get() (OSDU, error) {
 		for (r.count == 0 || r.gated) && !r.closed {
 			r.notEmpty.Wait()
 		}
-		r.consBlocked += r.clk.Since(start)
+		d := r.clk.Since(start)
+		r.consBlocked += d
+		r.consHist.Observe(d.Seconds())
 	}
 	if r.count == 0 {
 		return OSDU{}, ErrClosed // only reachable when closed

@@ -2,6 +2,7 @@ package lab
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -82,17 +83,29 @@ func RegulateOnce(intervals int, interval time.Duration) (RegulateResult, error)
 	if err := agent.Setup(); err != nil {
 		return RegulateResult{}, err
 	}
-	start := time.Now()
+	start := env.Clk.Now()
 	if err := agent.Start(); err != nil {
 		return RegulateResult{}, err
 	}
-	time.Sleep(time.Duration(intervals) * interval)
+	env.Clk.Sleep(time.Duration(intervals) * interval)
 	agent.Release()
-	res.LoopDuration = time.Since(start)
+	res.LoopDuration = env.Clk.Since(start)
 	mu.Lock()
 	defer mu.Unlock()
 	if res.Intervals > 0 {
 		res.MeanAbsLag = float64(absSum) / float64(res.Intervals)
+	}
+	// The per-report Dropped sums miss intervals whose source half was
+	// lost; the registry's send-side drop counters are authoritative.
+	snap := env.Stats.Snapshot()
+	regDropped := 0
+	for name, v := range snap.Counters {
+		if strings.HasSuffix(name, "/send/osdus_dropped") {
+			regDropped += int(v)
+		}
+	}
+	if regDropped > res.Dropped {
+		res.Dropped = regDropped
 	}
 	if tail := len(lags) / 3; tail > 0 {
 		sum := 0
@@ -125,7 +138,7 @@ func DriftOnce(dur time.Duration, skew float64) (DriftResult, error) {
 		fast := clock.NewSkewed(sys, 1+skew, 0)
 		slow := clock.NewSkewed(sys, 1-skew, 0)
 		env, err := NewEnv(EnvConfig{
-			Hosts: 3, Link: DefaultLink(),
+			Hosts: 3, Link: DefaultLink(), Clock: sys,
 			Clocks: map[core.HostID]clock.Clock{1: fast, 2: slow},
 		})
 		if err != nil {
@@ -168,9 +181,9 @@ func DriftOnce(dur time.Duration, skew float64) (DriftResult, error) {
 			defer agent.Release()
 		}
 		pair := &media.SyncPair{A: sinkA, B: sinkB, RateA: rate, RateB: rate}
-		end := time.Now().Add(dur)
-		for time.Now().Before(end) {
-			time.Sleep(100 * time.Millisecond)
+		end := sys.Now().Add(dur)
+		for sys.Now().Before(end) {
+			sys.Sleep(100 * time.Millisecond)
 			pair.Sample()
 		}
 		return pair.MaxSkew(), nil
@@ -224,16 +237,15 @@ func RateVsWindowOnce(frames uint32) (FlowControlResult, error) {
 		if err != nil {
 			return media.SinkStats{}, err
 		}
-		sys := clock.System{}
 		src := &media.CBR{Size: 256, FrameRate: rate, Count: frames}
 		sink := media.NewSink()
 		sink.NominalRate = rate
 		stop := make(chan struct{})
 		go func() { _ = media.PumpUnpaced(src, p.Send, stop) }()
-		go media.Drain(sys, p.Recv, sink, stop)
-		until := time.Now().Add(30 * time.Second)
-		for sink.Received() < int(frames)*9/10 && time.Now().Before(until) {
-			time.Sleep(2 * time.Millisecond)
+		go media.Drain(env.Clk, p.Recv, sink, stop)
+		until := env.Clk.Now().Add(30 * time.Second)
+		for sink.Received() < int(frames)*9/10 && env.Clk.Now().Before(until) {
+			env.Clk.Sleep(2 * time.Millisecond)
 		}
 		close(stop)
 		return sink.Stats(), nil
@@ -309,7 +321,7 @@ func MuxVsSeparateOnce(durFrames int) (MuxResult, error) {
 		res.MuxBandwidth = muxRate * float64(videoSize+32)
 		audioSink := media.NewSink()
 		stop := make(chan struct{})
-		sys := clock.System{}
+		sys := env.Clk
 		// Interleave: every 10th OSDU is a video frame; the rest audio.
 		go func() {
 			start := sys.Now()
@@ -353,7 +365,7 @@ func MuxVsSeparateOnce(durFrames int) (MuxResult, error) {
 			}
 		}()
 		for audioSink.Received() < durFrames {
-			time.Sleep(5 * time.Millisecond)
+			sys.Sleep(5 * time.Millisecond)
 		}
 		close(stop)
 		res.MuxAudioJitter = audioSink.Stats().JitterStdDev
@@ -376,7 +388,7 @@ func MuxVsSeparateOnce(durFrames int) (MuxResult, error) {
 			return res, err
 		}
 		res.SeparateBandwidth = videoRate*float64(videoSize+32) + audioRate*float64(audioSize+32+32)
-		sys := clock.System{}
+		sys := env.Clk
 		audioSink := media.NewSink()
 		videoSink := media.NewSink()
 		stop := make(chan struct{})
@@ -404,7 +416,7 @@ func MuxVsSeparateOnce(durFrames int) (MuxResult, error) {
 		}
 		defer agent.Release()
 		for audioSink.Received() < durFrames {
-			time.Sleep(5 * time.Millisecond)
+			sys.Sleep(5 * time.Millisecond)
 		}
 		res.SeparateAudioJitter = audioSink.Stats().JitterStdDev
 	}
@@ -430,7 +442,7 @@ func SharedBufVsCopyOnce(count, size int) BufVsCopyResult {
 
 	// (a) shared ring.
 	ring := cbuf.New(sys, 16, size)
-	start := time.Now()
+	start := sys.Now()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -444,13 +456,13 @@ func SharedBufVsCopyOnce(count, size int) BufVsCopyResult {
 		_ = ring.Put(cbuf.OSDU{Seq: core.OSDUSeq(i), Payload: payload})
 	}
 	<-done
-	shared := time.Since(start)
+	shared := sys.Since(start)
 
 	// (b) copy-based: each send allocates a fresh buffer and copies —
 	// the sendo/recvo "data location + data transfer per call" cost
 	// ([Govindan,91] via §3.7).
 	ch := make(chan []byte, 16)
-	start = time.Now()
+	start = sys.Now()
 	done = make(chan struct{})
 	go func() {
 		defer close(done)
@@ -467,7 +479,7 @@ func SharedBufVsCopyOnce(count, size int) BufVsCopyResult {
 		ch <- buf
 	}
 	<-done
-	copied := time.Since(start)
+	copied := sys.Since(start)
 
 	return BufVsCopyResult{
 		SharedNsPerOSDU: float64(shared.Nanoseconds()) / float64(count),

@@ -13,6 +13,7 @@ import (
 	"cmtos/internal/orch/hlo"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
+	"cmtos/internal/stats"
 	"cmtos/internal/transport"
 )
 
@@ -35,12 +36,12 @@ func ConnectOnce(idx int) (ConnectResult, error) {
 	defer env.Close()
 	spec := CMSpec(100, 1024)
 
-	start := time.Now()
+	start := env.Clk.Now()
 	p, err := env.Connect(1, 2, idx, qos.ClassDetectIndicate, qos.ProfileCMRate, spec)
 	if err != nil {
 		return ConnectResult{}, err
 	}
-	local := time.Since(start)
+	local := env.Clk.Since(start)
 	_ = p.Send.Close(core.ReasonUserInitiated)
 
 	// Remote connect: initiator h3, source h1, sink h2.
@@ -58,11 +59,11 @@ func ConnectOnce(idx int) (ConnectResult, error) {
 		Source:    core.Addr{Host: 1, TSAP: 0x3000},
 		Dest:      core.Addr{Host: 2, TSAP: 0x3001},
 	}
-	start = time.Now()
+	start = env.Clk.Now()
 	if _, _, err := env.Ents[3].ConnectRemote(tup, qos.ProfileCMRate, qos.ClassDetectIndicate, spec); err != nil {
 		return ConnectResult{}, err
 	}
-	remote := time.Since(start)
+	remote := env.Clk.Since(start)
 	return ConnectResult{Local: local, Remote: remote}, nil
 }
 
@@ -119,15 +120,15 @@ func QoSIndicationOnce() (QoSIndicationResult, error) {
 			}
 		}
 	}()
-	start := time.Now()
-	deadline := time.After(10 * time.Second)
+	start := env.Clk.Now()
+	deadline := env.Clk.After(10 * time.Second)
 	for {
 		select {
 		case ind := <-got:
 			for _, v := range ind.Violated {
 				if v == qos.PER {
 					return QoSIndicationResult{
-						DetectLatency: time.Since(start),
+						DetectLatency: env.Clk.Since(start),
 						ReportedPER:   ind.Report.PER,
 					}, nil
 				}
@@ -170,12 +171,12 @@ func RenegotiateOnce() (RenegResult, error) {
 		return RenegResult{}, err
 	}
 	up := CMSpec(150, 1024)
-	start := time.Now()
+	start := env.Clk.Now()
 	final, err := p.Send.Renegotiate(up)
 	if err != nil {
 		return RenegResult{}, err
 	}
-	lat := time.Since(start)
+	lat := env.Clk.Since(start)
 
 	// Now an impossible upgrade: beyond the link's capacity.
 	impossible := CMSpec(1e6, 1024)
@@ -216,11 +217,11 @@ func OrchSessionOnce(n int) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	start := time.Now()
+	start := env.Clk.Now()
 	if err := agent.Setup(); err != nil {
 		return 0, err
 	}
-	lat := time.Since(start)
+	lat := env.Clk.Since(start)
 	agent.Release()
 	return lat, nil
 }
@@ -242,7 +243,6 @@ func StartSkewOnce(nStreams int) (StartSkewResult, error) {
 		nStreams = 2
 	}
 	// Build hosts: servers 1..n, sink n+1, with increasing link delay.
-	sys := clock.System{}
 	res := StartSkewResult{}
 	build := func() (*Env, []*Pipe, []*media.Sink, error) {
 		env, err := NewEnvAsymmetric(nStreams, 15*time.Millisecond)
@@ -285,14 +285,15 @@ func StartSkewOnce(nStreams int) (StartSkewResult, error) {
 		return res, err
 	}
 	stop := make(chan struct{})
+	clk := env.Clk
 	for i := range pipes {
-		go media.Drain(sys, pipes[i].Recv, sinks[i], stop)
+		go media.Drain(clk, pipes[i].Recv, sinks[i], stop)
 		go func(i int) {
-			_ = media.Pump(sys, &media.CBR{Size: 256, FrameRate: 100}, pipes[i].Send, stop)
+			_ = media.Pump(clk, &media.CBR{Size: 256, FrameRate: 100}, pipes[i].Send, stop)
 		}(i)
-		time.Sleep(10 * time.Millisecond) // staggered operator actions
+		clk.Sleep(10 * time.Millisecond) // staggered operator actions
 	}
-	time.Sleep(300 * time.Millisecond)
+	clk.Sleep(300 * time.Millisecond)
 	res.UnprimedSkew = spread(sinks)
 	close(stop)
 	env.Close()
@@ -307,6 +308,7 @@ func StartSkewOnce(nStreams int) (StartSkewResult, error) {
 	defer env.Close()
 	stop = make(chan struct{})
 	defer close(stop)
+	clk = env.Clk
 	sinkHost := core.HostID(nStreams + 1)
 	streams := make([]hlo.StreamConfig, nStreams)
 	for i := range pipes {
@@ -318,13 +320,13 @@ func StartSkewOnce(nStreams int) (StartSkewResult, error) {
 		env.LLOs[core.HostID(i+1)].RegisterApp(pipes[i].Desc.VC, orch.AppCallbacks{
 			OnPrime: func(core.SessionID, core.VCID) bool {
 				go func(i int) {
-					time.Sleep(time.Duration(i) * 10 * time.Millisecond) // staggered operators
-					_ = media.Pump(sys, &media.CBR{Size: 256, FrameRate: 100}, pipes[i].Send, stop)
+					clk.Sleep(time.Duration(i) * 10 * time.Millisecond) // staggered operators
+					_ = media.Pump(clk, &media.CBR{Size: 256, FrameRate: 100}, pipes[i].Send, stop)
 				}(i)
 				return true
 			},
 		})
-		go media.Drain(sys, pipes[i].Recv, sinks[i], stop)
+		go media.Drain(clk, pipes[i].Recv, sinks[i], stop)
 	}
 	agent, err := env.Agent(sinkHost, 1, streams, hlo.Policy{Interval: 100 * time.Millisecond})
 	if err != nil {
@@ -333,15 +335,15 @@ func StartSkewOnce(nStreams int) (StartSkewResult, error) {
 	if err := agent.Setup(); err != nil {
 		return res, err
 	}
-	start := time.Now()
+	start := clk.Now()
 	if err := agent.Prime(false); err != nil {
 		return res, err
 	}
-	res.PrimeLatency = time.Since(start)
+	res.PrimeLatency = clk.Since(start)
 	if err := agent.Start(); err != nil {
 		return res, err
 	}
-	time.Sleep(300 * time.Millisecond)
+	clk.Sleep(300 * time.Millisecond)
 	res.PrimedSkew = spread(sinks)
 	agent.Release()
 	return res, nil
@@ -351,8 +353,10 @@ func StartSkewOnce(nStreams int) (StartSkewResult, error) {
 // link to the sink has delay (i+1) × step — the asymmetry that makes
 // unprimed starts ragged.
 func NewEnvAsymmetric(n int, maxDelay time.Duration) (*Env, error) {
-	sys := clock.System{}
-	nw := netem.New(sys)
+	base := clock.Clock(clock.System{})
+	reg := stats.NewRegistry()
+	nw := netem.New(base)
+	nw.SetStats(reg.Scope(""))
 	sink := core.HostID(n + 1)
 	for id := core.HostID(1); id <= sink; id++ {
 		if err := nw.AddHost(id, nil); err != nil {
@@ -371,10 +375,12 @@ func NewEnvAsymmetric(n int, maxDelay time.Duration) (*Env, error) {
 	}
 	rm := resv.New(nw)
 	env := &Env{Net: nw, RM: rm,
-		Ents: make(map[core.HostID]*transport.Entity),
-		LLOs: make(map[core.HostID]*orch.LLO)}
+		Ents:  make(map[core.HostID]*transport.Entity),
+		LLOs:  make(map[core.HostID]*orch.LLO),
+		Clk:   base,
+		Stats: reg}
 	for id := core.HostID(1); id <= sink; id++ {
-		e, err := transport.NewEntity(id, sys, nw, rm, transport.Config{RingSlots: 16})
+		e, err := transport.NewEntity(id, base, nw, rm, transport.Config{RingSlots: 16, Stats: reg})
 		if err != nil {
 			nw.Close()
 			return nil, err

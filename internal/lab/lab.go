@@ -18,6 +18,7 @@ import (
 	"cmtos/internal/orch/hlo"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
+	"cmtos/internal/stats"
 	"cmtos/internal/transport"
 )
 
@@ -28,6 +29,11 @@ type Env struct {
 	RM   *resv.Manager
 	Ents map[core.HostID]*transport.Entity
 	LLOs map[core.HostID]*orch.LLO
+	// Clk is the environment's base clock (EnvConfig.Clock or the system
+	// clock); everything except per-host overridden entities runs on it.
+	Clk clock.Clock
+	// Stats is the registry every layer of the environment reports into.
+	Stats *stats.Registry
 }
 
 // EnvConfig parameterises NewEnv.
@@ -36,6 +42,12 @@ type EnvConfig struct {
 	Link   netem.LinkConfig
 	Trans  transport.Config
 	Clocks map[core.HostID]clock.Clock // per-host clock override
+	// Clock is the base clock for the network and for hosts without an
+	// override. Nil selects the system clock.
+	Clock clock.Clock
+	// Stats is the metrics registry wired through the network links and
+	// every transport entity. Nil creates a fresh registry.
+	Stats *stats.Registry
 }
 
 // DefaultLink is the lab's standard link: 10 Mbit/s, 2ms, light jitter.
@@ -50,8 +62,16 @@ func DefaultLink() netem.LinkConfig {
 
 // NewEnv builds a full mesh of hosts with entities and LLOs.
 func NewEnv(cfg EnvConfig) (*Env, error) {
-	sys := clock.System{}
-	nw := netem.New(sys)
+	base := cfg.Clock
+	if base == nil {
+		base = clock.System{}
+	}
+	reg := cfg.Stats
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	nw := netem.New(base)
+	nw.SetStats(reg.Scope(""))
 	for id := core.HostID(1); id <= core.HostID(cfg.Hosts); id++ {
 		if err := nw.AddHost(id, nil); err != nil {
 			return nil, err
@@ -69,17 +89,21 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	rm := resv.New(nw)
 	env := &Env{
-		Net:  nw,
-		RM:   rm,
-		Ents: make(map[core.HostID]*transport.Entity),
-		LLOs: make(map[core.HostID]*orch.LLO),
+		Net:   nw,
+		RM:    rm,
+		Ents:  make(map[core.HostID]*transport.Entity),
+		LLOs:  make(map[core.HostID]*orch.LLO),
+		Clk:   base,
+		Stats: reg,
 	}
+	tcfg := cfg.Trans
+	tcfg.Stats = reg
 	for id := core.HostID(1); id <= core.HostID(cfg.Hosts); id++ {
-		clk := clock.Clock(sys)
+		clk := base
 		if c, ok := cfg.Clocks[id]; ok {
 			clk = c
 		}
-		e, err := transport.NewEntity(id, clk, nw, rm, cfg.Trans)
+		e, err := transport.NewEntity(id, clk, nw, rm, tcfg)
 		if err != nil {
 			nw.Close()
 			return nil, err
@@ -143,7 +167,7 @@ func (e *Env) Connect(src, dst core.HostID, idx int, class qos.Class, profile qo
 	select {
 	case rv := <-recvCh:
 		return &Pipe{Send: s, Recv: rv, Desc: orch.VCDesc{VC: s.ID(), Source: src, Sink: dst}}, nil
-	case <-time.After(5 * time.Second):
+	case <-e.Clk.After(5 * time.Second):
 		return nil, fmt.Errorf("lab: sink handle never arrived")
 	}
 }
@@ -152,17 +176,16 @@ func (e *Env) Connect(src, dst core.HostID, idx int, class qos.Class, profile qo
 // returns the sink once count frames have been delivered or deadline
 // passed.
 func (e *Env) Play(p *Pipe, rate float64, size int, count uint32, deadline time.Duration) *media.Sink {
-	sys := clock.System{}
 	src := &media.CBR{Size: size, FrameRate: rate, Count: count}
 	sink := media.NewSink()
 	sink.VerifyCBR = true
 	sink.NominalRate = rate
 	stop := make(chan struct{})
-	go func() { _ = media.Pump(sys, src, p.Send, stop) }()
-	go media.Drain(sys, p.Recv, sink, stop)
-	until := time.Now().Add(deadline)
-	for sink.Received() < int(count) && time.Now().Before(until) {
-		time.Sleep(2 * time.Millisecond)
+	go func() { _ = media.Pump(e.Clk, src, p.Send, stop) }()
+	go media.Drain(e.Clk, p.Recv, sink, stop)
+	until := e.Clk.Now().Add(deadline)
+	for sink.Received() < int(count) && e.Clk.Now().Before(until) {
+		e.Clk.Sleep(2 * time.Millisecond)
 	}
 	close(stop)
 	return sink

@@ -1,0 +1,139 @@
+package lab
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/orch/hlo"
+	"cmtos/internal/qos"
+)
+
+// TestRegistryPopulatedEndToEnd runs a small lip-sync-style orchestrated
+// session (one audio-rate and one video-rate stream into a common sink)
+// and asserts that every layer reported into the environment's registry
+// under the documented metric names: netem link counters, transport
+// send/recv counters, the sink's QoS gauges, and the orchestration
+// report counters at the agent.
+func TestRegistryPopulatedEndToEnd(t *testing.T) {
+	env, err := NewEnv(EnvConfig{Hosts: 2, Link: DefaultLink()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	audio, err := env.Connect(1, 2, 0, qos.ClassDetectIndicate, qos.ProfileCMRate, CMSpec(250, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	video, err := env.Connect(1, 2, 1, qos.ClassDetectIndicate, qos.ProfileCMRate, CMSpec(25, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	for _, p := range []*Pipe{audio, video} {
+		p := p
+		go func() {
+			payload := make([]byte, 128)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := p.Send.Write(payload, 0); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			for {
+				if _, err := p.Recv.Read(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	agent, err := env.Agent(2, 1, []hlo.StreamConfig{
+		{Desc: audio.Desc, Rate: 250, MaxDrop: 5},
+		{Desc: video.Desc, Rate: 25, MaxDrop: 2},
+	}, hlo.Policy{Interval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Release()
+
+	// Wait until the agent has consumed at least a few interval reports.
+	reports := env.Stats.Counter("host/2/orch/reports")
+	deadline := env.Clk.Now().Add(5 * time.Second)
+	for reports.Value() < 3 && env.Clk.Now().Before(deadline) {
+		env.Clk.Sleep(5 * time.Millisecond)
+	}
+
+	snap := env.Stats.Snapshot()
+	counterWith := func(prefix, suffix string) (string, uint64, bool) {
+		for name, v := range snap.Counters {
+			if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) {
+				return name, v, true
+			}
+		}
+		return "", 0, false
+	}
+	mustCount := func(prefix, suffix string) {
+		t.Helper()
+		name, v, ok := counterWith(prefix, suffix)
+		if !ok {
+			t.Fatalf("no counter %s...%s in registry:\n%s", prefix, suffix, env.Stats.String())
+		}
+		if v == 0 {
+			t.Errorf("counter %s is zero", name)
+		}
+	}
+
+	// Network layer: the 1-2 link carried packets both ways.
+	mustCount("link/", "/sent_packets")
+	mustCount("link/", "/sent_bytes")
+
+	// Transport layer, both VCs on the source and sink hosts.
+	for _, p := range []*Pipe{audio, video} {
+		vc := uint32(p.Desc.VC)
+		mustCount(fmt.Sprintf("host/1/vc/%d/send", vc), "/osdus_written")
+		mustCount(fmt.Sprintf("host/1/vc/%d/send", vc), "/osdus_sent")
+		mustCount(fmt.Sprintf("host/2/vc/%d/recv", vc), "/osdus_delivered")
+	}
+
+	// QoS monitor gauges published by the sink's sample loop.
+	foundGauge := false
+	for name := range snap.Gauges {
+		if strings.HasSuffix(name, "/recv/qos/throughput") {
+			foundGauge = true
+			break
+		}
+	}
+	if !foundGauge {
+		t.Errorf("no recv/qos/throughput gauge in registry:\n%s", env.Stats.String())
+	}
+
+	// Orchestration layer: regulation ran at both participants and the
+	// agent paired interval reports.
+	if v := reports.Value(); v < 3 {
+		t.Errorf("host/2/orch/reports = %d, want >= 3\n%s", v, env.Stats.String())
+	}
+	for _, host := range []core.HostID{1, 2} {
+		mustCount(fmt.Sprintf("host/%d/orch", host), "/regulates")
+	}
+	if _, _, ok := counterWith("host/2/orch", "/reports"); !ok {
+		t.Errorf("agent reports counter missing from snapshot")
+	}
+}

@@ -1,0 +1,190 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/stats"
+)
+
+// pow1m must agree with the analytic (1-p)^n across the whole range the
+// emulator uses — including p*n > 1, where the old linear approximation
+// collapsed to 0.
+func TestPow1mMatchesAnalytic(t *testing.T) {
+	f := func(pRaw uint32, nRaw uint16) bool {
+		p := float64(pRaw) / float64(math.MaxUint32) * 0.1 // p in [0, 0.1]
+		n := float64(nRaw%20000) + 1                       // n in [1, 20000]
+		got := pow1m(p, n)
+		want := math.Pow(1-p, n)
+		return math.Abs(got-want) <= 1e-9+1e-6*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ p, n, want float64 }{
+		{0, 100, 1},
+		{1, 3, 0},
+		{0.5, 2, 0.25},
+		{1e-4, 8192, math.Pow(1-1e-4, 8192)}, // p*n < 1 but far from linear
+	} {
+		if got := pow1m(tc.p, tc.n); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("pow1m(%g, %g) = %g, want %g", tc.p, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestBitErrorRateEmpirical streams packets over a single lossless,
+// zero-delay link and checks the observed corruption rate against the
+// analytic 1-(1-p)^n across p*n spanning {0.01, 0.5, 2}.
+func TestBitErrorRateEmpirical(t *testing.T) {
+	const (
+		payload = 1024
+		bits    = payload * 8
+	)
+	for _, pn := range []float64{0.01, 0.5, 2} {
+		p := pn / bits
+		want := 1 - math.Pow(1-p, bits)
+		// Sample enough packets that the 10% acceptance band is several
+		// standard deviations wide even for the rarest corruption rate.
+		count := 40000
+		if want < 0.1 {
+			count = 250000
+		}
+
+		nw := New(sys)
+		if err := nw.AddHost(1, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.AddHost(2, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Huge bandwidth and no delay/jitter: transmission and
+		// propagation times truncate to zero, so the run is CPU-bound.
+		cfg := LinkConfig{
+			Bandwidth:    1e13,
+			QueueLen:     count + 16,
+			BitErrorRate: p,
+			Seed:         42,
+		}
+		if err := nw.AddSimplexLink(1, 2, cfg); err != nil {
+			t.Fatal(err)
+		}
+		// Registry cross-checks only on the smaller runs; per-packet
+		// queue-delay stamping would slow the quarter-million-packet case.
+		var reg *stats.Registry
+		if count <= 40000 {
+			reg = stats.NewRegistry()
+			nw.SetStats(reg.Scope(""))
+		}
+		if err := nw.Start(); err != nil {
+			t.Fatal(err)
+		}
+
+		buf := make([]byte, payload)
+		for i := 0; i < count; i++ {
+			if err := nw.Send(Packet{Src: 1, Dst: 2, Payload: buf}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		var st LinkStats
+		for {
+			var err error
+			st, err = nw.Stats(1, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Sent+st.Dropped+st.Overflows >= count {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("p*n=%g: only %d/%d packets transmitted", pn, st.Sent, count)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		nw.Close()
+
+		if st.Dropped != 0 || st.Overflows != 0 {
+			t.Fatalf("p*n=%g: unexpected drops %d / overflows %d", pn, st.Dropped, st.Overflows)
+		}
+		got := float64(st.Damaged) / float64(st.Sent)
+		if math.Abs(got-want) > 0.1*want {
+			t.Errorf("p*n=%g: empirical corruption rate %.5f, want %.5f ±10%%", pn, got, want)
+		}
+		if reg == nil {
+			continue
+		}
+		// The registry view must agree with the legacy counters.
+		snap := reg.Snapshot()
+		if snap.Counters["link/1-2/sent_packets"] != uint64(st.Sent) {
+			t.Errorf("p*n=%g: registry sent_packets %d != LinkStats.Sent %d",
+				pn, snap.Counters["link/1-2/sent_packets"], st.Sent)
+		}
+		if snap.Counters["link/1-2/damaged_packets"] != uint64(st.Damaged) {
+			t.Errorf("p*n=%g: registry damaged_packets %d != LinkStats.Damaged %d",
+				pn, snap.Counters["link/1-2/damaged_packets"], st.Damaged)
+		}
+	}
+}
+
+// TestLinkRegistryInstruments checks the rest of the per-link metric
+// surface: overflow and drop counters and the queue-delay histogram.
+func TestLinkRegistryInstruments(t *testing.T) {
+	nw := New(sys)
+	for id := core.HostID(1); id <= 2; id++ {
+		if err := nw.AddHost(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := LinkConfig{
+		Bandwidth: 1e6,
+		Delay:     time.Millisecond,
+		QueueLen:  4,
+		Loss:      Bernoulli{P: 0.5},
+		Seed:      7,
+	}
+	if err := nw.AddSimplexLink(1, 2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	reg := stats.NewRegistry()
+	nw.SetStats(reg.Scope(""))
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	buf := make([]byte, 512)
+	for i := 0; i < 64; i++ {
+		if err := nw.Send(Packet{Src: 1, Dst: 2, Payload: buf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := nw.Stats(1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Sent+st.Dropped+st.Overflows >= 64 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("packets never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["link/1-2/dropped_packets"] == 0 {
+		t.Error("expected Bernoulli(0.5) drops in the registry")
+	}
+	if snap.Counters["link/1-2/queue_overflows"] == 0 {
+		t.Error("expected overflows with QueueLen=4 and a burst of 64")
+	}
+	h := snap.Histograms["link/1-2/queue_delay_seconds"]
+	if h.Count == 0 {
+		t.Error("queue_delay_seconds histogram never observed")
+	}
+}

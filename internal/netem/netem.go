@@ -16,6 +16,7 @@ package netem
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"cmtos/internal/clock"
 	"cmtos/internal/core"
 	"cmtos/internal/qos"
+	"cmtos/internal/stats"
 )
 
 // Priority classes for link scheduling. Control traffic (connection
@@ -161,7 +163,8 @@ type link struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queues   [numPrios][]Packet
+	queues   [numPrios][]queuedPkt
+	heads    [numPrios]int // first live entry of each queue slice
 	queued   int
 	closed   bool
 	reserved float64 // bytes/sec promised to guaranteed flows
@@ -172,6 +175,42 @@ type link struct {
 	wire chan wirePacket
 
 	stats LinkStats
+	si    linkInstr
+}
+
+// queuedPkt is a queued packet plus its enqueue time; at is only
+// stamped when the queue-delay histogram is attached.
+type queuedPkt struct {
+	pkt Packet
+	at  time.Time
+}
+
+// linkInstr holds the link's registry instruments; all nil when metrics
+// are disabled (every update is then a no-op).
+type linkInstr struct {
+	sentPkts   *stats.Counter
+	sentBytes  *stats.Counter
+	dropped    *stats.Counter
+	damaged    *stats.Counter
+	overflows  *stats.Counter
+	queueDepth *stats.Gauge
+	queueDelay *stats.Histogram
+}
+
+func (l *link) attachStats(root stats.Scope) {
+	if !root.Enabled() {
+		return
+	}
+	sc := root.Scope(fmt.Sprintf("link/%d-%d", uint32(l.from), uint32(l.to)))
+	l.si = linkInstr{
+		sentPkts:   sc.Counter("sent_packets"),
+		sentBytes:  sc.Counter("sent_bytes"),
+		dropped:    sc.Counter("dropped_packets"),
+		damaged:    sc.Counter("damaged_packets"),
+		overflows:  sc.Counter("queue_overflows"),
+		queueDepth: sc.Gauge("queue_depth"),
+		queueDelay: sc.Histogram("queue_delay_seconds", stats.DurationBuckets()),
+	}
 }
 
 // wirePacket is a transmitted packet and its arrival deadline.
@@ -200,6 +239,7 @@ type Network struct {
 	clk clock.Clock
 
 	mu      sync.Mutex
+	scope   stats.Scope
 	hosts   map[core.HostID]*host
 	links   map[[2]core.HostID]*link
 	routes  map[[2]core.HostID]core.HostID // (at,dst) -> next hop
@@ -313,6 +353,15 @@ func (n *Network) AddSimplexLink(a, b core.HostID, cfg LinkConfig) error {
 	return nil
 }
 
+// SetStats attaches a metrics scope to the network; per-link
+// instruments are created under link/<from>-<to>/ when Start runs.
+// Must be called before Start.
+func (n *Network) SetStats(sc stats.Scope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.scope = sc
+}
+
 // Start computes routes and starts every link transmitter and host
 // delivery loop.
 func (n *Network) Start() error {
@@ -323,6 +372,9 @@ func (n *Network) Start() error {
 	}
 	n.started = true
 	n.computeRoutesLocked()
+	for _, l := range n.links {
+		l.attachStats(n.scope)
+	}
 	for _, h := range n.hosts {
 		go h.run()
 	}
@@ -558,12 +610,18 @@ func (l *link) enqueue(p Packet) {
 		return
 	}
 	q := &l.queues[p.Prio]
-	if len(*q) >= l.cfg.QueueLen {
+	if len(*q)-l.heads[p.Prio] >= l.cfg.QueueLen {
 		l.stats.Overflows++
+		l.si.overflows.Inc()
 		return
 	}
-	*q = append(*q, p)
+	qp := queuedPkt{pkt: p}
+	if l.si.queueDelay != nil {
+		qp.at = l.net.clk.Now()
+	}
+	*q = append(*q, qp)
 	l.queued++
+	l.si.queueDepth.Add(1)
 	l.cond.Signal()
 }
 
@@ -586,12 +644,33 @@ func (l *link) dequeue() (Packet, bool) {
 	}
 	for prio := range l.queues {
 		q := &l.queues[prio]
-		if len(*q) > 0 {
-			p := (*q)[0]
-			copy(*q, (*q)[1:])
-			*q = (*q)[:len(*q)-1]
+		head := l.heads[prio]
+		if len(*q) > head {
+			qp := (*q)[head]
+			(*q)[head] = queuedPkt{} // release the payload reference
+			head++
+			// Advance a head index instead of shifting the slice: a
+			// per-packet copy of the remaining queue is O(depth) and
+			// turns deep queues quadratic. Compact only when the dead
+			// prefix exceeds the live tail, which amortises to O(1).
+			if head == len(*q) {
+				*q = (*q)[:0]
+				head = 0
+			} else if head > len(*q)-head {
+				n := copy(*q, (*q)[head:])
+				for i := n; i < len(*q); i++ {
+					(*q)[i] = queuedPkt{}
+				}
+				*q = (*q)[:n]
+				head = 0
+			}
+			l.heads[prio] = head
 			l.queued--
-			return p, true
+			l.si.queueDepth.Add(-1)
+			if !qp.at.IsZero() {
+				l.si.queueDelay.Observe(l.net.clk.Since(qp.at).Seconds())
+			}
+			return qp.pkt, true
 		}
 	}
 	return Packet{}, false
@@ -619,6 +698,7 @@ func (l *link) run() {
 		l.mu.Lock()
 		if l.cfg.Loss.Drop(l.rng) {
 			l.stats.Dropped++
+			l.si.dropped.Inc()
 			l.mu.Unlock()
 			continue
 		}
@@ -637,10 +717,13 @@ func (l *link) run() {
 				p.Payload = dup
 				p.Damaged = true
 				l.stats.Damaged++
+				l.si.damaged.Inc()
 			}
 		}
 		l.stats.Sent++
 		l.stats.Bytes += int64(p.Size())
+		l.si.sentPkts.Inc()
+		l.si.sentBytes.Add(uint64(p.Size()))
 		l.mu.Unlock()
 
 		arriveAt := l.net.clk.Now().Add(l.cfg.Delay + jitter)
@@ -667,15 +750,18 @@ func (l *link) propagate() {
 	}
 }
 
-// pow1m returns (1-p)^n for small p without math.Pow instability.
+// pow1m returns (1-p)^n — the probability that none of n independent
+// p-probability bit errors occur. Computed as exp(n*log1p(-p)) so it
+// stays accurate for tiny p and large n, where (1-p) rounds to 1 and
+// math.Pow loses the exponentiation entirely.
 func pow1m(p, n float64) float64 {
-	// For the emulator's purposes the exponential approximation is
-	// exact enough: (1-p)^n ≈ exp(-p*n) ≈ 1 - p*n for p*n << 1.
-	x := p * n
-	if x > 1 {
+	if p <= 0 || n <= 0 {
+		return 1
+	}
+	if p >= 1 {
 		return 0
 	}
-	return 1 - x
+	return math.Exp(n * math.Log1p(-p))
 }
 
 // Degrade mutates a live link's loss model and jitter — the in-service

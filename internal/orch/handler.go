@@ -365,6 +365,7 @@ func (l *LLO) handleRegulate(o *pdu.Orch) {
 	// pairs reports by interval id). rs.cancel only covers release.
 	agent := s.agent
 	l.mu.Unlock()
+	l.si.regulates.Inc()
 
 	if o.AtSource {
 		sv, ok := l.e.SourceVC(o.VC)
@@ -379,7 +380,7 @@ func (l *LLO) handleRegulate(o *pdu.Orch) {
 			if int64(budget) > deficit {
 				budget = int(deficit)
 			}
-			sv.DropQueued(budget)
+			l.si.regulateDrops.Add(uint64(sv.DropQueued(budget)))
 		}
 		timer := l.e.Clock().AfterFunc(o.Interval, func() {
 			app, proto := sv.TakeBlockStats()
@@ -454,8 +455,12 @@ func (l *LLO) handleReport(o *pdu.Orch) {
 			}
 			fn := l.regulateFn
 			l.mu.Unlock()
-			if still && fn != nil {
-				fn(*pending)
+			if still {
+				l.si.reportsPartial.Inc()
+				l.reportGauges(pending)
+				if fn != nil {
+					fn(*pending)
+				}
 			}
 		})
 	}
@@ -473,6 +478,8 @@ func (l *LLO) handleReport(o *pdu.Orch) {
 		delete(l.halves, key)
 		fn := l.regulateFn
 		l.mu.Unlock()
+		l.si.reports.Inc()
+		l.reportGauges(rep)
 		if fn != nil {
 			fn(*rep)
 		}
@@ -485,6 +492,7 @@ func (l *LLO) handleReport(o *pdu.Orch) {
 // thread (§6.3.3) and reports its answer.
 func (l *LLO) handleDelayed(from core.HostID, o *pdu.Orch) {
 	l.e.EmitTrace("participant", core.OrchDelayedIndication)
+	l.si.delayedInd.Inc()
 	cb := l.app(o.VC)
 	ok := true
 	if cb.OnDelayed != nil {

@@ -19,6 +19,7 @@ import (
 	"cmtos/internal/clock"
 	"cmtos/internal/core"
 	"cmtos/internal/orch"
+	"cmtos/internal/stats"
 )
 
 // StreamConfig describes one orchestrated connection to the agent.
@@ -132,6 +133,8 @@ type Agent struct {
 
 	eventFn  func(orch.EventIndication)
 	observer func(orch.Report)
+
+	compensations *stats.Counter // compensation policy firings (nil = no-op)
 }
 
 type streamState struct {
@@ -153,6 +156,8 @@ func New(llo *orch.LLO, clk clock.Clock, sid core.SessionID, streams []StreamCon
 		sid:     sid,
 		pol:     pol.withDefaults(),
 		streams: make(map[core.VCID]*streamState, len(streams)),
+
+		compensations: llo.StatsScope().Counter("compensations"),
 	}
 	for _, sc := range streams {
 		if sc.Rate <= 0 {
@@ -427,6 +432,7 @@ func (a *Agent) onReport(r orch.Report) {
 		attr = attribute(r, a.pol.Interval)
 		st.status.LagIntervals = 0
 		st.status.Compensations++
+		a.compensations.Inc()
 	}
 	pol := a.pol
 	sid := a.sid

@@ -19,6 +19,7 @@ import (
 
 	"cmtos/internal/core"
 	"cmtos/internal/pdu"
+	"cmtos/internal/stats"
 	"cmtos/internal/transport"
 )
 
@@ -83,7 +84,21 @@ type LLO struct {
 	// halves pairs the source and sink half-reports of one interval.
 	halves map[halfKey]*Report
 
+	stats stats.Scope
+	si    orchInstr
+
 	closed bool
+}
+
+// orchInstr holds the LLO's registry instruments, all nil (no-op) when
+// the transport entity has no registry attached.
+type orchInstr struct {
+	regulates      *stats.Counter // regulation intervals handled (either end)
+	regulateDrops  *stats.Counter // OSDUs discarded by the drop budget
+	reports        *stats.Counter // complete interval reports raised
+	reportsPartial *stats.Counter // partial reports (one half lost)
+	delayedIssued  *stats.Counter // Orch.Delayed requests issued (agent)
+	delayedInd     *stats.Counter // Orch.Delayed indications raised here
 }
 
 type halfKey struct {
@@ -123,9 +138,34 @@ func New(e *transport.Entity) *LLO {
 		pending:  make(map[uint32]chan *pdu.Orch),
 		halves:   make(map[halfKey]*Report),
 		maxSess:  DefaultMaxSessions,
+		stats:    e.StatsScope().Scope("orch"),
+	}
+	l.si = orchInstr{
+		regulates:      l.stats.Counter("regulates"),
+		regulateDrops:  l.stats.Counter("regulate_drops"),
+		reports:        l.stats.Counter("reports"),
+		reportsPartial: l.stats.Counter("reports_partial"),
+		delayedIssued:  l.stats.Counter("delayed_issued"),
+		delayedInd:     l.stats.Counter("delayed_indications"),
 	}
 	e.SetOrchHandler(l.onPDU)
 	return l
+}
+
+// StatsScope returns the LLO's metrics scope (host/<id>/orch), for
+// layers above (the HLO agent) to hang their own instruments on. The
+// scope is a no-op when the transport entity has no registry.
+func (l *LLO) StatsScope() stats.Scope { return l.stats }
+
+// reportGauges publishes one interval report's target and delivered
+// OSDU sequence numbers as per-VC gauges on the agent's registry.
+func (l *LLO) reportGauges(rep *Report) {
+	if !l.stats.Enabled() {
+		return
+	}
+	sc := l.stats.Scope(fmt.Sprintf("vc/%d", uint32(rep.VC)))
+	sc.Gauge("target_osdu").Set(float64(rep.Target))
+	sc.Gauge("delivered_osdu").Set(float64(rep.Delivered))
 }
 
 // SetMaxSessions adjusts the session table bound.

@@ -233,6 +233,7 @@ func (l *LLO) Delayed(sid core.SessionID, vc core.VCID, atSource bool, behind in
 		host = d.Source
 	}
 	l.e.EmitTrace("agent", core.OrchDelayedRequest)
+	l.si.delayedIssued.Inc()
 	reply, err := l.request(host, &pdu.Orch{
 		Op: pdu.OrchDelayed, Session: sid, VC: vc,
 		AtSource: atSource, OSDUsBehind: uint32(behind),

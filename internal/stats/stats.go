@@ -1,0 +1,384 @@
+// Package stats is a small, allocation-light metrics subsystem: atomic
+// counters, gauges, and fixed-bucket histograms collected in a named
+// Registry with hierarchical scopes ("host/3/vc/7/...", "link/1-2/...").
+//
+// Every instrument method is safe on a nil receiver and every Registry
+// method is safe on a nil *Registry, so instrumented code needs no
+// "is stats enabled?" branches: a nil Registry yields nil Scopes, which
+// yield nil instruments, and the whole data path degrades to no-ops.
+// Instruments are created once (typically at VC/link construction) and
+// then updated lock-free with atomics; only creation and Snapshot take
+// the registry mutex.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that may go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d to the gauge with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. An observation v
+// lands in the first bucket whose upper bound satisfies v <= bound; the
+// last (implicit) bucket is unbounded. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; len(counts) == len(bounds)+1
+	counts  []atomic.Uint64
+	total   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// DurationBuckets is the default bucket layout for second-denominated
+// latency histograms: 10µs to ~10s, doubling.
+func DurationBuckets() []float64 {
+	return ExpBuckets(10e-6, 2, 21)
+}
+
+// Registry holds named instruments. The zero value is not usable; call
+// NewRegistry. A nil *Registry is valid everywhere and means "metrics
+// disabled": its methods return nil instruments and empty snapshots.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if
+// needed. Returns nil on a nil Registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+// Returns nil on a nil Registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket bounds if needed. Bounds are only consulted at
+// creation; later callers get the existing instrument. Returns nil on a
+// nil Registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Scope returns a Scope rooted at prefix. Valid on a nil Registry (the
+// scope is then disabled).
+func (r *Registry) Scope(prefix string) Scope {
+	return Scope{r: r, prefix: prefix}
+}
+
+// Scope is a named prefix into a Registry. The zero Scope is disabled:
+// all instrument lookups return nil.
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// Enabled reports whether the scope is backed by a live registry.
+func (s Scope) Enabled() bool { return s.r != nil }
+
+func (s Scope) join(name string) string {
+	if s.prefix == "" {
+		return name
+	}
+	return s.prefix + "/" + name
+}
+
+// Scope returns a child scope with sub appended to the prefix.
+func (s Scope) Scope(sub string) Scope {
+	return Scope{r: s.r, prefix: s.join(sub)}
+}
+
+// Counter returns the scoped counter.
+func (s Scope) Counter(name string) *Counter { return s.r.Counter(s.join(name)) }
+
+// Gauge returns the scoped gauge.
+func (s Scope) Gauge(name string) *Gauge { return s.r.Gauge(s.join(name)) }
+
+// Histogram returns the scoped histogram.
+func (s Scope) Histogram(name string, bounds []float64) *Histogram {
+	return s.r.Histogram(s.join(name), bounds)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1; last is the overflow bucket
+	Count  uint64
+	Sum    float64
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (h HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts,
+// interpolating within the chosen bucket. The overflow bucket reports
+// its lower bound.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum, prevCum float64
+	for i, c := range h.Counts {
+		prevCum = cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prevCum)/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistSnapshot
+}
+
+// Snapshot copies every instrument. Safe on a nil Registry (returns
+// empty maps).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		snap.Histograms[name] = hs
+	}
+	return snap
+}
+
+// Dump writes the snapshot as sorted "name kind value" lines,
+// expvar-style, one instrument per line.
+func (s Snapshot) Dump(w io.Writer) error {
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s counter %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s gauge %g", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf(
+			"%s histogram count=%d sum=%g mean=%g p50=%g p99=%g",
+			name, h.Count, h.Sum, h.Mean(), h.Quantile(0.5), h.Quantile(0.99)))
+	}
+	sort.Strings(lines)
+	_, err := io.WriteString(w, strings.Join(lines, "\n")+"\n")
+	return err
+}
+
+// Dump writes the current registry contents to w. Safe on nil.
+func (r *Registry) Dump(w io.Writer) error {
+	return r.Snapshot().Dump(w)
+}
+
+// String renders the registry as its Dump output.
+func (r *Registry) String() string {
+	var b strings.Builder
+	_ = r.Dump(&b)
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 10})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got, want := h.Sum(), float64(workers*per)*0.5; got != want {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("Gauge not idempotent")
+	}
+	if r.Histogram("x", []float64{1}) != r.Histogram("x", nil) {
+		t.Error("Histogram not idempotent")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	// v <= bound lands in that bucket; above all bounds -> overflow.
+	for _, v := range []float64{0, 0.5, 1} { // bucket 0
+		h.Observe(v)
+	}
+	for _, v := range []float64{1.5, 2} { // bucket 1
+		h.Observe(v)
+	}
+	h.Observe(3)   // bucket 2
+	h.Observe(4.1) // overflow
+	h.Observe(100) // overflow
+	snap := r.Snapshot().Histograms["h"]
+	want := []uint64{3, 2, 1, 2}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 8 {
+		t.Errorf("count = %d, want 8", snap.Count)
+	}
+	if m := snap.Mean(); m <= 0 {
+		t.Errorf("mean = %g, want > 0", m)
+	}
+	if q := snap.Quantile(0.5); q <= 0 || q > 4 {
+		t.Errorf("p50 = %g, want in (0, 4]", q)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []float64{1})
+	c.Add(5)
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	c.Add(100)
+	h.Observe(0.5)
+	h.Observe(10)
+	if snap.Counters["c"] != 5 {
+		t.Errorf("snapshot counter = %d, want 5", snap.Counters["c"])
+	}
+	hs := snap.Histograms["h"]
+	if hs.Count != 1 || hs.Counts[0] != 1 || hs.Counts[1] != 0 {
+		t.Errorf("snapshot histogram mutated: %+v", hs)
+	}
+}
+
+func TestScopeNaming(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("host/3").Scope("vc/7").Counter("send/osdus_sent").Add(2)
+	r.Scope("").Counter("top").Inc()
+	snap := r.Snapshot()
+	if snap.Counters["host/3/vc/7/send/osdus_sent"] != 2 {
+		t.Errorf("scoped name missing: %v", snap.Counters)
+	}
+	if snap.Counters["top"] != 1 {
+		t.Errorf("empty-prefix scope should yield bare name: %v", snap.Counters)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	sc := r.Scope("host/1")
+	if sc.Enabled() {
+		t.Error("nil registry scope reports enabled")
+	}
+	c := sc.Counter("c")
+	g := sc.Gauge("g")
+	h := sc.Scope("vc/1").Histogram("h", DurationBuckets())
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must yield nil instruments")
+	}
+	// All of these must be no-ops, not panics.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(0.1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	if r.String() != "\n" && r.String() != "" {
+		// Dump of an empty snapshot is a single newline; just ensure no panic.
+		t.Logf("nil dump = %q", r.String())
+	}
+}
+
+func TestDumpSortedAndTyped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b/count").Add(2)
+	r.Gauge("a/level").Set(1.5)
+	r.Histogram("c/lat", []float64{1}).Observe(0.2)
+	out := r.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("dump lines = %d, want 3: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a/level gauge 1.5") ||
+		!strings.HasPrefix(lines[1], "b/count counter 2") ||
+		!strings.HasPrefix(lines[2], "c/lat histogram count=1") {
+		t.Errorf("unexpected dump:\n%s", out)
+	}
+}

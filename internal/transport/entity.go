@@ -7,6 +7,7 @@ import (
 	"cmtos/internal/pdu"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
+	"cmtos/internal/stats"
 	"fmt"
 	"sync"
 )
@@ -16,11 +17,12 @@ import (
 // attachment to the network emulator. All methods are safe for concurrent
 // use.
 type Entity struct {
-	host core.HostID
-	clk  clock.Clock
-	net  *netem.Network
-	rm   *resv.Manager
-	cfg  Config
+	host  core.HostID
+	clk   clock.Clock
+	net   *netem.Network
+	rm    *resv.Manager
+	cfg   Config
+	scope stats.Scope // host/<id>; disabled when Config.Stats is nil
 
 	mu        sync.Mutex
 	users     map[core.TSAP]UserCallbacks
@@ -48,6 +50,7 @@ func NewEntity(host core.HostID, clk clock.Clock, net *netem.Network, rm *resv.M
 		net:     net,
 		rm:      rm,
 		cfg:     cfg.withDefaults(),
+		scope:   cfg.Stats.Scope(fmt.Sprintf("host/%d", uint32(host))),
 		users:   make(map[core.TSAP]UserCallbacks),
 		sends:   make(map[core.VCID]*SendVC),
 		recvs:   make(map[core.VCID]*RecvVC),
@@ -68,6 +71,15 @@ func (e *Entity) Clock() clock.Clock { return e.clk }
 
 // Config returns the entity's effective configuration.
 func (e *Entity) Config() Config { return e.cfg }
+
+// StatsScope returns the entity's metrics scope (host/<id>); the scope
+// is disabled when no registry was configured.
+func (e *Entity) StatsScope() stats.Scope { return e.scope }
+
+// vcScopeName names a VC's metrics subtree under its entity's scope.
+func vcScopeName(id core.VCID) string {
+	return fmt.Sprintf("vc/%d", uint32(id))
+}
 
 // Attach binds user callbacks to a TSAP. A TSAP may be attached once;
 // reattach after Detach.

@@ -11,6 +11,7 @@ import (
 	"cmtos/internal/pdu"
 	"cmtos/internal/qos"
 	"cmtos/internal/rate"
+	"cmtos/internal/stats"
 )
 
 // RecvVC is the sink side of a simplex virtual circuit: it reassembles
@@ -60,6 +61,13 @@ type RecvVC struct {
 	deliveredSeq atomic.Uint64 // sequence number just past the last delivered OSDU
 	lastEvent    atomic.Uint64 // most recent matched event value
 
+	// lateBound caches contract.Delay+contract.Jitter in nanoseconds so
+	// the receive path can classify late OSDUs without taking mu; 0
+	// means no bound. Updated on re-negotiation.
+	lateBound atomic.Int64
+
+	si recvInstr
+
 	reports struct {
 		sync.Mutex
 		last qos.Report
@@ -68,6 +76,22 @@ type RecvVC struct {
 
 	closeOnce sync.Once
 	done      chan struct{}
+}
+
+// recvInstr holds the VC's registry instruments; all nil when metrics
+// are disabled.
+type recvInstr struct {
+	delivered  *stats.Counter
+	lost       *stats.Counter
+	late       *stats.Counter
+	bitErrors  *stats.Counter
+	violations *stats.Counter
+	protoStall *stats.Histogram
+	qosThr     *stats.Gauge
+	qosDelay   *stats.Gauge
+	qosJitter  *stats.Gauge
+	qosPER     *stats.Gauge
+	qosBER     *stats.Gauge
 }
 
 // partial is an OSDU under reassembly.
@@ -82,7 +106,7 @@ type partial struct {
 }
 
 func newRecvVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profile, class qos.Class, contract qos.Contract) *RecvVC {
-	return &RecvVC{
+	r := &RecvVC{
 		e:          e,
 		id:         id,
 		tuple:      tup,
@@ -98,6 +122,33 @@ func newRecvVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profi
 		expected:   1, // TPDU sequence numbers start at 1
 		done:       make(chan struct{}),
 	}
+	r.setLateBound(contract)
+	sc := e.scope.Scope(vcScopeName(id)).Scope("recv")
+	qc := sc.Scope("qos")
+	r.si = recvInstr{
+		delivered:  sc.Counter("osdus_delivered"),
+		lost:       sc.Counter("osdus_lost"),
+		late:       sc.Counter("osdus_late"),
+		bitErrors:  sc.Counter("bit_errors"),
+		violations: sc.Counter("qos_violations"),
+		protoStall: sc.Histogram("block_proto_seconds", stats.DurationBuckets()),
+		qosThr:     qc.Gauge("throughput"),
+		qosDelay:   qc.Gauge("mean_delay_seconds"),
+		qosJitter:  qc.Gauge("jitter_seconds"),
+		qosPER:     qc.Gauge("per"),
+		qosBER:     qc.Gauge("ber"),
+	}
+	// The consumer side of the sink ring is the application; producer
+	// blocking never happens (the protocol uses TryPut and parks
+	// overflow in the reorder stage, timed via protoStall instead).
+	r.ring.SetBlockStats(nil, sc.Histogram("block_app_seconds", stats.DurationBuckets()))
+	return r
+}
+
+// setLateBound refreshes the cached delay+jitter bound used to count
+// late OSDUs.
+func (r *RecvVC) setLateBound(c qos.Contract) {
+	r.lateBound.Store(int64(c.Delay + c.Jitter))
 }
 
 // start launches the sink's periodic work: QoS sampling and, for
@@ -170,6 +221,7 @@ func (r *RecvVC) Read() (cbuf.OSDU, error) {
 		b.Wait(1)
 	}
 	r.delivered.Add(1)
+	r.si.delivered.Inc()
 	r.deliveredSeq.Store(uint64(u.Seq) + 1)
 	r.maybeXon()
 	return u, nil
@@ -183,6 +235,7 @@ func (r *RecvVC) TryRead() (cbuf.OSDU, bool, error) {
 			b.Wait(1)
 		}
 		r.delivered.Add(1)
+		r.si.delivered.Inc()
 		r.deliveredSeq.Store(uint64(u.Seq) + 1)
 		r.maybeXon()
 	}
@@ -305,6 +358,14 @@ func (r *RecvVC) Reports() []qos.Report {
 // recovers the data.
 func (r *RecvVC) onDamaged() {
 	r.mon.BitErrors(1)
+	r.si.bitErrors.Inc()
+}
+
+// countLost records n OSDUs as lost with both the QoS monitor and the
+// registry counter.
+func (r *RecvVC) countLost(n int) {
+	r.mon.Lost(n)
+	r.si.lost.Add(uint64(n))
 }
 
 // onData is the receive path for one data TPDU. It runs on the host's
@@ -338,7 +399,11 @@ func (r *RecvVC) onData(d *pdu.Data) {
 	if p.got == len(p.have) {
 		delete(r.asm, d.OSDU)
 		r.pendingOut[d.OSDU] = cbuf.OSDU{Seq: d.OSDU, Event: p.event, Payload: p.buf[:p.size]}
-		r.mon.Delivered(p.size, r.e.clk.Since(p.sentAt))
+		delay := r.e.clk.Since(p.sentAt)
+		r.mon.Delivered(p.size, delay)
+		if bound := r.lateBound.Load(); bound > 0 && delay > time.Duration(bound) {
+			r.si.late.Inc()
+		}
 	}
 	if !r.class.Corrects() {
 		// Without retransmission an OSDU older than a completed one can
@@ -428,7 +493,7 @@ func (r *RecvVC) flushInOrderLocked() {
 				return
 			}
 			lost := int(next - r.nextDeliver)
-			r.mon.Lost(lost)
+			r.countLost(lost)
 			r.nextDeliver = next
 			continue
 		}
@@ -458,7 +523,7 @@ func (r *RecvVC) overflowLocked() {
 			return
 		}
 		delete(r.pendingOut, seq)
-		r.mon.Lost(1)
+		r.countLost(1)
 		if seq >= r.nextDeliver {
 			r.nextDeliver = seq + 1
 		}
@@ -544,7 +609,9 @@ func (r *RecvVC) sendXoffLocked() {
 // endStallLocked closes an open stall period. Caller holds rxMu.
 func (r *RecvVC) endStallLocked() {
 	if !r.stalledAt.IsZero() {
-		r.stalled += r.e.clk.Since(r.stalledAt)
+		d := r.e.clk.Since(r.stalledAt)
+		r.stalled += d
+		r.si.protoStall.Observe(d.Seconds())
 		r.stalledAt = time.Time{}
 	}
 }
@@ -610,7 +677,7 @@ func (r *RecvVC) ackLoop() {
 					}
 				}
 				if headStalled {
-					r.mon.Lost(int(next - r.nextDeliver))
+					r.countLost(int(next - r.nextDeliver))
 					r.nextDeliver = next
 					r.flushInOrderLocked()
 				}
@@ -637,8 +704,16 @@ func (r *RecvVC) sampleLoop() {
 		r.reports.all = append(r.reports.all, rep)
 		r.reports.Unlock()
 
+		// Publish the period's measured QoS as gauges.
+		r.si.qosThr.Set(rep.Throughput)
+		r.si.qosDelay.Set(rep.MeanDelay.Seconds())
+		r.si.qosJitter.Set(rep.Jitter.Seconds())
+		r.si.qosPER.Set(rep.PER)
+		r.si.qosBER.Set(rep.BER)
+
 		contract := r.Contract()
 		violated := rep.Violations(contract, r.e.cfg.QoSSlack)
+		r.si.violations.Add(uint64(len(violated)))
 		if len(violated) == 0 || !r.class.Indicates() {
 			continue
 		}

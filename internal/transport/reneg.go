@@ -116,6 +116,7 @@ func (r *RecvVC) applyContract(c qos.Contract) error {
 	r.mu.Lock()
 	r.contract = c
 	r.mu.Unlock()
+	r.setLateBound(c)
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"cmtos/internal/qos"
 	"cmtos/internal/rate"
 	"cmtos/internal/resv"
+	"cmtos/internal/stats"
 )
 
 // SendVC is the source side of a simplex virtual circuit. The application
@@ -57,11 +58,32 @@ type SendVC struct {
 
 	// xoffTimer expires a peer-flow-control hold if the sink's XON is
 	// lost; the sink refreshes XOFF while it still needs the pause.
+	// xoffGen stamps each (re-)arming so a stale expiry callback can
+	// recognise that the hold it was guarding has since been refreshed
+	// or released, and back off instead of clearing the fresh hold.
 	xoffMu    sync.Mutex
 	xoffTimer clock.Timer
+	xoffGen   uint64
+	xoffHeld  bool
+	xoffAt    time.Time
+
+	si sendInstr
 
 	closeOnce sync.Once
 	done      chan struct{}
+}
+
+// sendInstr holds the VC's registry instruments; all nil when metrics
+// are disabled.
+type sendInstr struct {
+	written      *stats.Counter
+	sent         *stats.Counter
+	dropped      *stats.Counter
+	retransmits  *stats.Counter
+	ackRTT       *stats.Histogram
+	xoffHolds    *stats.Counter
+	xoffExpiries *stats.Counter
+	xoffHold     *stats.Histogram
 }
 
 type retransEntry struct {
@@ -95,6 +117,21 @@ func newSendVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profi
 	if class.Corrects() {
 		s.retrans.buf = make(map[uint64]retransEntry)
 	}
+	sc := e.scope.Scope(vcScopeName(id)).Scope("send")
+	s.si = sendInstr{
+		written:      sc.Counter("osdus_written"),
+		sent:         sc.Counter("osdus_sent"),
+		dropped:      sc.Counter("osdus_dropped"),
+		retransmits:  sc.Counter("retransmits"),
+		ackRTT:       sc.Histogram("ack_rtt_seconds", stats.DurationBuckets()),
+		xoffHolds:    sc.Counter("xoff_holds"),
+		xoffExpiries: sc.Counter("xoff_expiries"),
+		xoffHold:     sc.Histogram("xoff_hold_seconds", stats.DurationBuckets()),
+	}
+	s.ring.SetBlockStats(
+		sc.Histogram("block_app_seconds", stats.DurationBuckets()),
+		sc.Histogram("block_proto_seconds", stats.DurationBuckets()),
+	)
 	return s
 }
 
@@ -143,6 +180,7 @@ func (s *SendVC) Write(payload []byte, event core.EventPattern) (core.OSDUSeq, e
 		return 0, err
 	}
 	s.written.Add(1)
+	s.si.written.Inc()
 	return seq, nil
 }
 
@@ -174,6 +212,7 @@ func (s *SendVC) DropQueued(max int) int {
 		n++
 	}
 	s.dropped.Add(uint64(n))
+	s.si.dropped.Add(uint64(n))
 	return n
 }
 
@@ -225,24 +264,57 @@ func (s *SendVC) Close(reason core.Reason) error {
 // a lost XON cannot stall the VC forever.
 func (s *SendVC) peerHold(on bool) {
 	s.xoffMu.Lock()
+	s.xoffGen++
+	gen := s.xoffGen
 	if s.xoffTimer != nil {
 		s.xoffTimer.Stop()
 		s.xoffTimer = nil
 	}
 	if on {
+		if !s.xoffHeld {
+			s.xoffHeld = true
+			s.xoffAt = s.e.clk.Now()
+			s.si.xoffHolds.Inc()
+		}
 		ttl := 4 * s.e.cfg.RTO
-		s.xoffTimer = s.e.clk.AfterFunc(ttl, func() {
-			s.bucket.Resume()
-			s.setGate(gatePeer, false)
-		})
+		s.xoffTimer = s.e.clk.AfterFunc(ttl, func() { s.xoffExpire(gen) })
 		// Stop accruing pacing credit while held: resuming must not
 		// release a burst that overruns the sink again.
 		s.bucket.Pause()
 	} else {
+		s.endPeerHoldLocked()
 		s.bucket.Resume()
 	}
 	s.xoffMu.Unlock()
 	s.setGate(gatePeer, on)
+}
+
+// xoffExpire releases a hold whose lease ran out without an XON — the
+// sink crashed or its XON was lost. A hold refreshed or released after
+// this timer was armed carries a newer generation, making the stale
+// callback a no-op; the old code skipped that check and could tear down
+// a freshly refreshed hold it did not own.
+func (s *SendVC) xoffExpire(gen uint64) {
+	s.xoffMu.Lock()
+	if gen != s.xoffGen || !s.xoffHeld {
+		s.xoffMu.Unlock()
+		return
+	}
+	s.xoffTimer = nil
+	s.si.xoffExpiries.Inc()
+	s.endPeerHoldLocked()
+	s.bucket.Resume()
+	s.xoffMu.Unlock()
+	s.setGate(gatePeer, false)
+}
+
+// endPeerHoldLocked closes out the current hold episode; caller holds
+// xoffMu.
+func (s *SendVC) endPeerHoldLocked() {
+	if s.xoffHeld {
+		s.xoffHeld = false
+		s.si.xoffHold.Observe(s.e.clk.Since(s.xoffAt).Seconds())
+	}
 }
 
 // setGate sets or clears one hold bit.
@@ -312,6 +384,7 @@ func (s *SendVC) sendLoop() {
 			}
 		}
 		s.sent.Add(1)
+		s.si.sent.Inc()
 		s.sentSeq.Store(uint64(u.Seq) + 1)
 	}
 }
@@ -390,14 +463,16 @@ func (s *SendVC) onAck(a *pdu.Ack) {
 	}
 	var resend []*pdu.Data
 	released := 0
+	now := s.e.clk.Now()
 	s.retrans.Lock()
 	for seq, entry := range s.retrans.buf {
 		switch {
 		case nak[seq]:
 			resend = append(resend, entry.data)
-			entry.sentAt = s.e.clk.Now()
+			entry.sentAt = now
 			s.retrans.buf[seq] = entry
 		case seq < a.CumSeq:
+			s.si.ackRTT.Observe(now.Sub(entry.sentAt).Seconds())
 			delete(s.retrans.buf, seq)
 			released++
 		}
@@ -406,6 +481,7 @@ func (s *SendVC) onAck(a *pdu.Ack) {
 	if s.window != nil && released > 0 {
 		s.window.Release(released)
 	}
+	s.si.retransmits.Add(uint64(len(resend)))
 	for _, d := range resend {
 		s.transmit(d)
 	}
@@ -430,6 +506,7 @@ func (s *SendVC) retransmitLoop() {
 			}
 		}
 		s.retrans.Unlock()
+		s.si.retransmits.Add(uint64(len(resend)))
 		for _, d := range resend {
 			s.transmit(d)
 		}

@@ -21,6 +21,7 @@ import (
 
 	"cmtos/internal/core"
 	"cmtos/internal/qos"
+	"cmtos/internal/stats"
 )
 
 // Config tunes an Entity. The zero value selects all defaults.
@@ -51,6 +52,10 @@ type Config struct {
 	// WindowSize is the initial credit for the window-based profile.
 	// Default 16.
 	WindowSize int
+	// Stats receives the entity's metrics under host/<id>/... Nil (the
+	// default) disables metrics collection entirely; the data path then
+	// pays only nil-instrument no-op calls.
+	Stats *stats.Registry
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cmtos/internal/qos"
+	"cmtos/internal/stats"
+)
+
+// TestXoffLostXonReleasesSender is the lost-XON regression test: a sink
+// engages XOFF backpressure and then crashes while the hold is in force,
+// so the XON that would normally release the sender is never sent. The
+// sender's XOFF lease (4×RTO, refreshed by the sink's flowLoop while it
+// lives) must expire and release the sender on its own; the stall must be
+// visible in the registry as xoff_holds/xoff_expiries counts and an
+// xoff_hold_seconds observation.
+func TestXoffLostXonReleasesSender(t *testing.T) {
+	reg := stats.NewRegistry()
+	cfg := Config{
+		RingSlots: 4,
+		RTO:       25 * time.Millisecond,
+		Stats:     reg,
+	}
+	r := newRig(t, 2, fastLink(), cfg)
+	spec := cmSpec()
+	spec.Throughput = qos.Tolerance{Preferred: 2000, Acceptable: 100}
+	s, _ := connectPair(t, r, qos.ClassDetectIndicate, qos.ProfileCMRate, spec)
+
+	// The sink application never reads, so the sink ring fills and XOFF
+	// engages. The writer just keeps the pipe pressurised; it unblocks
+	// (or errors out at teardown) once the sender is released.
+	go func() {
+		payload := make([]byte, 64)
+		for i := 0; i < 400; i++ {
+			if _, err := s.Write(payload, 0); err != nil {
+				return
+			}
+		}
+	}()
+
+	scope := fmt.Sprintf("host/1/vc/%d/send", uint32(s.ID()))
+	holds := reg.Counter(scope + "/xoff_holds")
+	expiries := reg.Counter(scope + "/xoff_expiries")
+	holdHist := reg.Histogram(scope+"/xoff_hold_seconds", stats.DurationBuckets())
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s\n%s", what, reg.String())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	waitFor("XOFF to engage", func() bool { return holds.Value() >= 1 })
+	sentAtHold := s.Sent()
+
+	// Crash the sink entity while the hold is in force. Its flowLoop dies
+	// with it, so neither XOFF refreshes nor the releasing XON can arrive.
+	r.ent[2].Close()
+
+	waitFor("XOFF lease expiry", func() bool { return expiries.Value() >= 1 })
+	waitFor("sender to resume after expiry", func() bool { return s.Sent() > sentAtHold })
+
+	if holdHist.Count() < 1 {
+		t.Errorf("xoff_hold_seconds recorded no observations\n%s", reg.String())
+	}
+	if got := holds.Value(); got < 1 {
+		t.Errorf("xoff_holds = %d, want >= 1", got)
+	}
+}

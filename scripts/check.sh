@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: formatting, build, vet, and the
+# test suite under the race detector. Fails on the first problem.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go build ./...
+go vet ./...
+go test -race ./...
