@@ -1,10 +1,25 @@
-// Netprobe builds an emulated network path from flags, reports the
+// Netprobe exercises the transport stack against a network substrate.
+//
+// In its default mode it builds an emulated path from flags, reports the
 // negotiated capability (the provider side of QoS option negotiation),
-// then streams a probe flow across it and compares measured delay, jitter
-// and loss against the prediction — a sanity tool for the netem
-// substrate and the QoS machinery above it.
+// then streams a probe flow across it and compares measured delay,
+// jitter and loss against the prediction — a sanity tool for the netem
+// substrate and the QoS machinery above it:
 //
 //	go run ./cmd/netprobe -hops 3 -bw 2e6 -delay 5ms -jitter 1ms -loss 0.02 -rate 100
+//
+// With -listen it instead runs one end of a two-process demo over the
+// real-UDP substrate: the same transport entities, QoS negotiation and
+// orchestration, but across OS process (and potentially machine)
+// boundaries. Start the receiver first, then point the sender at it:
+//
+//	go run ./cmd/netprobe -listen 127.0.0.1:7000
+//	go run ./cmd/netprobe -listen 127.0.0.1:0 -peer 127.0.0.1:7000
+//
+// The sender negotiates a VC, wraps it in an orchestration session and
+// drives Prime -> Start -> Regulate -> Stop -> Release before
+// disconnecting; both processes print their metrics registries, which
+// carry the same host/<id>/vc/<id> scopes an emulated run produces.
 package main
 
 import (
@@ -17,10 +32,12 @@ import (
 	"cmtos/internal/core"
 	"cmtos/internal/media"
 	"cmtos/internal/netem"
+	"cmtos/internal/orch"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
 	"cmtos/internal/stats"
 	"cmtos/internal/transport"
+	"cmtos/internal/udpnet"
 )
 
 func main() {
@@ -33,21 +50,158 @@ func main() {
 	size := flag.Int("size", 1024, "probe OSDU size (bytes)")
 	count := flag.Uint("count", 300, "probe OSDUs to send")
 	dumpStats := flag.Bool("stats", false, "dump the metrics registry after the probe")
+	listen := flag.String("listen", "", "UDP mode: address to bind (enables the two-process demo)")
+	peer := flag.String("peer", "", "UDP mode: receiver address to stream to (sender role; omit for receiver role)")
 	flag.Parse()
 
+	if *listen != "" {
+		if *peer != "" {
+			udpSender(*listen, *peer, *rate, *size, *count, *dumpStats)
+		} else {
+			udpReceiver(*listen, *rate, *dumpStats)
+		}
+		return
+	}
+	emulated(*hops, *bw, *delay, *jitter, *loss, *rate, *size, *count, *dumpStats)
+}
+
+// probeSpec is the QoS contract both modes request for the probe flow.
+func probeSpec(rate float64, size int) qos.Spec {
+	return qos.Spec{
+		Throughput:  qos.Tolerance{Preferred: rate, Acceptable: rate / 10},
+		MaxOSDUSize: size,
+		Delay:       qos.CeilTolerance{Preferred: 0.001, Acceptable: 2},
+		Jitter:      qos.CeilTolerance{Preferred: 0.001, Acceptable: 1},
+		PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.9},
+		BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-2},
+		Guarantee:   qos.Soft,
+	}
+}
+
+// udpStack builds one host's full stack over the UDP substrate: socket,
+// advisory admission, transport entity and orchestrator.
+func udpStack(id core.HostID, listen string, reg *stats.Registry) (*udpnet.Network, *transport.Entity, *orch.LLO) {
+	nw, err := udpnet.New(udpnet.Config{Local: id, Listen: listen})
+	check(err)
+	nw.SetStats(reg.Scope(fmt.Sprintf("host/%d", uint32(id))))
+	rm := resv.NewLocal(nw.Capacity(), nw.Route)
+	nw.SetAvailable(rm.Available)
+	ent, err := transport.NewEntity(id, clock.System{}, nw, rm, transport.Config{
+		SamplePeriod: 500 * time.Millisecond, Stats: reg,
+	})
+	check(err)
+	return nw, ent, orch.New(ent)
+}
+
+// udpSender is host 1 of the two-process demo: it negotiates a VC to the
+// receiver, orchestrates it through a full Prime/Start/Regulate/Stop
+// cycle and streams the probe.
+func udpSender(listen, peer string, rate float64, size int, count uint, dumpStats bool) {
+	reg := stats.NewRegistry()
+	nw, ent, llo := udpStack(1, listen, reg)
+	defer nw.Close()
+	defer ent.Close()
+	check(nw.AddPeer(2, peer))
+
+	llo.SetRegulateHandler(func(r orch.Report) {
+		fmt.Printf("regulate report: interval %d delivered %d (target %d), dropped %d\n",
+			r.IntervalID, r.Delivered, r.Target, r.Dropped)
+	})
+
+	send, err := ent.Connect(transport.ConnectRequest{
+		SrcTSAP: 10, Dest: core.Addr{Host: 2, TSAP: 20},
+		Class: qos.ClassDetectIndicate,
+		Spec:  probeSpec(rate, size),
+	})
+	check(err)
+	c := send.Contract()
+	fmt.Printf("VC %d established over UDP: %.0f OSDU/s, delay <= %v, jitter <= %v\n",
+		uint32(send.ID()), c.Throughput, c.Delay.Round(time.Microsecond), c.Jitter.Round(time.Microsecond))
+
+	const sid = core.SessionID(1)
+	check(llo.Setup(sid, []orch.VCDesc{{VC: send.ID(), Source: 1, Sink: 2}}))
+	fmt.Println("orchestration session established")
+
+	// The pump writes as fast as flow control admits; Prime fills the
+	// sink's held buffers from it, Start releases delivery everywhere.
+	pumped := make(chan error, 1)
+	go func() {
+		pumped <- media.PumpUnpaced(&media.CBR{Size: size - 16, FrameRate: rate, Count: uint32(count)}, send, nil)
+	}()
+	check(llo.Prime(sid, false))
+	fmt.Println("primed: sink buffers full, delivery held")
+	check(llo.Start(sid))
+	fmt.Println("started: delivery released")
+	check(llo.Regulate(sid, send.ID(), core.OSDUSeq(count/2), 10, 500*time.Millisecond, 1))
+
+	check(<-pumped)
+	time.Sleep(time.Second) // let the tail drain and the interval close
+	check(llo.Stop(sid))
+	fmt.Println("stopped: data flow frozen")
+	llo.Release(sid)
+	check(ent.Disconnect(send.ID(), core.ReasonNone))
+	fmt.Println("released and disconnected")
+
+	if dumpStats {
+		fmt.Printf("\nsender metrics registry:\n%s", reg.String())
+	}
+}
+
+// udpReceiver is host 2 of the two-process demo: it answers the QoS
+// negotiation and orchestration PDUs, drains the probe into a media sink
+// and reports what arrived once the sender disconnects.
+func udpReceiver(listen string, rate float64, dumpStats bool) {
+	reg := stats.NewRegistry()
+	nw, ent, llo := udpStack(2, listen, reg)
+	defer nw.Close()
+	defer ent.Close()
+	_ = llo // installed as the entity's orchestration handler
+
+	sink := media.NewSink()
+	sink.NominalRate = rate
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	check(ent.Attach(20, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) {
+			fmt.Printf("VC %d accepted\n", uint32(rv.ID()))
+			go media.Drain(clock.System{}, rv, sink, stop)
+		},
+		OnDisconnect: func(vc core.VCID, reason core.Reason, live bool) {
+			if !live {
+				close(done)
+			}
+		},
+	}))
+	fmt.Printf("receiver listening on %v as host 2\n", nw.Addr())
+	<-done
+	close(stop)
+
+	st := sink.Stats()
+	fmt.Printf("\nstream finished: delivered %d OSDUs, gaps %d\n", st.Received, st.Gaps)
+	fmt.Printf("  inter-arrival mean %v, σ %v, max %v\n",
+		st.MeanInterArrival.Round(10*time.Microsecond),
+		st.JitterStdDev.Round(10*time.Microsecond),
+		st.MaxInterArrival.Round(10*time.Microsecond))
+	if dumpStats {
+		fmt.Printf("\nreceiver metrics registry:\n%s", reg.String())
+	}
+}
+
+// emulated is the original single-process probe over the netem substrate.
+func emulated(hops int, bw float64, delay, jitter time.Duration, loss, rate float64, size int, count uint, dumpStats bool) {
 	reg := stats.NewRegistry()
 	sys := clock.System{}
 	nw := netem.New(sys)
 	nw.SetStats(reg.Scope(""))
-	n := *hops + 1
+	n := hops + 1
 	for id := core.HostID(1); id <= core.HostID(n); id++ {
 		check(nw.AddHost(id, nil))
 	}
 	cfg := netem.LinkConfig{
-		Bandwidth: *bw, Delay: *delay, Jitter: *jitter, QueueLen: 4096,
+		Bandwidth: bw, Delay: delay, Jitter: jitter, QueueLen: 4096,
 	}
-	if *loss > 0 {
-		cfg.Loss = netem.Bernoulli{P: *loss}
+	if loss > 0 {
+		cfg.Loss = netem.Bernoulli{P: loss}
 	}
 	for id := core.HostID(1); id < core.HostID(n); id++ {
 		check(nw.AddLink(id, id+1, cfg))
@@ -56,9 +210,9 @@ func main() {
 	defer nw.Close()
 
 	src, dst := core.HostID(1), core.HostID(n)
-	pc, err := nw.PathCapability(src, dst, *size)
+	pc, err := nw.PathCapability(src, dst, size)
 	check(err)
-	fmt.Printf("path %v -> %v over %d hops\n", src, dst, *hops)
+	fmt.Printf("path %v -> %v over %d hops\n", src, dst, hops)
 	fmt.Printf("predicted capability: %.0f OSDU/s, delay >= %v, jitter <= %v, PER >= %.4f\n",
 		pc.MaxThroughput, pc.MinDelay.Round(time.Microsecond),
 		pc.MinJitter.Round(time.Microsecond), pc.MinPER)
@@ -79,15 +233,7 @@ func main() {
 	send, err := eSrc.Connect(transport.ConnectRequest{
 		SrcTSAP: 10, Dest: core.Addr{Host: dst, TSAP: 20},
 		Class: qos.ClassDetectIndicate,
-		Spec: qos.Spec{
-			Throughput:  qos.Tolerance{Preferred: *rate, Acceptable: *rate / 10},
-			MaxOSDUSize: *size,
-			Delay:       qos.CeilTolerance{Preferred: 0.001, Acceptable: 2},
-			Jitter:      qos.CeilTolerance{Preferred: 0.001, Acceptable: 1},
-			PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.9},
-			BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-2},
-			Guarantee:   qos.Soft,
-		},
+		Spec:  probeSpec(rate, size),
 	})
 	check(err)
 	rv := <-recvCh
@@ -96,12 +242,12 @@ func main() {
 		c.Throughput, c.Delay.Round(time.Microsecond), c.Jitter.Round(time.Microsecond))
 
 	sink := media.NewSink()
-	sink.NominalRate = *rate
+	sink.NominalRate = rate
 	stop := make(chan struct{})
 	go media.Drain(sys, rv, sink, stop)
 	start := time.Now()
-	check(media.Pump(sys, &media.CBR{Size: *size - 16, FrameRate: *rate, Count: uint32(*count)}, send, nil))
-	for sink.Received() < int(*count) && time.Since(start) < 2*time.Duration(float64(*count)/(*rate)*float64(time.Second)) {
+	check(media.Pump(sys, &media.CBR{Size: size - 16, FrameRate: rate, Count: uint32(count)}, send, nil))
+	for sink.Received() < int(count) && time.Since(start) < 2*time.Duration(float64(count)/rate*float64(time.Second)) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	close(stop)
@@ -115,9 +261,9 @@ func main() {
 			rep = r
 		}
 	}
-	fmt.Printf("\nprobe results (%d OSDUs at %.0f/s):\n", *count, *rate)
+	fmt.Printf("\nprobe results (%d OSDUs at %.0f/s):\n", count, rate)
 	fmt.Printf("  delivered %d, gaps %d (measured loss %.4f)\n",
-		st.Received, st.Gaps, float64(st.Gaps)/float64(int(*count)))
+		st.Received, st.Gaps, float64(st.Gaps)/float64(int(count)))
 	fmt.Printf("  inter-arrival mean %v, σ %v, max %v\n",
 		st.MeanInterArrival.Round(10*time.Microsecond),
 		st.JitterStdDev.Round(10*time.Microsecond),
@@ -125,7 +271,7 @@ func main() {
 	fmt.Printf("  transport sample: throughput %.1f OSDU/s, mean delay %v, max %v\n",
 		rep.Throughput, rep.MeanDelay.Round(10*time.Microsecond), rep.MaxDelay.Round(10*time.Microsecond))
 
-	if *dumpStats {
+	if dumpStats {
 		fmt.Printf("\nmetrics registry:\n%s", reg.String())
 	}
 }

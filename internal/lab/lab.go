@@ -14,6 +14,7 @@ import (
 	"cmtos/internal/core"
 	"cmtos/internal/media"
 	"cmtos/internal/netem"
+	"cmtos/internal/netif"
 	"cmtos/internal/orch"
 	"cmtos/internal/orch/hlo"
 	"cmtos/internal/qos"
@@ -25,7 +26,7 @@ import (
 // Env is a complete emulated deployment: network, reservation manager,
 // and one transport entity + LLO per host.
 type Env struct {
-	Net  *netem.Network
+	Net  netif.Network
 	RM   *resv.Manager
 	Ents map[core.HostID]*transport.Entity
 	LLOs map[core.HostID]*orch.LLO

@@ -24,57 +24,33 @@ import (
 
 	"cmtos/internal/clock"
 	"cmtos/internal/core"
+	"cmtos/internal/netif"
 	"cmtos/internal/qos"
 	"cmtos/internal/stats"
 )
 
-// Priority classes for link scheduling. Control traffic (connection
-// management, orchestration OPDUs) preempts guaranteed media traffic,
-// which preempts best-effort traffic — the emulator's realisation of the
-// "special internal control VC" with guaranteed bandwidth (§5).
-type Priority uint8
+// Network implements the substrate contract every higher layer consumes.
+var _ netif.Network = (*Network)(nil)
 
-// Priorities, highest first.
-const (
-	PrioControl Priority = iota
-	PrioGuaranteed
-	PrioBestEffort
-	numPrios
+// Priority, Packet and Handler are the substrate-neutral types from
+// netif; netem is one Network implementation behind that interface. The
+// aliases keep this package's historical API intact.
+type (
+	Priority = netif.Priority
+	Packet   = netif.Packet
+	Handler  = netif.Handler
 )
 
-// String returns the priority's name.
-func (p Priority) String() string {
-	switch p {
-	case PrioControl:
-		return "control"
-	case PrioGuaranteed:
-		return "guaranteed"
-	case PrioBestEffort:
-		return "best-effort"
-	}
-	return fmt.Sprintf("prio(%d)", uint8(p))
-}
-
-// Packet is one network-layer datagram.
-type Packet struct {
-	Src, Dst core.HostID
-	Flow     core.VCID // owning VC for per-flow accounting; 0 = none
-	Prio     Priority
-	Payload  []byte
-	// Damaged marks payloads whose bits were flipped in transit; the
-	// payload itself is also corrupted so checksums fail naturally.
-	Damaged bool
-}
-
-// Size returns the packet's size in bytes for transmission-time purposes.
-func (p *Packet) Size() int { return len(p.Payload) + headerOverhead }
+// Priorities, highest first, re-exported for in-package use.
+const (
+	PrioControl    = netif.PrioControl
+	PrioGuaranteed = netif.PrioGuaranteed
+	PrioBestEffort = netif.PrioBestEffort
+	numPrios       = int(netif.NumPriorities)
+)
 
 // headerOverhead models the network-layer header cost per packet.
-const headerOverhead = 32
-
-// Handler receives packets delivered to a host. Handlers run on the
-// host's delivery goroutine; they must not block for long.
-type Handler func(Packet)
+const headerOverhead = netif.WireOverhead
 
 // LossModel decides packet drops. Implementations are driven by the
 // owning link's RNG and need not be safe for concurrent use.
@@ -230,7 +206,7 @@ type LinkStats struct {
 
 // GroupBase is the floor of the multicast group-address space: HostIDs at
 // or above it name groups, not hosts (§3.8's group addressing).
-const GroupBase core.HostID = 1 << 31
+const GroupBase = netif.GroupBase
 
 // Network is a set of hosts joined by links. Create with New, add hosts
 // and links, then Start. All methods are safe for concurrent use after
@@ -908,6 +884,10 @@ func (n *Network) PathCapability(src, dst core.HostID, pktSize int) (qos.Capabil
 		MinBER:        1 - okBits,
 	}, nil
 }
+
+// MTU returns 0: the emulator carries payloads of any size in one
+// packet, so transport entities keep their configured TPDU bound.
+func (n *Network) MTU() int { return 0 }
 
 // Hosts returns the registered host IDs in ascending order.
 func (n *Network) Hosts() []core.HostID {

@@ -1,0 +1,235 @@
+// Package nettest is the substrate conformance suite: a set of
+// behavioural checks every netif.Network implementation must pass so the
+// transport above can treat substrates interchangeably. Each substrate's
+// test package builds a Harness factory and calls Run.
+package nettest
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/netif"
+)
+
+// Options tunes a harness for one conformance check.
+type Options struct {
+	// Damage asks the substrate to corrupt (nearly) every packet in
+	// transit, exercising Damaged delivery.
+	Damage bool
+	// PaceBps caps the substrate's drain rate in bytes/sec so the
+	// priority queues actually fill; 0 keeps the substrate's default.
+	PaceBps float64
+}
+
+// Harness is one two-host substrate instance. A is the network as seen
+// from HostA (the sender), B as seen from HostB (the receiver); for an
+// in-process emulator both are the same object.
+type Harness struct {
+	A, B         netif.Network
+	HostA, HostB core.HostID
+	Close        func()
+}
+
+// Factory builds a fresh harness for one subtest. It may skip t (e.g.
+// when the environment forbids sockets).
+type Factory func(t *testing.T, o Options) *Harness
+
+// collector accumulates delivered packets.
+type collector struct {
+	mu   sync.Mutex
+	pkts []netif.Packet
+}
+
+func (c *collector) handle(p netif.Packet) {
+	c.mu.Lock()
+	c.pkts = append(c.pkts, p)
+	c.mu.Unlock()
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pkts)
+}
+
+func (c *collector) snapshot() []netif.Packet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]netif.Packet(nil), c.pkts...)
+}
+
+// waitFor polls until cond or the deadline.
+func waitFor(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+// Run executes the conformance suite against the substrate mk builds.
+func Run(t *testing.T, mk Factory) {
+	t.Run("Delivery", func(t *testing.T) { testDelivery(t, mk) })
+	t.Run("PriorityOrdering", func(t *testing.T) { testPriorityOrdering(t, mk) })
+	t.Run("DamagedAttribution", func(t *testing.T) { testDamagedAttribution(t, mk) })
+	t.Run("HandlerDetachOnClose", func(t *testing.T) { testHandlerDetachOnClose(t, mk) })
+}
+
+// testDelivery: packets arrive intact with source, flow and priority
+// metadata preserved.
+func testDelivery(t *testing.T, mk Factory) {
+	h := mk(t, Options{})
+	defer h.Close()
+	col := &collector{}
+	if err := h.B.SetHandler(h.HostB, col.handle); err != nil {
+		t.Fatalf("SetHandler: %v", err)
+	}
+	const N = 50
+	for i := 0; i < N; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 32+i)
+		err := h.A.Send(netif.Packet{
+			Src: h.HostA, Dst: h.HostB, Flow: 7,
+			Prio: netif.PrioGuaranteed, Payload: payload,
+		})
+		if err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if !waitFor(5*time.Second, func() bool { return col.count() >= N }) {
+		t.Fatalf("delivered %d of %d packets", col.count(), N)
+	}
+	seen := make(map[int]bool)
+	for _, p := range col.snapshot() {
+		if p.Src != h.HostA || p.Dst != h.HostB || p.Flow != 7 || p.Prio != netif.PrioGuaranteed {
+			t.Fatalf("metadata not preserved: %+v", p)
+		}
+		if p.Damaged {
+			t.Fatalf("packet damaged on a clean path")
+		}
+		i := len(p.Payload) - 32
+		if i < 0 || i >= N || !bytes.Equal(p.Payload, bytes.Repeat([]byte{byte(i)}, 32+i)) {
+			t.Fatalf("payload corrupted: %d bytes", len(p.Payload))
+		}
+		seen[i] = true
+	}
+	if len(seen) != N {
+		t.Fatalf("got %d distinct packets, want %d", len(seen), N)
+	}
+}
+
+// testPriorityOrdering: on a rate-limited path, a control packet sent
+// after a burst of queued best-effort packets overtakes most of them.
+func testPriorityOrdering(t *testing.T, mk Factory) {
+	h := mk(t, Options{PaceBps: 200e3})
+	defer h.Close()
+	col := &collector{}
+	if err := h.B.SetHandler(h.HostB, col.handle); err != nil {
+		t.Fatalf("SetHandler: %v", err)
+	}
+	const bulk = 30
+	for i := 0; i < bulk; i++ {
+		err := h.A.Send(netif.Packet{
+			Src: h.HostA, Dst: h.HostB, Flow: 1,
+			Prio: netif.PrioBestEffort, Payload: make([]byte, 1000),
+		})
+		if err != nil {
+			t.Fatalf("Send bulk %d: %v", i, err)
+		}
+	}
+	err := h.A.Send(netif.Packet{
+		Src: h.HostA, Dst: h.HostB, Flow: 2,
+		Prio: netif.PrioControl, Payload: []byte("urgent"),
+	})
+	if err != nil {
+		t.Fatalf("Send control: %v", err)
+	}
+	if !waitFor(10*time.Second, func() bool { return col.count() >= bulk+1 }) {
+		t.Fatalf("delivered %d of %d packets", col.count(), bulk+1)
+	}
+	pos := -1
+	for i, p := range col.snapshot() {
+		if p.Prio == netif.PrioControl {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		t.Fatalf("control packet never arrived")
+	}
+	// The burst drains at ~5ms/packet; the control packet joins within
+	// the first few transmissions and must overtake the tail.
+	if pos > bulk/2 {
+		t.Fatalf("control packet arrived at position %d of %d: priority not honoured", pos, bulk+1)
+	}
+}
+
+// testDamagedAttribution: corrupted packets are delivered with Damaged
+// set and the owning Flow still attributable.
+func testDamagedAttribution(t *testing.T, mk Factory) {
+	h := mk(t, Options{Damage: true})
+	defer h.Close()
+	col := &collector{}
+	if err := h.B.SetHandler(h.HostB, col.handle); err != nil {
+		t.Fatalf("SetHandler: %v", err)
+	}
+	const N = 20
+	for i := 0; i < N; i++ {
+		err := h.A.Send(netif.Packet{
+			Src: h.HostA, Dst: h.HostB, Flow: 9,
+			Prio: netif.PrioGuaranteed, Payload: make([]byte, 1000),
+		})
+		if err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if !waitFor(5*time.Second, func() bool { return col.count() >= N }) {
+		t.Fatalf("delivered %d of %d packets", col.count(), N)
+	}
+	damaged := 0
+	for _, p := range col.snapshot() {
+		if p.Damaged {
+			damaged++
+			if p.Flow != 9 {
+				t.Fatalf("damaged packet lost its Flow attribution: %+v", p)
+			}
+		}
+	}
+	if damaged == 0 {
+		t.Fatalf("no damaged deliveries on a corrupting path")
+	}
+}
+
+// testHandlerDetachOnClose: after Close returns, no handler runs and
+// sends fail.
+func testHandlerDetachOnClose(t *testing.T, mk Factory) {
+	h := mk(t, Options{})
+	col := &collector{}
+	if err := h.B.SetHandler(h.HostB, col.handle); err != nil {
+		h.Close()
+		t.Fatalf("SetHandler: %v", err)
+	}
+	if err := h.A.Send(netif.Packet{
+		Src: h.HostA, Dst: h.HostB, Prio: netif.PrioControl, Payload: []byte("x"),
+	}); err != nil {
+		h.Close()
+		t.Fatalf("Send: %v", err)
+	}
+	waitFor(2*time.Second, func() bool { return col.count() >= 1 })
+	h.Close()
+	after := col.count()
+	if err := h.A.Send(netif.Packet{
+		Src: h.HostA, Dst: h.HostB, Prio: netif.PrioControl, Payload: []byte("y"),
+	}); err == nil {
+		t.Fatalf("Send after Close succeeded")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if col.count() != after {
+		t.Fatalf("handler ran after Close (%d -> %d deliveries)", after, col.count())
+	}
+}

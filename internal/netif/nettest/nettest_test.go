@@ -1,0 +1,72 @@
+package nettest
+
+import (
+	"testing"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+	"cmtos/internal/udpnet"
+)
+
+// TestNetemConformance runs the substrate suite against the in-process
+// emulator.
+func TestNetemConformance(t *testing.T) {
+	Run(t, func(t *testing.T, o Options) *Harness {
+		nw := netem.New(clock.System{})
+		for _, id := range []core.HostID{1, 2} {
+			if err := nw.AddHost(id, nil); err != nil {
+				t.Fatalf("AddHost: %v", err)
+			}
+		}
+		cfg := netem.LinkConfig{Bandwidth: 50e6, QueueLen: 256}
+		if o.PaceBps > 0 {
+			cfg.Bandwidth = o.PaceBps
+		}
+		if o.Damage {
+			// ~1000-byte payloads: P(damaged) ≈ 1-(1-2e-4)^8000 ≈ 0.8.
+			cfg.BitErrorRate = 2e-4
+		}
+		if err := nw.AddLink(1, 2, cfg); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+		if err := nw.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		return &Harness{A: nw, B: nw, HostA: 1, HostB: 2, Close: nw.Close}
+	})
+}
+
+// TestUDPConformance runs the substrate suite against the UDP substrate,
+// two sockets on the loopback interface. Skips where the sandbox forbids
+// socket use.
+func TestUDPConformance(t *testing.T) {
+	Run(t, func(t *testing.T, o Options) *Harness {
+		mkNet := func(id core.HostID) *udpnet.Network {
+			n, err := udpnet.New(udpnet.Config{
+				Local:    id,
+				Listen:   "127.0.0.1:0",
+				PaceRate: o.PaceBps,
+			})
+			if err != nil {
+				t.Skipf("UDP sockets unavailable: %v", err)
+			}
+			return n
+		}
+		a := mkNet(1)
+		b := mkNet(2)
+		if err := a.AddPeer(2, b.Addr().String()); err != nil {
+			t.Fatalf("AddPeer: %v", err)
+		}
+		if err := b.AddPeer(1, a.Addr().String()); err != nil {
+			t.Fatalf("AddPeer: %v", err)
+		}
+		if o.Damage {
+			a.SetDamage(0.9)
+		}
+		return &Harness{A: a, B: b, HostA: 1, HostB: 2, Close: func() {
+			a.Close()
+			b.Close()
+		}}
+	})
+}

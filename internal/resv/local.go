@@ -1,0 +1,156 @@
+package resv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cmtos/internal/core"
+)
+
+// Local is a Reserver for substrates without in-network reservation
+// (real IP networks reached through udpnet): a token-bucket-style rate
+// budget per source host, administered locally and advisory by nature —
+// nothing stops foreign traffic from sharing the physical path. It keeps
+// the transport's invariant that a rate granted by QoS negotiation is
+// always admissible, because the substrate's PathCapability is wired to
+// Available at composition time.
+type Local struct {
+	capacity float64 // admissible bytes/sec out of each source host
+	route    func(src, dst core.HostID) ([]core.HostID, error)
+
+	mu       sync.Mutex
+	next     ID
+	table    map[ID]*localResv
+	admitted map[core.HostID]float64 // committed bytes/sec per source
+}
+
+var _ Reserver = (*Local)(nil)
+
+type localResv struct {
+	src, dst core.HostID
+	path     []core.HostID
+	rate     float64
+}
+
+// NewLocal returns a Local admitting up to capacity bytes/sec out of
+// each source host. route supplies hop sequences (typically the
+// substrate's Route method); nil routes everything as the direct path
+// [src, dst].
+func NewLocal(capacity float64, route func(src, dst core.HostID) ([]core.HostID, error)) *Local {
+	if route == nil {
+		route = func(src, dst core.HostID) ([]core.HostID, error) {
+			return []core.HostID{src, dst}, nil
+		}
+	}
+	return &Local{
+		capacity: capacity,
+		route:    route,
+		table:    make(map[ID]*localResv),
+		admitted: make(map[core.HostID]float64),
+	}
+}
+
+// Available returns the uncommitted bytes/sec out of src toward dst. It
+// is the hook a substrate's PathCapability consumes so negotiation and
+// admission agree.
+func (l *Local) Available(src, dst core.HostID) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	free := l.capacity - l.admitted[src]
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Reserve admits a flow of bytesPerSec from src to dst against the
+// source host's rate budget.
+func (l *Local) Reserve(src, dst core.HostID, bytesPerSec float64) (ID, []core.HostID, error) {
+	if bytesPerSec <= 0 {
+		return 0, nil, errors.New("resv: rate must be positive")
+	}
+	path, err := l.route(src, dst)
+	if err != nil {
+		return 0, nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.admitted[src]+bytesPerSec > l.capacity {
+		return 0, nil, fmt.Errorf("resv: admission failed at %v: need %.0f B/s, %.0f available",
+			src, bytesPerSec, l.capacity-l.admitted[src])
+	}
+	l.admitted[src] += bytesPerSec
+	l.next++
+	id := l.next
+	l.table[id] = &localResv{src: src, dst: dst, path: path, rate: bytesPerSec}
+	return id, path, nil
+}
+
+// Adjust changes an existing admission to newRate; a refused increase
+// leaves the original admission in force.
+func (l *Local) Adjust(id ID, newRate float64) error {
+	if newRate <= 0 {
+		return errors.New("resv: rate must be positive")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.table[id]
+	if !ok {
+		return fmt.Errorf("resv: unknown reservation %d", id)
+	}
+	if delta := newRate - r.rate; delta > 0 && l.admitted[r.src]+delta > l.capacity {
+		return fmt.Errorf("resv: admission failed at %v: need %.0f B/s more, %.0f available",
+			r.src, delta, l.capacity-l.admitted[r.src])
+	}
+	l.admitted[r.src] += newRate - r.rate
+	r.rate = newRate
+	return nil
+}
+
+// Release frees the admission.
+func (l *Local) Release(id ID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.table[id]
+	if !ok {
+		return fmt.Errorf("resv: unknown reservation %d", id)
+	}
+	delete(l.table, id)
+	l.admitted[r.src] -= r.rate
+	if l.admitted[r.src] <= 0 {
+		delete(l.admitted, r.src)
+	}
+	return nil
+}
+
+// Path returns the hop sequence of a live admission.
+func (l *Local) Path(id ID) ([]core.HostID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.table[id]
+	if !ok {
+		return nil, fmt.Errorf("resv: unknown reservation %d", id)
+	}
+	out := make([]core.HostID, len(r.path))
+	copy(out, r.path)
+	return out, nil
+}
+
+// Rate returns the admitted rate of a live admission in bytes/sec.
+func (l *Local) Rate(id ID) (float64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.table[id]
+	if !ok {
+		return 0, fmt.Errorf("resv: unknown reservation %d", id)
+	}
+	return r.rate, nil
+}
+
+// Count returns the number of live admissions.
+func (l *Local) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.table)
+}

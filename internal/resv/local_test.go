@@ -1,0 +1,120 @@
+package resv
+
+import (
+	"errors"
+	"testing"
+
+	"cmtos/internal/core"
+)
+
+func TestLocalAdmitAndRefuse(t *testing.T) {
+	l := NewLocal(1000, nil)
+	id, path, err := l.Reserve(1, 2, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || path[0] != 1 || path[1] != 2 {
+		t.Fatalf("default route = %v, want [1 2]", path)
+	}
+	if got := l.Available(1, 2); got != 400 {
+		t.Fatalf("Available = %g, want 400", got)
+	}
+	// Budgets are per source host: host 2's is untouched.
+	if got := l.Available(2, 1); got != 1000 {
+		t.Fatalf("Available(2,1) = %g, want 1000", got)
+	}
+	if _, _, err := l.Reserve(1, 3, 500); err == nil {
+		t.Fatal("over-budget admission succeeded")
+	}
+	if _, _, err := l.Reserve(1, 3, 400); err != nil {
+		t.Fatalf("exact-fit admission refused: %v", err)
+	}
+	if got := l.Available(1, 2); got != 0 {
+		t.Fatalf("Available = %g after exhausting budget, want 0", got)
+	}
+	if r, err := l.Rate(id); err != nil || r != 600 {
+		t.Fatalf("Rate = %g/%v", r, err)
+	}
+	if l.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", l.Count())
+	}
+}
+
+func TestLocalAdjust(t *testing.T) {
+	l := NewLocal(1000, nil)
+	id, _, err := l.Reserve(1, 2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Adjust(id, 800); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Available(1, 2); got != 200 {
+		t.Fatalf("Available after grow = %g, want 200", got)
+	}
+	// A refused increase leaves the original admission in force.
+	if err := l.Adjust(id, 1200); err == nil {
+		t.Fatal("impossible adjust succeeded")
+	}
+	if r, _ := l.Rate(id); r != 800 {
+		t.Fatalf("rate = %g after refused adjust, want 800", r)
+	}
+	if got := l.Available(1, 2); got != 200 {
+		t.Fatalf("Available = %g after refused adjust, want 200", got)
+	}
+	if err := l.Adjust(id, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Available(1, 2); got != 900 {
+		t.Fatalf("Available after shrink = %g, want 900", got)
+	}
+}
+
+func TestLocalReleaseRestoresBudget(t *testing.T) {
+	l := NewLocal(500, nil)
+	id, _, err := l.Reserve(1, 2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Available(1, 2); got != 500 {
+		t.Fatalf("Available = %g after release, want 500", got)
+	}
+	if err := l.Release(id); err == nil {
+		t.Fatal("double release succeeded")
+	}
+	if _, _, err := l.Reserve(1, 2, 500); err != nil {
+		t.Fatalf("budget not restored: %v", err)
+	}
+}
+
+func TestLocalRouteErrors(t *testing.T) {
+	wantErr := errors.New("no such host")
+	l := NewLocal(1000, func(src, dst core.HostID) ([]core.HostID, error) {
+		if dst == 9 {
+			return nil, wantErr
+		}
+		return []core.HostID{src, 5, dst}, nil
+	})
+	if _, _, err := l.Reserve(1, 9, 100); !errors.Is(err, wantErr) {
+		t.Fatalf("route error not propagated: %v", err)
+	}
+	id, path, err := l.Reserve(1, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 5 {
+		t.Fatalf("custom route not used: %v", path)
+	}
+	if p, err := l.Path(id); err != nil || len(p) != 3 {
+		t.Fatalf("Path = %v/%v", p, err)
+	}
+	if _, _, err := l.Reserve(1, 2, 0); err == nil {
+		t.Fatal("zero-rate admission succeeded")
+	}
+	if err := l.Adjust(42, 100); err == nil {
+		t.Fatal("adjust of unknown id succeeded")
+	}
+}

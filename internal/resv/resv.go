@@ -17,20 +17,51 @@ import (
 	"sync"
 
 	"cmtos/internal/core"
-	"cmtos/internal/netem"
 )
 
 // ID names one path reservation.
 type ID uint32
 
+// Reserver is what the transport consumes: admission control for a flow's
+// bandwidth between two hosts. Manager implements it with exact per-hop
+// reservation on substrates that expose link state (netem); Local
+// implements it as advisory admission where in-network reservation does
+// not exist (udpnet).
+type Reserver interface {
+	// Reserve admits a flow of bytesPerSec from src to dst, returning
+	// the reservation handle and the path it covers.
+	Reserve(src, dst core.HostID, bytesPerSec float64) (ID, []core.HostID, error)
+	// Adjust changes a live reservation's rate; on failure the original
+	// reservation stays intact.
+	Adjust(id ID, newRate float64) error
+	// Release frees the reservation.
+	Release(id ID) error
+	// Path returns the hop sequence of a live reservation.
+	Path(id ID) ([]core.HostID, error)
+	// Rate returns the reserved rate of a live reservation in bytes/sec.
+	Rate(id ID) (float64, error)
+	// Count returns the number of live reservations.
+	Count() int
+}
+
+// PathNet is the slice of the substrate the Manager needs: routing plus
+// per-link reserve/release. *netem.Network satisfies it.
+type PathNet interface {
+	Route(src, dst core.HostID) ([]core.HostID, error)
+	Reserve(from, to core.HostID, bytesPerSec float64) error
+	Release(from, to core.HostID, bytesPerSec float64) error
+}
+
 // Manager owns the reservation table for one network.
 type Manager struct {
-	net *netem.Network
+	net PathNet
 
 	mu    sync.Mutex
 	next  ID
 	table map[ID]*reservation
 }
+
+var _ Reserver = (*Manager)(nil)
 
 type reservation struct {
 	path []core.HostID
@@ -38,7 +69,7 @@ type reservation struct {
 }
 
 // New returns a manager for net.
-func New(net *netem.Network) *Manager {
+func New(net PathNet) *Manager {
 	return &Manager{net: net, table: make(map[ID]*reservation)}
 }
 

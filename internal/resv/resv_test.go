@@ -1,43 +1,96 @@
 package resv
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
-	"cmtos/internal/clock"
 	"cmtos/internal/core"
-	"cmtos/internal/netem"
 )
 
-// chain builds 1 -- 2 -- 3 with 1000 B/s links (900 reservable each).
-func chain(t *testing.T) (*netem.Network, *Manager) {
-	t.Helper()
-	n := netem.New(clock.System{})
-	for id := core.HostID(1); id <= 3; id++ {
-		if err := n.AddHost(id, nil); err != nil {
-			t.Fatal(err)
+// fakePathNet is an in-package PathNet: a linear chain of hosts with
+// per-hop reservable capacity. It exercises the Manager against the
+// interface alone, without importing any real substrate.
+type fakePathNet struct {
+	hosts []core.HostID
+
+	mu   sync.Mutex
+	free map[[2]core.HostID]float64
+}
+
+// chainNet builds 1 -- 2 -- 3 with 900 B/s reservable per directed hop
+// (what a 1000 B/s netem link exposes after control headroom).
+func chainNet() *fakePathNet {
+	f := &fakePathNet{
+		hosts: []core.HostID{1, 2, 3},
+		free:  make(map[[2]core.HostID]float64),
+	}
+	for i := 0; i+1 < len(f.hosts); i++ {
+		f.free[[2]core.HostID{f.hosts[i], f.hosts[i+1]}] = 900
+		f.free[[2]core.HostID{f.hosts[i+1], f.hosts[i]}] = 900
+	}
+	return f
+}
+
+func (f *fakePathNet) index(h core.HostID) int {
+	for i, x := range f.hosts {
+		if x == h {
+			return i
 		}
 	}
-	if err := n.AddLink(1, 2, netem.LinkConfig{Bandwidth: 1000}); err != nil {
-		t.Fatal(err)
+	return -1
+}
+
+func (f *fakePathNet) Route(src, dst core.HostID) ([]core.HostID, error) {
+	a, b := f.index(src), f.index(dst)
+	if a < 0 || b < 0 {
+		return nil, fmt.Errorf("fake: no route %v -> %v", src, dst)
 	}
-	if err := n.AddLink(2, 3, netem.LinkConfig{Bandwidth: 1000}); err != nil {
-		t.Fatal(err)
+	step := 1
+	if b < a {
+		step = -1
 	}
-	if err := n.Start(); err != nil {
-		t.Fatal(err)
+	var path []core.HostID
+	for i := a; i != b; i += step {
+		path = append(path, f.hosts[i])
 	}
-	t.Cleanup(n.Close)
+	return append(path, f.hosts[b]), nil
+}
+
+func (f *fakePathNet) Reserve(from, to core.HostID, rate float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := [2]core.HostID{from, to}
+	have, ok := f.free[k]
+	if !ok {
+		return fmt.Errorf("fake: no link %v -> %v", from, to)
+	}
+	if have < rate {
+		return fmt.Errorf("fake: %v -> %v has %g B/s free, need %g", from, to, have, rate)
+	}
+	f.free[k] = have - rate
+	return nil
+}
+
+func (f *fakePathNet) Release(from, to core.HostID, rate float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.free[[2]core.HostID{from, to}] += rate
+	return nil
+}
+
+// chain returns the fake substrate and a Manager over it.
+func chain(t *testing.T) (*fakePathNet, *Manager) {
+	t.Helper()
+	n := chainNet()
 	return n, New(n)
 }
 
-func avail(t *testing.T, n *netem.Network, a, b core.HostID) float64 {
+func avail(t *testing.T, n *fakePathNet, a, b core.HostID) float64 {
 	t.Helper()
-	v, err := n.Available(a, b)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return v
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.free[[2]core.HostID{a, b}]
 }
 
 func TestReserveAlongPath(t *testing.T) {

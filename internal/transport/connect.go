@@ -202,24 +202,18 @@ func (e *Entity) ConnectRemote(tup core.ConnectTuple, profile qos.Profile, class
 // relay the outcome to the initiator.
 func (e *Entity) handleRemoteConnReq(from core.HostID, c *pdu.Control) {
 	key := servedKey{host: from, tok: c.Token}
-	e.mu.Lock()
-	if cached, dup := e.served[key]; dup {
-		e.mu.Unlock()
+	if cached, dup := e.servedBegin(key); dup {
 		if cached != nil {
 			e.reply(from, cached) // retransmitted request: replay result
 		}
 		return
 	}
-	e.served[key] = nil // in progress: swallow retransmits meanwhile
-	e.mu.Unlock()
 	result := func(vc core.VCID, contract qos.Contract, reason core.Reason) {
 		res := &pdu.Control{
 			Kind: pdu.KindRemoteConnResult, VC: vc, Tuple: c.Tuple,
 			Contract: contract, Reason: reason, Token: c.Token,
 		}
-		e.mu.Lock()
-		e.served[key] = res
-		e.mu.Unlock()
+		e.servedPut(key, res)
 		e.reply(from, res)
 	}
 	u, ok := e.user(c.Tuple.Source.TSAP)

@@ -3,26 +3,35 @@ package transport
 import (
 	"cmtos/internal/clock"
 	"cmtos/internal/core"
-	"cmtos/internal/netem"
+	"cmtos/internal/netif"
 	"cmtos/internal/pdu"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
 	"cmtos/internal/stats"
 	"fmt"
 	"sync"
+	"time"
 )
+
+// maxTPDUOverhead bounds the marshalled framing around one TPDU's user
+// payload (Data header fields plus the CRC trailer); NewEntity uses it to
+// clamp MaxTPDU so one TPDU always fits one substrate packet.
+const maxTPDUOverhead = 64
 
 // Entity is the transport protocol entity of one host. It owns that
 // host's TSAPs, the send and receive sides of its VCs, and the host's
-// attachment to the network emulator. All methods are safe for concurrent
-// use.
+// attachment to the network substrate. All methods are safe for
+// concurrent use.
 type Entity struct {
 	host  core.HostID
 	clk   clock.Clock
-	net   *netem.Network
-	rm    *resv.Manager
+	net   netif.Network
+	rm    resv.Reserver
 	cfg   Config
 	scope stats.Scope // host/<id>; disabled when Config.Stats is nil
+
+	work     chan func()   // bounded dispatch queue for blocking handlers
+	workDone chan struct{} // closed on Close; stops the workers
 
 	mu        sync.Mutex
 	users     map[core.TSAP]UserCallbacks
@@ -32,7 +41,8 @@ type Entity struct {
 	nextTok   uint32
 	nextGroup uint32
 	pending   map[uint32]chan *pdu.Control
-	served    map[servedKey]*pdu.Control // remote-connect replay cache
+	served    map[servedKey]*servedEntry // remote-connect replay cache
+	servedQ   []servedKey                // insertion order, for eviction
 	orchFn    func(from core.HostID, o *pdu.Orch)
 	dgramFn   map[core.TSAP]func(from core.HostID, d *pdu.Datagram)
 	traceFn   func(at string, p core.Primitive)
@@ -41,26 +51,69 @@ type Entity struct {
 
 // NewEntity attaches a transport entity to host on net. The host must
 // already exist in the network; the entity installs itself as the host's
-// packet handler. rm is the network's shared reservation manager. clk is
-// this host's clock (possibly skewed relative to other hosts).
-func NewEntity(host core.HostID, clk clock.Clock, net *netem.Network, rm *resv.Manager, cfg Config) (*Entity, error) {
+// packet handler. rm is the substrate's admission reserver (resv.Manager
+// on netem, resv.Local on udpnet). clk is this host's clock (possibly
+// skewed relative to other hosts).
+func NewEntity(host core.HostID, clk clock.Clock, net netif.Network, rm resv.Reserver, cfg Config) (*Entity, error) {
 	e := &Entity{
-		host:    host,
-		clk:     clk,
-		net:     net,
-		rm:      rm,
-		cfg:     cfg.withDefaults(),
-		scope:   cfg.Stats.Scope(fmt.Sprintf("host/%d", uint32(host))),
-		users:   make(map[core.TSAP]UserCallbacks),
-		sends:   make(map[core.VCID]*SendVC),
-		recvs:   make(map[core.VCID]*RecvVC),
-		pending: make(map[uint32]chan *pdu.Control),
-		served:  make(map[servedKey]*pdu.Control),
+		host:     host,
+		clk:      clk,
+		net:      net,
+		rm:       rm,
+		cfg:      cfg.withDefaults(),
+		scope:    cfg.Stats.Scope(fmt.Sprintf("host/%d", uint32(host))),
+		users:    make(map[core.TSAP]UserCallbacks),
+		sends:    make(map[core.VCID]*SendVC),
+		recvs:    make(map[core.VCID]*RecvVC),
+		pending:  make(map[uint32]chan *pdu.Control),
+		served:   make(map[servedKey]*servedEntry),
+		workDone: make(chan struct{}),
+	}
+	// One TPDU must fit one substrate packet: shrink the TPDU bound to
+	// the substrate's MTU minus framing when the substrate has one.
+	if mtu := net.MTU(); mtu > 0 {
+		if budget := mtu - maxTPDUOverhead; budget < e.cfg.MaxTPDU {
+			if budget < 1 {
+				return nil, fmt.Errorf("transport: substrate MTU %d too small", mtu)
+			}
+			e.cfg.MaxTPDU = budget
+		}
+	}
+	e.work = make(chan func(), e.cfg.DispatchQueue)
+	for i := 0; i < e.cfg.DispatchWorkers; i++ {
+		go e.dispatchWorker()
 	}
 	if err := net.SetHandler(host, e.onPacket); err != nil {
+		close(e.workDone)
 		return nil, err
 	}
 	return e, nil
+}
+
+// dispatchWorker drains the bounded work queue. Handlers that can block
+// (connect/reneg/disconnect negotiation, orch and datagram callbacks)
+// run here instead of on per-PDU goroutines, so a control-PDU flood is
+// bounded by queue depth rather than by scheduler capacity.
+func (e *Entity) dispatchWorker() {
+	for {
+		select {
+		case fn := <-e.work:
+			fn()
+		case <-e.workDone:
+			return
+		}
+	}
+}
+
+// dispatch queues fn for a worker. When the queue is full the PDU's work
+// is dropped — safe because confirmed control exchanges retransmit and
+// reports/datagrams are periodic or best-effort by contract.
+func (e *Entity) dispatch(fn func()) {
+	select {
+	case e.work <- fn:
+	default:
+		e.scope.Counter("dispatch_dropped").Inc()
+	}
 }
 
 // Host returns the entity's host ID.
@@ -123,8 +176,8 @@ func (e *Entity) SetOrchHandler(fn func(from core.HostID, o *pdu.Orch)) {
 // control-priority channel (§5's out-of-band connection with guaranteed
 // bandwidth).
 func (e *Entity) SendOrch(dst core.HostID, o *pdu.Orch) error {
-	return e.net.Send(netem.Packet{
-		Src: e.host, Dst: dst, Prio: netem.PrioControl,
+	return e.net.Send(netif.Packet{
+		Src: e.host, Dst: dst, Prio: netif.PrioControl,
 		Payload: o.Marshal(nil),
 	})
 }
@@ -133,8 +186,8 @@ func (e *Entity) SendOrch(dst core.HostID, o *pdu.Orch) error {
 // remote host — the datagram service the platform's invocation protocol
 // uses (§2.2). Delivery is unacknowledged and may be lost.
 func (e *Entity) SendDatagram(dst core.HostID, d *pdu.Datagram) error {
-	return e.net.Send(netem.Packet{
-		Src: e.host, Dst: dst, Prio: netem.PrioControl,
+	return e.net.Send(netif.Packet{
+		Src: e.host, Dst: dst, Prio: netif.PrioControl,
 		Payload: d.Marshal(nil),
 	})
 }
@@ -183,6 +236,7 @@ func (e *Entity) Close() {
 		return
 	}
 	e.closed = true
+	close(e.workDone)
 	sends := make([]*SendVC, 0, len(e.sends))
 	for _, s := range e.sends {
 		sends = append(sends, s)
@@ -235,6 +289,70 @@ type servedKey struct {
 	tok  uint32
 }
 
+// servedEntry is one replay-cache record: the cached result (nil while
+// the request is still in progress) and its insertion time for TTL
+// eviction.
+type servedEntry struct {
+	res *pdu.Control
+	at  time.Time
+}
+
+// servedBegin atomically claims a replay-cache slot. When the key is
+// already present it returns the cached result (nil while the original
+// request is still in progress) and dup=true; otherwise it inserts an
+// in-progress marker, evicting expired and excess entries. Replay
+// suppression only has to outlive the initiator's retransmission window
+// (ConnectTimeout), so TTL- and size-bounded eviction cannot un-suppress
+// a replay that still matters.
+func (e *Entity) servedBegin(k servedKey) (cached *pdu.Control, dup bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.clk.Now()
+	if ent, ok := e.served[k]; ok {
+		return ent.res, true
+	}
+	e.served[k] = &servedEntry{at: now}
+	e.servedQ = append(e.servedQ, k)
+	e.evictServedLocked(now)
+	return nil, false
+}
+
+// servedPut records the result for a slot claimed by servedBegin.
+func (e *Entity) servedPut(k servedKey, res *pdu.Control) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.served[k]; ok {
+		ent.res = res // keep the original insertion time for TTL purposes
+	}
+}
+
+// evictServedLocked removes expired entries from the front of the
+// insertion-order queue, then enforces the size cap oldest-first.
+func (e *Entity) evictServedLocked(now time.Time) {
+	expire := func(k servedKey) bool {
+		ent, ok := e.served[k]
+		if !ok {
+			return true // already deleted; just drop the queue slot
+		}
+		if now.Sub(ent.at) >= e.cfg.ServedTTL {
+			delete(e.served, k)
+			return true
+		}
+		return false
+	}
+	i := 0
+	for i < len(e.servedQ) && expire(e.servedQ[i]) {
+		i++
+	}
+	for len(e.servedQ)-i > e.cfg.ServedCap && i < len(e.servedQ) {
+		delete(e.served, e.servedQ[i])
+		i++
+	}
+	if i > 0 {
+		e.servedQ = append(e.servedQ[:0], e.servedQ[i:]...)
+	}
+}
+
 // controlAttempts is how many times a confirmed control exchange is
 // retried before reporting a timeout; control PDUs cross the same lossy
 // network as everything else, so loss must be survivable.
@@ -263,8 +381,8 @@ func (e *Entity) request(dst core.HostID, c *pdu.Control) (*pdu.Control, error) 
 	c.Token = tok
 	attemptTimeout := e.cfg.ConnectTimeout / controlAttempts
 	for attempt := 0; attempt < controlAttempts; attempt++ {
-		if err := e.net.Send(netem.Packet{
-			Src: e.host, Dst: dst, Prio: netem.PrioControl,
+		if err := e.net.Send(netif.Packet{
+			Src: e.host, Dst: dst, Prio: netif.PrioControl,
 			Payload: c.Marshal(nil),
 		}); err != nil {
 			return nil, err
@@ -283,24 +401,24 @@ func (e *Entity) request(dst core.HostID, c *pdu.Control) (*pdu.Control, error) 
 
 // reply sends a correlated control reply.
 func (e *Entity) reply(dst core.HostID, c *pdu.Control) {
-	_ = e.net.Send(netem.Packet{
-		Src: e.host, Dst: dst, Prio: netem.PrioControl,
+	_ = e.net.Send(netif.Packet{
+		Src: e.host, Dst: dst, Prio: netif.PrioControl,
 		Payload: c.Marshal(nil),
 	})
 }
 
 // sendCtl sends an uncorrelated control PDU (DR, XON/XOFF, ...).
 func (e *Entity) sendCtl(dst core.HostID, c *pdu.Control) {
-	_ = e.net.Send(netem.Packet{
-		Src: e.host, Dst: dst, Prio: netem.PrioControl,
+	_ = e.net.Send(netif.Packet{
+		Src: e.host, Dst: dst, Prio: netif.PrioControl,
 		Payload: c.Marshal(nil),
 	})
 }
 
 // onPacket is the host's network receive handler. It must stay fast: data
 // TPDUs are handled inline (non-blocking ring puts), everything that can
-// call user code runs on its own goroutine.
-func (e *Entity) onPacket(p netem.Packet) {
+// call user code goes through the bounded dispatch pool.
+func (e *Entity) onPacket(p netif.Packet) {
 	m, err := pdu.Decode(p.Payload)
 	if err != nil {
 		// Damaged in transit. Attribute to the owning VC if the
@@ -327,16 +445,16 @@ func (e *Entity) onPacket(p netem.Packet) {
 		fn := e.orchFn
 		e.mu.Unlock()
 		if fn != nil {
-			go fn(p.Src, msg)
+			e.dispatch(func() { fn(p.Src, msg) })
 		}
 	case *pdu.QoSReport:
-		go e.onQoSReport(p.Src, msg)
+		e.dispatch(func() { e.onQoSReport(p.Src, msg) })
 	case *pdu.Datagram:
 		e.mu.Lock()
 		dfn := e.dgramFn[msg.DstTSAP]
 		e.mu.Unlock()
 		if dfn != nil {
-			go dfn(p.Src, msg)
+			e.dispatch(func() { dfn(p.Src, msg) })
 		}
 	case *pdu.Control:
 		e.onControl(p.Src, msg)
@@ -359,15 +477,15 @@ func (e *Entity) onControl(from core.HostID, c *pdu.Control) {
 			}
 		}
 	case pdu.KindConnReq:
-		go e.handleConnReq(from, c)
+		e.dispatch(func() { e.handleConnReq(from, c) })
 	case pdu.KindRemoteConnReq:
-		go e.handleRemoteConnReq(from, c)
+		e.dispatch(func() { e.handleRemoteConnReq(from, c) })
 	case pdu.KindRemoteDiscReq:
-		go e.handleRemoteDiscReq(c)
+		e.dispatch(func() { e.handleRemoteDiscReq(c) })
 	case pdu.KindRenegReq:
-		go e.handleRenegReq(from, c)
+		e.dispatch(func() { e.handleRenegReq(from, c) })
 	case pdu.KindDiscReq:
-		go e.handleDiscReq(c)
+		e.dispatch(func() { e.handleDiscReq(c) })
 	case pdu.KindDiscConf:
 		// Release confirmations need no action in this implementation.
 	case pdu.KindFlowOff:
@@ -395,8 +513,8 @@ func (e *Entity) onQoSReport(from core.HostID, q *pdu.QoSReport) {
 			u.OnQoS(ind)
 		}
 		if q.Tuple.Remote() {
-			_ = e.net.Send(netem.Packet{
-				Src: e.host, Dst: q.Tuple.Initiator.Host, Prio: netem.PrioControl,
+			_ = e.net.Send(netif.Packet{
+				Src: e.host, Dst: q.Tuple.Initiator.Host, Prio: netif.PrioControl,
 				Payload: q.Marshal(nil),
 			})
 		}

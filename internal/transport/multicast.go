@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"cmtos/internal/core"
-	"cmtos/internal/netem"
+	"cmtos/internal/netif"
 	"cmtos/internal/pdu"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
@@ -149,5 +149,5 @@ func (e *Entity) allocGroup() core.HostID {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.nextGroup++
-	return netem.GroupBase | core.HostID(uint32(e.host)<<16|e.nextGroup&0xFFFF)
+	return netif.GroupBase | core.HostID(uint32(e.host)<<16|e.nextGroup&0xFFFF)
 }

@@ -7,7 +7,7 @@ import (
 
 	"cmtos/internal/cbuf"
 	"cmtos/internal/core"
-	"cmtos/internal/netem"
+	"cmtos/internal/netif"
 	"cmtos/internal/pdu"
 	"cmtos/internal/qos"
 	"cmtos/internal/rate"
@@ -468,9 +468,9 @@ func (r *RecvVC) sendAckLocked() {
 			}
 		}
 	}
-	_ = r.e.net.Send(netem.Packet{
+	_ = r.e.net.Send(netif.Packet{
 		Src: r.tuple.Dest.Host, Dst: r.tuple.Source.Host,
-		Flow: r.id, Prio: netem.PrioControl, Payload: a.Marshal(nil),
+		Flow: r.id, Prio: netif.PrioControl, Payload: a.Marshal(nil),
 	})
 }
 
@@ -727,9 +727,9 @@ func (r *RecvVC) sampleLoop() {
 		}
 		// ... and relay toward source (and initiator, via the source).
 		q := &pdu.QoSReport{VC: r.id, Tuple: r.tuple, Report: rep, Violated: violated}
-		_ = r.e.net.Send(netem.Packet{
+		_ = r.e.net.Send(netif.Packet{
 			Src: r.tuple.Dest.Host, Dst: r.tuple.Source.Host,
-			Prio: netem.PrioControl, Payload: q.Marshal(nil),
+			Prio: netif.PrioControl, Payload: q.Marshal(nil),
 		})
 	}
 }

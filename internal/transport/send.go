@@ -8,7 +8,7 @@ import (
 	"cmtos/internal/cbuf"
 	"cmtos/internal/clock"
 	"cmtos/internal/core"
-	"cmtos/internal/netem"
+	"cmtos/internal/netif"
 	"cmtos/internal/pdu"
 	"cmtos/internal/qos"
 	"cmtos/internal/rate"
@@ -428,11 +428,11 @@ func (s *SendVC) nextTPDUSeqLocked() uint64 {
 
 // transmit puts one TPDU on the wire at the VC's priority.
 func (s *SendVC) transmit(d *pdu.Data) {
-	prio := netem.PrioGuaranteed
+	prio := netif.PrioGuaranteed
 	if s.Contract().Guarantee == qos.BestEffort {
-		prio = netem.PrioBestEffort
+		prio = netif.PrioBestEffort
 	}
-	_ = s.e.net.Send(netem.Packet{
+	_ = s.e.net.Send(netif.Packet{
 		Src: s.tuple.Source.Host, Dst: s.tuple.Dest.Host,
 		Flow: s.id, Prio: prio, Payload: d.Marshal(nil),
 	})

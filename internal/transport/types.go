@@ -52,6 +52,20 @@ type Config struct {
 	// WindowSize is the initial credit for the window-based profile.
 	// Default 16.
 	WindowSize int
+	// ServedTTL bounds how long a remote-connect result stays in the
+	// replay cache; it need only outlive the initiator's retransmission
+	// window (ConnectTimeout). Default 4x ConnectTimeout.
+	ServedTTL time.Duration
+	// ServedCap bounds the replay cache's entry count; the oldest
+	// entries are evicted beyond it. Default 1024.
+	ServedCap int
+	// DispatchWorkers is the number of goroutines handling blocking
+	// control work (connect/reneg handshakes, orch and datagram
+	// callbacks). Default 4.
+	DispatchWorkers int
+	// DispatchQueue bounds queued dispatch work; beyond it PDUs are
+	// dropped (confirmed exchanges retransmit). Default 256.
+	DispatchQueue int
 	// Stats receives the entity's metrics under host/<id>/... Nil (the
 	// default) disables metrics collection entirely; the data path then
 	// pays only nil-instrument no-op calls.
@@ -85,6 +99,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WindowSize <= 0 {
 		c.WindowSize = 16
+	}
+	if c.ServedTTL <= 0 {
+		c.ServedTTL = 4 * c.ConnectTimeout
+	}
+	if c.ServedCap <= 0 {
+		c.ServedCap = 1024
+	}
+	if c.DispatchWorkers <= 0 {
+		c.DispatchWorkers = 4
+	}
+	if c.DispatchQueue <= 0 {
+		c.DispatchQueue = 256
 	}
 	return c
 }

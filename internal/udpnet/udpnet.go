@@ -1,0 +1,566 @@
+// Package udpnet is the real-network substrate: it implements
+// netif.Network over UDP sockets so transport entities in different OS
+// processes (or machines) exchange the same PDUs they exchange over the
+// netem emulator. A small wire header carries the substrate metadata the
+// emulator passes in memory — source/destination host, owning VC and
+// priority — plus a payload checksum, so damaged-packet detection and
+// per-VC attribution survive the wire (netif.Packet.Damaged).
+//
+// Outbound traffic goes through DSCP-style strict-priority send queues
+// (control > guaranteed > best-effort), optionally paced to a configured
+// line rate so priority actually matters on an otherwise-unloaded
+// loopback path. There is no in-network reservation on a real IP path;
+// admission control is advisory and local (resv.Local), wired to
+// PathCapability through SetAvailable so QoS negotiation and admission
+// agree.
+package udpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netif"
+	"cmtos/internal/qos"
+	"cmtos/internal/stats"
+)
+
+// Wire header layout, big-endian, headerSize bytes total:
+//
+//	[0:4]   magic "CMT1"
+//	[4:8]   src HostID
+//	[8:12]  dst HostID
+//	[12:16] flow VCID
+//	[16]    priority
+//	[17]    flags (reserved, 0)
+//	[18:20] payload length
+//	[20:24] payload CRC-32 (IEEE)
+//	[24:28] header CRC-32 over bytes [0:24]
+//
+// A bad header CRC drops the datagram (we cannot trust any field); a bad
+// payload CRC delivers it with Damaged set, preserving Flow attribution.
+const (
+	magic      = 0x434D5431 // "CMT1"
+	headerSize = 28
+)
+
+// reservableFraction caps advisory admission at this share of the
+// configured line rate, leaving headroom for control traffic — the same
+// fraction netem's per-link reservation uses.
+const reservableFraction = 0.9
+
+// Config parameterises New. Local and Listen are required.
+type Config struct {
+	// Local is the host ID this process plays.
+	Local core.HostID
+	// Listen is the UDP address to bind, e.g. "127.0.0.1:0".
+	Listen string
+	// Peers maps remote host IDs to their UDP addresses. Peers may also
+	// be added later with AddPeer, and are learned automatically from
+	// inbound traffic, so a pure responder can start with none.
+	Peers map[core.HostID]string
+	// Clock paces transmission; nil selects the system clock.
+	Clock clock.Clock
+	// MTU bounds one packet's payload in bytes. Default 8192.
+	MTU int
+	// LineRate is the assumed path capacity in bytes/sec, the basis for
+	// PathCapability and admission. Default 12.5e6 (100 Mbit/s).
+	LineRate float64
+	// PaceRate, when positive, paces the sender to this many bytes/sec
+	// so the strict-priority queues become observable; 0 sends as fast
+	// as the socket accepts.
+	PaceRate float64
+	// Delay is the advertised propagation-delay floor for
+	// PathCapability. Default 0.
+	Delay time.Duration
+	// Jitter is the advertised jitter bound for PathCapability.
+	// Default 1ms (scheduling noise on a real host).
+	Jitter time.Duration
+	// QueueLen bounds each priority queue; excess packets are dropped
+	// like a router's drop-tail queue. Default 256.
+	QueueLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.System{}
+	}
+	if c.MTU <= 0 {
+		c.MTU = 8192
+	}
+	if c.LineRate <= 0 {
+		c.LineRate = 12.5e6
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = time.Millisecond
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 256
+	}
+	return c
+}
+
+// outPkt is one queued outbound datagram.
+type outPkt struct {
+	addr *net.UDPAddr // nil = local delivery
+	data []byte
+	size int // accounting size: payload + netif.WireOverhead
+}
+
+// Network is a UDP-socket substrate. Create with New; it is live
+// immediately (no Start).
+type Network struct {
+	cfg  Config
+	clk  clock.Clock
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	handler netif.Handler
+	peers   map[core.HostID]*net.UDPAddr
+	groups  map[core.HostID][]core.HostID
+	avail   func(src, dst core.HostID) float64
+	damageP float64
+	rng     *rand.Rand
+	closed  bool
+
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	queues [netif.NumPriorities][]outPkt
+
+	inbox    chan netif.Packet
+	wg       sync.WaitGroup // sender + receiver
+	dwg      sync.WaitGroup // delivery
+	sendDone chan struct{}  // sendLoop has drained its queues and exited
+
+	si atomic.Pointer[instr]
+}
+
+// stats returns the live instrument set; before SetStats it is the
+// all-nil set, whose instruments are no-ops.
+func (n *Network) stats() *instr {
+	if p := n.si.Load(); p != nil {
+		return p
+	}
+	return &noInstr
+}
+
+var noInstr instr
+
+// instr is the substrate's metrics; all instruments are nil-safe.
+type instr struct {
+	sentPkts, sentBytes *stats.Counter
+	recvPkts, recvBytes *stats.Counter
+	damaged, hdrErrors  *stats.Counter
+	overflows, misaddr  *stats.Counter
+}
+
+var _ netif.Network = (*Network)(nil)
+
+// New binds the UDP socket and starts the substrate's sender, receiver
+// and delivery goroutines.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Local == 0 {
+		return nil, errors.New("udpnet: Local host ID required")
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: %w", err)
+	}
+	n := &Network{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		conn:     conn,
+		peers:    make(map[core.HostID]*net.UDPAddr),
+		groups:   make(map[core.HostID][]core.HostID),
+		rng:      rand.New(rand.NewSource(1)),
+		inbox:    make(chan netif.Packet, 1024),
+		sendDone: make(chan struct{}),
+	}
+	n.qcond = sync.NewCond(&n.qmu)
+	for id, addr := range cfg.Peers {
+		if err := n.AddPeer(id, addr); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	n.dwg.Add(1)
+	go n.deliverLoop()
+	n.wg.Add(2)
+	go n.sendLoop()
+	go n.recvLoop()
+	return n, nil
+}
+
+// Addr returns the socket's bound address (useful with ":0" listens).
+func (n *Network) Addr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+
+// AddPeer maps a remote host ID to its UDP address.
+func (n *Network) AddPeer(id core.HostID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udpnet: peer %v: %w", id, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = ua
+	return nil
+}
+
+// SetStats points the substrate's metrics at a scope (net/...).
+func (n *Network) SetStats(sc stats.Scope) {
+	s := sc.Scope("net")
+	n.si.Store(&instr{
+		sentPkts:  s.Counter("sent_packets"),
+		sentBytes: s.Counter("sent_bytes"),
+		recvPkts:  s.Counter("recv_packets"),
+		recvBytes: s.Counter("recv_bytes"),
+		damaged:   s.Counter("damaged_packets"),
+		hdrErrors: s.Counter("header_errors"),
+		overflows: s.Counter("queue_overflows"),
+		misaddr:   s.Counter("misaddressed"),
+	})
+}
+
+// SetAvailable installs the advisory-admission hook: PathCapability
+// quotes fn(src, dst) as the available bandwidth instead of the raw line
+// rate. Wire it to resv.Local.Available so a rate granted by QoS
+// negotiation is always admissible.
+func (n *Network) SetAvailable(fn func(src, dst core.HostID) float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.avail = fn
+}
+
+// SetDamage makes the sender corrupt each outbound payload with
+// probability p after checksumming — a test hook standing in for wire
+// bit errors, which loopback paths never produce naturally.
+func (n *Network) SetDamage(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.damageP = p
+}
+
+// Capacity returns the admissible share of the configured line rate —
+// the budget a resv.Local for this substrate should be built with.
+func (n *Network) Capacity() float64 { return n.cfg.LineRate * reservableFraction }
+
+// SetHandler installs the receive handler for the local host.
+func (n *Network) SetHandler(id core.HostID, h netif.Handler) error {
+	if id != n.cfg.Local {
+		return fmt.Errorf("udpnet: host %v is not local (%v)", id, n.cfg.Local)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+	return nil
+}
+
+// Route reports the path to dst: one real-network hop, [src, dst].
+func (n *Network) Route(src, dst core.HostID) ([]core.HostID, error) {
+	if src != n.cfg.Local {
+		return nil, fmt.Errorf("udpnet: source %v is not local (%v)", src, n.cfg.Local)
+	}
+	if dst == n.cfg.Local {
+		return []core.HostID{src, dst}, nil
+	}
+	n.mu.Lock()
+	_, ok := n.peers[dst]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("udpnet: unknown peer %v", dst)
+	}
+	return []core.HostID{src, dst}, nil
+}
+
+// PathCapability reports what the path can offer a flow of pktSize-byte
+// packets given the line rate and the bandwidth already admitted.
+func (n *Network) PathCapability(src, dst core.HostID, pktSize int) (qos.Capability, error) {
+	if _, err := n.Route(src, dst); err != nil {
+		return qos.Capability{}, err
+	}
+	n.mu.Lock()
+	avail := n.avail
+	n.mu.Unlock()
+	free := n.Capacity()
+	if avail != nil {
+		free = avail(src, dst)
+	}
+	perPkt := float64(pktSize + netif.WireOverhead)
+	txTime := time.Duration(perPkt / n.cfg.LineRate * float64(time.Second))
+	return qos.Capability{
+		MaxThroughput: free / perPkt,
+		MinDelay:      n.cfg.Delay + txTime,
+		MinJitter:     n.cfg.Jitter,
+		MinPER:        0,
+		MinBER:        0,
+	}, nil
+}
+
+// AddGroup installs a multicast group; the sender fans out one unicast
+// datagram per member (real IP multicast is out of scope).
+func (n *Network) AddGroup(gid core.HostID, members []core.HostID) error {
+	if gid < netif.GroupBase {
+		return fmt.Errorf("udpnet: group id %v below GroupBase", gid)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups[gid] = append([]core.HostID(nil), members...)
+	return nil
+}
+
+// RemoveGroup removes a multicast group.
+func (n *Network) RemoveGroup(gid core.HostID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.groups, gid)
+}
+
+// MTU returns the payload bound per packet.
+func (n *Network) MTU() int { return n.cfg.MTU }
+
+// Send enqueues one packet at its priority. Group destinations fan out
+// to every member. Delivery is asynchronous and unreliable, like the
+// network underneath.
+func (n *Network) Send(p netif.Packet) error {
+	if p.Dst >= netif.GroupBase {
+		n.mu.Lock()
+		members, ok := n.groups[p.Dst]
+		n.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("udpnet: unknown group %v", p.Dst)
+		}
+		var firstErr error
+		for _, m := range members {
+			dup := p
+			dup.Dst = m
+			if err := n.Send(dup); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	if len(p.Payload) > n.cfg.MTU {
+		return fmt.Errorf("udpnet: payload %d exceeds MTU %d", len(p.Payload), n.cfg.MTU)
+	}
+	if p.Prio >= netif.NumPriorities {
+		return fmt.Errorf("udpnet: invalid priority %d", p.Prio)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("udpnet: network closed")
+	}
+	var addr *net.UDPAddr // nil = deliver locally
+	if p.Dst != n.cfg.Local {
+		var ok bool
+		addr, ok = n.peers[p.Dst]
+		if !ok {
+			n.mu.Unlock()
+			return fmt.Errorf("udpnet: unknown peer %v", p.Dst)
+		}
+	}
+	damage := n.damageP > 0 && n.rng.Float64() < n.damageP
+	n.mu.Unlock()
+
+	data := marshal(p)
+	if damage {
+		data[headerSize] ^= 0x40 // flip one payload bit after checksumming
+	}
+	out := outPkt{addr: addr, data: data, size: len(p.Payload) + netif.WireOverhead}
+	n.qmu.Lock()
+	if len(n.queues[p.Prio]) >= n.cfg.QueueLen {
+		n.qmu.Unlock()
+		n.stats().overflows.Inc()
+		return nil // drop-tail, silently, like a congested router
+	}
+	n.queues[p.Prio] = append(n.queues[p.Prio], out)
+	n.qmu.Unlock()
+	n.qcond.Signal()
+	return nil
+}
+
+// marshal builds the wire datagram for p.
+func marshal(p netif.Packet) []byte {
+	data := make([]byte, headerSize+len(p.Payload))
+	binary.BigEndian.PutUint32(data[0:], magic)
+	binary.BigEndian.PutUint32(data[4:], uint32(p.Src))
+	binary.BigEndian.PutUint32(data[8:], uint32(p.Dst))
+	binary.BigEndian.PutUint32(data[12:], uint32(p.Flow))
+	data[16] = byte(p.Prio)
+	data[17] = 0
+	binary.BigEndian.PutUint16(data[18:], uint16(len(p.Payload)))
+	copy(data[headerSize:], p.Payload)
+	binary.BigEndian.PutUint32(data[20:], crc32.ChecksumIEEE(p.Payload))
+	binary.BigEndian.PutUint32(data[24:], crc32.ChecksumIEEE(data[:24]))
+	return data
+}
+
+// unmarshal parses a wire datagram. ok=false means the header cannot be
+// trusted and the datagram must be dropped.
+func unmarshal(data []byte) (p netif.Packet, ok bool) {
+	if len(data) < headerSize {
+		return p, false
+	}
+	if binary.BigEndian.Uint32(data[0:]) != magic {
+		return p, false
+	}
+	if binary.BigEndian.Uint32(data[24:]) != crc32.ChecksumIEEE(data[:24]) {
+		return p, false
+	}
+	plen := int(binary.BigEndian.Uint16(data[18:]))
+	if plen != len(data)-headerSize {
+		return p, false
+	}
+	p.Src = core.HostID(binary.BigEndian.Uint32(data[4:]))
+	p.Dst = core.HostID(binary.BigEndian.Uint32(data[8:]))
+	p.Flow = core.VCID(binary.BigEndian.Uint32(data[12:]))
+	p.Prio = netif.Priority(data[16])
+	p.Payload = append([]byte(nil), data[headerSize:]...)
+	p.Damaged = binary.BigEndian.Uint32(data[20:]) != crc32.ChecksumIEEE(p.Payload)
+	return p, true
+}
+
+// sendLoop drains the priority queues strictly highest-first, pacing to
+// PaceRate when configured.
+func (n *Network) sendLoop() {
+	defer n.wg.Done()
+	defer close(n.sendDone)
+	for {
+		n.qmu.Lock()
+		var out outPkt
+		found := false
+		for !found {
+			for pr := range n.queues {
+				if len(n.queues[pr]) > 0 {
+					out = n.queues[pr][0]
+					n.queues[pr] = n.queues[pr][1:]
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed {
+				n.qmu.Unlock()
+				return
+			}
+			n.qcond.Wait()
+		}
+		n.qmu.Unlock()
+		if n.cfg.PaceRate > 0 {
+			n.clk.Sleep(time.Duration(float64(out.size) / n.cfg.PaceRate * float64(time.Second)))
+		}
+		if out.addr == nil {
+			// Local destination: hand the wire bytes straight to the
+			// receive path so loopback traffic shares its code.
+			n.handleDatagram(out.data)
+		} else if _, err := n.conn.WriteToUDP(out.data, out.addr); err == nil {
+			n.stats().sentPkts.Inc()
+			n.stats().sentBytes.Add(uint64(len(out.data)))
+		}
+	}
+}
+
+// recvLoop reads datagrams off the socket until Close.
+func (n *Network) recvLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		nr, raddr, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		n.stats().recvPkts.Inc()
+		n.stats().recvBytes.Add(uint64(nr))
+		n.learnPeer(buf[:nr], raddr)
+		n.handleDatagram(buf[:nr])
+	}
+}
+
+// learnPeer records the sender's address for its host ID when the header
+// is trustworthy and the peer is unknown, so a responder needs no static
+// peer table.
+func (n *Network) learnPeer(data []byte, raddr *net.UDPAddr) {
+	if len(data) < headerSize ||
+		binary.BigEndian.Uint32(data[0:]) != magic ||
+		binary.BigEndian.Uint32(data[24:]) != crc32.ChecksumIEEE(data[:24]) {
+		return
+	}
+	src := core.HostID(binary.BigEndian.Uint32(data[4:]))
+	if src == 0 || src == n.cfg.Local || src >= netif.GroupBase {
+		return
+	}
+	n.mu.Lock()
+	if _, ok := n.peers[src]; !ok {
+		n.peers[src] = raddr
+	}
+	n.mu.Unlock()
+}
+
+// handleDatagram validates one wire datagram and queues it for delivery.
+func (n *Network) handleDatagram(data []byte) {
+	p, ok := unmarshal(data)
+	if !ok {
+		n.stats().hdrErrors.Inc()
+		return
+	}
+	if p.Dst != n.cfg.Local {
+		n.stats().misaddr.Inc()
+		return
+	}
+	if p.Damaged {
+		n.stats().damaged.Inc()
+	}
+	select {
+	case n.inbox <- p:
+	default:
+		n.stats().overflows.Inc() // receiver overrun; drop like a full NIC ring
+	}
+}
+
+// deliverLoop runs the handler for inbound packets.
+func (n *Network) deliverLoop() {
+	defer n.dwg.Done()
+	for p := range n.inbox {
+		n.mu.Lock()
+		h := n.handler
+		n.mu.Unlock()
+		if h != nil {
+			h(p)
+		}
+	}
+}
+
+// Close shuts the substrate down. No handler runs after Close returns.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.qcond.Broadcast() // unblocks sendLoop
+	<-n.sendDone        // already-queued packets (e.g. a final DiscReq) go out first
+	n.conn.Close()      // unblocks recvLoop
+	n.wg.Wait()
+	close(n.inbox)
+	n.dwg.Wait()
+}

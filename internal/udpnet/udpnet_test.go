@@ -1,0 +1,134 @@
+package udpnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cmtos/internal/netif"
+)
+
+// TestWireRoundTrip checks the header codec preserves every field.
+func TestWireRoundTrip(t *testing.T) {
+	in := netif.Packet{
+		Src: 1, Dst: 2, Flow: 0x10001, Prio: netif.PrioGuaranteed,
+		Payload: []byte("hello, wire"),
+	}
+	out, ok := unmarshal(marshal(in))
+	if !ok {
+		t.Fatalf("unmarshal failed")
+	}
+	if out.Src != in.Src || out.Dst != in.Dst || out.Flow != in.Flow ||
+		out.Prio != in.Prio || !bytes.Equal(out.Payload, in.Payload) || out.Damaged {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+// TestWireDamage checks the two corruption regimes: payload corruption
+// delivers with Damaged and intact attribution; header corruption makes
+// the datagram untrustworthy and undecodable.
+func TestWireDamage(t *testing.T) {
+	in := netif.Packet{Src: 1, Dst: 2, Flow: 7, Prio: netif.PrioControl, Payload: make([]byte, 64)}
+	data := marshal(in)
+	data[headerSize+3] ^= 0x01 // payload bit flip
+	out, ok := unmarshal(data)
+	if !ok {
+		t.Fatalf("payload-damaged datagram must still decode")
+	}
+	if !out.Damaged || out.Flow != 7 {
+		t.Fatalf("want Damaged with Flow preserved, got %+v", out)
+	}
+
+	data = marshal(in)
+	data[5] ^= 0x01 // header bit flip (src field)
+	if _, ok := unmarshal(data); ok {
+		t.Fatalf("header-damaged datagram must be dropped")
+	}
+	if _, ok := unmarshal(data[:10]); ok {
+		t.Fatalf("truncated datagram must be dropped")
+	}
+}
+
+// newPair builds two connected substrates on loopback, skipping when the
+// sandbox forbids sockets.
+func newPair(t *testing.T, a, b Config) (*Network, *Network) {
+	t.Helper()
+	a.Listen, b.Listen = "127.0.0.1:0", "127.0.0.1:0"
+	na, err := New(a)
+	if err != nil {
+		t.Skipf("UDP sockets unavailable: %v", err)
+	}
+	nb, err := New(b)
+	if err != nil {
+		na.Close()
+		t.Skipf("UDP sockets unavailable: %v", err)
+	}
+	if err := na.AddPeer(b.Local, nb.Addr().String()); err != nil {
+		t.Fatalf("AddPeer: %v", err)
+	}
+	if err := nb.AddPeer(a.Local, na.Addr().String()); err != nil {
+		t.Fatalf("AddPeer: %v", err)
+	}
+	t.Cleanup(func() { na.Close(); nb.Close() })
+	return na, nb
+}
+
+// TestPeerLearning checks a responder with no static peer table learns
+// the initiator's address from inbound traffic and can answer.
+func TestPeerLearning(t *testing.T) {
+	na, err := New(Config{Local: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Skipf("UDP sockets unavailable: %v", err)
+	}
+	defer na.Close()
+	nb, err := New(Config{Local: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Skipf("UDP sockets unavailable: %v", err)
+	}
+	defer nb.Close()
+	if err := na.AddPeer(2, nb.Addr().String()); err != nil {
+		t.Fatalf("AddPeer: %v", err)
+	}
+
+	gotA := make(chan netif.Packet, 1)
+	gotB := make(chan netif.Packet, 1)
+	_ = na.SetHandler(1, func(p netif.Packet) { gotA <- p })
+	_ = nb.SetHandler(2, func(p netif.Packet) {
+		gotB <- p
+		// Reply without ever having configured peer 1.
+		_ = nb.Send(netif.Packet{Src: 2, Dst: 1, Prio: netif.PrioControl, Payload: []byte("pong")})
+	})
+	if err := na.Send(netif.Packet{Src: 1, Dst: 2, Prio: netif.PrioControl, Payload: []byte("ping")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-gotB:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("responder never got the ping")
+	}
+	select {
+	case p := <-gotA:
+		if string(p.Payload) != "pong" {
+			t.Fatalf("bad reply payload %q", p.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("initiator never got the learned-peer reply")
+	}
+}
+
+// TestMTUAndUnknownPeer checks Send's input validation.
+func TestMTUAndUnknownPeer(t *testing.T) {
+	na, _ := newPair(t, Config{Local: 1, MTU: 128}, Config{Local: 2})
+	if err := na.Send(netif.Packet{Src: 1, Dst: 2, Payload: make([]byte, 129)}); err == nil {
+		t.Fatalf("oversized payload must be rejected")
+	}
+	if err := na.Send(netif.Packet{Src: 1, Dst: 9, Payload: []byte("x")}); err == nil {
+		t.Fatalf("unknown peer must be rejected")
+	}
+	if _, err := na.Route(1, 9); err == nil {
+		t.Fatalf("Route to unknown peer must fail")
+	}
+	if p, err := na.Route(1, 2); err != nil || len(p) != 2 {
+		t.Fatalf("Route(1,2) = %v, %v", p, err)
+	}
+}

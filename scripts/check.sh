@@ -15,3 +15,8 @@ fi
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Short fuzz burst on the wire decoder: the corpus seeds cover every PDU
+# kind, so even a few seconds of mutation exercises the codec's bounds
+# checks on each decode path.
+go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/pdu/
