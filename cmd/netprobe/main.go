@@ -16,6 +16,12 @@
 //	go run ./cmd/netprobe -listen 127.0.0.1:7000
 //	go run ./cmd/netprobe -listen 127.0.0.1:0 -peer 127.0.0.1:7000
 //
+// Either mode takes -fault to wrap the substrate in the fault injector,
+// e.g. -fault drop=0.05,dup=0.01,partition=2s — a partition blackholes
+// the probe path one second in and heals after the given duration:
+//
+//	go run ./cmd/netprobe -hops 2 -fault drop=0.05,partition=2s
+//
 // The sender negotiates a VC, wraps it in an orchestration session and
 // drives Prime -> Start -> Regulate -> Stop -> Release before
 // disconnecting; both processes print their metrics registries, which
@@ -32,6 +38,8 @@ import (
 	"cmtos/internal/core"
 	"cmtos/internal/media"
 	"cmtos/internal/netem"
+	"cmtos/internal/netif"
+	"cmtos/internal/netif/faultnet"
 	"cmtos/internal/orch"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
@@ -52,17 +60,45 @@ func main() {
 	dumpStats := flag.Bool("stats", false, "dump the metrics registry after the probe")
 	listen := flag.String("listen", "", "UDP mode: address to bind (enables the two-process demo)")
 	peer := flag.String("peer", "", "UDP mode: receiver address to stream to (sender role; omit for receiver role)")
+	fault := flag.String("fault", "", "fault spec for the injector, e.g. drop=0.05,dup=0.01,partition=2s")
 	flag.Parse()
+
+	fsp, err := faultnet.ParseSpec(*fault)
+	check(err)
 
 	if *listen != "" {
 		if *peer != "" {
-			udpSender(*listen, *peer, *rate, *size, *count, *dumpStats)
+			udpSender(*listen, *peer, fsp, *rate, *size, *count, *dumpStats)
 		} else {
-			udpReceiver(*listen, *rate, *dumpStats)
+			udpReceiver(*listen, fsp, *rate, *dumpStats)
 		}
 		return
 	}
-	emulated(*hops, *bw, *delay, *jitter, *loss, *rate, *size, *count, *dumpStats)
+	emulated(*hops, *bw, *delay, *jitter, *loss, fsp, *rate, *size, *count, *dumpStats)
+}
+
+// injectFaults wraps a substrate in the fault injector per spec; with an
+// empty spec the substrate is returned untouched. A partition duration
+// blackholes src<->dst one second in and heals it after the duration.
+func injectFaults(nw netif.Network, sp faultnet.Spec, src, dst core.HostID) netif.Network {
+	if sp == (faultnet.Spec{}) {
+		return nw
+	}
+	fn := faultnet.Wrap(nw, faultnet.Options{})
+	fn.Apply(sp)
+	if sp.Partition > 0 {
+		time.AfterFunc(time.Second, func() {
+			fmt.Printf("fault: partitioning %v <-> %v for %v\n", src, dst, sp.Partition)
+			fn.Partition(src, dst)
+			fn.Partition(dst, src)
+			time.AfterFunc(sp.Partition, func() {
+				fmt.Printf("fault: partition %v <-> %v healed\n", src, dst)
+				fn.Heal(src, dst)
+				fn.Heal(dst, src)
+			})
+		})
+	}
+	return fn
 }
 
 // probeSpec is the QoS contract both modes request for the probe flow.
@@ -79,14 +115,16 @@ func probeSpec(rate float64, size int) qos.Spec {
 }
 
 // udpStack builds one host's full stack over the UDP substrate: socket,
-// advisory admission, transport entity and orchestrator.
-func udpStack(id core.HostID, listen string, reg *stats.Registry) (*udpnet.Network, *transport.Entity, *orch.LLO) {
+// advisory admission, transport entity and orchestrator. The fault
+// injector, when requested, sits between the entity and the socket;
+// admission and metrics stay wired to the real substrate underneath.
+func udpStack(id core.HostID, listen string, fsp faultnet.Spec, reg *stats.Registry) (*udpnet.Network, *transport.Entity, *orch.LLO) {
 	nw, err := udpnet.New(udpnet.Config{Local: id, Listen: listen})
 	check(err)
 	nw.SetStats(reg.Scope(fmt.Sprintf("host/%d", uint32(id))))
 	rm := resv.NewLocal(nw.Capacity(), nw.Route)
 	nw.SetAvailable(rm.Available)
-	ent, err := transport.NewEntity(id, clock.System{}, nw, rm, transport.Config{
+	ent, err := transport.NewEntity(id, clock.System{}, injectFaults(nw, fsp, 1, 2), rm, transport.Config{
 		SamplePeriod: 500 * time.Millisecond, Stats: reg,
 	})
 	check(err)
@@ -96,9 +134,9 @@ func udpStack(id core.HostID, listen string, reg *stats.Registry) (*udpnet.Netwo
 // udpSender is host 1 of the two-process demo: it negotiates a VC to the
 // receiver, orchestrates it through a full Prime/Start/Regulate/Stop
 // cycle and streams the probe.
-func udpSender(listen, peer string, rate float64, size int, count uint, dumpStats bool) {
+func udpSender(listen, peer string, fsp faultnet.Spec, rate float64, size int, count uint, dumpStats bool) {
 	reg := stats.NewRegistry()
-	nw, ent, llo := udpStack(1, listen, reg)
+	nw, ent, llo := udpStack(1, listen, fsp, reg)
 	defer nw.Close()
 	defer ent.Close()
 	check(nw.AddPeer(2, peer))
@@ -150,9 +188,9 @@ func udpSender(listen, peer string, rate float64, size int, count uint, dumpStat
 // udpReceiver is host 2 of the two-process demo: it answers the QoS
 // negotiation and orchestration PDUs, drains the probe into a media sink
 // and reports what arrived once the sender disconnects.
-func udpReceiver(listen string, rate float64, dumpStats bool) {
+func udpReceiver(listen string, fsp faultnet.Spec, rate float64, dumpStats bool) {
 	reg := stats.NewRegistry()
-	nw, ent, llo := udpStack(2, listen, reg)
+	nw, ent, llo := udpStack(2, listen, fsp, reg)
 	defer nw.Close()
 	defer ent.Close()
 	_ = llo // installed as the entity's orchestration handler
@@ -188,7 +226,7 @@ func udpReceiver(listen string, rate float64, dumpStats bool) {
 }
 
 // emulated is the original single-process probe over the netem substrate.
-func emulated(hops int, bw float64, delay, jitter time.Duration, loss, rate float64, size int, count uint, dumpStats bool) {
+func emulated(hops int, bw float64, delay, jitter time.Duration, loss float64, fsp faultnet.Spec, rate float64, size int, count uint, dumpStats bool) {
 	reg := stats.NewRegistry()
 	sys := clock.System{}
 	nw := netem.New(sys)
@@ -218,10 +256,11 @@ func emulated(hops int, bw float64, delay, jitter time.Duration, loss, rate floa
 		pc.MinJitter.Round(time.Microsecond), pc.MinPER)
 
 	rm := resv.New(nw)
+	fnw := injectFaults(nw, fsp, src, dst)
 	tcfg := transport.Config{SamplePeriod: 500 * time.Millisecond, Stats: reg}
-	eSrc, err := transport.NewEntity(src, sys, nw, rm, tcfg)
+	eSrc, err := transport.NewEntity(src, sys, fnw, rm, tcfg)
 	check(err)
-	eDst, err := transport.NewEntity(dst, sys, nw, rm, tcfg)
+	eDst, err := transport.NewEntity(dst, sys, fnw, rm, tcfg)
 	check(err)
 	defer eSrc.Close()
 	defer eDst.Close()

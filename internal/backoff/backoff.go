@@ -1,0 +1,52 @@
+// Package backoff computes retransmission schedules for confirmed
+// exchanges: exponentially growing waits with deterministic jitter,
+// normalised so the whole schedule spends exactly the caller's timeout
+// budget. Equal-split retry timers synchronise competing requesters and
+// hammer a congested path at a fixed cadence; exponential spacing backs
+// off under sustained loss while the jitter decorrelates requesters that
+// started together.
+package backoff
+
+import (
+	"math"
+	"time"
+)
+
+// Schedule returns the per-attempt waits for n retransmission attempts
+// within the given total budget. Wait i is nominally 2^i units, scaled
+// by a jitter factor in [0.75, 1.25) drawn deterministically from seed,
+// and the whole schedule is normalised so the waits sum to exactly
+// total. The schedule is strictly increasing (the worst-case ratio
+// between consecutive nominal waits is 2·0.75/1.25 = 1.2) and the same
+// (total, n, seed) always yields the same schedule, so retry behaviour
+// is reproducible under the lab clock.
+func Schedule(total time.Duration, n int, seed uint64) []time.Duration {
+	if n <= 0 || total <= 0 {
+		return nil
+	}
+	weights := make([]float64, n)
+	var sum float64
+	s := seed
+	for i := range weights {
+		weights[i] = math.Pow(2, float64(i)) * (0.75 + 0.5*unit(&s))
+		sum += weights[i]
+	}
+	out := make([]time.Duration, n)
+	var spent time.Duration
+	for i := 0; i < n-1; i++ {
+		out[i] = time.Duration(float64(total) * weights[i] / sum)
+		spent += out[i]
+	}
+	out[n-1] = total - spent
+	return out
+}
+
+// unit advances a splitmix64 state and returns a uniform value in [0, 1).
+func unit(s *uint64) float64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -1,0 +1,108 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+
+	"cmtos/internal/clock"
+)
+
+func TestScheduleSumsToTotal(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for seed := uint64(0); seed < 20; seed++ {
+			total := 2 * time.Second
+			sched := Schedule(total, n, seed)
+			if len(sched) != n {
+				t.Fatalf("n=%d seed=%d: %d waits", n, seed, len(sched))
+			}
+			var sum time.Duration
+			for _, d := range sched {
+				sum += d
+			}
+			if sum != total {
+				t.Fatalf("n=%d seed=%d: sum %v, want %v", n, seed, sum, total)
+			}
+		}
+	}
+}
+
+func TestScheduleStrictlyIncreasing(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		sched := Schedule(2*time.Second, 4, seed)
+		for i := 1; i < len(sched); i++ {
+			if sched[i] <= sched[i-1] {
+				t.Fatalf("seed=%d: wait %d (%v) <= wait %d (%v)",
+					seed, i, sched[i], i-1, sched[i-1])
+			}
+		}
+	}
+}
+
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	a := Schedule(time.Second, 4, 42)
+	b := Schedule(time.Second, 4, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Schedule(time.Second, 4, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestScheduleDegenerate(t *testing.T) {
+	if Schedule(time.Second, 0, 1) != nil {
+		t.Error("n=0 should yield nil")
+	}
+	if Schedule(0, 3, 1) != nil {
+		t.Error("total=0 should yield nil")
+	}
+	one := Schedule(time.Second, 1, 1)
+	if len(one) != 1 || one[0] != time.Second {
+		t.Errorf("n=1 schedule = %v, want [1s]", one)
+	}
+}
+
+// TestScheduleUnderFakeClock drives a retry loop shaped like
+// transport.Entity.request under the manual clock and checks that the
+// final timeout lands exactly at the ConnectTimeout bound, never after.
+func TestScheduleUnderFakeClock(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	const total = 2 * time.Second
+	sched := Schedule(total, 4, 7)
+
+	start := clk.Now()
+	armed := make(chan struct{})
+	done := make(chan time.Time, 1)
+	go func() {
+		for _, d := range sched {
+			ch := clk.After(d)
+			armed <- struct{}{}
+			<-ch
+		}
+		done <- clk.Now()
+	}()
+
+	// Advance exactly each wait once the retry loop has armed its timer,
+	// so the observed give-up time is the schedule's own sum.
+	for _, d := range sched {
+		<-armed
+		clk.Advance(d)
+	}
+	select {
+	case end := <-done:
+		if got := end.Sub(start); got != total {
+			t.Fatalf("retry loop gave up after %v, want exactly %v", got, total)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry loop never completed")
+	}
+}

@@ -67,6 +67,8 @@ type Ring struct {
 	closed            bool
 	scratch           []byte // consumer copy-out buffer; see Get
 
+	fullChs []chan<- struct{} // NotifyFull subscribers
+
 	prodBlocked time.Duration
 	consBlocked time.Duration
 
@@ -187,6 +189,48 @@ func (r *Ring) write(u OSDU) {
 	r.tail = (r.tail + 1) % len(r.slots)
 	r.count++
 	r.notEmpty.Signal()
+	if r.count == len(r.slots) {
+		r.signalFull()
+	}
+}
+
+// signalFull pokes every NotifyFull subscriber; caller holds mu. Sends
+// never block: the channels are level triggers, not counters.
+func (r *Ring) signalFull() {
+	for _, ch := range r.fullChs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// NotifyFull registers ch for a non-blocking signal whenever a Put
+// occupies the last free slot, and immediately when the ring is already
+// full or closed. The sink LLO waits on it for the §6.2.1 "receive
+// buffers are eventually full" point instead of polling.
+func (r *Ring) NotifyFull(ch chan<- struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fullChs = append(r.fullChs, ch)
+	if r.count == len(r.slots) || r.closed {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// StopNotifyFull removes a channel registered with NotifyFull.
+func (r *Ring) StopNotifyFull(ch chan<- struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, c := range r.fullChs {
+		if c == ch {
+			r.fullChs = append(r.fullChs[:i], r.fullChs[i+1:]...)
+			return
+		}
+	}
 }
 
 // Get removes and returns the oldest OSDU, blocking while the ring is
@@ -306,6 +350,7 @@ func (r *Ring) Close() {
 	r.closed = true
 	r.notFull.Broadcast()
 	r.notEmpty.Broadcast()
+	r.signalFull() // wake NotifyFull waiters so they observe the close
 }
 
 // Closed reports whether Close has been called.

@@ -487,3 +487,60 @@ func TestResizeSlotsKeepsCapacityAndOrderAcrossWrap(t *testing.T) {
 		}
 	}
 }
+
+func TestNotifyFullSignalsOnLastSlot(t *testing.T) {
+	r := newRing(3, 16)
+	ch := make(chan struct{}, 1)
+	r.NotifyFull(ch)
+	for i := 0; i < 2; i++ {
+		if err := r.Put(OSDU{Seq: core.OSDUSeq(i), Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-ch:
+			t.Fatalf("signalled with %d free slots", 3-r.Len())
+		default:
+		}
+	}
+	if err := r.Put(OSDU{Seq: 2, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("last-slot Put never signalled")
+	}
+	// Registering against an already-full ring signals immediately.
+	ch2 := make(chan struct{}, 1)
+	r.NotifyFull(ch2)
+	select {
+	case <-ch2:
+	case <-time.After(time.Second):
+		t.Fatal("no immediate signal for an already-full ring")
+	}
+	// After deregistering, refilling must not signal.
+	r.StopNotifyFull(ch)
+	if _, err := r.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(OSDU{Seq: 3, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+		t.Fatal("deregistered channel still signalled")
+	default:
+	}
+}
+
+func TestNotifyFullWakesOnClose(t *testing.T) {
+	r := newRing(4, 16)
+	ch := make(chan struct{}, 1)
+	r.NotifyFull(ch)
+	r.Close()
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("Close never signalled NotifyFull waiters")
+	}
+}

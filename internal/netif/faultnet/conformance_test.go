@@ -1,0 +1,39 @@
+package faultnet
+
+import (
+	"testing"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+	"cmtos/internal/netif/nettest"
+)
+
+// TestConformanceTransparent runs the substrate conformance suite
+// through a fault injector with no faults configured: the wrapper must
+// be invisible.
+func TestConformanceTransparent(t *testing.T) {
+	nettest.Run(t, func(t *testing.T, o nettest.Options) *nettest.Harness {
+		nw := netem.New(clock.System{})
+		for _, id := range []core.HostID{1, 2} {
+			if err := nw.AddHost(id, nil); err != nil {
+				t.Fatalf("AddHost: %v", err)
+			}
+		}
+		cfg := netem.LinkConfig{Bandwidth: 50e6, QueueLen: 256}
+		if o.PaceBps > 0 {
+			cfg.Bandwidth = o.PaceBps
+		}
+		if o.Damage {
+			cfg.BitErrorRate = 2e-4
+		}
+		if err := nw.AddLink(1, 2, cfg); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+		if err := nw.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		fn := Wrap(nw, Options{Seed: 1})
+		return &nettest.Harness{A: fn, B: fn, HostA: 1, HostB: 2, Close: fn.Close}
+	})
+}

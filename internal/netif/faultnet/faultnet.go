@@ -1,0 +1,361 @@
+// Package faultnet wraps any netif.Network in a scriptable fault
+// injector: probabilistic drop (global, per-flow, per-priority),
+// duplication, one-packet reordering, payload corruption, delay spikes,
+// asymmetric host-pair partitions, and whole-host crash/blackhole. All
+// randomness comes from one seeded generator and all timing from the
+// injected clock, so a fault scenario replays identically under the lab
+// clock. Every injected fault increments a counter under the "fault"
+// stats scope, giving chaos tests an exact account of what the run
+// actually suffered.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netif"
+	"cmtos/internal/qos"
+	"cmtos/internal/stats"
+)
+
+// reorderFlush bounds how long a packet is held back for reordering when
+// no follow-up packet arrives to overtake it.
+const reorderFlush = 5 * time.Millisecond
+
+// Options configures a fault injector.
+type Options struct {
+	// Seed initialises the fault RNG; runs with the same seed and the
+	// same Send sequence make identical fault decisions. Zero means 1.
+	Seed int64
+	// Clock schedules delayed and held-back deliveries (default: system).
+	Clock clock.Clock
+	// Stats is the scope the "fault" counters hang off (nil disables).
+	Stats stats.Scope
+}
+
+// Network is a netif.Network that forwards to an inner substrate through
+// the fault pipeline. The zero fault configuration is fully transparent.
+type Network struct {
+	inner netif.Network
+	clk   clock.Clock
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	drop     float64
+	dropFlow map[core.VCID]float64
+	dropPrio [netif.NumPriorities]float64
+	dup      float64
+	corrupt  float64
+	reorder  float64
+	delayP   float64
+	delayD   time.Duration
+	parts    map[[2]core.HostID]bool
+	crashed  map[core.HostID]bool
+	held     *netif.Packet
+
+	fi instr
+}
+
+type instr struct {
+	sent, dropped, duplicated, corrupted      *stats.Counter
+	delayed, reordered, partitioned, crashed_ *stats.Counter
+}
+
+// Wrap builds a fault injector in front of inner. With no faults
+// configured it is a transparent pass-through.
+func Wrap(inner netif.Network, o Options) *Network {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clock == nil {
+		o.Clock = clock.System{}
+	}
+	sc := o.Stats.Scope("fault")
+	return &Network{
+		inner:    inner,
+		clk:      o.Clock,
+		rng:      rand.New(rand.NewSource(o.Seed)),
+		dropFlow: make(map[core.VCID]float64),
+		parts:    make(map[[2]core.HostID]bool),
+		crashed:  make(map[core.HostID]bool),
+		fi: instr{
+			sent:        sc.Counter("sent"),
+			dropped:     sc.Counter("dropped"),
+			duplicated:  sc.Counter("duplicated"),
+			corrupted:   sc.Counter("corrupted"),
+			delayed:     sc.Counter("delayed"),
+			reordered:   sc.Counter("reordered"),
+			partitioned: sc.Counter("partitioned"),
+			crashed_:    sc.Counter("blackholed"),
+		},
+	}
+}
+
+// SetDrop sets the global drop probability.
+func (n *Network) SetDrop(p float64) { n.mu.Lock(); n.drop = p; n.mu.Unlock() }
+
+// SetFlowDrop sets a drop probability for one flow, on top of the global
+// one; p <= 0 clears it.
+func (n *Network) SetFlowDrop(vc core.VCID, p float64) {
+	n.mu.Lock()
+	if p <= 0 {
+		delete(n.dropFlow, vc)
+	} else {
+		n.dropFlow[vc] = p
+	}
+	n.mu.Unlock()
+}
+
+// SetPrioDrop sets a drop probability for one priority class, on top of
+// the global one.
+func (n *Network) SetPrioDrop(prio netif.Priority, p float64) {
+	if prio >= netif.NumPriorities {
+		return
+	}
+	n.mu.Lock()
+	n.dropPrio[prio] = p
+	n.mu.Unlock()
+}
+
+// SetDuplicate sets the probability that a packet is sent twice.
+func (n *Network) SetDuplicate(p float64) { n.mu.Lock(); n.dup = p; n.mu.Unlock() }
+
+// SetCorrupt sets the probability that one payload bit is flipped (and
+// the packet marked Damaged, as a substrate would after a checksum miss).
+func (n *Network) SetCorrupt(p float64) { n.mu.Lock(); n.corrupt = p; n.mu.Unlock() }
+
+// SetReorder sets the probability that a packet is held back until the
+// next packet overtakes it (or a short flush timer fires).
+func (n *Network) SetReorder(p float64) { n.mu.Lock(); n.reorder = p; n.mu.Unlock() }
+
+// SetDelay makes packets suffer a d-long delay spike with probability p.
+func (n *Network) SetDelay(p float64, d time.Duration) {
+	n.mu.Lock()
+	n.delayP, n.delayD = p, d
+	n.mu.Unlock()
+}
+
+// Partition blackholes packets from a to b (one direction only; call
+// twice for a symmetric partition).
+func (n *Network) Partition(a, b core.HostID) {
+	n.mu.Lock()
+	n.parts[[2]core.HostID{a, b}] = true
+	n.mu.Unlock()
+}
+
+// Heal removes the a→b partition.
+func (n *Network) Heal(a, b core.HostID) {
+	n.mu.Lock()
+	delete(n.parts, [2]core.HostID{a, b})
+	n.mu.Unlock()
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	n.parts = make(map[[2]core.HostID]bool)
+	n.mu.Unlock()
+}
+
+// Crash blackholes a host entirely: nothing it sends leaves and nothing
+// addressed to it arrives, exactly as if the process died.
+func (n *Network) Crash(h core.HostID) {
+	n.mu.Lock()
+	n.crashed[h] = true
+	n.mu.Unlock()
+}
+
+// Restore undoes Crash.
+func (n *Network) Restore(h core.HostID) {
+	n.mu.Lock()
+	delete(n.crashed, h)
+	n.mu.Unlock()
+}
+
+// Send runs the fault pipeline and forwards survivors to the inner
+// substrate. Fault order: crash/partition, drop, corruption,
+// duplication, delay spike, reordering.
+func (n *Network) Send(p netif.Packet) error {
+	n.mu.Lock()
+	n.fi.sent.Inc()
+	if n.crashed[p.Src] || (p.Dst < netif.GroupBase && n.crashed[p.Dst]) {
+		n.fi.crashed_.Inc()
+		n.mu.Unlock()
+		return nil
+	}
+	if p.Dst < netif.GroupBase && n.parts[[2]core.HostID{p.Src, p.Dst}] {
+		n.fi.partitioned.Inc()
+		n.mu.Unlock()
+		return nil
+	}
+	pDrop := n.drop
+	if v, ok := n.dropFlow[p.Flow]; ok && p.Flow != 0 && v > pDrop {
+		pDrop = v
+	}
+	if v := n.dropPrio[p.Prio]; v > pDrop {
+		pDrop = v
+	}
+	if pDrop > 0 && n.rng.Float64() < pDrop {
+		n.fi.dropped.Inc()
+		n.mu.Unlock()
+		return nil
+	}
+	if n.corrupt > 0 && len(p.Payload) > 0 && n.rng.Float64() < n.corrupt {
+		flipped := make([]byte, len(p.Payload))
+		copy(flipped, p.Payload)
+		bit := n.rng.Intn(len(flipped) * 8)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		p.Payload = flipped
+		p.Damaged = true
+		n.fi.corrupted.Inc()
+	}
+	dup := n.dup > 0 && n.rng.Float64() < n.dup
+	if n.delayP > 0 && n.rng.Float64() < n.delayP {
+		n.fi.delayed.Inc()
+		d := n.delayD
+		n.mu.Unlock()
+		n.clk.AfterFunc(d, func() { _ = n.inner.Send(p) })
+		return nil
+	}
+	var release *netif.Packet
+	if n.reorder > 0 && n.rng.Float64() < n.reorder && n.held == nil {
+		// Hold this packet; the next Send (or the flush timer) lets it out
+		// behind its successor.
+		cp := p
+		n.held = &cp
+		n.fi.reordered.Inc()
+		n.mu.Unlock()
+		n.clk.AfterFunc(reorderFlush, n.flushHeld)
+		return nil
+	}
+	release, n.held = n.held, nil
+	n.mu.Unlock()
+
+	if err := n.inner.Send(p); err != nil {
+		return err
+	}
+	if dup {
+		n.fi.duplicated.Inc()
+		_ = n.inner.Send(p)
+	}
+	if release != nil {
+		_ = n.inner.Send(*release)
+	}
+	return nil
+}
+
+// flushHeld releases a reordered packet that nothing overtook in time.
+func (n *Network) flushHeld() {
+	n.mu.Lock()
+	h := n.held
+	n.held = nil
+	n.mu.Unlock()
+	if h != nil {
+		_ = n.inner.Send(*h)
+	}
+}
+
+// SetHandler delegates to the inner substrate.
+func (n *Network) SetHandler(id core.HostID, h netif.Handler) error {
+	return n.inner.SetHandler(id, h)
+}
+
+// Route delegates to the inner substrate.
+func (n *Network) Route(src, dst core.HostID) ([]core.HostID, error) {
+	return n.inner.Route(src, dst)
+}
+
+// PathCapability delegates to the inner substrate: injected faults are
+// deliberately invisible to admission, exactly like real-world failures.
+func (n *Network) PathCapability(src, dst core.HostID, pktSize int) (qos.Capability, error) {
+	return n.inner.PathCapability(src, dst, pktSize)
+}
+
+// AddGroup delegates to the inner substrate.
+func (n *Network) AddGroup(gid core.HostID, members []core.HostID) error {
+	return n.inner.AddGroup(gid, members)
+}
+
+// RemoveGroup delegates to the inner substrate.
+func (n *Network) RemoveGroup(gid core.HostID) { n.inner.RemoveGroup(gid) }
+
+// MTU delegates to the inner substrate.
+func (n *Network) MTU() int { return n.inner.MTU() }
+
+// Close discards any held packet and closes the inner substrate.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.held = nil
+	n.mu.Unlock()
+	n.inner.Close()
+}
+
+// Spec is a parsed fault scenario, as accepted by cmd/netprobe's -fault
+// flag: "drop=0.05,dup=0.01,corrupt=0.001,reorder=0.02,delay=10ms,
+// delayp=0.1,partition=2s". Partition scheduling is up to the caller
+// (the injector does not know which hosts exist).
+type Spec struct {
+	Drop      float64
+	Dup       float64
+	Corrupt   float64
+	Reorder   float64
+	DelayProb float64
+	Delay     time.Duration
+	Partition time.Duration
+}
+
+// ParseSpec parses a comma-separated fault list.
+func ParseSpec(s string) (Spec, error) {
+	var sp Spec
+	if s == "" {
+		return sp, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return sp, fmt.Errorf("faultnet: %q is not key=value", field)
+		}
+		var err error
+		switch k {
+		case "drop":
+			sp.Drop, err = strconv.ParseFloat(v, 64)
+		case "dup":
+			sp.Dup, err = strconv.ParseFloat(v, 64)
+		case "corrupt":
+			sp.Corrupt, err = strconv.ParseFloat(v, 64)
+		case "reorder":
+			sp.Reorder, err = strconv.ParseFloat(v, 64)
+		case "delayp":
+			sp.DelayProb, err = strconv.ParseFloat(v, 64)
+		case "delay":
+			sp.Delay, err = time.ParseDuration(v)
+		case "partition":
+			sp.Partition, err = time.ParseDuration(v)
+		default:
+			return sp, fmt.Errorf("faultnet: unknown fault %q", k)
+		}
+		if err != nil {
+			return sp, fmt.Errorf("faultnet: bad %s value %q: %v", k, v, err)
+		}
+	}
+	if sp.Delay > 0 && sp.DelayProb == 0 {
+		sp.DelayProb = 0.1
+	}
+	return sp, nil
+}
+
+// Apply configures the injector's scalar faults from a parsed Spec.
+// Partitions are time-scheduled by the caller.
+func (n *Network) Apply(sp Spec) {
+	n.SetDrop(sp.Drop)
+	n.SetDuplicate(sp.Dup)
+	n.SetCorrupt(sp.Corrupt)
+	n.SetReorder(sp.Reorder)
+	n.SetDelay(sp.DelayProb, sp.Delay)
+}

@@ -1,0 +1,242 @@
+package faultnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netif"
+	"cmtos/internal/qos"
+)
+
+// stubNet records every packet that survives the fault pipeline.
+type stubNet struct {
+	mu   sync.Mutex
+	sent []netif.Packet
+}
+
+func (s *stubNet) Send(p netif.Packet) error {
+	s.mu.Lock()
+	s.sent = append(s.sent, p)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *stubNet) packets() []netif.Packet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]netif.Packet(nil), s.sent...)
+}
+
+func (s *stubNet) SetHandler(core.HostID, netif.Handler) error { return nil }
+func (s *stubNet) Route(a, b core.HostID) ([]core.HostID, error) {
+	return []core.HostID{a, b}, nil
+}
+func (s *stubNet) PathCapability(core.HostID, core.HostID, int) (qos.Capability, error) {
+	return qos.Capability{MaxThroughput: 1e6}, nil
+}
+func (s *stubNet) AddGroup(core.HostID, []core.HostID) error { return nil }
+func (s *stubNet) RemoveGroup(core.HostID)                   {}
+func (s *stubNet) MTU() int                                  { return 0 }
+func (s *stubNet) Close()                                    {}
+
+func pkt(flow core.VCID, prio netif.Priority, b byte) netif.Packet {
+	return netif.Packet{Src: 1, Dst: 2, Flow: flow, Prio: prio, Payload: []byte{b, b, b, b}}
+}
+
+// TestDeterministicUnderSeed replays the same send sequence through two
+// injectors with the same seed and demands identical survivor sets.
+func TestDeterministicUnderSeed(t *testing.T) {
+	run := func(seed int64) []netif.Packet {
+		inner := &stubNet{}
+		n := Wrap(inner, Options{Seed: seed, Clock: clock.NewManual(time.Unix(0, 0))})
+		n.SetDrop(0.5)
+		n.SetCorrupt(0.2)
+		n.SetDuplicate(0.1)
+		for i := 0; i < 200; i++ {
+			_ = n.Send(pkt(core.VCID(i), netif.PrioGuaranteed, byte(i)))
+		}
+		return inner.packets()
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed: %d vs %d survivors", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Flow != b[i].Flow || a[i].Damaged != b[i].Damaged {
+			t.Fatalf("survivor %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i].Flow != c[i].Flow {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical fault decisions")
+		}
+	}
+}
+
+func TestDropScopes(t *testing.T) {
+	inner := &stubNet{}
+	n := Wrap(inner, Options{Seed: 7})
+	n.SetFlowDrop(9, 1.0)
+	n.SetPrioDrop(netif.PrioBestEffort, 1.0)
+	_ = n.Send(pkt(9, netif.PrioGuaranteed, 1)) // flow-dropped
+	_ = n.Send(pkt(3, netif.PrioBestEffort, 2)) // prio-dropped
+	_ = n.Send(pkt(3, netif.PrioGuaranteed, 3)) // survives
+	_ = n.Send(pkt(0, netif.PrioControl, 4))    // survives
+	got := inner.packets()
+	if len(got) != 2 || got[0].Payload[0] != 3 || got[1].Payload[0] != 4 {
+		t.Fatalf("survivors = %+v, want payloads 3 and 4", got)
+	}
+	n.SetFlowDrop(9, 0)
+	_ = n.Send(pkt(9, netif.PrioGuaranteed, 5))
+	if got := inner.packets(); len(got) != 3 || got[2].Payload[0] != 5 {
+		t.Fatalf("flow drop not cleared: %+v", got)
+	}
+}
+
+func TestCorruptionFlipsBitsAndMarksDamaged(t *testing.T) {
+	inner := &stubNet{}
+	n := Wrap(inner, Options{Seed: 7})
+	n.SetCorrupt(1.0)
+	orig := netif.Packet{Src: 1, Dst: 2, Flow: 4, Payload: []byte{0xAA, 0xAA}}
+	_ = n.Send(orig)
+	got := inner.packets()
+	if len(got) != 1 {
+		t.Fatalf("%d packets", len(got))
+	}
+	if !got[0].Damaged {
+		t.Fatal("corrupted packet not marked Damaged")
+	}
+	if got[0].Flow != 4 {
+		t.Fatal("flow attribution lost on damaged packet")
+	}
+	diff := 0
+	for i := range got[0].Payload {
+		if got[0].Payload[i] != orig.Payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d payload bytes changed, want exactly 1", diff)
+	}
+	if orig.Payload[0] != 0xAA || orig.Payload[1] != 0xAA {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+}
+
+func TestCrashAndPartitionAreAsymmetric(t *testing.T) {
+	inner := &stubNet{}
+	n := Wrap(inner, Options{Seed: 7})
+
+	n.Partition(1, 2)
+	_ = n.Send(pkt(0, netif.PrioControl, 1)) // 1→2 blocked
+	_ = n.Send(netif.Packet{Src: 2, Dst: 1, Payload: []byte{2}})
+	if got := inner.packets(); len(got) != 1 || got[0].Src != 2 {
+		t.Fatalf("asymmetric partition: %+v", got)
+	}
+	n.Heal(1, 2)
+	_ = n.Send(pkt(0, netif.PrioControl, 3))
+	if got := inner.packets(); len(got) != 2 {
+		t.Fatalf("heal failed: %+v", got)
+	}
+
+	n.Crash(2)
+	_ = n.Send(pkt(0, netif.PrioControl, 4))                     // to crashed host
+	_ = n.Send(netif.Packet{Src: 2, Dst: 1, Payload: []byte{5}}) // from crashed host
+	_ = n.Send(netif.Packet{Src: 3, Dst: 1, Payload: []byte{6}}) // unrelated
+	if got := inner.packets(); len(got) != 3 || got[2].Payload[0] != 6 {
+		t.Fatalf("crash blackhole: %+v", got)
+	}
+	n.Restore(2)
+	_ = n.Send(pkt(0, netif.PrioControl, 7))
+	if got := inner.packets(); len(got) != 4 {
+		t.Fatalf("restore failed: %+v", got)
+	}
+}
+
+func TestReorderSwapsAdjacentPackets(t *testing.T) {
+	inner := &stubNet{}
+	clk := clock.NewManual(time.Unix(0, 0))
+	n := Wrap(inner, Options{Seed: 7, Clock: clk})
+	n.SetReorder(1.0)
+	_ = n.Send(pkt(0, netif.PrioGuaranteed, 1)) // held
+	_ = n.Send(pkt(0, netif.PrioGuaranteed, 2)) // overtakes, releases 1
+	got := inner.packets()
+	if len(got) != 2 || got[0].Payload[0] != 2 || got[1].Payload[0] != 1 {
+		t.Fatalf("order = %+v, want 2 then 1", got)
+	}
+	// A lone held packet is flushed by the timer, never lost.
+	_ = n.Send(pkt(0, netif.PrioGuaranteed, 3))
+	clk.Advance(reorderFlush)
+	deadline := time.Now().Add(time.Second)
+	for len(inner.packets()) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("held packet never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := inner.packets(); got[2].Payload[0] != 3 {
+		t.Fatalf("flushed packet = %+v", got[2])
+	}
+}
+
+func TestDelaySpikeDefersDelivery(t *testing.T) {
+	inner := &stubNet{}
+	clk := clock.NewManual(time.Unix(0, 0))
+	n := Wrap(inner, Options{Seed: 7, Clock: clk})
+	n.SetDelay(1.0, 50*time.Millisecond)
+	_ = n.Send(pkt(0, netif.PrioGuaranteed, 1))
+	if got := inner.packets(); len(got) != 0 {
+		t.Fatalf("delayed packet delivered immediately: %+v", got)
+	}
+	clk.Advance(50 * time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for len(inner.packets()) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("delayed packet never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDuplicateSendsTwice(t *testing.T) {
+	inner := &stubNet{}
+	n := Wrap(inner, Options{Seed: 7})
+	n.SetDuplicate(1.0)
+	_ = n.Send(pkt(5, netif.PrioGuaranteed, 1))
+	got := inner.packets()
+	if len(got) != 2 || got[0].Flow != 5 || got[1].Flow != 5 {
+		t.Fatalf("duplication: %+v", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec("drop=0.05,dup=0.01,corrupt=0.001,reorder=0.02,delay=10ms,partition=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Drop != 0.05 || sp.Dup != 0.01 || sp.Corrupt != 0.001 ||
+		sp.Reorder != 0.02 || sp.Delay != 10*time.Millisecond ||
+		sp.DelayProb != 0.1 || sp.Partition != 2*time.Second {
+		t.Fatalf("parsed %+v", sp)
+	}
+	if _, err := ParseSpec("bogus=1"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParseSpec("drop"); err == nil {
+		t.Fatal("missing value accepted")
+	}
+	if sp, err := ParseSpec(""); err != nil || sp != (Spec{}) {
+		t.Fatalf("empty spec: %+v, %v", sp, err)
+	}
+}

@@ -1,0 +1,33 @@
+package nettest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and returns a function
+// to defer at the end of the test: it waits (briefly) for the count to
+// return to the baseline and fails the test with a full stack dump if
+// goroutines leaked. The small slack absorbs runtime-internal helpers;
+// substrate and transport goroutines number in the dozens per harness,
+// so real leaks clear it easily.
+func CheckGoroutines(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		const slack = 3
+		deadline := time.Now().Add(5 * time.Second)
+		n := runtime.NumGoroutine()
+		for n > base+slack && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n > base+slack {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d at start, %d after teardown\n%s", base, n, buf)
+		}
+	}
+}

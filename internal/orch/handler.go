@@ -1,8 +1,6 @@
 package orch
 
 import (
-	"time"
-
 	"cmtos/internal/core"
 	"cmtos/internal/pdu"
 	"cmtos/internal/transport"
@@ -13,7 +11,8 @@ import (
 func (l *LLO) onPDU(from core.HostID, o *pdu.Orch) {
 	switch o.Op {
 	case pdu.OrchSetupAck, pdu.OrchPrimed, pdu.OrchStartAck, pdu.OrchStopAck,
-		pdu.OrchAddAck, pdu.OrchRemoveAck, pdu.OrchDelayedAck, pdu.OrchDeny:
+		pdu.OrchAddAck, pdu.OrchRemoveAck, pdu.OrchDelayedAck, pdu.OrchPingAck,
+		pdu.OrchDeny:
 		l.mu.Lock()
 		ch := l.pending[o.Token]
 		l.mu.Unlock()
@@ -37,6 +36,9 @@ func (l *LLO) onPDU(from core.HostID, o *pdu.Orch) {
 		l.handleAdd(from, o)
 	case pdu.OrchRemove:
 		l.handleRemove(from, o)
+	case pdu.OrchPing:
+		// Liveness probe from the HLO agent: any answer proves life.
+		l.ack(from, o, pdu.OrchPingAck, true, core.ReasonNone)
 	case pdu.OrchRegulate:
 		l.handleRegulate(o)
 	case pdu.OrchReport:
@@ -220,15 +222,16 @@ func (l *LLO) handlePrime(from core.HostID, o *pdu.Orch) {
 		}
 	}
 	// Wait for every local sink buffer to fill (the "receive buffers are
-	// eventually full" point of §6.2.1).
+	// eventually full" point of §6.2.1). The waits are notification-driven
+	// and share one absolute deadline; each sink gets its own timer
+	// channel because a fired After channel would instantly cancel every
+	// later wait.
 	deadline := l.e.Clock().Now().Add(l.e.Config().ConnectTimeout)
 	for _, rv := range sinks {
-		for !rv.BufferFull() {
-			if l.e.Clock().Now().After(deadline) {
-				l.ack(from, o, pdu.OrchDeny, false, core.ReasonNetworkFailure)
-				return
-			}
-			l.e.Clock().Sleep(time.Millisecond)
+		remain := deadline.Sub(l.e.Clock().Now())
+		if remain <= 0 || !rv.WaitBufferFull(l.e.Clock().After(remain)) {
+			l.ack(from, o, pdu.OrchDeny, false, core.ReasonNetworkFailure)
+			return
 		}
 	}
 	l.e.EmitTrace("participant", core.OrchPrimeResponse)

@@ -85,6 +85,16 @@ type Policy struct {
 	// can re-negotiate QoS, drop a stream, or re-structure (§3.3's
 	// "re-assess his priorities" example).
 	OnLag func(vc core.VCID, attr Attribution, behind int)
+	// SuspectIntervals is how many regulation intervals a stream may go
+	// without any half-report before its remote hosts are probed with
+	// Orch.Ping (default 5). A probe that fails marks the host dead: its
+	// streams leave the session, the group is flagged degraded, and
+	// regulation continues over the survivors.
+	SuspectIntervals int
+	// OnPeerFailure, if set, is invoked (once per host, off the agent
+	// loop) when a participant host is declared dead, with the stream VCs
+	// lost with it.
+	OnPeerFailure func(host core.HostID, vcs []core.VCID)
 }
 
 func (p Policy) withDefaults() Policy {
@@ -96,6 +106,9 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.LagToleranceOSDUs <= 0 {
 		p.LagToleranceOSDUs = 0.5
+	}
+	if p.SuspectIntervals <= 0 {
+		p.SuspectIntervals = 5
 	}
 	return p
 }
@@ -134,7 +147,16 @@ type Agent struct {
 	eventFn  func(orch.EventIndication)
 	observer func(orch.Report)
 
+	// Recovery state (§5's single point of control must survive losing
+	// participants): per-stream report freshness, in-flight probes, and
+	// the hosts already declared dead.
+	lastSeen  map[core.VCID]time.Time
+	probing   map[core.HostID]bool
+	deadHosts map[core.HostID]bool
+	degraded  bool
+
 	compensations *stats.Counter // compensation policy firings (nil = no-op)
+	peerDeaths    *stats.Counter // participant hosts declared dead
 }
 
 type streamState struct {
@@ -157,7 +179,12 @@ func New(llo *orch.LLO, clk clock.Clock, sid core.SessionID, streams []StreamCon
 		pol:     pol.withDefaults(),
 		streams: make(map[core.VCID]*streamState, len(streams)),
 
+		lastSeen:  make(map[core.VCID]time.Time),
+		probing:   make(map[core.HostID]bool),
+		deadHosts: make(map[core.HostID]bool),
+
 		compensations: llo.StatsScope().Counter("compensations"),
+		peerDeaths:    llo.StatsScope().Counter("peer_deaths"),
 	}
 	for _, sc := range streams {
 		if sc.Rate <= 0 {
@@ -204,9 +231,10 @@ func (a *Agent) Start() error {
 		return fmt.Errorf("hlo: already running")
 	}
 	a.epoch = a.clk.Now()
-	for _, st := range a.streams {
+	for vc, st := range a.streams {
 		st.base = st.status.Delivered
 		st.status.LagIntervals = 0
+		a.lastSeen[vc] = a.epoch
 	}
 	a.running = true
 	a.stop = make(chan struct{})
@@ -368,6 +396,107 @@ func (a *Agent) loop(stop chan struct{}) {
 		case <-a.clk.After(a.pol.Interval):
 		}
 		a.issueTargets()
+		a.checkLiveness()
+	}
+}
+
+// Degraded reports whether the session lost a participant host.
+func (a *Agent) Degraded() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.degraded
+}
+
+// DeadHosts lists the participant hosts declared dead, sorted.
+func (a *Agent) DeadHosts() []core.HostID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]core.HostID, 0, len(a.deadHosts))
+	for h := range a.deadHosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkLiveness probes the remote hosts of streams that produced no
+// half-report for SuspectIntervals regulation intervals. Probes run off
+// the agent loop (Ping blocks up to ConnectTimeout) with at most one in
+// flight per host.
+func (a *Agent) checkLiveness() {
+	a.mu.Lock()
+	window := time.Duration(a.pol.SuspectIntervals) * a.pol.Interval
+	now := a.clk.Now()
+	self := a.llo.Host()
+	suspects := make([]core.HostID, 0, 2)
+	for _, vc := range a.order {
+		st := a.streams[vc]
+		if last, ok := a.lastSeen[vc]; !ok || now.Sub(last) <= window {
+			continue
+		}
+		d := st.cfg.Desc
+		for _, h := range []core.HostID{d.Source, d.Sink} {
+			if h == self || a.deadHosts[h] || a.probing[h] {
+				continue
+			}
+			a.probing[h] = true
+			suspects = append(suspects, h)
+		}
+	}
+	a.mu.Unlock()
+	for _, h := range suspects {
+		go a.probe(h)
+	}
+}
+
+// probe pings one suspect host and marks it dead when the exchange
+// fails outright (a Deny still proves the host is up).
+func (a *Agent) probe(h core.HostID) {
+	err := a.llo.Ping(h)
+	a.mu.Lock()
+	delete(a.probing, h)
+	a.mu.Unlock()
+	if err == nil {
+		return
+	}
+	if _, denied := err.(*orch.DenyError); denied {
+		return
+	}
+	a.markDead(h)
+}
+
+// markDead declares a participant host dead: its streams leave the
+// session (at the agent and, best-effort, at surviving endpoints via
+// the LLO), the group is flagged degraded, and the application hook is
+// raised. Regulation simply continues over the remaining streams.
+func (a *Agent) markDead(h core.HostID) {
+	a.mu.Lock()
+	if a.deadHosts[h] {
+		a.mu.Unlock()
+		return
+	}
+	a.deadHosts[h] = true
+	a.degraded = true
+	var lost []core.VCID
+	kept := a.order[:0]
+	for _, vc := range a.order {
+		d := a.streams[vc].cfg.Desc
+		if d.Source == h || d.Sink == h {
+			lost = append(lost, vc)
+			delete(a.streams, vc)
+			delete(a.lastSeen, vc)
+			continue
+		}
+		kept = append(kept, vc)
+	}
+	a.order = kept
+	pol := a.pol
+	sid := a.sid
+	a.mu.Unlock()
+	a.peerDeaths.Inc()
+	a.llo.EvictHost(sid, h)
+	if pol.OnPeerFailure != nil {
+		pol.OnPeerFailure(h, lost)
 	}
 }
 
@@ -410,6 +539,11 @@ func (a *Agent) onReport(r orch.Report) {
 	if !ok {
 		a.mu.Unlock()
 		return
+	}
+	// Only a complete report proves both endpoints alive: a dead source
+	// or sink still lets the surviving half produce partial reports.
+	if r.Complete {
+		a.lastSeen[r.VC] = a.clk.Now()
 	}
 	st.status.Delivered = r.Delivered
 	st.status.DroppedTotal += r.Dropped

@@ -1,0 +1,134 @@
+package hlo
+
+import (
+	"testing"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+	"cmtos/internal/netif/faultnet"
+	"cmtos/internal/orch"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+// crashRig is the hlo rig with every entity behind one fault injector,
+// so a participant host can be crashed mid-session.
+type crashRig struct {
+	*rig
+	fault *faultnet.Network
+}
+
+func newCrashRig(t *testing.T, cfg transport.Config) *crashRig {
+	t.Helper()
+	nw := netem.New(sys)
+	link := netem.LinkConfig{Bandwidth: 50e6, Delay: 200 * time.Microsecond, QueueLen: 4096}
+	for id := core.HostID(1); id <= 3; id++ {
+		if err := nw.AddHost(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := core.HostID(1); a <= 3; a++ {
+		for b := a + 1; b <= 3; b++ {
+			if err := nw.AddLink(a, b, link); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fn := faultnet.Wrap(nw, faultnet.Options{Seed: 7, Clock: sys})
+	t.Cleanup(fn.Close)
+	rm := resv.New(nw)
+	r := &rig{net: nw, rm: rm,
+		ent: make(map[core.HostID]*transport.Entity),
+		llo: make(map[core.HostID]*orch.LLO)}
+	for id := core.HostID(1); id <= 3; id++ {
+		e, err := transport.NewEntity(id, sys, fn, rm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		r.ent[id] = e
+		r.llo[id] = orch.New(e)
+		t.Cleanup(r.llo[id].Close)
+	}
+	return &crashRig{rig: r, fault: fn}
+}
+
+func TestAgentSurvivesParticipantCrash(t *testing.T) {
+	cfg := transport.Config{
+		RingSlots:      16,
+		ConnectTimeout: 500 * time.Millisecond,
+	}
+	cr := newCrashRig(t, cfg)
+	a := connect(t, cr.rig, 1, 0, 100)
+	b := connect(t, cr.rig, 2, 1, 100)
+
+	failCh := make(chan core.HostID, 1)
+	lostCh := make(chan []core.VCID, 1)
+	agent, err := New(cr.llo[3], sys, 1, []StreamConfig{
+		{Desc: a.desc, Rate: 100, MaxDrop: 2},
+		{Desc: b.desc, Rate: 100, MaxDrop: 2},
+	}, Policy{
+		Interval:         50 * time.Millisecond,
+		SuspectIntervals: 3,
+		OnPeerFailure: func(h core.HostID, vcs []core.VCID) {
+			failCh <- h
+			lostCh <- vcs
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Prime(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Release()
+
+	// Let the group regulate, then kill server 1 outright.
+	time.Sleep(300 * time.Millisecond)
+	cr.fault.Crash(1)
+
+	select {
+	case h := <-failCh:
+		if h != 1 {
+			t.Fatalf("peer failure reported for host %v, want 1", h)
+		}
+		vcs := <-lostCh
+		if len(vcs) != 1 || vcs[0] != a.desc.VC {
+			t.Fatalf("lost VCs = %v, want [%v]", vcs, a.desc.VC)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("participant crash never detected")
+	}
+	if !agent.Degraded() {
+		t.Fatal("agent not marked degraded after losing a participant")
+	}
+	if dead := agent.DeadHosts(); len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("DeadHosts = %v, want [1]", dead)
+	}
+	sts := agent.Status()
+	if len(sts) != 1 || sts[0].VC != b.desc.VC {
+		t.Fatalf("surviving streams = %+v, want only %v", sts, b.desc.VC)
+	}
+
+	// The survivor must keep being regulated and delivering.
+	before := b.reads.Load()
+	time.Sleep(400 * time.Millisecond)
+	if after := b.reads.Load(); after <= before {
+		t.Fatalf("surviving stream stalled after peer death: %d -> %d", before, after)
+	}
+	// Group operations now address only survivors, so they succeed even
+	// though host 1 is gone.
+	if err := agent.Stop(); err != nil {
+		t.Fatalf("Stop over survivors failed: %v", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cmtos/internal/backoff"
 	"cmtos/internal/core"
 	"cmtos/internal/pdu"
 	"cmtos/internal/stats"
@@ -237,15 +238,18 @@ func (l *LLO) request(dst core.HostID, o *pdu.Orch) (*pdu.Orch, error) {
 		l.mu.Unlock()
 	}()
 	o.Token = tok
-	timeout := l.e.Config().ConnectTimeout / opAttempts
-	for attempt := 0; attempt < opAttempts; attempt++ {
+	// Exponential backoff with jitter, bounded at ConnectTimeout overall
+	// (see internal/backoff); the token decorrelates concurrent exchanges.
+	sched := backoff.Schedule(l.e.Config().ConnectTimeout, opAttempts,
+		uint64(l.e.Host())<<32|uint64(tok))
+	for _, wait := range sched {
 		if err := l.e.SendOrch(dst, o); err != nil {
 			return nil, err
 		}
 		select {
 		case reply := <-ch:
 			return reply, nil
-		case <-l.e.Clock().After(timeout):
+		case <-l.e.Clock().After(wait):
 		}
 	}
 	return nil, fmt.Errorf("orch: %v exchange with %v timed out", o.Op, dst)

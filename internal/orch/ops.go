@@ -247,6 +247,61 @@ func (l *LLO) Delayed(sid core.SessionID, vc core.VCID, atSource bool, behind in
 	return nil
 }
 
+// Ping runs one confirmed liveness probe against a participant LLO,
+// retrying with backoff up to ConnectTimeout like every other confirmed
+// exchange. An error means the host never answered within that window —
+// the HLO agent treats it as a dead participant.
+func (l *LLO) Ping(host core.HostID) error {
+	reply, err := l.request(host, &pdu.Orch{Op: pdu.OrchPing})
+	if err != nil {
+		return err
+	}
+	if !reply.OK {
+		return &DenyError{Host: host, Reason: reply.Reason}
+	}
+	return nil
+}
+
+// EvictHost removes every session VC touching a dead host: regulation
+// timers are cancelled, the agent's topology record shrinks so later
+// group operations only address survivors, and each VC's surviving
+// remote endpoint is told (best-effort, unconfirmed — it may itself be
+// tearing the VC down via transport liveness) to drop the VC from its
+// session record. The evicted VC IDs are returned.
+func (l *LLO) EvictHost(sid core.SessionID, dead core.HostID) []core.VCID {
+	l.mu.Lock()
+	s, ok := l.sessions[sid]
+	if !ok {
+		l.mu.Unlock()
+		return nil
+	}
+	var evicted []core.VCID
+	survivors := make(map[core.VCID]core.HostID)
+	for vc, d := range s.vcs {
+		if d.Source != dead && d.Sink != dead {
+			continue
+		}
+		evicted = append(evicted, vc)
+		if rs, has := s.regs[vc]; has && rs.cancel != nil {
+			rs.cancel()
+			delete(s.regs, vc)
+		}
+		delete(s.vcs, vc)
+		other := d.Source
+		if other == dead {
+			other = d.Sink
+		}
+		if other != dead && other != l.e.Host() {
+			survivors[vc] = other
+		}
+	}
+	l.mu.Unlock()
+	for vc, h := range survivors {
+		_ = l.e.SendOrch(h, &pdu.Orch{Op: pdu.OrchRemove, Session: sid, VC: vc})
+	}
+	return evicted
+}
+
 // RegisterEvent registers an application-defined event pattern at the
 // sink LLO of a VC (Orch.Event.request, §6.3.4). Matches surface at the
 // handler installed with SetEventHandler.

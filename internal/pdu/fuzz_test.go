@@ -38,6 +38,9 @@ func FuzzDecode(f *testing.F) {
 		&Control{Kind: KindDiscReq, VC: 9, Reason: core.ReasonNone},
 		&Control{Kind: KindRemoteConnResult, VC: 9, Token: 99},
 		&Control{Kind: KindFlowOff, VC: 9},
+		&Control{Kind: KindKeepalive, Token: 7},
+		&Control{Kind: KindKeepaliveAck, Token: 7},
+		&Orch{Op: OrchPing, Session: 5, Token: 4},
 		&Orch{
 			Op: OrchRegulate, Session: 5, VC: 9, Token: 3,
 			TargetOSDU: 120, MaxDrop: 2, Interval: time.Second, IntervalID: 8,

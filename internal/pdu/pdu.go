@@ -43,6 +43,8 @@ const (
 	KindFlowOn                           // Control: sink buffers drained, resume sending
 	KindQoSReport                        // QoSReport: measured QoS relay (Table 2)
 	KindDatagram                         // Datagram: connectionless user data (platform RPC)
+	KindKeepalive                        // Control: peer-liveness probe on an idle control channel
+	KindKeepaliveAck                     // Control: liveness probe response
 )
 
 var kindNames = [...]string{
@@ -64,6 +66,8 @@ var kindNames = [...]string{
 	KindFlowOn:           "XON",
 	KindQoSReport:        "QR",
 	KindDatagram:         "UD",
+	KindKeepalive:        "KA",
+	KindKeepaliveAck:     "KAA",
 }
 
 // String returns the mnemonic of the kind (DT, AK, CR, ...).
@@ -328,6 +332,8 @@ const (
 	OrchEventReg                       // register an event pattern at the sink
 	OrchEventHit                       // matched event notification toward the agent
 	OrchDeny                           // generic denial with reason
+	OrchPing                           // agent → participant liveness probe
+	OrchPingAck                        // participant liveness response
 )
 
 var orchKindNames = [...]string{
@@ -351,6 +357,8 @@ var orchKindNames = [...]string{
 	OrchEventReg:   "event-reg",
 	OrchEventHit:   "event-hit",
 	OrchDeny:       "deny",
+	OrchPing:       "ping",
+	OrchPingAck:    "ping-ack",
 }
 
 // String returns the orchestration kind's name.
@@ -498,7 +506,7 @@ func Decode(buf []byte) (Message, error) {
 	case KindConnReq, KindConnConf, KindConnRej, KindDiscReq, KindDiscConf,
 		KindRenegReq, KindRenegConf, KindRenegRej,
 		KindRemoteConnReq, KindRemoteConnResult, KindRemoteDiscReq,
-		KindFlowOff, KindFlowOn:
+		KindFlowOff, KindFlowOn, KindKeepalive, KindKeepaliveAck:
 		return decodeControl(kind, r)
 	case KindOrch:
 		return decodeOrch(r)

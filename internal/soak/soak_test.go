@@ -1,0 +1,423 @@
+// Package soak is the chaos suite: the full orchestration lifecycle
+// (Setup → Prime → Start → regulate → Stop → Release) is run under a
+// matrix of fault regimes over both network substrates, and after every
+// run three invariants must hold — no leaked goroutines, no outstanding
+// reservations, and every VC terminal. A run may complete cleanly or
+// fail cleanly (faults are allowed to break the session); what it may
+// never do is wedge or leak.
+//
+// The short subset runs in normal CI; set CMTOS_SOAK=long for the whole
+// matrix (the nightly job does).
+package soak
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+	"cmtos/internal/netif/faultnet"
+	"cmtos/internal/netif/nettest"
+	"cmtos/internal/orch"
+	"cmtos/internal/orch/hlo"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+	"cmtos/internal/udpnet"
+)
+
+var sys clock.System
+
+func longSoak() bool { return os.Getenv("CMTOS_SOAK") == "long" }
+
+// counter is the piece of resv.Manager / resv.Local the invariants need.
+type counter interface{ Count() int }
+
+// stack is one three-host deployment: hosts 1 and 2 are media sources,
+// host 3 is the common sink and orchestrating node.
+type stack struct {
+	hosts  map[core.HostID]*transport.Entity
+	llos   map[core.HostID]*orch.LLO
+	faults []*faultnet.Network
+	rms    []counter
+
+	mu       sync.Mutex
+	closed   bool
+	closeFns []func() // run LIFO on shutdown
+}
+
+func (s *stack) onClose(fn func()) { s.closeFns = append(s.closeFns, fn) }
+
+// shutdown closes everything exactly once, in reverse build order.
+func (s *stack) shutdown() {
+	s.mu.Lock()
+	done := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if done {
+		return
+	}
+	for i := len(s.closeFns) - 1; i >= 0; i-- {
+		s.closeFns[i]()
+	}
+}
+
+// soakCfg is the transport configuration every soak entity runs with:
+// fast liveness so crash regimes resolve quickly, and a sample period
+// short enough for QoS monitoring to exercise under faults.
+func soakCfg() transport.Config {
+	return transport.Config{
+		RingSlots:         16,
+		ConnectTimeout:    time.Second,
+		KeepaliveInterval: 200 * time.Millisecond,
+		KeepaliveMisses:   2,
+		SamplePeriod:      200 * time.Millisecond,
+	}
+}
+
+// buildNetem stacks three entities over one emulated network behind a
+// single fault injector.
+func buildNetem(t *testing.T, seed int64) *stack {
+	t.Helper()
+	nw := netem.New(sys)
+	link := netem.LinkConfig{Bandwidth: 50e6, Delay: 200 * time.Microsecond, QueueLen: 4096}
+	for id := core.HostID(1); id <= 3; id++ {
+		if err := nw.AddHost(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := core.HostID(1); a <= 3; a++ {
+		for b := a + 1; b <= 3; b++ {
+			if err := nw.AddLink(a, b, link); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fn := faultnet.Wrap(nw, faultnet.Options{Seed: seed, Clock: sys})
+	rm := resv.New(nw)
+	s := &stack{
+		hosts:  make(map[core.HostID]*transport.Entity),
+		llos:   make(map[core.HostID]*orch.LLO),
+		faults: []*faultnet.Network{fn},
+		rms:    []counter{rm},
+	}
+	s.onClose(fn.Close)
+	for id := core.HostID(1); id <= 3; id++ {
+		e, err := transport.NewEntity(id, sys, fn, rm, soakCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.hosts[id] = e
+		s.llos[id] = orch.New(e)
+		l := s.llos[id]
+		s.onClose(func() { l.Close(); e.Close() })
+	}
+	t.Cleanup(s.shutdown)
+	return s
+}
+
+// buildUDP stacks three entities over real loopback UDP sockets, one
+// substrate (and one fault injector, and one admission manager) per
+// host. Fault calls must be mirrored to every injector — each one only
+// sees its own host's sends.
+func buildUDP(t *testing.T, seed int64) *stack {
+	t.Helper()
+	s := &stack{
+		hosts: make(map[core.HostID]*transport.Entity),
+		llos:  make(map[core.HostID]*orch.LLO),
+	}
+	nets := make(map[core.HostID]*udpnet.Network)
+	for id := core.HostID(1); id <= 3; id++ {
+		nw, err := udpnet.New(udpnet.Config{Local: id, Listen: "127.0.0.1:0"})
+		if err != nil {
+			s.shutdown()
+			t.Skipf("UDP sockets unavailable: %v", err)
+		}
+		nets[id] = nw
+		rm := resv.NewLocal(nw.Capacity(), nw.Route)
+		nw.SetAvailable(rm.Available)
+		fn := faultnet.Wrap(nw, faultnet.Options{Seed: seed + int64(id), Clock: sys})
+		s.faults = append(s.faults, fn)
+		s.rms = append(s.rms, rm)
+		e, err := transport.NewEntity(id, sys, fn, rm, soakCfg())
+		if err != nil {
+			s.shutdown()
+			t.Fatal(err)
+		}
+		s.hosts[id] = e
+		s.llos[id] = orch.New(e)
+		l := s.llos[id]
+		s.onClose(func() { l.Close(); e.Close(); fn.Close() })
+	}
+	for a := core.HostID(1); a <= 3; a++ {
+		for b := core.HostID(1); b <= 3; b++ {
+			if a == b {
+				continue
+			}
+			if err := nets[a].AddPeer(b, nets[b].Addr().String()); err != nil {
+				s.shutdown()
+				t.Fatal(err)
+			}
+		}
+	}
+	t.Cleanup(s.shutdown)
+	return s
+}
+
+func soakSpec(rate float64) qos.Spec {
+	return qos.Spec{
+		Throughput:  qos.Tolerance{Preferred: rate, Acceptable: rate / 10},
+		MaxOSDUSize: 512,
+		Delay:       qos.CeilTolerance{Preferred: 0.001, Acceptable: 0.5},
+		Jitter:      qos.CeilTolerance{Preferred: 0.001, Acceptable: 0.5},
+		PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.5},
+		BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-2},
+		Guarantee:   qos.Soft,
+	}
+}
+
+// stream is one orchestrated connection with a paced source pump and a
+// greedy sink reader; both exit when the VC dies or the stack closes.
+type stream struct {
+	desc  orch.VCDesc
+	send  *transport.SendVC
+	reads atomic.Int64
+}
+
+func connectStream(t *testing.T, s *stack, src core.HostID, idx int, rate float64) *stream {
+	t.Helper()
+	recvCh := make(chan *transport.RecvVC, 1)
+	sinkTSAP := core.TSAP(100 + idx)
+	if err := s.hosts[3].Attach(sinkTSAP, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sv, err := s.hosts[src].Connect(transport.ConnectRequest{
+		SrcTSAP: core.TSAP(10 + idx),
+		Dest:    core.Addr{Host: 3, TSAP: sinkTSAP},
+		Class:   qos.ClassDetectIndicate,
+		Spec:    soakSpec(rate * 1.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rv *transport.RecvVC
+	select {
+	case rv = <-recvCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sink handle never arrived")
+	}
+	st := &stream{send: sv, desc: orch.VCDesc{VC: sv.ID(), Source: src, Sink: 3}}
+	stop := make(chan struct{})
+	s.onClose(func() { close(stop) })
+	go func() {
+		payload := make([]byte, 32)
+		start := sys.Now()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			if d := due.Sub(sys.Now()); d > 0 {
+				sys.Sleep(d)
+			}
+			if _, err := sv.Write(payload, 0); err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			if _, err := rv.Read(); err != nil {
+				return
+			}
+			st.reads.Add(1)
+		}
+	}()
+	return st
+}
+
+// regime is one fault model of the matrix.
+type regime struct {
+	name string
+	long bool // only in the CMTOS_SOAK=long matrix
+	// scalars configures steady-state fault rates on one injector before
+	// the session is orchestrated.
+	scalars func(f *faultnet.Network)
+	// mid runs mid-session (partitions, crashes); nil sleeps instead.
+	mid   func(t *testing.T, s *stack)
+	crash bool // expects host 1 to die and the agent to degrade
+}
+
+func mirror(s *stack, apply func(f *faultnet.Network)) {
+	for _, f := range s.faults {
+		apply(f)
+	}
+}
+
+func regimes() []regime {
+	return []regime{
+		{name: "clean"},
+		{name: "drop", scalars: func(f *faultnet.Network) { f.SetDrop(0.05) }},
+		{name: "crash", crash: true, mid: func(t *testing.T, s *stack) {
+			time.Sleep(300 * time.Millisecond)
+			mirror(s, func(f *faultnet.Network) { f.Crash(1) })
+			time.Sleep(1200 * time.Millisecond)
+		}},
+		{name: "dup-reorder", long: true, scalars: func(f *faultnet.Network) {
+			f.SetDuplicate(0.05)
+			f.SetReorder(0.2)
+		}},
+		{name: "corrupt", long: true, scalars: func(f *faultnet.Network) { f.SetCorrupt(0.05) }},
+		{name: "delay-spikes", long: true, scalars: func(f *faultnet.Network) {
+			f.SetDelay(0.05, 5*time.Millisecond)
+		}},
+		{name: "heavy-drop", long: true, scalars: func(f *faultnet.Network) { f.SetDrop(0.2) }},
+		{name: "partition", long: true, mid: func(t *testing.T, s *stack) {
+			time.Sleep(200 * time.Millisecond)
+			mirror(s, func(f *faultnet.Network) {
+				f.Partition(1, 3)
+				f.Partition(3, 1)
+			})
+			time.Sleep(500 * time.Millisecond)
+			mirror(s, func(f *faultnet.Network) {
+				f.Heal(1, 3)
+				f.Heal(3, 1)
+			})
+			time.Sleep(800 * time.Millisecond)
+		}},
+	}
+}
+
+// runSoak drives one (substrate, regime) cell and enforces the three
+// invariants.
+func runSoak(t *testing.T, build func(*testing.T, int64) *stack, rg regime, seed int64) {
+	checkGoroutines := nettest.CheckGoroutines(t)
+	s := build(t, seed)
+
+	a := connectStream(t, s, 1, 0, 100)
+	b := connectStream(t, s, 2, 1, 100)
+	vcs := []core.VCID{a.desc.VC, b.desc.VC}
+
+	if rg.scalars != nil {
+		mirror(s, rg.scalars)
+	}
+
+	agent, err := hlo.New(s.llos[3], sys, 1, []hlo.StreamConfig{
+		{Desc: a.desc, Rate: 100, MaxDrop: 2},
+		{Desc: b.desc, Rate: 100, MaxDrop: 2},
+	}, hlo.Policy{Interval: 50 * time.Millisecond, SuspectIntervals: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The lifecycle: under faults each step may fail, but it must fail
+	// cleanly (an error, not a wedge). Only the clean regime demands
+	// success.
+	started := false
+	if err := agent.Setup(); err == nil {
+		if err := agent.Prime(false); err == nil {
+			if err := agent.Start(); err == nil {
+				started = true
+			} else if rg.name == "clean" {
+				t.Fatalf("Start: %v", err)
+			}
+		} else if rg.name == "clean" {
+			t.Fatalf("Prime: %v", err)
+		}
+	} else if rg.name == "clean" {
+		t.Fatalf("Setup: %v", err)
+	}
+
+	if rg.mid != nil {
+		rg.mid(t, s)
+	} else {
+		time.Sleep(1200 * time.Millisecond)
+	}
+
+	if rg.crash && started {
+		deadline := time.Now().Add(15 * time.Second)
+		for !agent.Degraded() && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		if !agent.Degraded() {
+			t.Error("agent never noticed the crashed participant")
+		} else if dead := agent.DeadHosts(); len(dead) != 1 || dead[0] != 1 {
+			t.Errorf("DeadHosts = %v, want [1]", dead)
+		} else {
+			// Survivor keeps delivering while the group is degraded.
+			before := b.reads.Load()
+			time.Sleep(400 * time.Millisecond)
+			if after := b.reads.Load(); after <= before {
+				t.Errorf("surviving stream stalled: %d -> %d", before, after)
+			}
+		}
+	}
+	if rg.name == "clean" {
+		if a.reads.Load() == 0 || b.reads.Load() == 0 {
+			t.Errorf("clean run delivered nothing: %d/%d reads", a.reads.Load(), b.reads.Load())
+		}
+	}
+
+	if started {
+		_ = agent.Stop() // may fail cleanly under faults
+	}
+	agent.Release()
+
+	// Invariant sweep. Shutdown tears the whole stack down; afterwards
+	// no VC may linger, every reservation must be back, and the
+	// goroutine count must return to the baseline.
+	s.shutdown()
+	for _, rm := range s.rms {
+		deadline := time.Now().Add(5 * time.Second)
+		for rm.Count() != 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := rm.Count(); n != 0 {
+			t.Errorf("%d reservations outstanding after shutdown", n)
+		}
+	}
+	for id, e := range s.hosts {
+		for _, vc := range vcs {
+			if _, ok := e.SourceVC(vc); ok {
+				t.Errorf("host %v: source VC %v not terminal after shutdown", id, vc)
+			}
+			if _, ok := e.SinkVC(vc); ok {
+				t.Errorf("host %v: sink VC %v not terminal after shutdown", id, vc)
+			}
+		}
+	}
+	checkGoroutines()
+}
+
+func TestChaosSoak(t *testing.T) {
+	substrates := []struct {
+		name  string
+		build func(*testing.T, int64) *stack
+	}{
+		{"netem", buildNetem},
+		{"udp", buildUDP},
+	}
+	for i, sub := range substrates {
+		for j, rg := range regimes() {
+			if rg.long && !longSoak() {
+				continue
+			}
+			seed := int64(1000*i + 10*j + 1)
+			t.Run(fmt.Sprintf("%s/%s", sub.name, rg.name), func(t *testing.T) {
+				runSoak(t, sub.build, rg, seed)
+			})
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"cmtos/internal/core"
+	"cmtos/internal/qos"
+)
+
+// Graceful degradation closes the paper's soft-guarantee loop (§4.1.2-
+// 4.1.3) end to end: a Soft contract is monitored per sample period and
+// violations are indicated — here, sustained violation additionally
+// drives T-Renegotiate.request down a configured ladder of relaxed
+// specs, so the service adapts instead of limping against a contract the
+// network can no longer hold. Only when the ladder is exhausted and
+// violations persist does the source give the VC up with
+// ReasonQoSUnattainable. The user can veto any step via OnDegrade.
+
+// noteViolation is called at the source for every violated QoS sample
+// report relayed by the sink. Sinks only relay violated periods, so a
+// quiet gap longer than a couple of sample periods means the contract
+// was met in between and the streak restarts.
+func (s *SendVC) noteViolation() {
+	e := s.e
+	if e.cfg.DegradeAfter <= 0 || s.Contract().Guarantee != qos.Soft {
+		return
+	}
+	now := e.clk.Now()
+	s.deg.Lock()
+	if !s.deg.lastViol.IsZero() && now.Sub(s.deg.lastViol) > 2*e.cfg.SamplePeriod {
+		s.deg.streak = 0
+	}
+	s.deg.lastViol = now
+	s.deg.streak++
+	fire := s.deg.streak >= e.cfg.DegradeAfter && !s.deg.active
+	if fire {
+		s.deg.active = true
+		s.deg.streak = 0
+	}
+	step := s.deg.step
+	s.deg.Unlock()
+	if fire {
+		// Renegotiation is a confirmed exchange (up to ConnectTimeout);
+		// keep it off the dispatch workers handling the report stream.
+		go s.degrade(step)
+	}
+}
+
+// degrade runs one automatic step down the ladder, or gives the VC up
+// when the ladder is exhausted.
+func (s *SendVC) degrade(step int) {
+	e := s.e
+	defer func() {
+		s.deg.Lock()
+		s.deg.active = false
+		s.deg.Unlock()
+	}()
+	if step >= len(e.cfg.DegradeLadder) {
+		e.scope.Counter("degrade/disconnects").Inc()
+		if e.Disconnect(s.id, core.ReasonQoSUnattainable) == nil {
+			if u, ok := e.user(s.tuple.Source.TSAP); ok && u.OnDisconnect != nil {
+				u.OnDisconnect(s.id, core.ReasonQoSUnattainable, false)
+			}
+		}
+		return
+	}
+	proposed := degradeSpec(s.Contract(), e.cfg.DegradeLadder[step])
+	if u, ok := e.user(s.tuple.Source.TSAP); ok && u.OnDegrade != nil {
+		if !u.OnDegrade(s.id, step, proposed) {
+			e.scope.Counter("degrade/vetoed").Inc()
+			return
+		}
+	}
+	e.scope.Counter("degrade/steps").Inc()
+	// Advance the rung whether or not the peer accepts: retrying the
+	// same refused step forever would never reach the give-up point.
+	s.deg.Lock()
+	s.deg.step = step + 1
+	s.deg.Unlock()
+	_, _ = s.Renegotiate(proposed)
+}
+
+// degradeSpec builds the relaxed spec one ladder rung below the current
+// contract. Parameters the step leaves alone keep their contract values
+// as both preferred and acceptable bounds.
+func degradeSpec(c qos.Contract, st DegradeStep) qos.Spec {
+	thr := c.Throughput
+	if st.Throughput > 0 {
+		thr = c.Throughput * st.Throughput
+	}
+	jit := c.Jitter.Seconds()
+	if st.Jitter > 0 {
+		jit = jit * st.Jitter
+	}
+	return qos.Spec{
+		// Accept anything down to half the relaxed target: the point is
+		// to land on a contract the path can actually hold.
+		Throughput:  qos.Tolerance{Preferred: thr, Acceptable: thr / 2},
+		MaxOSDUSize: c.MaxOSDUSize,
+		Delay:       qos.CeilTolerance{Preferred: c.Delay.Seconds(), Acceptable: 2 * c.Delay.Seconds()},
+		Jitter:      qos.CeilTolerance{Preferred: jit, Acceptable: 2 * jit},
+		PER:         qos.CeilTolerance{Preferred: c.PER, Acceptable: 1},
+		BER:         qos.CeilTolerance{Preferred: c.BER, Acceptable: 1},
+		Guarantee:   c.Guarantee,
+	}
+}

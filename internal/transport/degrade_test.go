@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/qos"
+)
+
+// An idle Soft VC violates its throughput contract every sample period,
+// so no fault injection is needed to drive the degradation ladder: the
+// sink's monitor reports the violations and the source walks down.
+func TestDegradeLaddersDownThenDisconnects(t *testing.T) {
+	cfg := Config{
+		SamplePeriod:  50 * time.Millisecond,
+		DegradeAfter:  2,
+		DegradeLadder: []DegradeStep{{Throughput: 0.5}},
+	}
+	r := newRig(t, 2, fastLink(), cfg)
+
+	renegCh := make(chan qos.Contract, 4)
+	discCh := make(chan core.Reason, 4)
+	liveCh := make(chan bool, 4)
+	stepCh := make(chan int, 8)
+	if err := r.ent[1].Attach(10, UserCallbacks{
+		OnRenegotiated: func(_ core.VCID, c qos.Contract) { renegCh <- c },
+		OnDisconnect: func(_ core.VCID, reason core.Reason, live bool) {
+			discCh <- reason
+			liveCh <- live
+		},
+		OnDegrade: func(_ core.VCID, step int, _ qos.Spec) bool {
+			stepCh <- step
+			return true
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := connectPair(t, r, qos.ClassDetectIndicate, qos.ProfileCMRate, cmSpec())
+	orig := s.Contract().Throughput
+
+	// Rung 0: sustained violation renegotiates throughput down by half.
+	select {
+	case c := <-renegCh:
+		if c.Throughput >= orig {
+			t.Fatalf("renegotiated throughput %v did not drop below %v", c.Throughput, orig)
+		}
+		if c.Throughput < orig*0.25 || c.Throughput > orig*0.75 {
+			t.Errorf("renegotiated throughput %v, want about half of %v", c.Throughput, orig)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("automatic renegotiation never happened")
+	}
+	if step := <-stepCh; step != 0 {
+		t.Fatalf("first OnDegrade step = %d, want 0", step)
+	}
+
+	// Ladder exhausted: still violating, so the VC is given up with
+	// ReasonQoSUnattainable and live=false.
+	select {
+	case reason := <-discCh:
+		if reason != core.ReasonQoSUnattainable {
+			t.Fatalf("disconnect reason = %v, want qos-unattainable", reason)
+		}
+		if live := <-liveCh; live {
+			t.Fatal("ladder-exhausted OnDisconnect reported the VC live")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("exhausted ladder never disconnected the VC")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for r.rm.Count() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.rm.Count() != 0 {
+		t.Fatalf("reservations leaked after degrade disconnect: %d", r.rm.Count())
+	}
+	if _, ok := r.ent[1].SourceVC(s.ID()); ok {
+		t.Fatal("send VC still registered after degrade disconnect")
+	}
+}
+
+func TestDegradeUserVetoKeepsContract(t *testing.T) {
+	cfg := Config{
+		SamplePeriod:  40 * time.Millisecond,
+		DegradeAfter:  2,
+		DegradeLadder: []DegradeStep{{Throughput: 0.5}},
+	}
+	r := newRig(t, 2, fastLink(), cfg)
+
+	vetoed := make(chan struct{}, 16)
+	if err := r.ent[1].Attach(10, UserCallbacks{
+		OnRenegotiated: func(core.VCID, qos.Contract) {
+			t.Error("vetoed degradation still renegotiated")
+		},
+		OnDisconnect: func(core.VCID, core.Reason, bool) {
+			t.Error("vetoed degradation disconnected the VC")
+		},
+		OnDegrade: func(core.VCID, int, qos.Spec) bool {
+			select {
+			case vetoed <- struct{}{}:
+			default:
+			}
+			return false
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := connectPair(t, r, qos.ClassDetectIndicate, qos.ProfileCMRate, cmSpec())
+	orig := s.Contract()
+
+	select {
+	case <-vetoed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDegrade veto hook never consulted")
+	}
+	// Several more sample periods: the veto must keep holding.
+	time.Sleep(10 * cfg.SamplePeriod)
+	if got := s.Contract(); got != orig {
+		t.Fatalf("contract changed despite veto: %+v != %+v", got, orig)
+	}
+	if _, ok := r.ent[1].SourceVC(s.ID()); !ok {
+		t.Fatal("VC vanished despite veto")
+	}
+}

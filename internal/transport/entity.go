@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"cmtos/internal/backoff"
 	"cmtos/internal/clock"
 	"cmtos/internal/core"
 	"cmtos/internal/netif"
@@ -33,20 +34,29 @@ type Entity struct {
 	work     chan func()   // bounded dispatch queue for blocking handlers
 	workDone chan struct{} // closed on Close; stops the workers
 
-	mu        sync.Mutex
-	users     map[core.TSAP]UserCallbacks
-	sends     map[core.VCID]*SendVC
-	recvs     map[core.VCID]*RecvVC
-	nextVC    uint32
-	nextTok   uint32
-	nextGroup uint32
-	pending   map[uint32]chan *pdu.Control
-	served    map[servedKey]*servedEntry // remote-connect replay cache
-	servedQ   []servedKey                // insertion order, for eviction
-	orchFn    func(from core.HostID, o *pdu.Orch)
-	dgramFn   map[core.TSAP]func(from core.HostID, d *pdu.Datagram)
-	traceFn   func(at string, p core.Primitive)
-	closed    bool
+	mu         sync.Mutex
+	users      map[core.TSAP]UserCallbacks
+	sends      map[core.VCID]*SendVC
+	recvs      map[core.VCID]*RecvVC
+	nextVC     uint32
+	nextTok    uint32
+	nextGroup  uint32
+	pending    map[uint32]chan *pdu.Control
+	served     map[servedKey]*servedEntry // remote-connect replay cache
+	servedQ    []servedKey                // insertion order, for eviction
+	orchFn     func(from core.HostID, o *pdu.Orch)
+	dgramFn    map[core.TSAP]func(from core.HostID, d *pdu.Datagram)
+	traceFn    func(at string, p core.Primitive)
+	peerDownFn func(peer core.HostID, vcs []core.VCID)
+	closed     bool
+
+	// Peer-liveness state, under its own mutex so the per-packet
+	// last-heard update never contends with the entity lock.
+	lv struct {
+		sync.Mutex
+		lastHeard map[core.HostID]time.Time
+		misses    map[core.HostID]int
+	}
 }
 
 // NewEntity attaches a transport entity to host on net. The host must
@@ -83,9 +93,14 @@ func NewEntity(host core.HostID, clk clock.Clock, net netif.Network, rm resv.Res
 	for i := 0; i < e.cfg.DispatchWorkers; i++ {
 		go e.dispatchWorker()
 	}
+	e.lv.lastHeard = make(map[core.HostID]time.Time)
+	e.lv.misses = make(map[core.HostID]int)
 	if err := net.SetHandler(host, e.onPacket); err != nil {
 		close(e.workDone)
 		return nil, err
+	}
+	if e.cfg.KeepaliveInterval > 0 {
+		go e.livenessLoop()
 	}
 	return e, nil
 }
@@ -379,8 +394,12 @@ func (e *Entity) request(dst core.HostID, c *pdu.Control) (*pdu.Control, error) 
 	}()
 
 	c.Token = tok
-	attemptTimeout := e.cfg.ConnectTimeout / controlAttempts
-	for attempt := 0; attempt < controlAttempts; attempt++ {
+	// Exponential backoff with jitter, normalised so the attempts spend
+	// exactly ConnectTimeout; the token seeds the jitter so concurrent
+	// exchanges from the same entity desynchronise.
+	sched := backoff.Schedule(e.cfg.ConnectTimeout, controlAttempts,
+		uint64(e.host)<<32|uint64(tok))
+	for _, wait := range sched {
 		if err := e.net.Send(netif.Packet{
 			Src: e.host, Dst: dst, Prio: netif.PrioControl,
 			Payload: c.Marshal(nil),
@@ -393,7 +412,7 @@ func (e *Entity) request(dst core.HostID, c *pdu.Control) (*pdu.Control, error) 
 				return nil, ErrClosed
 			}
 			return reply, nil
-		case <-e.clk.After(attemptTimeout):
+		case <-e.clk.After(wait):
 		}
 	}
 	return nil, ErrTimeout
@@ -419,6 +438,7 @@ func (e *Entity) sendCtl(dst core.HostID, c *pdu.Control) {
 // TPDUs are handled inline (non-blocking ring puts), everything that can
 // call user code goes through the bounded dispatch pool.
 func (e *Entity) onPacket(p netif.Packet) {
+	e.noteHeard(p.Src)
 	m, err := pdu.Decode(p.Payload)
 	if err != nil {
 		// Damaged in transit. Attribute to the owning VC if the
@@ -496,6 +516,12 @@ func (e *Entity) onControl(from core.HostID, c *pdu.Control) {
 		if s, ok := e.SourceVC(c.VC); ok {
 			s.peerHold(false)
 		}
+	case pdu.KindKeepalive:
+		// Answer inline: liveness probes must work even when the
+		// dispatch pool is saturated, or congestion would read as death.
+		e.reply(from, &pdu.Control{Kind: pdu.KindKeepaliveAck, Token: c.Token})
+	case pdu.KindKeepaliveAck:
+		// The arrival alone refreshed lastHeard in onPacket.
 	}
 }
 
@@ -504,13 +530,17 @@ func (e *Entity) onControl(from core.HostID, c *pdu.Control) {
 // management responses to reach both initiator and source).
 func (e *Entity) onQoSReport(from core.HostID, q *pdu.QoSReport) {
 	ind := QoSIndication{VC: q.VC, Tuple: q.Tuple, Report: q.Report, Violated: q.Violated}
-	if s, ok := e.SourceVC(q.VC); ok {
-		ind.Contract = s.Contract()
+	src, haveSrc := e.SourceVC(q.VC)
+	if haveSrc {
+		ind.Contract = src.Contract()
 	}
 	if e.host == q.Tuple.Source.Host {
 		e.trace("source", core.TQoSIndication)
 		if u, ok := e.user(q.Tuple.Source.TSAP); ok && u.OnQoS != nil {
 			u.OnQoS(ind)
+		}
+		if haveSrc && len(q.Violated) > 0 {
+			src.noteViolation()
 		}
 		if q.Tuple.Remote() {
 			_ = e.net.Send(netif.Packet{

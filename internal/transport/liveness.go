@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"cmtos/internal/core"
+	"cmtos/internal/netif"
+	"cmtos/internal/pdu"
+)
+
+// Peer liveness: the paper's service assumes the network substrate stays
+// up, but a production stack must notice a crashed peer, tear its VCs
+// down with ReasonNetworkFailure, and give the reservations back. The
+// mechanism is deliberately minimal — any received packet proves life;
+// peers with live VCs that stay silent a whole KeepaliveInterval are
+// probed with a keepalive control PDU, and after KeepaliveMisses further
+// silent intervals they are declared dead. Data traffic therefore
+// suppresses keepalives entirely, and the probes ride the control
+// priority class so media congestion cannot masquerade as death.
+
+// SetPeerDownHandler installs a hook called (from the liveness goroutine)
+// after a peer is declared dead and its VCs torn down, with the affected
+// VC IDs. The orchestration layer uses it to mark groups degraded.
+func (e *Entity) SetPeerDownHandler(fn func(peer core.HostID, vcs []core.VCID)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peerDownFn = fn
+}
+
+// noteHeard records that a packet from src arrived; called on every
+// receive, so it must stay cheap.
+func (e *Entity) noteHeard(src core.HostID) {
+	e.lv.Lock()
+	e.lv.lastHeard[src] = e.clk.Now()
+	if e.lv.misses[src] != 0 {
+		delete(e.lv.misses, src)
+	}
+	e.lv.Unlock()
+}
+
+// livenessLoop probes silent peers once per KeepaliveInterval until the
+// entity closes.
+func (e *Entity) livenessLoop() {
+	for {
+		select {
+		case <-e.workDone:
+			return
+		case <-e.clk.After(e.cfg.KeepaliveInterval):
+		}
+		e.livenessTick()
+	}
+}
+
+// livePeers maps each remote peer host to the VCs shared with it.
+// Multicast group addresses are skipped: group sends fan out to member
+// VCs whose unicast peers are tracked individually.
+func (e *Entity) livePeers() map[core.HostID][]core.VCID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[core.HostID][]core.VCID)
+	for id, s := range e.sends {
+		if h := s.tuple.Dest.Host; h != e.host && h < netif.GroupBase {
+			out[h] = append(out[h], id)
+		}
+	}
+	for id, r := range e.recvs {
+		if h := r.tuple.Source.Host; h != e.host && h < netif.GroupBase {
+			out[h] = append(out[h], id)
+		}
+	}
+	return out
+}
+
+// livenessTick sends keepalives to silent peers and declares dead the
+// ones that stayed silent KeepaliveMisses probe intervals in a row.
+func (e *Entity) livenessTick() {
+	peers := e.livePeers()
+	now := e.clk.Now()
+	var probe []core.HostID
+	for peer, vcs := range peers {
+		e.lv.Lock()
+		last, seen := e.lv.lastHeard[peer]
+		if !seen {
+			// First sighting: start the silence window now.
+			e.lv.lastHeard[peer] = now
+			e.lv.Unlock()
+			continue
+		}
+		if now.Sub(last) < e.cfg.KeepaliveInterval {
+			e.lv.Unlock()
+			continue
+		}
+		e.lv.misses[peer]++
+		missed := e.lv.misses[peer]
+		e.lv.Unlock()
+		if missed > e.cfg.KeepaliveMisses {
+			e.declarePeerDead(peer, vcs)
+			continue
+		}
+		probe = append(probe, peer)
+	}
+	// Forget peers we no longer share VCs with.
+	e.lv.Lock()
+	for h := range e.lv.lastHeard {
+		if _, live := peers[h]; !live {
+			delete(e.lv.lastHeard, h)
+			delete(e.lv.misses, h)
+		}
+	}
+	e.lv.Unlock()
+	for _, peer := range probe {
+		e.scope.Counter("liveness/keepalives").Inc()
+		e.sendCtl(peer, &pdu.Control{Kind: pdu.KindKeepalive})
+	}
+}
+
+// declarePeerDead tears down every VC shared with a dead peer exactly as
+// if the peer had sent a disconnect with ReasonNetworkFailure: delivery
+// loops stop, reservations are released by the teardown, and the user
+// sees OnDisconnect(..., live=false).
+func (e *Entity) declarePeerDead(peer core.HostID, vcs []core.VCID) {
+	e.scope.Counter("liveness/peer_deaths").Inc()
+	e.lv.Lock()
+	delete(e.lv.lastHeard, peer)
+	delete(e.lv.misses, peer)
+	e.lv.Unlock()
+	for _, vc := range vcs {
+		if s, ok := e.SourceVC(vc); ok && s.tuple.Dest.Host == peer {
+			e.trace("source", core.TDisconnectIndication)
+			s.teardown()
+			if u, ok := e.user(s.tuple.Source.TSAP); ok && u.OnDisconnect != nil {
+				u.OnDisconnect(vc, core.ReasonNetworkFailure, false)
+			}
+		}
+		if r, ok := e.SinkVC(vc); ok && r.tuple.Source.Host == peer {
+			e.trace("dest", core.TDisconnectIndication)
+			r.teardown()
+			if u, ok := e.user(r.tuple.Dest.TSAP); ok && u.OnDisconnect != nil {
+				u.OnDisconnect(vc, core.ReasonNetworkFailure, false)
+			}
+		}
+	}
+	e.mu.Lock()
+	fn := e.peerDownFn
+	e.mu.Unlock()
+	if fn != nil {
+		fn(peer, vcs)
+	}
+}

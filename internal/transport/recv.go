@@ -260,6 +260,33 @@ func (r *RecvVC) BufferCap() int { return r.ring.Cap() }
 // condition (§6.2.1).
 func (r *RecvVC) BufferFull() bool { return r.ring.Full() }
 
+// WaitBufferFull blocks until the sink buffer is full, the VC ends, or
+// cancel fires, and reports whether the buffer is full. It is
+// notification-driven (no polling): the ring signals the waiter when the
+// last free slot is occupied.
+func (r *RecvVC) WaitBufferFull(cancel <-chan time.Time) bool {
+	ch := make(chan struct{}, 1)
+	r.ring.NotifyFull(ch)
+	defer r.ring.StopNotifyFull(ch)
+	for {
+		if r.ring.Full() {
+			return true
+		}
+		select {
+		case <-ch:
+			// Re-check: the signal is a level trigger and also fires on
+			// close.
+			if r.ring.Closed() {
+				return r.ring.Full()
+			}
+		case <-r.done:
+			return r.ring.Full()
+		case <-cancel:
+			return r.ring.Full()
+		}
+	}
+}
+
 // HoldDelivery closes the delivery gate so arriving OSDUs accumulate
 // without reaching the application (Orch.Prime / Orch.Stop at the sink).
 func (r *RecvVC) HoldDelivery() { r.ring.HoldDelivery() }
@@ -630,10 +657,19 @@ func (r *RecvVC) maybeXon() {
 }
 
 // xonReadyLocked reports whether backpressure can be lifted: the ring has
-// drained below half and nothing is parked in the reorder stage. Caller
-// holds rxMu.
+// drained below half and nothing is parked in the reorder stage. While
+// the delivery gate is held (priming) the buffer must fill completely, so
+// any free slot lifts backpressure — the half-drained test would deadlock
+// a ring that parked one short of full just before the gate closed, since
+// a held gate admits no Reads to drain it. Caller holds rxMu.
 func (r *RecvVC) xonReadyLocked() bool {
-	return r.ring.Free() >= r.ring.Cap()/2 && len(r.pendingOut) == 0
+	if len(r.pendingOut) != 0 {
+		return false
+	}
+	if r.ring.Gated() {
+		return r.ring.Free() > 0
+	}
+	return r.ring.Free() >= r.ring.Cap()/2
 }
 
 // ackLoop periodically acknowledges and sweeps stale state for

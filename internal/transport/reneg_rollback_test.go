@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/qos"
+)
+
+// Regression test for the Renegotiate rollback path: when the peer
+// refuses, the reservation the initiator adjusted up front must be
+// restored to the old contract's rate, the old contract kept, and the
+// caller told via OnDisconnect with live=true that the VC survived.
+func TestRenegotiateRefusalRestoresReservation(t *testing.T) {
+	r := newRig(t, 2, fastLink(), Config{})
+	recvCh := make(chan *RecvVC, 1)
+	if err := r.ent[2].Attach(20, UserCallbacks{
+		OnRecvReady: func(rv *RecvVC) { recvCh <- rv },
+		OnRenegotiate: func(core.VCID, qos.Contract, qos.Spec) (bool, qos.Spec) {
+			return false, qos.Spec{}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	discCh := make(chan bool, 1)
+	if err := r.ent[1].Attach(10, UserCallbacks{
+		OnDisconnect: func(_ core.VCID, _ core.Reason, live bool) { discCh <- live },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.ent[1].Connect(ConnectRequest{
+		SrcTSAP: 10,
+		Dest:    core.Addr{Host: 2, TSAP: 20},
+		Profile: qos.ProfileCMRate,
+		Class:   qos.ClassDetectIndicate,
+		Spec:    cmSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rv *RecvVC
+	select {
+	case rv = <-recvCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnRecvReady never fired")
+	}
+
+	orig := s.Contract()
+	origRate, err := r.rm.Rate(s.resvID)
+	if err != nil {
+		t.Fatalf("no reservation before renegotiation: %v", err)
+	}
+
+	// Ask for half the throughput; the sink's user refuses.
+	spec := cmSpec()
+	spec.Throughput = qos.Tolerance{Preferred: orig.Throughput / 2, Acceptable: orig.Throughput / 4}
+	if _, err := s.Renegotiate(spec); err == nil {
+		t.Fatal("refused renegotiation reported success")
+	} else if rej, ok := err.(*RejectError); !ok || rej.Reason != core.ReasonUserRejected {
+		t.Fatalf("error = %v, want user-rejected RejectError", err)
+	}
+
+	select {
+	case live := <-discCh:
+		if !live {
+			t.Fatal("refusal's OnDisconnect claimed the VC is gone")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("refusal raised no T-Disconnect.indication")
+	}
+	if got := s.Contract(); got != orig {
+		t.Fatalf("contract changed after refusal: %+v != %+v", got, orig)
+	}
+	if rate, err := r.rm.Rate(s.resvID); err != nil {
+		t.Fatalf("reservation vanished after refusal: %v", err)
+	} else if rate != origRate {
+		t.Fatalf("reservation rate = %v after rollback, want %v", rate, origRate)
+	}
+	if n := r.rm.Count(); n != 1 {
+		t.Fatalf("reservation count = %d after refusal, want 1", n)
+	}
+	// The VC still carries data under the old contract.
+	if _, err := s.Write([]byte("still-alive"), 0); err != nil {
+		t.Fatal(err)
+	}
+	u, err := rv.Read()
+	if err != nil || string(u.Payload) != "still-alive" {
+		t.Fatalf("post-refusal transfer: %q, %v", u.Payload, err)
+	}
+}

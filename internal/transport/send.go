@@ -69,6 +69,16 @@ type SendVC struct {
 
 	si sendInstr
 
+	// Automatic-degradation state (see degrade.go); only touched when
+	// Config.DegradeAfter is enabled.
+	deg struct {
+		sync.Mutex
+		streak   int       // consecutive violated sample reports
+		lastViol time.Time // when the latest violated report arrived
+		step     int       // next ladder rung to try
+		active   bool      // a degradation exchange is in flight
+	}
+
 	closeOnce sync.Once
 	done      chan struct{}
 }

@@ -66,6 +66,31 @@ type Config struct {
 	// DispatchQueue bounds queued dispatch work; beyond it PDUs are
 	// dropped (confirmed exchanges retransmit). Default 256.
 	DispatchQueue int
+	// KeepaliveInterval is the peer-liveness probe period: peers with
+	// live VCs that stay silent a whole interval are sent a keepalive
+	// control PDU, and after KeepaliveMisses further silent intervals
+	// they are declared dead (their VCs torn down with
+	// ReasonNetworkFailure, reservations released). Any received packet
+	// counts as life, so keepalives only flow on otherwise-idle peers.
+	// Default 1s; negative disables liveness entirely.
+	KeepaliveInterval time.Duration
+	// KeepaliveMisses is how many consecutive unanswered keepalive
+	// intervals declare a peer dead; the worst-case detection window is
+	// (KeepaliveMisses+1) x KeepaliveInterval of silence. Default 3.
+	KeepaliveMisses int
+	// DegradeAfter enables graceful degradation for Soft-guarantee
+	// source VCs: after this many consecutive violated QoS sample
+	// reports, the source automatically renegotiates one step down the
+	// DegradeLadder; when the ladder is exhausted and violations
+	// persist, the VC is disconnected with ReasonQoSUnattainable.
+	// Default 0 (disabled).
+	DegradeAfter int
+	// DegradeLadder lists the relaxation steps applied in order by
+	// automatic degradation, each relative to the contract in force when
+	// the step fires. Nil with DegradeAfter > 0 selects a default
+	// two-step ladder (75% then 50% of the current rate, doubling the
+	// jitter bound each time).
+	DegradeLadder []DegradeStep
 	// Stats receives the entity's metrics under host/<id>/... Nil (the
 	// default) disables metrics collection entirely; the data path then
 	// pays only nil-instrument no-op calls.
@@ -112,7 +137,32 @@ func (c Config) withDefaults() Config {
 	if c.DispatchQueue <= 0 {
 		c.DispatchQueue = 256
 	}
+	if c.KeepaliveInterval == 0 {
+		c.KeepaliveInterval = time.Second
+	}
+	if c.KeepaliveMisses <= 0 {
+		c.KeepaliveMisses = 3
+	}
+	if c.DegradeAfter > 0 && len(c.DegradeLadder) == 0 {
+		c.DegradeLadder = []DegradeStep{
+			{Throughput: 0.75, Jitter: 2},
+			{Throughput: 0.5, Jitter: 2},
+		}
+	}
 	return c
+}
+
+// DegradeStep is one rung of the automatic degradation ladder: the
+// factors applied to the current contract's throughput and jitter bound
+// when a Soft VC renegotiates down under sustained violation. Zero
+// fields mean "leave the parameter alone".
+type DegradeStep struct {
+	// Throughput scales the contract rate (0.75 = ask for 75% of the
+	// current rate).
+	Throughput float64
+	// Jitter scales the contract jitter bound (2 = tolerate twice the
+	// current jitter).
+	Jitter float64
 }
 
 // Role tells a T-Connect.indication which end of the proposed VC the
@@ -176,6 +226,13 @@ type UserCallbacks struct {
 	// OnRenegotiated reports the new contract after a successful
 	// re-negotiation (both ends).
 	OnRenegotiated func(vc core.VCID, contract qos.Contract)
+	// OnDegrade, when automatic degradation (Config.DegradeAfter) is
+	// enabled, is consulted before each automatic step down the ladder:
+	// step is the ladder index about to fire and proposed the spec the
+	// source would renegotiate to. Return false to veto the step (the
+	// VC holds its contract and the violation streak restarts). Nil
+	// accepts every step.
+	OnDegrade func(vc core.VCID, step int, proposed qos.Spec) bool
 }
 
 // ConnectRequest carries the parameters of T-Connect.request (Table 1)

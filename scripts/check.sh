@@ -20,3 +20,8 @@ go test -race ./...
 # kind, so even a few seconds of mutation exercises the codec's bounds
 # checks on each decode path.
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/pdu/
+
+# Short chaos soak: the clean/drop/crash regimes over both substrates,
+# checking reservations, VC tables and goroutines all drain to zero.
+# CMTOS_SOAK=long (the nightly workflow) adds the heavier fault regimes.
+go test -race -count=1 -run='^TestChaosSoak$' ./internal/soak/
