@@ -22,6 +22,15 @@
 //
 //	go run ./cmd/netprobe -hops 2 -fault drop=0.05,partition=2s
 //
+// With -recover the emulated probe runs under the session layer's VC
+// supervisor: the path is killed mid-stream (the -fault partition
+// duration, default 2s) and the demo prints the recovery state machine
+// live — suspect, reconnecting, resumed — then proves OSDU continuity
+// (zero gaps at the sink) once the stream finishes. Combine with -stats
+// to see the vc/<id>/recoveries and session/vc/<id>/expired counters:
+//
+//	go run ./cmd/netprobe -hops 2 -recover -stats
+//
 // The sender negotiates a VC, wraps it in an orchestration session and
 // drives Prime -> Start -> Regulate -> Stop -> Release before
 // disconnecting; both processes print their metrics registries, which
@@ -43,6 +52,7 @@ import (
 	"cmtos/internal/orch"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
+	"cmtos/internal/session"
 	"cmtos/internal/stats"
 	"cmtos/internal/transport"
 	"cmtos/internal/udpnet"
@@ -61,11 +71,16 @@ func main() {
 	listen := flag.String("listen", "", "UDP mode: address to bind (enables the two-process demo)")
 	peer := flag.String("peer", "", "UDP mode: receiver address to stream to (sender role; omit for receiver role)")
 	fault := flag.String("fault", "", "fault spec for the injector, e.g. drop=0.05,dup=0.01,partition=2s")
+	recoverDemoF := flag.Bool("recover", false, "emulated mode: kill the path mid-stream and let the session layer resurrect the VC")
 	flag.Parse()
 
 	fsp, err := faultnet.ParseSpec(*fault)
 	check(err)
 
+	if *recoverDemoF {
+		recoverDemo(*hops, *bw, *delay, *jitter, fsp, *rate, *size, *count, *dumpStats)
+		return
+	}
 	if *listen != "" {
 		if *peer != "" {
 			udpSender(*listen, *peer, fsp, *rate, *size, *count, *dumpStats)
@@ -310,6 +325,136 @@ func emulated(hops int, bw float64, delay, jitter time.Duration, loss float64, f
 	fmt.Printf("  transport sample: throughput %.1f OSDU/s, mean delay %v, max %v\n",
 		rep.Throughput, rep.MeanDelay.Round(10*time.Microsecond), rep.MaxDelay.Round(10*time.Microsecond))
 
+	if dumpStats {
+		fmt.Printf("\nmetrics registry:\n%s", reg.String())
+	}
+}
+
+// recoverDemo streams over an emulated path that is deliberately killed
+// mid-probe, with the sender's VC under session supervision: the fault
+// injector blackholes the path, keepalive misses tear the VC down, the
+// supervisor renegotiates and resumes under the old identity, and the
+// send-side retention buffer replays across the gap — so the sink ends
+// with every frame and zero gaps despite the outage.
+func recoverDemo(hops int, bw float64, delay, jitter time.Duration, fsp faultnet.Spec, rate float64, size int, count uint, dumpStats bool) {
+	reg := stats.NewRegistry()
+	sys := clock.System{}
+	nw := netem.New(sys)
+	n := hops + 1
+	for id := core.HostID(1); id <= core.HostID(n); id++ {
+		check(nw.AddHost(id, nil))
+	}
+	cfg := netem.LinkConfig{Bandwidth: bw, Delay: delay, Jitter: jitter, QueueLen: 4096}
+	for id := core.HostID(1); id < core.HostID(n); id++ {
+		check(nw.AddLink(id, id+1, cfg))
+	}
+	check(nw.Start())
+	defer nw.Close()
+
+	src, dst := core.HostID(1), core.HostID(n)
+	rm := resv.New(nw)
+	fn := faultnet.Wrap(nw, faultnet.Options{})
+	fn.Apply(fsp)
+	tcfg := transport.Config{
+		SamplePeriod:      500 * time.Millisecond,
+		KeepaliveInterval: 200 * time.Millisecond,
+		KeepaliveMisses:   2,
+		Stats:             reg,
+	}
+	eSrc, err := transport.NewEntity(src, sys, fn, rm, tcfg)
+	check(err)
+	eDst, err := transport.NewEntity(dst, sys, fn, rm, tcfg)
+	check(err)
+	defer eSrc.Close()
+	defer eDst.Close()
+
+	sup := session.New(eSrc, session.Policy{
+		Attempts: 8,
+		Deadline: 15 * time.Second,
+		OnStateChange: func(vc core.VCID, from, to session.State) {
+			fmt.Printf("session: VC %d %v -> %v\n", uint32(vc), from, to)
+		},
+		OnResumed: func(vc core.VCID, attempt int, resumeFrom core.OSDUSeq) {
+			fmt.Printf("session: VC %d resumed on attempt %d, replaying from seq %d\n",
+				uint32(vc), attempt, uint64(resumeFrom))
+		},
+		OnAbandoned: func(vc core.VCID, err error) {
+			fmt.Printf("session: VC %d abandoned: %v\n", uint32(vc), err)
+		},
+	})
+
+	sink := media.NewSink()
+	sink.NominalRate = rate
+	recvCh := make(chan *transport.RecvVC, 4)
+	stop := make(chan struct{})
+	check(eDst.Attach(20, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+	}))
+	go func() {
+		// Each recovery hands the sink a fresh RecvVC under the old VC id;
+		// the frame numbering (and the Sink's gap accounting) carries
+		// straight across.
+		for {
+			select {
+			case rv := <-recvCh:
+				media.Drain(sys, rv, sink, stop)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	defer close(stop)
+
+	sess, err := sup.Connect(transport.ConnectRequest{
+		SrcTSAP: 10, Dest: core.Addr{Host: dst, TSAP: 20},
+		Class: qos.ClassDetectIndicate,
+		Spec:  probeSpec(rate, size),
+	})
+	check(err)
+	c := sess.VC().Contract()
+	fmt.Printf("VC %d established under supervision: %.0f OSDU/s over %d hops\n",
+		uint32(sess.ID()), c.Throughput, hops)
+
+	outage := fsp.Partition
+	if outage <= 0 {
+		outage = 2 * time.Second
+	}
+	time.AfterFunc(time.Second, func() {
+		fmt.Printf("fault: partitioning %v <-> %v for %v\n", src, dst, outage)
+		fn.Partition(src, dst)
+		fn.Partition(dst, src)
+		time.AfterFunc(outage, func() {
+			fmt.Printf("fault: partition %v <-> %v healed\n", src, dst)
+			fn.Heal(src, dst)
+			fn.Heal(dst, src)
+		})
+	})
+
+	// Paced pump through the session stream: writes block while the VC is
+	// down and continue seamlessly on the resumed successor.
+	cbr := &media.CBR{Size: size - 16, FrameRate: rate, Count: uint32(count)}
+	start := sys.Now()
+	for i := 0; ; i++ {
+		f, ok := cbr.Next()
+		if !ok {
+			break
+		}
+		due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+		if d := due.Sub(sys.Now()); d > 0 {
+			sys.Sleep(d)
+		}
+		if _, err := sess.Write(f.Marshal(), f.Event); err != nil {
+			log.Fatalf("stream lost for good: %v", err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for sink.Received() < int(count) && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	st := sink.Stats()
+	fmt.Printf("\nprobe finished: delivered %d/%d frames, gaps %d, recoveries %d\n",
+		st.Received, count, st.Gaps, sess.Recoveries())
 	if dumpStats {
 		fmt.Printf("\nmetrics registry:\n%s", reg.String())
 	}

@@ -65,7 +65,9 @@ type Ring struct {
 	head, tail, count int
 	gated             bool
 	closed            bool
-	scratch           []byte // consumer copy-out buffer; see Get
+	sealed            bool
+	consumed          core.OSDUSeq // one past the last OSDU handed to the consumer
+	scratch           []byte       // consumer copy-out buffer; see Get
 
 	fullChs []chan<- struct{} // NotifyFull subscribers
 
@@ -283,8 +285,71 @@ func (r *Ring) read() OSDU {
 	}
 	r.head = (r.head + 1) % len(r.slots)
 	r.count--
+	r.consumed = u.Seq + 1
 	r.notFull.Signal()
 	return u
+}
+
+// Consumed returns the watermark one past the last OSDU handed to the
+// consumer. Because read() advances it under the ring lock, the value is
+// exact: after Seal no Get can pop, so Consumed is precisely where a
+// resumed stream must restart.
+func (r *Ring) Consumed() core.OSDUSeq {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.consumed
+}
+
+// Seal closes the ring AND discards everything still queued, returning the
+// consumed watermark. Unlike Close — which lets the consumer drain queued
+// OSDUs — Seal guarantees that no further OSDU will ever be handed out, so
+// the returned watermark is an exact resume point for the session layer:
+// every OSDU at or above it must be replayed on the successor VC, and
+// nothing below it may be (§3.3 transparent re-establishment, extended to
+// the failure path).
+func (r *Ring) Seal() core.OSDUSeq {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.sealed = true
+	r.head, r.tail, r.count = 0, 0, 0
+	r.notFull.Broadcast()
+	r.notEmpty.Broadcast()
+	r.signalFull()
+	return r.consumed
+}
+
+// Sealed reports whether Seal has been called.
+func (r *Ring) Sealed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sealed
+}
+
+// Drain pops every OSDU still queued (ignoring the delivery gate) and
+// returns them oldest-first with copied payloads — unlike Get, the results
+// do not alias the scratch buffer. The session layer uses it after a
+// failure teardown to recover accepted-but-untransmitted OSDUs from the
+// send-side ring for replay on the successor VC.
+func (r *Ring) Drain() []OSDU {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return nil
+	}
+	out := make([]OSDU, 0, r.count)
+	for r.count > 0 {
+		i := r.head
+		n := r.sizes[i]
+		p := make([]byte, n)
+		copy(p, r.slots[i][:n])
+		out = append(out, OSDU{Seq: r.seqs[i], Event: r.events[i], Payload: p})
+		r.head = (r.head + 1) % len(r.slots)
+		r.count--
+		r.consumed = r.seqs[i] + 1
+	}
+	r.notFull.Broadcast()
+	return out
 }
 
 // DropNewest discards the most recently queued OSDU, returning its

@@ -1,0 +1,124 @@
+package cbuf
+
+import (
+	"sync"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+)
+
+// Retainer keeps copies of OSDUs that have already left the send-side ring
+// — accepted by the application and handed to the protocol thread — so a
+// session supervisor can replay them after a VC failure, restarting the
+// stream exactly at the sequence number the receiver last delivered.
+//
+// Retention is bounded the CM-appropriate way: continuous-media data goes
+// stale, so entries older than the jitter bound (maxAge) and entries beyond
+// the slot cap are expired rather than kept forever. Expired entries are
+// counted; a replay that can no longer reach back to the requested sequence
+// reports the shortfall so the caller can account the gap.
+type Retainer struct {
+	clk    clock.Clock
+	maxAge time.Duration
+	cap    int
+
+	mu      sync.Mutex
+	entries []retained
+	expired uint64
+}
+
+type retained struct {
+	seq     core.OSDUSeq
+	event   core.EventPattern
+	at      time.Time
+	payload []byte
+}
+
+// NewRetainer returns a retainer holding at most cap OSDUs, each for at
+// most maxAge. A cap <= 0 or maxAge <= 0 disables the respective bound.
+func NewRetainer(clk clock.Clock, cap int, maxAge time.Duration) *Retainer {
+	return &Retainer{clk: clk, maxAge: maxAge, cap: cap}
+}
+
+// Keep copies u into the retained range. OSDUs must be kept in sequence
+// order (the send loop's natural order).
+func (t *Retainer) Keep(u OSDU) {
+	p := make([]byte, len(u.Payload))
+	copy(p, u.Payload)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = append(t.entries, retained{seq: u.Seq, event: u.Event, at: t.clk.Now(), payload: p})
+	t.pruneLocked()
+}
+
+// pruneLocked drops entries past the age bound and beyond the cap,
+// oldest-first; caller holds mu.
+func (t *Retainer) pruneLocked() {
+	i := 0
+	if t.maxAge > 0 {
+		now := t.clk.Now()
+		for i < len(t.entries) && now.Sub(t.entries[i].at) > t.maxAge {
+			i++
+		}
+	}
+	if t.cap > 0 && len(t.entries)-i > t.cap {
+		i = len(t.entries) - t.cap
+	}
+	if i > 0 {
+		t.expired += uint64(i)
+		t.entries = append(t.entries[:0], t.entries[i:]...)
+	}
+}
+
+// DropThrough discards every retained OSDU with sequence below seq — data
+// the receiver has confirmed delivered. These do not count as expired.
+func (t *Retainer) DropThrough(seq core.OSDUSeq) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := 0
+	for i < len(t.entries) && t.entries[i].seq < seq {
+		i++
+	}
+	if i > 0 {
+		t.entries = append(t.entries[:0], t.entries[i:]...)
+	}
+}
+
+// ReplayFrom returns copies of every retained OSDU with sequence >= seq,
+// oldest-first, after expiring stale entries. missed reports how many
+// OSDUs in [seq, first returned) have already been expired and cannot be
+// replayed — the receiver will observe that gap as loss.
+func (t *Retainer) ReplayFrom(seq core.OSDUSeq) (out []OSDU, missed int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pruneLocked()
+	first := seq
+	for _, e := range t.entries {
+		if e.seq < seq {
+			continue
+		}
+		if len(out) == 0 && e.seq > first {
+			missed = int(e.seq - first)
+		}
+		p := make([]byte, len(e.payload))
+		copy(p, e.payload)
+		out = append(out, OSDU{Seq: e.seq, Event: e.event, Payload: p})
+	}
+	return out, missed
+}
+
+// Expired returns the cumulative count of retained OSDUs dropped by the
+// age and cap bounds.
+func (t *Retainer) Expired() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.expired
+}
+
+// Len returns the number of currently retained OSDUs.
+func (t *Retainer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

@@ -454,6 +454,64 @@ func (n *Network) routeLocked(src, dst core.HostID) ([]core.HostID, error) {
 	return path, nil
 }
 
+// RouteAvoiding returns a shortest path from src to dst that visits none
+// of the avoid hosts as intermediates (src and dst themselves are always
+// permitted). It is the routing half of failure recovery: when a hop on
+// the reserved path dies, the session layer re-reserves around it.
+func (n *Network) RouteAvoiding(src, dst core.HostID, avoid []core.HostID) ([]core.HostID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.routeAvoidingLocked(src, dst, avoid)
+}
+
+func (n *Network) routeAvoidingLocked(src, dst core.HostID, avoid []core.HostID) ([]core.HostID, error) {
+	if src == dst {
+		return []core.HostID{src}, nil
+	}
+	banned := make(map[core.HostID]bool, len(avoid))
+	for _, h := range avoid {
+		if h != src && h != dst {
+			banned[h] = true
+		}
+	}
+	// Fresh BFS over the constrained adjacency; the precomputed next-hop
+	// table cannot express per-query exclusions.
+	adj := make(map[core.HostID][]core.HostID)
+	for key := range n.links {
+		if banned[key[0]] || banned[key[1]] {
+			continue
+		}
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, peers := range adj {
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	}
+	prev := map[core.HostID]core.HostID{src: src}
+	queue := []core.HostID{src}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[at] {
+			if _, seen := prev[next]; !seen {
+				prev[next] = at
+				queue = append(queue, next)
+			}
+		}
+	}
+	if _, ok := prev[dst]; !ok {
+		return nil, fmt.Errorf("netem: no route %v -> %v avoiding %v", src, dst, avoid)
+	}
+	path := []core.HostID{dst}
+	for at := dst; at != src; {
+		at = prev[at]
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
 // AddGroup registers (or replaces) a multicast group: packets addressed
 // to gid are fanned out to every member at the source node. Groups may be
 // added after Start. The simple source-side fan-out realises the paper's
@@ -845,6 +903,25 @@ func (n *Network) PathCapability(src, dst core.HostID, pktSize int) (qos.Capabil
 	if err != nil {
 		return qos.Capability{}, err
 	}
+	return n.capabilityAlongLocked(src, dst, path, pktSize), nil
+}
+
+// PathCapabilityAvoiding is PathCapability over the route that visits none
+// of the avoid hosts — the provider-side input to renegotiating a resumed
+// VC around a failed hop.
+func (n *Network) PathCapabilityAvoiding(src, dst core.HostID, pktSize int, avoid []core.HostID) (qos.Capability, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	path, err := n.routeAvoidingLocked(src, dst, avoid)
+	if err != nil {
+		return qos.Capability{}, err
+	}
+	return n.capabilityAlongLocked(src, dst, path, pktSize), nil
+}
+
+// capabilityAlongLocked folds one concrete path's link metrics into a
+// capability; caller holds n.mu.
+func (n *Network) capabilityAlongLocked(src, dst core.HostID, path []core.HostID, pktSize int) qos.Capability {
 	bottleneck := -1.0
 	var delay, jitter time.Duration
 	survive := 1.0
@@ -873,7 +950,7 @@ func (n *Network) PathCapability(src, dst core.HostID, pktSize int) (qos.Capabil
 		l.mu.Unlock()
 	}
 	if src == dst {
-		return qos.Capability{MaxThroughput: 1e9}, nil
+		return qos.Capability{MaxThroughput: 1e9}
 	}
 	perPkt := float64(pktSize + headerOverhead)
 	return qos.Capability{
@@ -882,7 +959,7 @@ func (n *Network) PathCapability(src, dst core.HostID, pktSize int) (qos.Capabil
 		MinJitter:     jitter,
 		MinPER:        1 - survive,
 		MinBER:        1 - okBits,
-	}, nil
+	}
 }
 
 // MTU returns 0: the emulator carries payloads of any size in one

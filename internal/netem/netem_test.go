@@ -696,3 +696,54 @@ func TestGilbertElliottCloneIsolatesState(t *testing.T) {
 		t.Fatal("clone shares state with original")
 	}
 }
+
+func TestRouteAvoiding(t *testing.T) {
+	// Diamond: 1-2, 1-3, 2-4, 3-4. Host 4 is reachable from 1 through
+	// either arm, so banning one must route through the other.
+	n := New(sys)
+	for id := core.HostID(1); id <= 4; id++ {
+		if err := n.AddHost(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]core.HostID{{1, 2}, {1, 3}, {2, 4}, {3, 4}} {
+		if err := n.AddLink(l[0], l[1], fastLink()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	p, err := n.RouteAvoiding(1, 4, []core.HostID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[1] != 3 {
+		t.Fatalf("route avoiding 2 = %v, want 1-3-4", p)
+	}
+	p, err = n.RouteAvoiding(1, 4, []core.HostID{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[1] != 2 {
+		t.Fatalf("route avoiding 3 = %v, want 1-2-4", p)
+	}
+	if _, err := n.RouteAvoiding(1, 4, []core.HostID{2, 3}); err == nil {
+		t.Fatal("route with both arms banned succeeded")
+	}
+	// Endpoints are never banned: an avoid set naming src or dst only
+	// excludes intermediate visits.
+	p, err = n.RouteAvoiding(1, 4, []core.HostID{1, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[1] != 3 {
+		t.Fatalf("route with endpoints in avoid set = %v, want 1-3-4", p)
+	}
+	// Empty avoid set behaves like plain Route.
+	if p, err = n.RouteAvoiding(1, 4, nil); err != nil || len(p) != 3 {
+		t.Fatalf("RouteAvoiding with no exclusions = %v, %v", p, err)
+	}
+}

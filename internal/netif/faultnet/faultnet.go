@@ -277,6 +277,31 @@ func (n *Network) PathCapability(src, dst core.HostID, pktSize int) (qos.Capabil
 	return n.inner.PathCapability(src, dst, pktSize)
 }
 
+// PathCapabilityAvoiding delegates the avoid-routed capability query when
+// the inner substrate offers it, so failure recovery can renegotiate
+// around dead hops through the fault injector too.
+func (n *Network) PathCapabilityAvoiding(src, dst core.HostID, pktSize int, avoid []core.HostID) (qos.Capability, error) {
+	type avoider interface {
+		PathCapabilityAvoiding(src, dst core.HostID, pktSize int, avoid []core.HostID) (qos.Capability, error)
+	}
+	if a, ok := n.inner.(avoider); ok {
+		return a.PathCapabilityAvoiding(src, dst, pktSize, avoid)
+	}
+	return n.inner.PathCapability(src, dst, pktSize)
+}
+
+// RouteAvoiding delegates the avoid-routing query when the inner substrate
+// offers it; otherwise it degrades to the default route.
+func (n *Network) RouteAvoiding(src, dst core.HostID, avoid []core.HostID) ([]core.HostID, error) {
+	type avoider interface {
+		RouteAvoiding(src, dst core.HostID, avoid []core.HostID) ([]core.HostID, error)
+	}
+	if a, ok := n.inner.(avoider); ok {
+		return a.RouteAvoiding(src, dst, avoid)
+	}
+	return n.inner.Route(src, dst)
+}
+
 // AddGroup delegates to the inner substrate.
 func (n *Network) AddGroup(gid core.HostID, members []core.HostID) error {
 	return n.inner.AddGroup(gid, members)

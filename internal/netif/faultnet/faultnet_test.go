@@ -240,3 +240,63 @@ func TestParseSpec(t *testing.T) {
 		t.Fatalf("empty spec: %+v, %v", sp, err)
 	}
 }
+
+// TestHealRestoreIdempotent pins the recovery-path contract the session
+// and soak layers lean on: Heal/Restore are idempotent, healing or
+// restoring something that was never faulted is a no-op, and repeated
+// Crash calls don't deepen the fault (one Restore always suffices).
+func TestHealRestoreIdempotent(t *testing.T) {
+	inner := &stubNet{}
+	n := Wrap(inner, Options{Seed: 7})
+
+	// Heal without a partition, and Restore without a crash: no-ops.
+	n.Heal(1, 2)
+	n.Restore(2)
+	_ = n.Send(pkt(0, netif.PrioControl, 1))
+	if got := inner.packets(); len(got) != 1 {
+		t.Fatalf("no-op heal/restore perturbed the pipeline: %+v", got)
+	}
+
+	// Double Partition then double Heal: still healed after one pair.
+	n.Partition(1, 2)
+	n.Partition(1, 2)
+	_ = n.Send(pkt(0, netif.PrioControl, 2))
+	if got := inner.packets(); len(got) != 1 {
+		t.Fatalf("partition leaked a packet: %+v", got)
+	}
+	n.Heal(1, 2)
+	n.Heal(1, 2)
+	_ = n.Send(pkt(0, netif.PrioControl, 3))
+	if got := inner.packets(); len(got) != 2 {
+		t.Fatalf("double heal left the partition up: %+v", got)
+	}
+
+	// Double Crash is one fault: a single Restore revives the host.
+	n.Crash(2)
+	n.Crash(2)
+	_ = n.Send(pkt(0, netif.PrioControl, 4))
+	if got := inner.packets(); len(got) != 2 {
+		t.Fatalf("crash leaked a packet: %+v", got)
+	}
+	n.Restore(2)
+	_ = n.Send(pkt(0, netif.PrioControl, 5))
+	if got := inner.packets(); len(got) != 3 {
+		t.Fatalf("restore after double crash failed: %+v", got)
+	}
+	n.Restore(2)
+	_ = n.Send(pkt(0, netif.PrioControl, 6))
+	if got := inner.packets(); len(got) != 4 {
+		t.Fatalf("second restore broke the pipeline: %+v", got)
+	}
+
+	// HealAll clears every partition at once and is safe when empty.
+	n.Partition(1, 2)
+	n.Partition(2, 1)
+	n.HealAll()
+	n.HealAll()
+	_ = n.Send(pkt(0, netif.PrioControl, 7))
+	_ = n.Send(netif.Packet{Src: 2, Dst: 1, Payload: []byte{8}})
+	if got := inner.packets(); len(got) != 6 {
+		t.Fatalf("HealAll left a partition up: %+v", got)
+	}
+}

@@ -91,6 +91,22 @@ func (l *LLO) localVCs(s *session) []localVC {
 	return out
 }
 
+// scopedLocalVCs is localVCs narrowed to one VC when the request names one
+// (o.VC != 0) — the per-VC Prime/Start used by re-admission, which must not
+// disturb the rest of a running group.
+func (l *LLO) scopedLocalVCs(s *session, only core.VCID) []localVC {
+	all := l.localVCs(s)
+	if only == 0 {
+		return all
+	}
+	for _, lv := range all {
+		if lv.vc == only {
+			return []localVC{lv}
+		}
+	}
+	return nil
+}
+
 // lookupSession returns this LLO's record of a session.
 func (l *LLO) lookupSession(sid core.SessionID) (*session, bool) {
 	l.mu.Lock()
@@ -197,7 +213,7 @@ func (l *LLO) handlePrime(from core.HostID, o *pdu.Orch) {
 		l.ack(from, o, pdu.OrchDeny, false, core.ReasonNoSuchVC)
 		return
 	}
-	locals := l.localVCs(s)
+	locals := l.scopedLocalVCs(s, o.VC)
 	var sinks []*transport.RecvVC
 	for _, lv := range locals {
 		l.e.EmitTrace("participant", core.OrchPrimeIndication)
@@ -245,7 +261,7 @@ func (l *LLO) handleStart(from core.HostID, o *pdu.Orch) {
 		l.ack(from, o, pdu.OrchDeny, false, core.ReasonNoSuchVC)
 		return
 	}
-	for _, lv := range l.localVCs(s) {
+	for _, lv := range l.scopedLocalVCs(s, o.VC) {
 		l.e.EmitTrace("participant", core.OrchStartIndication)
 		cb := l.app(lv.vc)
 		if cb.OnStart != nil && !cb.OnStart(o.Session, lv.vc) {

@@ -95,6 +95,13 @@ type Policy struct {
 	// loop) when a participant host is declared dead, with the stream VCs
 	// lost with it.
 	OnPeerFailure func(host core.HostID, vcs []core.VCID)
+	// OnPeerRecovery mirrors OnPeerFailure: it is invoked (off the agent
+	// loop) when a previously evicted host answers an Orch.Ping again and
+	// its streams have been re-admitted into the running group.
+	OnPeerRecovery func(host core.HostID, vcs []core.VCID)
+	// DisableReadmit turns off the recovery probing that re-admits evicted
+	// hosts; the group then stays degraded until released.
+	DisableReadmit bool
 }
 
 func (p Policy) withDefaults() Policy {
@@ -155,13 +162,32 @@ type Agent struct {
 	deadHosts map[core.HostID]bool
 	degraded  bool
 
+	// Re-admission state: what each evicted host's streams looked like at
+	// eviction, and which dead hosts have a recovery probe in flight.
+	evicted    map[core.HostID][]evictedStream
+	recovering map[core.HostID]bool
+
 	compensations *stats.Counter // compensation policy firings (nil = no-op)
 	peerDeaths    *stats.Counter // participant hosts declared dead
+	peerRecovs    *stats.Counter // evicted hosts re-admitted
+}
+
+// evictedStream preserves enough of a lost stream to re-admit it: its
+// config and the delivery watermark at eviction, which re-bases the
+// regulation targets so the recovered stream is not asked to make up the
+// whole outage in one interval.
+type evictedStream struct {
+	cfg       StreamConfig
+	delivered core.OSDUSeq
 }
 
 type streamState struct {
-	cfg    StreamConfig
-	base   core.OSDUSeq // delivered seq at the last (re)start
+	cfg StreamConfig
+	// base anchors the absolute schedule: target(t) = base + rate*t. It
+	// is signed because re-admission moves it below zero whenever an
+	// outage outlasted the pre-eviction delivery (the outage is forgiven,
+	// not demanded back).
+	base   int64
 	status StreamStatus
 }
 
@@ -179,12 +205,15 @@ func New(llo *orch.LLO, clk clock.Clock, sid core.SessionID, streams []StreamCon
 		pol:     pol.withDefaults(),
 		streams: make(map[core.VCID]*streamState, len(streams)),
 
-		lastSeen:  make(map[core.VCID]time.Time),
-		probing:   make(map[core.HostID]bool),
-		deadHosts: make(map[core.HostID]bool),
+		lastSeen:   make(map[core.VCID]time.Time),
+		probing:    make(map[core.HostID]bool),
+		deadHosts:  make(map[core.HostID]bool),
+		evicted:    make(map[core.HostID][]evictedStream),
+		recovering: make(map[core.HostID]bool),
 
 		compensations: llo.StatsScope().Counter("compensations"),
 		peerDeaths:    llo.StatsScope().Counter("peer_deaths"),
+		peerRecovs:    llo.StatsScope().Counter("peer_recoveries"),
 	}
 	for _, sc := range streams {
 		if sc.Rate <= 0 {
@@ -232,7 +261,7 @@ func (a *Agent) Start() error {
 	}
 	a.epoch = a.clk.Now()
 	for vc, st := range a.streams {
-		st.base = st.status.Delivered
+		st.base = int64(st.status.Delivered)
 		st.status.LagIntervals = 0
 		a.lastSeen[vc] = a.epoch
 	}
@@ -367,7 +396,7 @@ func (a *Agent) Skew() time.Duration {
 	var minP, maxP float64
 	first := true
 	for _, st := range a.streams {
-		p := float64(st.status.Delivered-st.base) / st.cfg.Rate
+		p := (float64(st.status.Delivered) - float64(st.base)) / st.cfg.Rate
 		if first {
 			minP, maxP = p, p
 			first = false
@@ -397,6 +426,7 @@ func (a *Agent) loop(stop chan struct{}) {
 		}
 		a.issueTargets()
 		a.checkLiveness()
+		a.checkRecovery()
 	}
 }
 
@@ -480,9 +510,13 @@ func (a *Agent) markDead(h core.HostID) {
 	var lost []core.VCID
 	kept := a.order[:0]
 	for _, vc := range a.order {
-		d := a.streams[vc].cfg.Desc
+		st := a.streams[vc]
+		d := st.cfg.Desc
 		if d.Source == h || d.Sink == h {
 			lost = append(lost, vc)
+			a.evicted[h] = append(a.evicted[h], evictedStream{
+				cfg: st.cfg, delivered: st.status.Delivered,
+			})
 			delete(a.streams, vc)
 			delete(a.lastSeen, vc)
 			continue
@@ -497,6 +531,129 @@ func (a *Agent) markDead(h core.HostID) {
 	a.llo.EvictHost(sid, h)
 	if pol.OnPeerFailure != nil {
 		pol.OnPeerFailure(h, lost)
+	}
+}
+
+// checkRecovery probes evicted hosts for signs of life, at most one probe
+// per host in flight. A host that answers is re-admitted with its evicted
+// streams.
+func (a *Agent) checkRecovery() {
+	if a.pol.DisableReadmit {
+		return
+	}
+	a.mu.Lock()
+	candidates := make([]core.HostID, 0, len(a.deadHosts))
+	for h := range a.deadHosts {
+		if !a.recovering[h] && len(a.evicted[h]) > 0 {
+			a.recovering[h] = true
+			candidates = append(candidates, h)
+		}
+	}
+	a.mu.Unlock()
+	for _, h := range candidates {
+		go a.probeRecovery(h)
+	}
+}
+
+// probeRecovery pings one evicted host; an answer (even a Deny — the host
+// is up) triggers re-admission. The recovering flag is cleared either way
+// so the next interval can retry.
+func (a *Agent) probeRecovery(h core.HostID) {
+	err := a.llo.Ping(h)
+	if err != nil {
+		if _, denied := err.(*orch.DenyError); !denied {
+			a.mu.Lock()
+			delete(a.recovering, h)
+			a.mu.Unlock()
+			return
+		}
+	}
+	a.readmit(h)
+	a.mu.Lock()
+	delete(a.recovering, h)
+	a.mu.Unlock()
+}
+
+// readmit reverses markDead for a host that answers again: each evicted
+// stream re-enters the session (Orch.Add at both endpoints), its sink is
+// primed and started individually so the rest of the group keeps flowing,
+// and its regulation base is moved forward so targets resume from where
+// delivery stopped instead of demanding the whole outage back at once.
+// Re-admission requires the VCs to be live again at the transport layer
+// (the session layer's Resume reinstates them under their old IDs); until
+// then Orch.Add answers no-such-VC and the host simply stays evicted for
+// a later retry.
+func (a *Agent) readmit(h core.HostID) {
+	a.mu.Lock()
+	streams := a.evicted[h]
+	sid := a.sid
+	elapsed := a.clk.Since(a.epoch)
+	a.mu.Unlock()
+	if len(streams) == 0 {
+		return
+	}
+	var back []core.VCID
+	var readmitted []evictedStream
+	for _, ev := range streams {
+		vc := ev.cfg.Desc.VC
+		if err := a.llo.Add(sid, ev.cfg.Desc); err != nil {
+			continue // VC not resumed yet; retry on a later probe
+		}
+		if err := a.llo.PrimeVC(sid, vc, false); err != nil {
+			continue
+		}
+		if err := a.llo.StartVC(sid, vc); err != nil {
+			continue
+		}
+		back = append(back, vc)
+		readmitted = append(readmitted, ev)
+	}
+	if len(back) == 0 {
+		return
+	}
+	a.mu.Lock()
+	now := a.clk.Now()
+	for _, ev := range readmitted {
+		vc := ev.cfg.Desc.VC
+		st := &streamState{
+			cfg:    ev.cfg,
+			status: StreamStatus{VC: vc, Rate: ev.cfg.Rate, Delivered: ev.delivered},
+		}
+		// Re-base so the next target is ev.delivered + rate*interval: the
+		// outage is forgiven, not compacted into one interval.
+		st.base = int64(ev.delivered) - int64(ev.cfg.Rate*elapsed.Seconds())
+		a.streams[vc] = st
+		a.order = append(a.order, vc)
+		a.lastSeen[vc] = now
+	}
+	if len(readmitted) == len(streams) {
+		delete(a.evicted, h)
+		delete(a.deadHosts, h)
+		if len(a.deadHosts) == 0 {
+			a.degraded = false
+		}
+	} else {
+		// Partial re-admission: keep only the streams still missing.
+		remain := streams[:0]
+		for _, ev := range streams {
+			found := false
+			for _, r := range readmitted {
+				if r.cfg.Desc.VC == ev.cfg.Desc.VC {
+					found = true
+					break
+				}
+			}
+			if !found {
+				remain = append(remain, ev)
+			}
+		}
+		a.evicted[h] = remain
+	}
+	pol := a.pol
+	a.mu.Unlock()
+	a.peerRecovs.Inc()
+	if pol.OnPeerRecovery != nil {
+		pol.OnPeerRecovery(h, back)
 	}
 }
 
@@ -517,7 +674,11 @@ func (a *Agent) issueTargets() {
 	horizon := elapsed + a.pol.Interval
 	for _, vc := range a.order {
 		st := a.streams[vc]
-		target := st.base + core.OSDUSeq(st.cfg.Rate*horizon.Seconds())
+		t64 := st.base + int64(st.cfg.Rate*horizon.Seconds())
+		if t64 < 0 {
+			t64 = 0
+		}
+		target := core.OSDUSeq(t64)
 		st.status.Target = target
 		jobs = append(jobs, job{vc, target, st.cfg.MaxDrop})
 	}

@@ -81,9 +81,10 @@ func cmSpec(rate float64) qos.Spec {
 // stream couples a paced source pump with a greedy reader; delivery
 // progress is observable via counts and times.
 type stream struct {
-	send *transport.SendVC
-	recv *transport.RecvVC
-	desc orch.VCDesc
+	send   *transport.SendVC
+	recv   *transport.RecvVC
+	recvCh chan *transport.RecvVC // later incarnations (resume) land here too
+	desc   orch.VCDesc
 
 	reads     atomic.Int64
 	lastRead  atomic.Int64 // unix nanos of the last delivery
@@ -96,7 +97,7 @@ type stream struct {
 // stored-media server with a drifting crystal behaves.
 func connect(t *testing.T, r *rig, src core.HostID, idx int, rate float64) *stream {
 	t.Helper()
-	recvCh := make(chan *transport.RecvVC, 1)
+	recvCh := make(chan *transport.RecvVC, 2)
 	sinkTSAP := core.TSAP(100 + idx)
 	if err := r.ent[3].Attach(sinkTSAP, transport.UserCallbacks{
 		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
@@ -119,7 +120,7 @@ func connect(t *testing.T, r *rig, src core.HostID, idx int, rate float64) *stre
 		t.Fatal("sink handle never arrived")
 	}
 	st := &stream{
-		send: s, recv: rv,
+		send: s, recv: rv, recvCh: recvCh,
 		desc: orch.VCDesc{VC: s.ID(), Source: src, Sink: 3},
 		stop: make(chan struct{}),
 	}

@@ -132,3 +132,168 @@ func TestAgentSurvivesParticipantCrash(t *testing.T) {
 		t.Fatalf("Stop over survivors failed: %v", err)
 	}
 }
+
+// TestAgentReadmitsRecoveredHost crashes a participant, restores it,
+// resumes its VC at the transport layer, and checks the agent notices the
+// host answering again and re-admits it: full membership, regulation
+// running on the recovered stream, OnPeerRecovery fired.
+func TestAgentReadmitsRecoveredHost(t *testing.T) {
+	cfg := transport.Config{
+		RingSlots:         16,
+		ConnectTimeout:    500 * time.Millisecond,
+		KeepaliveInterval: 40 * time.Millisecond,
+		KeepaliveMisses:   2,
+	}
+	cr := newCrashRig(t, cfg)
+	a := connect(t, cr.rig, 1, 0, 100)
+	b := connect(t, cr.rig, 2, 1, 100)
+	a.send.EnableRetention(512, 0)
+
+	failCh := make(chan core.HostID, 1)
+	recovCh := make(chan []core.VCID, 1)
+	agent, err := New(cr.llo[3], sys, 1, []StreamConfig{
+		{Desc: a.desc, Rate: 100, MaxDrop: 2},
+		{Desc: b.desc, Rate: 100, MaxDrop: 2},
+	}, Policy{
+		Interval:         50 * time.Millisecond,
+		SuspectIntervals: 3,
+		OnPeerFailure: func(h core.HostID, vcs []core.VCID) {
+			select {
+			case failCh <- h:
+			default:
+			}
+		},
+		OnPeerRecovery: func(h core.HostID, vcs []core.VCID) {
+			select {
+			case recovCh <- vcs:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Prime(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Release()
+
+	time.Sleep(300 * time.Millisecond)
+	cr.fault.Crash(1)
+	select {
+	case h := <-failCh:
+		if h != 1 {
+			t.Fatalf("peer failure reported for host %v, want 1", h)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("participant crash never detected")
+	}
+	// Transport liveness must tear both ends of the VC down before a
+	// resume can take over the ID.
+	waitForCond(t, 10*time.Second, func() bool {
+		_, srcLive := cr.ent[1].SourceVC(a.desc.VC)
+		_, sinkLive := cr.ent[3].SinkVC(a.desc.VC)
+		return !srcLive && !sinkLive
+	})
+
+	cr.fault.Restore(1)
+
+	// What the session layer does on the recovered host: resume the VC
+	// under its old ID, replay the retained tail, keep producing.
+	nextSeq, nextTPDU := a.send.ResumeState()
+	queued := a.send.DrainUnsent()
+	ns, resumeFrom, err := cr.ent[1].Resume(transport.ResumeRequest{
+		VC: a.desc.VC, Tuple: a.send.Tuple(),
+		Profile: a.send.Profile(), Class: a.send.Class(), Spec: cmSpec(150),
+		NextSeq: nextSeq, NextTPDU: nextTPDU,
+	})
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	var nrv *transport.RecvVC
+	select {
+	case nrv = <-a.recvCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("resumed sink handle never arrived")
+	}
+	go func() {
+		for {
+			if _, err := nrv.Read(); err != nil {
+				return
+			}
+			a.reads.Add(1)
+			a.lastRead.Store(time.Now().UnixNano())
+		}
+	}()
+	replay, missed := a.send.Retainer().ReplayFrom(resumeFrom)
+	if missed != 0 {
+		t.Fatalf("retainer lost %d OSDUs inside the replay range", missed)
+	}
+	for _, u := range replay {
+		if u.Seq >= nextSeq {
+			break
+		}
+		if err := ns.Replay(u); err != nil {
+			t.Fatalf("Replay seq %d: %v", u.Seq, err)
+		}
+	}
+	for _, u := range queued {
+		if err := ns.Replay(u); err != nil {
+			t.Fatalf("Replay queued seq %d: %v", u.Seq, err)
+		}
+	}
+	clk := cr.ent[1].Clock()
+	go func() {
+		payload := make([]byte, 32)
+		for {
+			select {
+			case <-a.stop:
+				return
+			default:
+			}
+			if _, err := ns.Write(payload, 0); err != nil {
+				return
+			}
+			clk.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	select {
+	case vcs := <-recovCh:
+		if len(vcs) != 1 || vcs[0] != a.desc.VC {
+			t.Fatalf("recovered VCs = %v, want [%v]", vcs, a.desc.VC)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("restored host never re-admitted")
+	}
+	if agent.Degraded() {
+		t.Fatal("agent still degraded after re-admission")
+	}
+	if dead := agent.DeadHosts(); len(dead) != 0 {
+		t.Fatalf("DeadHosts = %v, want none", dead)
+	}
+	if sts := agent.Status(); len(sts) != 2 {
+		t.Fatalf("streams after re-admission = %+v, want both", sts)
+	}
+	// Regulation must actually move data on the recovered stream again.
+	before := a.reads.Load()
+	waitForCond(t, 10*time.Second, func() bool { return a.reads.Load() > before })
+}
+
+// waitForCond polls cond until it holds or the deadline passes.
+func waitForCond(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -89,6 +89,7 @@ type LLO struct {
 	si    orchInstr
 
 	closed bool
+	done   chan struct{} // closed by Close; wakes exchanges out of backoff
 }
 
 // orchInstr holds the LLO's registry instruments, all nil (no-op) when
@@ -138,6 +139,7 @@ func New(e *transport.Entity) *LLO {
 		apps:     make(map[core.VCID]AppCallbacks),
 		pending:  make(map[uint32]chan *pdu.Orch),
 		halves:   make(map[halfKey]*Report),
+		done:     make(chan struct{}),
 		maxSess:  DefaultMaxSessions,
 		stats:    e.StatsScope().Scope("orch"),
 	}
@@ -249,6 +251,10 @@ func (l *LLO) request(dst core.HostID, o *pdu.Orch) (*pdu.Orch, error) {
 		select {
 		case reply := <-ch:
 			return reply, nil
+		case <-l.done:
+			// LLO shutdown must not sleep out the remaining backoff
+			// window: abandon the exchange immediately.
+			return nil, fmt.Errorf("orch: LLO closed")
 		case <-l.e.Clock().After(wait):
 		}
 	}
@@ -302,11 +308,16 @@ func (l *LLO) reply(dst core.HostID, o *pdu.Orch) {
 	_ = l.e.SendOrch(dst, o)
 }
 
-// Close detaches the LLO.
+// Close detaches the LLO. Pending confirmed exchanges are woken and
+// abandoned rather than left sleeping out their backoff windows.
 func (l *LLO) Close() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
 	l.closed = true
+	close(l.done)
 	for _, s := range l.sessions {
 		for _, rs := range s.regs {
 			if rs.cancel != nil {

@@ -103,6 +103,41 @@ func (l *LLO) Prime(sid core.SessionID, flush bool) error {
 	return nil
 }
 
+// vcOp runs one confirmed group primitive against only the endpoints of a
+// single session VC; the o.VC field makes participants restrict the
+// operation to that VC.
+func (l *LLO) vcOp(sid core.SessionID, vc core.VCID, op pdu.OrchKind, customize func(*pdu.Orch)) error {
+	l.mu.Lock()
+	s, ok := l.sessions[sid]
+	var d VCDesc
+	if ok {
+		d, ok = s.vcs[vc]
+	}
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("orch: %v not in session %v", vc, sid)
+	}
+	return l.broadcast([]core.HostID{d.Source, d.Sink}, func() *pdu.Orch {
+		o := &pdu.Orch{Op: op, Session: sid, VC: vc}
+		if customize != nil {
+			customize(o)
+		}
+		return o
+	})
+}
+
+// PrimeVC is Prime restricted to one VC: only its sink holds delivery and
+// fills, only its source releases. Used when re-admitting a recovered VC
+// into a running group, where a group-wide Prime would stall healthy VCs.
+func (l *LLO) PrimeVC(sid core.SessionID, vc core.VCID, flush bool) error {
+	return l.vcOp(sid, vc, pdu.OrchPrime, func(o *pdu.Orch) { o.Flush = flush })
+}
+
+// StartVC is Start restricted to one VC (the second half of re-admission).
+func (l *LLO) StartVC(sid core.SessionID, vc core.VCID) error {
+	return l.vcOp(sid, vc, pdu.OrchStart, nil)
+}
+
 // Start atomically releases the data flow of the whole group
 // (Orch.Start, §6.2.2): every sink's delivery gate opens and every source
 // resumes, so primed groups begin delivery at (almost) the same instant.

@@ -40,6 +40,8 @@ func FuzzDecode(f *testing.F) {
 		&Control{Kind: KindFlowOff, VC: 9},
 		&Control{Kind: KindKeepalive, Token: 7},
 		&Control{Kind: KindKeepaliveAck, Token: 7},
+		&Control{Kind: KindResumeReq, VC: 9, Token: 12},
+		&Control{Kind: KindResumeConf, VC: 9, Token: 12, Seq: 4096},
 		&Orch{Op: OrchPing, Session: 5, Token: 4},
 		&Orch{
 			Op: OrchRegulate, Session: 5, VC: 9, Token: 3,

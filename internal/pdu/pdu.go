@@ -45,6 +45,8 @@ const (
 	KindDatagram                         // Datagram: connectionless user data (platform RPC)
 	KindKeepalive                        // Control: peer-liveness probe on an idle control channel
 	KindKeepaliveAck                     // Control: liveness probe response
+	KindResumeReq                        // Control: session-layer resume of a failed VC
+	KindResumeConf                       // Control: resume accepted; Seq advertises the sink's next-expected OSDU
 )
 
 var kindNames = [...]string{
@@ -68,6 +70,8 @@ var kindNames = [...]string{
 	KindDatagram:         "UD",
 	KindKeepalive:        "KA",
 	KindKeepaliveAck:     "KAA",
+	KindResumeReq:        "RSR",
+	KindResumeConf:       "RSC",
 }
 
 // String returns the mnemonic of the kind (DT, AK, CR, ...).
@@ -206,6 +210,10 @@ type Control struct {
 	Contract qos.Contract
 	Reason   core.Reason
 	Token    uint32
+	// Seq carries the OSDU resume point on the resume handshake: zero on
+	// KindResumeReq, and the sink's next-expected OSDU sequence on
+	// KindResumeConf (the sender replays retained OSDUs from here).
+	Seq uint64
 }
 
 // MessageKind implements Message.
@@ -288,6 +296,7 @@ func (c *Control) Marshal(dst []byte) []byte {
 	putContract(&w, c.Contract)
 	w.u8(uint8(c.Reason))
 	w.u32(c.Token)
+	w.u64(c.Seq)
 	return w.trailer(dst)
 }
 
@@ -303,6 +312,7 @@ func decodeControl(kind Kind, r *reader) (*Control, error) {
 	c.Contract = getContract(r)
 	c.Reason = core.Reason(r.u8())
 	c.Token = r.u32()
+	c.Seq = r.u64()
 	return c, r.err
 }
 
@@ -506,7 +516,8 @@ func Decode(buf []byte) (Message, error) {
 	case KindConnReq, KindConnConf, KindConnRej, KindDiscReq, KindDiscConf,
 		KindRenegReq, KindRenegConf, KindRenegRej,
 		KindRemoteConnReq, KindRemoteConnResult, KindRemoteDiscReq,
-		KindFlowOff, KindFlowOn, KindKeepalive, KindKeepaliveAck:
+		KindFlowOff, KindFlowOn, KindKeepalive, KindKeepaliveAck,
+		KindResumeReq, KindResumeConf:
 		return decodeControl(kind, r)
 	case KindOrch:
 		return decodeOrch(r)

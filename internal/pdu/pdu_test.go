@@ -107,9 +107,13 @@ func TestControlRoundTripAllKinds(t *testing.T) {
 		KindConnReq, KindConnConf, KindConnRej, KindDiscReq, KindDiscConf,
 		KindRenegReq, KindRenegConf, KindRenegRej,
 		KindRemoteConnReq, KindRemoteConnResult, KindRemoteDiscReq,
+		KindResumeReq, KindResumeConf,
 	}
 	for _, k := range kinds {
 		c := fullControl(k)
+		if k == KindResumeConf {
+			c.Seq = 1234567
+		}
 		got := roundTrip(t, c).(*Control)
 		if !reflect.DeepEqual(got, c) {
 			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", k, got, c)

@@ -44,12 +44,29 @@ type Reserver interface {
 	Count() int
 }
 
+// Repather is the optional extension a Reserver offers when its substrate
+// can route around failed hops: session-layer recovery uses it to
+// re-reserve a VC's bandwidth on a path that avoids the hosts implicated
+// in the failure. A Reserver without alternate routing simply does not
+// implement it and recovery falls back to the default route.
+type Repather interface {
+	// ReserveAvoiding is Reserve constrained to paths that visit none of
+	// the avoid hosts as intermediates (src and dst are always allowed).
+	ReserveAvoiding(src, dst core.HostID, bytesPerSec float64, avoid []core.HostID) (ID, []core.HostID, error)
+}
+
 // PathNet is the slice of the substrate the Manager needs: routing plus
 // per-link reserve/release. *netem.Network satisfies it.
 type PathNet interface {
 	Route(src, dst core.HostID) ([]core.HostID, error)
 	Reserve(from, to core.HostID, bytesPerSec float64) error
 	Release(from, to core.HostID, bytesPerSec float64) error
+}
+
+// AvoidRouter is the substrate extension behind Repather: routing that can
+// exclude intermediate hosts. *netem.Network satisfies it.
+type AvoidRouter interface {
+	RouteAvoiding(src, dst core.HostID, avoid []core.HostID) ([]core.HostID, error)
 }
 
 // Manager owns the reservation table for one network.
@@ -95,6 +112,34 @@ func (m *Manager) Reserve(src, dst core.HostID, bytesPerSec float64) (ID, []core
 	m.table[id] = &reservation{path: path, rate: bytesPerSec}
 	return id, path, nil
 }
+
+// ReserveAvoiding is Reserve over a route that avoids the given
+// intermediate hosts; it requires the substrate to support alternate
+// routing (netem does, udpnet's Local reserver does not go through here).
+func (m *Manager) ReserveAvoiding(src, dst core.HostID, bytesPerSec float64, avoid []core.HostID) (ID, []core.HostID, error) {
+	if bytesPerSec <= 0 {
+		return 0, nil, errors.New("resv: rate must be positive")
+	}
+	ar, ok := m.net.(AvoidRouter)
+	if !ok {
+		return m.Reserve(src, dst, bytesPerSec)
+	}
+	path, err := ar.RouteAvoiding(src, dst, avoid)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := m.reservePath(path, bytesPerSec); err != nil {
+		return 0, nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.next++
+	id := m.next
+	m.table[id] = &reservation{path: path, rate: bytesPerSec}
+	return id, path, nil
+}
+
+var _ Repather = (*Manager)(nil)
 
 // reservePath reserves rate on each hop of path, rolling back on failure.
 func (m *Manager) reservePath(path []core.HostID, rate float64) error {

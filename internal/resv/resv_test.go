@@ -253,3 +253,100 @@ func TestConcurrentReservationsNeverOversubscribe(t *testing.T) {
 		t.Fatalf("available = %g, want %d", got, 900-count*100)
 	}
 }
+
+// diamondPathNet is a PathNet over the diamond 1-{2,3}-4 that also offers
+// the AvoidRouter extension, for exercising Manager.ReserveAvoiding.
+type diamondPathNet struct {
+	fakePathNet
+}
+
+func diamondNet() *diamondPathNet {
+	d := &diamondPathNet{fakePathNet{free: make(map[[2]core.HostID]float64)}}
+	for _, l := range [][2]core.HostID{{1, 2}, {1, 3}, {2, 4}, {3, 4}} {
+		d.free[l] = 900
+		d.free[[2]core.HostID{l[1], l[0]}] = 900
+	}
+	return d
+}
+
+func (d *diamondPathNet) Route(src, dst core.HostID) ([]core.HostID, error) {
+	return d.RouteAvoiding(src, dst, nil)
+}
+
+func (d *diamondPathNet) RouteAvoiding(src, dst core.HostID, avoid []core.HostID) ([]core.HostID, error) {
+	banned := make(map[core.HostID]bool)
+	for _, h := range avoid {
+		if h != src && h != dst {
+			banned[h] = true
+		}
+	}
+	prev := map[core.HostID]core.HostID{src: src}
+	queue := []core.HostID{src}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		for k := range d.free {
+			if k[0] != at || banned[k[1]] {
+				continue
+			}
+			if _, seen := prev[k[1]]; !seen {
+				prev[k[1]] = at
+				queue = append(queue, k[1])
+			}
+		}
+	}
+	if _, ok := prev[dst]; !ok {
+		return nil, fmt.Errorf("fake: no route %v -> %v avoiding %v", src, dst, avoid)
+	}
+	path := []core.HostID{dst}
+	for at := dst; at != src; {
+		at = prev[at]
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+func TestReserveAvoiding(t *testing.T) {
+	n := diamondNet()
+	m := New(n)
+	id, path, err := m.ReserveAvoiding(1, 4, 500, []core.HostID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 3 {
+		t.Fatalf("path = %v, want 1-3-4", path)
+	}
+	// Capacity comes out of the 3-arm; the 2-arm is untouched.
+	n.mu.Lock()
+	via2, via3 := n.free[[2]core.HostID{1, 2}], n.free[[2]core.HostID{1, 3}]
+	n.mu.Unlock()
+	if via3 != 400 || via2 != 900 {
+		t.Fatalf("free 1->3 = %g (want 400), 1->2 = %g (want 900)", via3, via2)
+	}
+	if err := m.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	// With both arms banned there is no path; nothing may leak.
+	if _, _, err := m.ReserveAvoiding(1, 4, 500, []core.HostID{2, 3}); err == nil {
+		t.Fatal("reservation with no admissible route succeeded")
+	}
+	if m.Count() != 0 {
+		t.Fatalf("Count = %d after failed avoid-reserve", m.Count())
+	}
+}
+
+func TestReserveAvoidingFallsBackWithoutAvoidRouter(t *testing.T) {
+	// The chain substrate lacks AvoidRouter, so the avoid set is
+	// best-effort: the Manager degrades to a plain Reserve.
+	_, m := chain(t)
+	_, path, err := m.ReserveAvoiding(1, 3, 500, []core.HostID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 2 {
+		t.Fatalf("fallback path = %v, want the plain 1-2-3 route", path)
+	}
+}

@@ -1,0 +1,439 @@
+// Package session makes VC failure survivable. A Supervisor wraps a
+// transport entity; each Stream it manages is a send-side VC plus the
+// recovery policy that resurrects it. When the transport tears a VC down
+// for a network failure (liveness timeout or a remote network-failure
+// disconnect), the supervisor re-runs connection establishment and
+// admission under the VC's old identity — backing off between attempts,
+// routing around the failed incarnation's hops on alternate tries, and
+// optionally falling to a degraded QoS floor for the late attempts — then
+// replays the retained unacknowledged tail so the receiver observes one
+// unbroken OSDU sequence across the outage.
+//
+// The continuity contract: OSDUs accepted by Write are delivered exactly
+// once, in order, across any number of recoveries, except retained OSDUs
+// older than the retention age (continuous-media data goes stale; those
+// are dropped and counted under session/vc/<id>/expired).
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cmtos/internal/backoff"
+	"cmtos/internal/cbuf"
+	"cmtos/internal/core"
+	"cmtos/internal/qos"
+	"cmtos/internal/stats"
+	"cmtos/internal/transport"
+)
+
+// State is a Stream's position in the recovery state machine:
+// up -> suspect -> reconnecting -> resumed | abandoned.
+type State int
+
+const (
+	// StateUp: the original incarnation is carrying traffic.
+	StateUp State = iota
+	// StateSuspect: the transport reported the VC down; recovery is
+	// being prepared (resume point captured, unsent data drained).
+	StateSuspect
+	// StateReconnecting: resume attempts are in flight.
+	StateReconnecting
+	// StateResumed: a successor incarnation is carrying traffic.
+	StateResumed
+	// StateAbandoned: every attempt failed inside the policy deadline;
+	// the stream is dead and Write returns the abandonment error.
+	StateAbandoned
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateSuspect:
+		return "suspect"
+	case StateReconnecting:
+		return "reconnecting"
+	case StateResumed:
+		return "resumed"
+	case StateAbandoned:
+		return "abandoned"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Policy sets how hard a Supervisor fights for its streams.
+type Policy struct {
+	// Attempts is the number of resume tries per failure (default 4).
+	Attempts int
+	// Deadline bounds the total backoff across one failure's attempts
+	// (default 10s).
+	Deadline time.Duration
+	// RetainSlots caps the replay store (default 1024 OSDUs).
+	RetainSlots int
+	// RetainAge expires retained OSDUs older than the bound — the jitter
+	// budget beyond which continuous-media data is worthless. 0 keeps
+	// OSDUs until the slot cap evicts them.
+	RetainAge time.Duration
+	// FloorSpec, when set, is the degraded QoS floor offered on the back
+	// half of the attempts: better a thinner stream than a dead one.
+	FloorSpec *qos.Spec
+
+	// OnStateChange observes every transition. Callbacks run without
+	// internal locks held and may call back into the stream.
+	OnStateChange func(vc core.VCID, from, to State)
+	// OnResumed fires after a successful recovery: which attempt won and
+	// the sequence the receiver asked to resume from.
+	OnResumed func(vc core.VCID, attempt int, resumeFrom core.OSDUSeq)
+	// OnAbandoned fires when the policy gives a stream up.
+	OnAbandoned func(vc core.VCID, err error)
+}
+
+func (p *Policy) withDefaults() {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Deadline <= 0 {
+		p.Deadline = 10 * time.Second
+	}
+	if p.RetainSlots <= 0 {
+		p.RetainSlots = 1024
+	}
+}
+
+// Supervisor owns the entity's VC-down notifications and resurrects the
+// streams it manages. VCs not adopted into the supervisor fail as before.
+type Supervisor struct {
+	e   *transport.Entity
+	pol Policy
+
+	mu      sync.Mutex
+	streams map[core.VCID]*Stream
+}
+
+// New wraps an entity. The supervisor installs itself as the entity's
+// VC-down handler, so there is one supervisor per entity.
+func New(e *transport.Entity, pol Policy) *Supervisor {
+	pol.withDefaults()
+	sup := &Supervisor{e: e, pol: pol, streams: make(map[core.VCID]*Stream)}
+	e.SetVCDownHandler(sup.onDown)
+	return sup
+}
+
+// Entity returns the wrapped transport entity.
+func (sup *Supervisor) Entity() *transport.Entity { return sup.e }
+
+// Connect opens a VC through the entity and adopts it.
+func (sup *Supervisor) Connect(req transport.ConnectRequest) (*Stream, error) {
+	s, err := sup.e.Connect(req)
+	if err != nil {
+		return nil, err
+	}
+	return sup.Adopt(s, req.Spec), nil
+}
+
+// Adopt places an existing send VC under supervision. spec is what
+// recovery renegotiates with (the original requested QoS, not the
+// possibly-weakened contract). Retention starts here, so Adopt must run
+// before traffic flows — right after Connect returns.
+func (sup *Supervisor) Adopt(s *transport.SendVC, spec qos.Spec) *Stream {
+	st := &Stream{
+		sup:   sup,
+		vc:    s,
+		spec:  spec,
+		state: StateUp,
+		expired: sup.e.StatsScope().
+			Scope(fmt.Sprintf("session/vc/%d", uint32(s.ID()))).
+			Counter("expired"),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	s.EnableRetention(sup.pol.RetainSlots, sup.pol.RetainAge)
+	sup.mu.Lock()
+	sup.streams[s.ID()] = st
+	sup.mu.Unlock()
+	return st
+}
+
+// Stream returns the supervised stream for a VC, if any.
+func (sup *Supervisor) Stream(vc core.VCID) (*Stream, bool) {
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	st, ok := sup.streams[vc]
+	return st, ok
+}
+
+// Forget drops a stream from supervision (e.g. after a deliberate close);
+// a later failure of that VC is then final.
+func (sup *Supervisor) Forget(vc core.VCID) {
+	sup.mu.Lock()
+	delete(sup.streams, vc)
+	sup.mu.Unlock()
+}
+
+// onDown is the entity's VC-down notification. Only network failures are
+// recoverable; user- or application-initiated teardown stays final.
+func (sup *Supervisor) onDown(vc *transport.SendVC, reason core.Reason) {
+	if reason != core.ReasonNetworkFailure {
+		return
+	}
+	sup.mu.Lock()
+	st := sup.streams[vc.ID()]
+	sup.mu.Unlock()
+	if st == nil {
+		return
+	}
+	go st.recover(vc)
+}
+
+// Stream is one supervised send VC across all its incarnations.
+type Stream struct {
+	sup *Supervisor
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	vc         *transport.SendVC
+	spec       qos.Spec
+	state      State
+	abandonErr error
+	recoveries int
+	avoid      []core.HostID // intermediate hops of failed incarnations
+
+	expired *stats.Counter
+}
+
+// ID returns the stream's VC identity, stable across incarnations.
+func (st *Stream) ID() core.VCID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.vc.ID()
+}
+
+// State returns the stream's recovery state.
+func (st *Stream) State() State {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.state
+}
+
+// VC returns the current transport incarnation. It changes across
+// recoveries; prefer Write, which follows the live incarnation.
+func (st *Stream) VC() *transport.SendVC {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.vc
+}
+
+// Recoveries returns how many times the stream has been resurrected.
+func (st *Stream) Recoveries() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.recoveries
+}
+
+// Err returns the abandonment error, if the stream is abandoned.
+func (st *Stream) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.abandonErr
+}
+
+// Close tears the stream down deliberately and removes it from
+// supervision: a close must not be resurrected.
+func (st *Stream) Close() error {
+	st.mu.Lock()
+	vc := st.vc
+	st.mu.Unlock()
+	st.sup.Forget(vc.ID())
+	return vc.Close(core.ReasonUserInitiated)
+}
+
+// Write submits one OSDU. During recovery it blocks until the stream is
+// resumed or abandoned, so the application sees a stall, not an error —
+// the transparency the session layer exists for.
+func (st *Stream) Write(payload []byte, event core.EventPattern) (core.OSDUSeq, error) {
+	for {
+		st.mu.Lock()
+		for st.state == StateSuspect || st.state == StateReconnecting {
+			st.cond.Wait()
+		}
+		if st.state == StateAbandoned {
+			err := st.abandonErr
+			st.mu.Unlock()
+			return 0, err
+		}
+		vc := st.vc
+		st.mu.Unlock()
+
+		seq, err := vc.Write(payload, event)
+		if err == nil {
+			return seq, nil
+		}
+		// The incarnation died under the write. The down notification
+		// races the ring close by a hair, so give recovery a moment to
+		// announce itself before declaring the error final.
+		if !st.awaitTransition(vc, 250*time.Millisecond) {
+			return 0, err
+		}
+	}
+}
+
+// awaitTransition waits briefly for the stream to leave (vc, up): either a
+// recovery has started (state changed) or a successor was installed. It
+// reports whether anything changed.
+func (st *Stream) awaitTransition(vc *transport.SendVC, grace time.Duration) bool {
+	clk := st.sup.e.Clock()
+	deadline := clk.Now().Add(grace)
+	for {
+		st.mu.Lock()
+		changed := st.vc != vc || (st.state != StateUp && st.state != StateResumed)
+		st.mu.Unlock()
+		if changed {
+			return true
+		}
+		if !clk.Now().Before(deadline) {
+			return false
+		}
+		clk.Sleep(2 * time.Millisecond)
+	}
+}
+
+// setState applies a transition and fires the observer outside the lock.
+func (st *Stream) setState(to State) {
+	st.mu.Lock()
+	from := st.state
+	st.state = to
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	if fn := st.sup.pol.OnStateChange; fn != nil && from != to {
+		fn(st.vcIDQuiet(), from, to)
+	}
+}
+
+func (st *Stream) vcIDQuiet() core.VCID {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.vc.ID()
+}
+
+// recover resurrects the stream after incarnation old died. One recovery
+// runs at a time; stale notifications (an already-replaced incarnation)
+// are ignored.
+func (st *Stream) recover(old *transport.SendVC) {
+	st.mu.Lock()
+	if st.vc != old || st.state != StateUp && st.state != StateResumed {
+		st.mu.Unlock()
+		return
+	}
+	from := st.state
+	st.state = StateSuspect
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	if fn := st.sup.pol.OnStateChange; fn != nil {
+		fn(old.ID(), from, StateSuspect)
+	}
+
+	// Capture the resume point: sequence counters are final after
+	// teardown, the ring still holds the accepted-but-unsent remainder,
+	// and the dead path seeds the avoid set for alternate-route tries.
+	nextSeq, nextTPDU := old.ResumeState()
+	queued := old.DrainUnsent()
+	if p := old.Path(); len(p) > 2 {
+		st.mu.Lock()
+		for _, h := range p[1 : len(p)-1] {
+			if !hostIn(st.avoid, h) {
+				st.avoid = append(st.avoid, h)
+			}
+		}
+		st.mu.Unlock()
+	}
+	st.mu.Lock()
+	avoid := append([]core.HostID(nil), st.avoid...)
+	spec := st.spec
+	st.mu.Unlock()
+	st.setState(StateReconnecting)
+
+	pol := st.sup.pol
+	e := st.sup.e
+	sched := backoff.Schedule(pol.Deadline, pol.Attempts,
+		uint64(e.Host())<<32|uint64(old.ID()))
+	var lastErr error
+	for i, wait := range sched {
+		attemptSpec := spec
+		if pol.FloorSpec != nil && 2*i >= len(sched) {
+			attemptSpec = *pol.FloorSpec // degrade rather than die
+		}
+		var av []core.HostID
+		if i%2 == 1 {
+			// Alternate between hoping the old path healed and routing
+			// around every hop a failed incarnation ever used.
+			av = avoid
+		}
+		ns, resumeFrom, err := e.Resume(transport.ResumeRequest{
+			VC: old.ID(), Tuple: old.Tuple(),
+			Profile: old.Profile(), Class: old.Class(), Spec: attemptSpec,
+			Avoid: av, NextSeq: nextSeq, NextTPDU: nextTPDU,
+		})
+		if err == nil {
+			st.finishResume(old, ns, resumeFrom, nextSeq, queued, i)
+			return
+		}
+		lastErr = err
+		e.Clock().Sleep(wait)
+	}
+
+	st.mu.Lock()
+	st.abandonErr = fmt.Errorf("session: vc %v abandoned after %d attempts: %v",
+		old.ID(), len(sched), lastErr)
+	err := st.abandonErr
+	st.mu.Unlock()
+	st.setState(StateAbandoned)
+	if pol.OnAbandoned != nil {
+		pol.OnAbandoned(old.ID(), err)
+	}
+}
+
+// finishResume installs the successor incarnation and replays the tail:
+// retained OSDUs from the receiver's resume point up to the old write
+// frontier, then the accepted-but-unsent remainder, in sequence order.
+func (st *Stream) finishResume(old, ns *transport.SendVC, resumeFrom, nextSeq core.OSDUSeq, queued []cbuf.OSDU, attempt int) {
+	pol := st.sup.pol
+	ns.EnableRetention(pol.RetainSlots, pol.RetainAge)
+	replay, missed := old.Retainer().ReplayFrom(resumeFrom)
+	if missed > 0 {
+		// The outage outlived the retention bound: that stretch of the
+		// stream is gone (stale continuous media), accounted, not replayed.
+		st.expired.Add(uint64(missed))
+	}
+	for _, u := range replay {
+		if u.Seq >= nextSeq {
+			break
+		}
+		if err := ns.Replay(u); err != nil {
+			break // successor died already; its own down event re-enters recovery
+		}
+	}
+	for _, u := range queued {
+		if err := ns.Replay(u); err != nil {
+			break
+		}
+	}
+	st.mu.Lock()
+	st.vc = ns
+	st.recoveries++
+	st.mu.Unlock()
+	st.setState(StateResumed)
+	if pol.OnResumed != nil {
+		pol.OnResumed(ns.ID(), attempt+1, resumeFrom)
+	}
+}
+
+func hostIn(hs []core.HostID, h core.HostID) bool {
+	for _, x := range hs {
+		if x == h {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,390 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/netem"
+	"cmtos/internal/netif/faultnet"
+	"cmtos/internal/qos"
+	"cmtos/internal/resv"
+	"cmtos/internal/transport"
+)
+
+var sys clock.System
+
+// rig: a netem topology behind a fault injector, one entity per host, and
+// a reservation manager over the raw emulator (reservations outlive
+// injected faults, like a real resource manager would).
+type rig struct {
+	net   *netem.Network
+	fault *faultnet.Network
+	rm    *resv.Manager
+	ent   map[core.HostID]*transport.Entity
+}
+
+// newRig builds the given links (full duplex) and one entity per host.
+func newRig(t *testing.T, hosts []core.HostID, links [][2]core.HostID, bw map[[2]core.HostID]float64, cfg transport.Config) *rig {
+	t.Helper()
+	nw := netem.New(sys)
+	for _, h := range hosts {
+		if err := nw.AddHost(h, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range links {
+		b := 50e6
+		if x, ok := bw[l]; ok {
+			b = x
+		}
+		if err := nw.AddLink(l[0], l[1], netem.LinkConfig{
+			Bandwidth: b, Delay: 200 * time.Microsecond, QueueLen: 4096,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fn := faultnet.Wrap(nw, faultnet.Options{Seed: 11, Clock: sys})
+	t.Cleanup(fn.Close)
+	rm := resv.New(nw)
+	r := &rig{net: nw, fault: fn, rm: rm, ent: make(map[core.HostID]*transport.Entity)}
+	for _, h := range hosts {
+		e, err := transport.NewEntity(h, sys, fn, rm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		r.ent[h] = e
+	}
+	return r
+}
+
+func cmSpec() qos.Spec {
+	return qos.Spec{
+		Throughput:  qos.Tolerance{Preferred: 200, Acceptable: 150},
+		MaxOSDUSize: 2048,
+		Delay:       qos.CeilTolerance{Preferred: 0.001, Acceptable: 0.5},
+		Jitter:      qos.CeilTolerance{Preferred: 0.001, Acceptable: 0.5},
+		PER:         qos.CeilTolerance{Preferred: 0, Acceptable: 0.5},
+		BER:         qos.CeilTolerance{Preferred: 0, Acceptable: 1e-3},
+		Guarantee:   qos.Soft,
+	}
+}
+
+// sinkReader drains every incarnation of a sink VC into seqCh.
+func sinkReader(t *testing.T, e *transport.Entity, tsap core.TSAP, seqCh chan core.OSDUSeq) {
+	t.Helper()
+	recvCh := make(chan *transport.RecvVC, 4)
+	if err := e.Attach(tsap, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for rv := range recvCh {
+			for {
+				u, err := rv.Read()
+				if err != nil {
+					break
+				}
+				seqCh <- u.Seq
+			}
+		}
+	}()
+}
+
+func fastCfg() transport.Config {
+	return transport.Config{
+		KeepaliveInterval: 40 * time.Millisecond,
+		KeepaliveMisses:   2,
+		ConnectTimeout:    500 * time.Millisecond,
+	}
+}
+
+// TestStreamSurvivesPartition partitions the only path mid-stream and
+// checks the supervisor walks up -> suspect -> reconnecting -> resumed and
+// the receiver observes one gapless, duplicate-free OSDU sequence while
+// Write never returned an error.
+func TestStreamSurvivesPartition(t *testing.T) {
+	r := newRig(t, []core.HostID{1, 2}, [][2]core.HostID{{1, 2}}, nil, fastCfg())
+	seqCh := make(chan core.OSDUSeq, 256)
+	sinkReader(t, r.ent[2], 20, seqCh)
+
+	states := make(chan State, 16)
+	resumed := make(chan core.OSDUSeq, 1)
+	sup := New(r.ent[1], Policy{
+		Attempts: 6, Deadline: 8 * time.Second,
+		OnStateChange: func(vc core.VCID, from, to State) { states <- to },
+		OnResumed:     func(vc core.VCID, attempt int, fromSeq core.OSDUSeq) { resumed <- fromSeq },
+	})
+	st, err := sup.Connect(transport.ConnectRequest{
+		SrcTSAP: 10, Dest: core.Addr{Host: 2, TSAP: 20},
+		Profile: qos.ProfileCMRate, Class: qos.ClassDetectIndicate, Spec: cmSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 24
+	wrote := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			if _, err := st.Write([]byte(fmt.Sprintf("osdu-%03d", i)), 0); err != nil {
+				wrote <- fmt.Errorf("Write %d: %v", i, err)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		wrote <- nil
+	}()
+
+	time.Sleep(80 * time.Millisecond)
+	r.fault.Partition(1, 2)
+	r.fault.Partition(2, 1)
+	waitState(t, states, StateReconnecting)
+	r.fault.Heal(1, 2)
+	r.fault.Heal(2, 1)
+
+	select {
+	case <-resumed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream never resumed after heal")
+	}
+	if err := <-wrote; err != nil {
+		t.Fatal(err)
+	}
+	var got []core.OSDUSeq
+	deadline := time.After(10 * time.Second)
+	for len(got) < total {
+		select {
+		case s := <-seqCh:
+			got = append(got, s)
+		case <-deadline:
+			t.Fatalf("receiver stalled with %d/%d OSDUs: %v", len(got), total, got)
+		}
+	}
+	for i, s := range got {
+		if s != core.OSDUSeq(i) {
+			t.Fatalf("delivered sequence has gap/duplicate at %d: %v", i, got)
+		}
+	}
+	if st.Recoveries() != 1 {
+		t.Fatalf("Recoveries = %d, want 1", st.Recoveries())
+	}
+	if st.State() != StateResumed {
+		t.Fatalf("state = %v, want resumed", st.State())
+	}
+}
+
+// TestStreamAbandonedPastDeadline keeps the partition up past the policy
+// deadline: the stream must end abandoned and Write must surface the
+// abandonment error.
+func TestStreamAbandonedPastDeadline(t *testing.T) {
+	r := newRig(t, []core.HostID{1, 2}, [][2]core.HostID{{1, 2}}, nil, fastCfg())
+	seqCh := make(chan core.OSDUSeq, 64)
+	sinkReader(t, r.ent[2], 20, seqCh)
+
+	abandoned := make(chan error, 1)
+	sup := New(r.ent[1], Policy{
+		Attempts: 2, Deadline: 600 * time.Millisecond,
+		OnAbandoned: func(vc core.VCID, err error) { abandoned <- err },
+	})
+	st, err := sup.Connect(transport.ConnectRequest{
+		SrcTSAP: 10, Dest: core.Addr{Host: 2, TSAP: 20},
+		Profile: qos.ProfileCMRate, Class: qos.ClassDetectIndicate, Spec: cmSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	r.fault.Partition(1, 2)
+	r.fault.Partition(2, 1)
+	select {
+	case err := <-abandoned:
+		if err == nil {
+			t.Fatal("abandonment reported a nil error")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("stream never abandoned")
+	}
+	if st.State() != StateAbandoned {
+		t.Fatalf("state = %v, want abandoned", st.State())
+	}
+	if _, err := st.Write([]byte("y"), 0); err == nil {
+		t.Fatal("Write on an abandoned stream succeeded")
+	}
+}
+
+// TestStreamReroutesAroundCongestedHop runs the VC over the diamond
+// 1-{2,3}-4 (default route via 2), kills it, then congests the 1-2 arm so
+// the straight resume cannot readmit. The supervisor's avoid-set attempt
+// must re-reserve via host 3 and resume there.
+func TestStreamReroutesAroundCongestedHop(t *testing.T) {
+	links := [][2]core.HostID{{1, 2}, {1, 3}, {2, 4}, {3, 4}}
+	bw := map[[2]core.HostID]float64{{1, 2}: 1e6, {2, 4}: 1e6}
+	r := newRig(t, []core.HostID{1, 2, 3, 4}, links, bw, fastCfg())
+	seqCh := make(chan core.OSDUSeq, 64)
+	sinkReader(t, r.ent[4], 20, seqCh)
+
+	resumed := make(chan struct{}, 1)
+	sup := New(r.ent[1], Policy{
+		Attempts: 6, Deadline: 8 * time.Second,
+		OnResumed: func(core.VCID, int, core.OSDUSeq) { resumed <- struct{}{} },
+	})
+	st, err := sup.Connect(transport.ConnectRequest{
+		SrcTSAP: 10, Dest: core.Addr{Host: 4, TSAP: 20},
+		Profile: qos.ProfileCMRate, Class: qos.ClassDetectIndicate, Spec: cmSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := st.VC().Path(); len(p) != 3 || p[1] != 2 {
+		t.Fatalf("initial path = %v, want via host 2", p)
+	}
+	const before = 4
+	for i := 0; i < before; i++ {
+		if _, err := st.Write([]byte(fmt.Sprintf("osdu-%03d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r.fault.Partition(1, 4)
+	r.fault.Partition(4, 1)
+	// Wait for the teardown to release the old reservation, then congest
+	// the 1-2 arm: 700 kB/s of the 900 reservable leaves too little for
+	// the stream's acceptable floor.
+	waitFor(t, 10*time.Second, func() bool { return st.State() != StateUp })
+	waitFor(t, 5*time.Second, func() bool { return r.rm.Count() == 0 })
+	if _, _, err := r.rm.Reserve(1, 2, 700e3); err != nil {
+		t.Fatal(err)
+	}
+	r.fault.Heal(1, 4)
+	r.fault.Heal(4, 1)
+
+	select {
+	case <-resumed:
+	case <-time.After(15 * time.Second):
+		t.Fatal("stream never resumed via the alternate arm")
+	}
+	if p := st.VC().Path(); len(p) != 3 || p[1] != 3 {
+		t.Fatalf("resumed path = %v, want via host 3", p)
+	}
+	const after = 4
+	for i := 0; i < after; i++ {
+		if _, err := st.Write([]byte(fmt.Sprintf("osdu-%03d", before+i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []core.OSDUSeq
+	deadline := time.After(10 * time.Second)
+	for len(got) < before+after {
+		select {
+		case s := <-seqCh:
+			got = append(got, s)
+		case <-deadline:
+			t.Fatalf("receiver stalled with %d/%d OSDUs: %v", len(got), before+after, got)
+		}
+	}
+	for i, s := range got {
+		if s != core.OSDUSeq(i) {
+			t.Fatalf("delivered sequence has gap/duplicate at %d: %v", i, got)
+		}
+	}
+}
+
+// TestStreamDegradesToFloorSpec heals the network only after the first
+// half of the attempts burned, with the original rate no longer
+// admissible: the late attempts must offer the degraded floor and resume
+// with a thinner contract instead of abandoning.
+func TestStreamDegradesToFloorSpec(t *testing.T) {
+	bw := map[[2]core.HostID]float64{{1, 2}: 1e6}
+	r := newRig(t, []core.HostID{1, 2}, [][2]core.HostID{{1, 2}}, bw, fastCfg())
+	seqCh := make(chan core.OSDUSeq, 64)
+	sinkReader(t, r.ent[2], 20, seqCh)
+
+	floor := cmSpec()
+	floor.Throughput = qos.Tolerance{Preferred: 60, Acceptable: 30}
+	resumed := make(chan struct{}, 1)
+	sup := New(r.ent[1], Policy{
+		Attempts: 4, Deadline: 6 * time.Second, FloorSpec: &floor,
+		OnResumed: func(core.VCID, int, core.OSDUSeq) { resumed <- struct{}{} },
+	})
+	st, err := sup.Connect(transport.ConnectRequest{
+		SrcTSAP: 10, Dest: core.Addr{Host: 2, TSAP: 20},
+		Profile: qos.ProfileCMRate, Class: qos.ClassDetectIndicate, Spec: cmSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("osdu-000"), 0); err != nil {
+		t.Fatal(err)
+	}
+	r.fault.Partition(1, 2)
+	r.fault.Partition(2, 1)
+	waitFor(t, 10*time.Second, func() bool { return st.State() == StateReconnecting })
+	waitFor(t, 5*time.Second, func() bool { return r.rm.Count() == 0 })
+	// Congest the link so the original 150-OSDU/s floor no longer fits;
+	// only the degraded floor (30/s acceptable) is admissible.
+	if _, _, err := r.rm.Reserve(1, 2, 700e3); err != nil {
+		t.Fatal(err)
+	}
+	r.fault.Heal(1, 2)
+	r.fault.Heal(2, 1)
+
+	select {
+	case <-resumed:
+	case <-time.After(15 * time.Second):
+		t.Fatal("stream never resumed at the degraded floor")
+	}
+	c := st.VC().Contract()
+	if c.Throughput > 100 {
+		t.Fatalf("resumed contract throughput = %g, want degraded (<= 100)", c.Throughput)
+	}
+	if _, err := st.Write([]byte("osdu-001"), 0); err != nil {
+		t.Fatal(err)
+	}
+	for want := core.OSDUSeq(0); want < 2; {
+		select {
+		case s := <-seqCh:
+			if s != want {
+				t.Fatalf("delivered %d, want %d", s, want)
+			}
+			want++
+		case <-time.After(10 * time.Second):
+			t.Fatalf("receiver stalled before OSDU %d", want)
+		}
+	}
+}
+
+func waitState(t *testing.T, states chan State, want State) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case s := <-states:
+			if s == want {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("state %v never reached", want)
+		}
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

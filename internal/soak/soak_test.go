@@ -27,6 +27,7 @@ import (
 	"cmtos/internal/orch/hlo"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
+	"cmtos/internal/session"
 	"cmtos/internal/transport"
 	"cmtos/internal/udpnet"
 )
@@ -47,8 +48,25 @@ type stack struct {
 	rms    []counter
 
 	mu       sync.Mutex
+	sups     map[core.HostID]*session.Supervisor // lazily built, one per host
 	closed   bool
 	closeFns []func() // run LIFO on shutdown
+}
+
+// supervisor returns the host's session supervisor, building it on first
+// use (a supervisor owns the entity's VC-down notifications).
+func (s *stack) supervisor(h core.HostID) *session.Supervisor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sups == nil {
+		s.sups = make(map[core.HostID]*session.Supervisor)
+	}
+	if s.sups[h] == nil {
+		s.sups[h] = session.New(s.hosts[h], session.Policy{
+			Attempts: 8, Deadline: 8 * time.Second,
+		})
+	}
+	return s.sups[h]
 }
 
 func (s *stack) onClose(fn func()) { s.closeFns = append(s.closeFns, fn) }
@@ -185,40 +203,57 @@ func soakSpec(rate float64) qos.Spec {
 }
 
 // stream is one orchestrated connection with a paced source pump and a
-// greedy sink reader; both exit when the VC dies or the stack closes.
+// greedy sink reader; both exit when the VC dies or the stack closes. A
+// supervised stream writes through the session layer instead, so a VC
+// death stalls the pump until recovery wins or gives up.
 type stream struct {
 	desc  orch.VCDesc
 	send  *transport.SendVC
+	sess  *session.Stream // non-nil when supervised
 	reads atomic.Int64
 }
 
-func connectStream(t *testing.T, s *stack, src core.HostID, idx int, rate float64) *stream {
+func connectStream(t *testing.T, s *stack, src core.HostID, idx int, rate float64, supervise bool) *stream {
 	t.Helper()
-	recvCh := make(chan *transport.RecvVC, 1)
+	recvCh := make(chan *transport.RecvVC, 4)
 	sinkTSAP := core.TSAP(100 + idx)
 	if err := s.hosts[3].Attach(sinkTSAP, transport.UserCallbacks{
 		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
 	}); err != nil {
 		t.Fatal(err)
 	}
-	sv, err := s.hosts[src].Connect(transport.ConnectRequest{
+	req := transport.ConnectRequest{
 		SrcTSAP: core.TSAP(10 + idx),
 		Dest:    core.Addr{Host: 3, TSAP: sinkTSAP},
 		Class:   qos.ClassDetectIndicate,
 		Spec:    soakSpec(rate * 1.5),
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
-	var rv *transport.RecvVC
-	select {
-	case rv = <-recvCh:
-	case <-time.After(5 * time.Second):
-		t.Fatal("sink handle never arrived")
+	st := &stream{}
+	if supervise {
+		sess, err := s.supervisor(src).Connect(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.sess = sess
+		st.send = sess.VC()
+	} else {
+		sv, err := s.hosts[src].Connect(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.send = sv
 	}
-	st := &stream{send: sv, desc: orch.VCDesc{VC: sv.ID(), Source: src, Sink: 3}}
+	st.desc = orch.VCDesc{VC: st.send.ID(), Source: src, Sink: 3}
 	stop := make(chan struct{})
 	s.onClose(func() { close(stop) })
+	write := func(p []byte) error {
+		if st.sess != nil {
+			_, err := st.sess.Write(p, 0)
+			return err
+		}
+		_, err := st.send.Write(p, 0)
+		return err
+	}
 	go func() {
 		payload := make([]byte, 32)
 		start := sys.Now()
@@ -232,17 +267,25 @@ func connectStream(t *testing.T, s *stack, src core.HostID, idx int, rate float6
 			if d := due.Sub(sys.Now()); d > 0 {
 				sys.Sleep(d)
 			}
-			if _, err := sv.Write(payload, 0); err != nil {
+			if err := write(payload); err != nil {
 				return
 			}
 		}
 	}()
 	go func() {
 		for {
-			if _, err := rv.Read(); err != nil {
+			var rv *transport.RecvVC
+			select {
+			case rv = <-recvCh:
+			case <-stop:
 				return
 			}
-			st.reads.Add(1)
+			for {
+				if _, err := rv.Read(); err != nil {
+					break
+				}
+				st.reads.Add(1)
+			}
 		}
 	}()
 	return st
@@ -258,6 +301,45 @@ type regime struct {
 	// mid runs mid-session (partitions, crashes); nil sleeps instead.
 	mid   func(t *testing.T, s *stack)
 	crash bool // expects host 1 to die and the agent to degrade
+	// supervise wraps the source VCs in session supervisors so transient
+	// faults are recovered instead of fatal.
+	supervise bool
+	// post runs after mid (and the crash checks) to assert the recovered
+	// steady state; only called when the session started.
+	post func(t *testing.T, s *stack, a, b *stream, agent *hlo.Agent)
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return cond()
+}
+
+// assertRecovered is the shared post-fault check: the group must return
+// to full membership with regulation resumed, and the recovered stream
+// must deliver again.
+func assertRecovered(t *testing.T, a *stream, agent *hlo.Agent) {
+	t.Helper()
+	if !waitUntil(20*time.Second, func() bool {
+		return !agent.Degraded() && len(agent.DeadHosts()) == 0
+	}) {
+		t.Errorf("group never returned to full membership: degraded=%v dead=%v",
+			agent.Degraded(), agent.DeadHosts())
+		return
+	}
+	if st := agent.Status(); len(st) != 2 {
+		t.Errorf("regulation covers %d streams after recovery, want 2", len(st))
+	}
+	before := a.reads.Load()
+	if !waitUntil(10*time.Second, func() bool { return a.reads.Load() > before }) {
+		t.Errorf("recovered stream never resumed delivery (stuck at %d reads)", before)
+	}
 }
 
 func mirror(s *stack, apply func(f *faultnet.Network)) {
@@ -284,18 +366,30 @@ func regimes() []regime {
 			f.SetDelay(0.05, 5*time.Millisecond)
 		}},
 		{name: "heavy-drop", long: true, scalars: func(f *faultnet.Network) { f.SetDrop(0.2) }},
-		{name: "partition", long: true, mid: func(t *testing.T, s *stack) {
+		{name: "partition", long: true, supervise: true, mid: func(t *testing.T, s *stack) {
 			time.Sleep(200 * time.Millisecond)
 			mirror(s, func(f *faultnet.Network) {
 				f.Partition(1, 3)
 				f.Partition(3, 1)
 			})
-			time.Sleep(500 * time.Millisecond)
+			// Outlast keepalive detection (2 × 200ms) so the VC really
+			// dies and the heal exercises session recovery, not luck.
+			time.Sleep(1500 * time.Millisecond)
 			mirror(s, func(f *faultnet.Network) {
 				f.Heal(1, 3)
 				f.Heal(3, 1)
 			})
 			time.Sleep(800 * time.Millisecond)
+		}, post: func(t *testing.T, s *stack, a, b *stream, agent *hlo.Agent) {
+			assertRecovered(t, a, agent)
+		}},
+		{name: "crash-restart", long: true, supervise: true, mid: func(t *testing.T, s *stack) {
+			time.Sleep(300 * time.Millisecond)
+			mirror(s, func(f *faultnet.Network) { f.Crash(1) })
+			time.Sleep(1500 * time.Millisecond)
+			mirror(s, func(f *faultnet.Network) { f.Restore(1) })
+		}, post: func(t *testing.T, s *stack, a, b *stream, agent *hlo.Agent) {
+			assertRecovered(t, a, agent)
 		}},
 	}
 }
@@ -306,8 +400,8 @@ func runSoak(t *testing.T, build func(*testing.T, int64) *stack, rg regime, seed
 	checkGoroutines := nettest.CheckGoroutines(t)
 	s := build(t, seed)
 
-	a := connectStream(t, s, 1, 0, 100)
-	b := connectStream(t, s, 2, 1, 100)
+	a := connectStream(t, s, 1, 0, 100, rg.supervise)
+	b := connectStream(t, s, 2, 1, 100, rg.supervise)
 	vcs := []core.VCID{a.desc.VC, b.desc.VC}
 
 	if rg.scalars != nil {
@@ -363,6 +457,9 @@ func runSoak(t *testing.T, build func(*testing.T, int64) *stack, rg regime, seed
 				t.Errorf("surviving stream stalled: %d -> %d", before, after)
 			}
 		}
+	}
+	if rg.post != nil && started {
+		rg.post(t, s, a, b, agent)
 	}
 	if rg.name == "clean" {
 		if a.reads.Load() == 0 || b.reads.Load() == 0 {

@@ -49,12 +49,13 @@ func (e *Entity) connectAsSource(tup core.ConnectTuple, profile qos.Profile, cla
 	// Reserve along the path (hard and soft guarantees reserve; best
 	// effort does not).
 	var resvID resv.ID
+	var path []core.HostID
 	if contract.Guarantee != qos.BestEffort {
-		id, _, err := e.rm.Reserve(tup.Source.Host, tup.Dest.Host, e.bytesPerSecond(contract))
+		id, p, err := e.rm.Reserve(tup.Source.Host, tup.Dest.Host, e.bytesPerSecond(contract))
 		if err != nil {
 			return nil, &RejectError{Reason: core.ReasonNoResources, Detail: err.Error()}
 		}
-		resvID = id
+		resvID, path = id, p
 	}
 	release := func() {
 		if resvID != 0 {
@@ -84,6 +85,7 @@ func (e *Entity) connectAsSource(tup core.ConnectTuple, profile qos.Profile, cla
 	}
 
 	s := newSendVC(e, vc, tup, profile, class, final, resvID)
+	s.path = path
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()

@@ -48,6 +48,9 @@ type Entity struct {
 	dgramFn    map[core.TSAP]func(from core.HostID, d *pdu.Datagram)
 	traceFn    func(at string, p core.Primitive)
 	peerDownFn func(peer core.HostID, vcs []core.VCID)
+	vcDownFn   func(s *SendVC, reason core.Reason)
+	resumable  map[core.VCID]*RecvVC // torn-down sinks awaiting a possible resume
+	resumableQ []resumableKey        // insertion order, for eviction
 	closed     bool
 
 	// Peer-liveness state, under its own mutex so the per-packet
@@ -66,18 +69,19 @@ type Entity struct {
 // skewed relative to other hosts).
 func NewEntity(host core.HostID, clk clock.Clock, net netif.Network, rm resv.Reserver, cfg Config) (*Entity, error) {
 	e := &Entity{
-		host:     host,
-		clk:      clk,
-		net:      net,
-		rm:       rm,
-		cfg:      cfg.withDefaults(),
-		scope:    cfg.Stats.Scope(fmt.Sprintf("host/%d", uint32(host))),
-		users:    make(map[core.TSAP]UserCallbacks),
-		sends:    make(map[core.VCID]*SendVC),
-		recvs:    make(map[core.VCID]*RecvVC),
-		pending:  make(map[uint32]chan *pdu.Control),
-		served:   make(map[servedKey]*servedEntry),
-		workDone: make(chan struct{}),
+		host:      host,
+		clk:       clk,
+		net:       net,
+		rm:        rm,
+		cfg:       cfg.withDefaults(),
+		scope:     cfg.Stats.Scope(fmt.Sprintf("host/%d", uint32(host))),
+		users:     make(map[core.TSAP]UserCallbacks),
+		sends:     make(map[core.VCID]*SendVC),
+		recvs:     make(map[core.VCID]*RecvVC),
+		pending:   make(map[uint32]chan *pdu.Control),
+		served:    make(map[servedKey]*servedEntry),
+		resumable: make(map[core.VCID]*RecvVC),
+		workDone:  make(chan struct{}),
 	}
 	// One TPDU must fit one substrate packet: shrink the TPDU bound to
 	// the substrate's MTU minus framing when the substrate has one.
@@ -412,6 +416,10 @@ func (e *Entity) request(dst core.HostID, c *pdu.Control) (*pdu.Control, error) 
 				return nil, ErrClosed
 			}
 			return reply, nil
+		case <-e.workDone:
+			// Entity shutdown must not sleep out the remaining backoff
+			// window: abandon the exchange immediately.
+			return nil, ErrClosed
 		case <-e.clk.After(wait):
 		}
 	}
@@ -486,7 +494,7 @@ func (e *Entity) onPacket(p netif.Packet) {
 func (e *Entity) onControl(from core.HostID, c *pdu.Control) {
 	switch c.Kind {
 	case pdu.KindConnConf, pdu.KindConnRej, pdu.KindRenegConf, pdu.KindRenegRej,
-		pdu.KindRemoteConnResult:
+		pdu.KindRemoteConnResult, pdu.KindResumeConf:
 		e.mu.Lock()
 		ch := e.pending[c.Token]
 		e.mu.Unlock()
@@ -498,6 +506,8 @@ func (e *Entity) onControl(from core.HostID, c *pdu.Control) {
 		}
 	case pdu.KindConnReq:
 		e.dispatch(func() { e.handleConnReq(from, c) })
+	case pdu.KindResumeReq:
+		e.dispatch(func() { e.handleResumeReq(from, c) })
 	case pdu.KindRemoteConnReq:
 		e.dispatch(func() { e.handleRemoteConnReq(from, c) })
 	case pdu.KindRemoteDiscReq:
@@ -565,6 +575,9 @@ func (e *Entity) handleDiscReq(c *pdu.Control) {
 		s.teardown()
 		if u, ok := e.user(s.tuple.Source.TSAP); ok && u.OnDisconnect != nil {
 			u.OnDisconnect(c.VC, c.Reason, false)
+		}
+		if c.Reason == core.ReasonNetworkFailure {
+			e.notifyVCDown(s, c.Reason)
 		}
 	}
 	if r, ok := e.SinkVC(c.VC); ok {

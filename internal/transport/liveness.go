@@ -118,6 +118,7 @@ func (e *Entity) livenessTick() {
 // sees OnDisconnect(..., live=false).
 func (e *Entity) declarePeerDead(peer core.HostID, vcs []core.VCID) {
 	e.scope.Counter("liveness/peer_deaths").Inc()
+	e.scope.Counter("peer_deaths").Inc()
 	e.lv.Lock()
 	delete(e.lv.lastHeard, peer)
 	delete(e.lv.misses, peer)
@@ -129,6 +130,7 @@ func (e *Entity) declarePeerDead(peer core.HostID, vcs []core.VCID) {
 			if u, ok := e.user(s.tuple.Source.TSAP); ok && u.OnDisconnect != nil {
 				u.OnDisconnect(vc, core.ReasonNetworkFailure, false)
 			}
+			e.notifyVCDown(s, core.ReasonNetworkFailure)
 		}
 		if r, ok := e.SinkVC(vc); ok && r.tuple.Source.Host == peer {
 			e.trace("dest", core.TDisconnectIndication)

@@ -56,6 +56,13 @@ type RecvVC struct {
 	missing     map[uint64]time.Time       // TPDU gaps (correcting classes)
 	inOrderRun  int                        // TPDUs since last ack
 	xoff        bool
+	expectAdopt bool // resumed VC: adopt the first TPDU seq seen as the baseline
+
+	// Resume identity (set by initResume): the watermark this incarnation
+	// was built on and the handshake token that built it, for idempotent
+	// re-confirmation of a retransmitted ResumeReq.
+	resumeBase core.OSDUSeq
+	resumeTok  uint32
 
 	delivered    atomic.Uint64 // OSDUs handed to the application
 	deliveredSeq atomic.Uint64 // sequence number just past the last delivered OSDU
@@ -143,6 +150,20 @@ func newRecvVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profi
 	// overflow in the reorder stage, timed via protoStall instead).
 	r.ring.SetBlockStats(nil, sc.Histogram("block_app_seconds", stats.DurationBuckets()))
 	return r
+}
+
+// initResume configures a successor RecvVC to continue the failed
+// incarnation's stream: OSDU delivery picks up exactly at the sealed
+// watermark, DeliveredSeq reflects everything the old incarnation handed
+// over, and the TPDU tracker adopts the sender's continued numbering from
+// the first TPDU it sees instead of expecting a restart at 1. Must run
+// before start().
+func (r *RecvVC) initResume(base core.OSDUSeq, tok uint32) {
+	r.resumeBase = base
+	r.resumeTok = tok
+	r.nextDeliver = base
+	r.expectAdopt = true
+	r.deliveredSeq.Store(uint64(base))
 }
 
 // setLateBound refreshes the cached delay+jitter bound used to count
@@ -448,6 +469,15 @@ func (r *RecvVC) onData(d *pdu.Data) {
 // trackTPDU advances the in-order TPDU tracking and, for acknowledging
 // classes, maintains the missing set and triggers acks. Caller holds rxMu.
 func (r *RecvVC) trackTPDU(seq uint64) {
+	if r.expectAdopt {
+		// Resumed VC: the sender continued the old incarnation's TPDU
+		// numbering, so the first TPDU seen sets the in-order baseline.
+		r.expected = seq
+		if seq > 0 {
+			r.maxSeen = seq - 1
+		}
+		r.expectAdopt = false
+	}
 	newGap := false
 	switch {
 	case seq == r.expected:
@@ -780,5 +810,9 @@ func (r *RecvVC) teardown() {
 		close(r.done)
 		r.ring.Close()
 		r.e.dropRecv(r)
+		// Tombstone for a possible resume: Close (unlike Seal) lets the
+		// application drain what is already buffered, and the consumed
+		// watermark keeps advancing until a resume seals it.
+		r.e.noteResumable(r)
 	})
 }

@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/qos"
+)
+
+// resumeRig wires a 2-host fault rig with retention on the source VC and a
+// recv channel wide enough to observe both incarnations of the sink.
+func resumeRig(t *testing.T, cfg Config) (*faultRig, *SendVC, *RecvVC, chan *RecvVC) {
+	t.Helper()
+	fr := newFaultRig(t, 2, cfg)
+	recvCh := make(chan *RecvVC, 2)
+	if err := fr.ent[2].Attach(20, UserCallbacks{
+		OnRecvReady: func(rv *RecvVC) { recvCh <- rv },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := fr.ent[1].Connect(ConnectRequest{
+		SrcTSAP: 10,
+		Dest:    core.Addr{Host: 2, TSAP: 20},
+		Profile: qos.ProfileCMRate,
+		Class:   qos.ClassDetectIndicate,
+		Spec:    cmSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableRetention(256, 0)
+	select {
+	case rv := <-recvCh:
+		return fr, s, rv, recvCh
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnRecvReady never fired")
+		return nil, nil, nil, nil
+	}
+}
+
+// TestResumeContinuesOSDUSequence kills the path under a VC mid-stream,
+// resumes it, replays the retained tail, and checks the receiver observes
+// one unbroken OSDU sequence: no gap, no duplicate, across the failure.
+func TestResumeContinuesOSDUSequence(t *testing.T) {
+	cfg := Config{KeepaliveInterval: 40 * time.Millisecond, KeepaliveMisses: 2}
+	fr, s, rv, recvCh := resumeRig(t, cfg)
+
+	downCh := make(chan core.VCID, 1)
+	fr.ent[1].SetVCDownHandler(func(vc *SendVC, reason core.Reason) {
+		if reason == core.ReasonNetworkFailure {
+			downCh <- vc.ID()
+		}
+	})
+
+	const before = 8
+	for i := 0; i < before; i++ {
+		if _, err := s.Write([]byte(fmt.Sprintf("osdu-%03d", i)), 0); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	// Deliver the first half; the rest is in flight or queued when the
+	// network dies.
+	var got []core.OSDUSeq
+	for i := 0; i < before/2; i++ {
+		u, err := rv.Read()
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		got = append(got, u.Seq)
+	}
+
+	fr.fault.Partition(1, 2)
+	fr.fault.Partition(2, 1)
+	select {
+	case vc := <-downCh:
+		if vc != s.ID() {
+			t.Fatalf("VC-down hook fired for %v, want %v", vc, s.ID())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("VC-down hook never fired after partition")
+	}
+	// Let the sink notice the death too, so the resume exercises the
+	// tombstone path rather than racing the live RecvVC.
+	waitFor(t, 5*time.Second, func() bool {
+		_, live := fr.ent[2].SinkVC(s.ID())
+		return !live
+	})
+
+	fr.fault.Heal(1, 2)
+	fr.fault.Heal(2, 1)
+
+	nextSeq, nextTPDU := s.ResumeState()
+	queued := s.DrainUnsent()
+	ns, resumeFrom, err := fr.ent[1].Resume(ResumeRequest{
+		VC: s.ID(), Tuple: s.Tuple(),
+		Profile: s.Profile(), Class: s.Class(), Spec: cmSpec(),
+		NextSeq: nextSeq, NextTPDU: nextTPDU,
+	})
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if want := core.OSDUSeq(before / 2); resumeFrom != want {
+		t.Fatalf("resume point = %d, want %d (receiver had delivered that many)", resumeFrom, want)
+	}
+	replay, missed := s.Retainer().ReplayFrom(resumeFrom)
+	if missed != 0 {
+		t.Fatalf("retainer lost %d OSDUs inside the replay range", missed)
+	}
+	for _, u := range replay {
+		if u.Seq >= nextSeq {
+			break
+		}
+		if err := ns.Replay(u); err != nil {
+			t.Fatalf("Replay seq %d: %v", u.Seq, err)
+		}
+	}
+	for _, u := range queued {
+		if err := ns.Replay(u); err != nil {
+			t.Fatalf("Replay queued seq %d: %v", u.Seq, err)
+		}
+	}
+
+	var nrv *RecvVC
+	select {
+	case nrv = <-recvCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnRecvReady never fired for the resumed VC")
+	}
+	if nrv.ID() != s.ID() {
+		t.Fatalf("resumed sink VC id = %v, want %v", nrv.ID(), s.ID())
+	}
+
+	// Fresh writes continue after the replayed tail.
+	const after = 4
+	for i := 0; i < after; i++ {
+		if _, err := ns.Write([]byte(fmt.Sprintf("osdu-%03d", before+i)), 0); err != nil {
+			t.Fatalf("post-resume Write %d: %v", i, err)
+		}
+	}
+	for len(got) < before+after {
+		u, err := nrv.Read()
+		if err != nil {
+			t.Fatalf("post-resume Read: %v", err)
+		}
+		got = append(got, u.Seq)
+	}
+	for i, seq := range got {
+		if seq != core.OSDUSeq(i) {
+			t.Fatalf("delivered sequence %v has gap/duplicate at index %d (seq %d)", got, i, seq)
+		}
+	}
+	if ds := nrv.DeliveredSeq(); ds != core.OSDUSeq(before+after) {
+		t.Fatalf("DeliveredSeq = %d, want %d", ds, before+after)
+	}
+}
+
+// TestResumeUnknownVCRejected checks a resume for a VC the sink knows
+// nothing about is refused with ReasonNoSuchVC instead of fabricating
+// state.
+func TestResumeUnknownVCRejected(t *testing.T) {
+	fr := newFaultRig(t, 2, Config{KeepaliveInterval: -1})
+	if err := fr.ent[2].Attach(20, UserCallbacks{}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := fr.ent[1].Resume(ResumeRequest{
+		VC:    core.VCID(0x9999),
+		Tuple: core.ConnectTuple{Source: core.Addr{Host: 1, TSAP: 10}, Dest: core.Addr{Host: 2, TSAP: 20}},
+		Class: qos.ClassDetectIndicate, Profile: qos.ProfileCMRate, Spec: cmSpec(),
+		NextSeq: 5, NextTPDU: 7,
+	})
+	rej, ok := err.(*RejectError)
+	if !ok || rej.Reason != core.ReasonNoSuchVC {
+		t.Fatalf("Resume of unknown VC = %v, want RejectError(ReasonNoSuchVC)", err)
+	}
+}
+
+// TestCloseUnblocksPendingRequest pins the shutdown/backoff interaction:
+// an entity closed while a confirmed control exchange is sleeping out its
+// retransmission backoff must abandon the exchange immediately instead of
+// sleeping the rest of the (possibly long) ConnectTimeout.
+func TestCloseUnblocksPendingRequest(t *testing.T) {
+	fr := newFaultRig(t, 2, Config{
+		ConnectTimeout:    30 * time.Second,
+		KeepaliveInterval: -1,
+	})
+	fr.fault.Crash(2) // no replies: the exchange can only end by timeout or close
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fr.ent[1].Connect(ConnectRequest{
+			SrcTSAP: 10,
+			Dest:    core.Addr{Host: 2, TSAP: 20},
+			Profile: qos.ProfileCMRate,
+			Class:   qos.ClassDetectIndicate,
+			Spec:    cmSpec(),
+		})
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the exchange enter its backoff sleep
+	start := time.Now()
+	fr.ent[1].Close()
+	select {
+	case err := <-errCh:
+		if err != ErrClosed {
+			t.Fatalf("Connect after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Connect still blocked 2s after Close; shutdown slept out the backoff")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Connect took %v to notice Close", elapsed)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -34,6 +34,14 @@ type SendVC struct {
 
 	ring *cbuf.Ring
 
+	// retain, when enabled by the session layer, keeps copies of OSDUs
+	// popped from the ring so a resumed VC can replay from the sink's
+	// delivery watermark. Atomic because EnableRetention may run after the
+	// send loop is already draining the ring. path is the admitted route
+	// (nil for best effort), kept so recovery can avoid its dead hops.
+	retain atomic.Pointer[cbuf.Retainer]
+	path   []core.HostID
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	contract qos.Contract
@@ -269,6 +277,55 @@ func (s *SendVC) Close(reason core.Reason) error {
 	return s.e.Disconnect(s.id, reason)
 }
 
+// EnableRetention attaches a replay store to the VC: every OSDU popped from
+// the ring is copied and held (at most slots entries, each at most maxAge)
+// so a session-layer resume can replay unacknowledged data. Must be called
+// before traffic flows — typically right after Connect returns.
+func (s *SendVC) EnableRetention(slots int, maxAge time.Duration) *cbuf.Retainer {
+	rt := cbuf.NewRetainer(s.e.clk, slots, maxAge)
+	s.retain.Store(rt)
+	return rt
+}
+
+// Retainer returns the replay store installed by EnableRetention, or nil.
+func (s *SendVC) Retainer() *cbuf.Retainer { return s.retain.Load() }
+
+// Path returns the admitted route for the VC's reservation (nil when best
+// effort). The session layer uses it to avoid dead hops on recovery.
+func (s *SendVC) Path() []core.HostID { return s.path }
+
+// ResumeState snapshots the sequence counters a successor VC must carry
+// over: the next unassigned OSDU sequence and the last TPDU sequence used.
+// Meant to be read after teardown, when both counters are final.
+func (s *SendVC) ResumeState() (nextSeq core.OSDUSeq, nextTPDU uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq, s.tpduSeq
+}
+
+// DrainUnsent removes and returns every OSDU still queued in the ring —
+// accepted by Write but never handed to the protocol thread. Used after
+// teardown to fold the queued remainder into a resume replay.
+func (s *SendVC) DrainUnsent() []cbuf.OSDU { return s.ring.Drain() }
+
+// Replay re-enqueues a retained OSDU on a resumed VC without assigning a
+// new sequence number: the OSDU keeps the sequence the failed incarnation
+// gave it, so the receiver observes one unbroken stream.
+func (s *SendVC) Replay(u cbuf.OSDU) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	if err := s.ring.Put(u); err != nil {
+		return err
+	}
+	s.written.Add(1)
+	s.si.written.Inc()
+	return nil
+}
+
 // peerHold engages or releases the sink's flow-control hold. Holds are
 // leases: they expire after a few RTOs unless the sink refreshes them, so
 // a lost XON cannot stall the VC forever.
@@ -357,6 +414,12 @@ func (s *SendVC) sendLoop() {
 		u, err := s.ring.Get()
 		if err != nil {
 			return
+		}
+		if rt := s.retain.Load(); rt != nil {
+			// Retain before any gate or pacing wait: once an OSDU is
+			// popped the ring forgets it, so this copy is the only thing
+			// standing between a mid-transmission failure and data loss.
+			rt.Keep(u)
 		}
 		size := len(u.Payload)
 		frags := (size + maxTPDU - 1) / maxTPDU

@@ -78,6 +78,10 @@ type Config struct {
 	// intervals declare a peer dead; the worst-case detection window is
 	// (KeepaliveMisses+1) x KeepaliveInterval of silence. Default 3.
 	KeepaliveMisses int
+	// ResumeWindow bounds how long a torn-down sink VC's delivery
+	// watermark survives awaiting a session-layer resume; past it the VC
+	// can no longer be resumed (ReasonNoSuchVC). Default 30s.
+	ResumeWindow time.Duration
 	// DegradeAfter enables graceful degradation for Soft-guarantee
 	// source VCs: after this many consecutive violated QoS sample
 	// reports, the source automatically renegotiates one step down the
@@ -142,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.KeepaliveMisses <= 0 {
 		c.KeepaliveMisses = 3
+	}
+	if c.ResumeWindow <= 0 {
+		c.ResumeWindow = 30 * time.Second
 	}
 	if c.DegradeAfter > 0 && len(c.DegradeLadder) == 0 {
 		c.DegradeLadder = []DegradeStep{
