@@ -34,7 +34,11 @@
 // The sender negotiates a VC, wraps it in an orchestration session and
 // drives Prime -> Start -> Regulate -> Stop -> Release before
 // disconnecting; both processes print their metrics registries, which
-// carry the same host/<id>/vc/<id> scopes an emulated run produces.
+// carry the same host/<id>/vc/<id> scopes an emulated run produces,
+// plus the UDP substrate's net/ scope: sent/recv packet, byte and
+// syscall-batch counters, send_overflows (packets dropped from a full
+// priority send ring) and recv_overruns (datagrams discarded because
+// delivery fell behind the socket).
 package main
 
 import (

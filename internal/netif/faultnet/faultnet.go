@@ -250,6 +250,20 @@ func (n *Network) Send(p netif.Packet) error {
 	return nil
 }
 
+// SendBatch implements netif.BatchSender over the fault pipeline: each
+// packet of the batch takes its own fault decisions (drop, corruption,
+// reordering are per-packet events on a real wire), so a batched sender
+// above suffers exactly the faults a packet-at-a-time sender would.
+func (n *Network) SendBatch(ps []netif.Packet) error {
+	var firstErr error
+	for _, p := range ps {
+		if err := n.Send(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // flushHeld releases a reordered packet that nothing overtook in time.
 func (n *Network) flushHeld() {
 	n.mu.Lock()

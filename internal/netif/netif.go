@@ -68,7 +68,25 @@ func (p *Packet) Size() int { return len(p.Payload) + WireOverhead }
 
 // Handler receives packets delivered to a host. Handlers run on the
 // substrate's delivery goroutine; they must not block for long.
+//
+// The packet's Payload is valid only until the handler returns: a
+// substrate may recycle the backing buffer for the next datagram (the
+// UDP substrate's zero-allocation receive path does). A handler that
+// keeps payload bytes past its return must copy them.
 type Handler func(Packet)
+
+// BatchSender is an optional substrate capability: enqueue many packets
+// with one call, letting a batching substrate amortise per-packet
+// locking and marshalling, and a batching sender (sendmmsg-style) fill
+// whole syscall batches. Semantics match calling Send per packet —
+// asynchronous, unreliable, packets that fail validation are skipped —
+// except that the first validation error is returned only after the
+// rest of the batch has been enqueued. Callers must feature-test:
+//
+//	if bs, ok := nw.(netif.BatchSender); ok { err = bs.SendBatch(ps) }
+type BatchSender interface {
+	SendBatch(ps []Packet) error
+}
 
 // GroupBase is the floor of the multicast group-address space: HostIDs at
 // or above it name groups, below it single hosts.

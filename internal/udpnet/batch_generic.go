@@ -1,0 +1,19 @@
+//go:build !linux || !(amd64 || arm64)
+
+package udpnet
+
+// Portable fallback: no batched syscalls, one datagram per
+// WriteToUDPAddrPort/ReadFromUDPAddrPort. The pooled-buffer and
+// ring-queue machinery is shared with the batched path, so the data
+// path stays allocation-free here too — it just pays one syscall per
+// datagram.
+
+type batchIO struct{}
+
+func (n *Network) initBatchIO() {}
+
+func (n *Network) writeBatch(pkts []outPkt) (sent, bytes, calls int) {
+	return n.genericWriteBatch(pkts)
+}
+
+func (n *Network) runRecvLoop() { n.genericRecvLoop() }

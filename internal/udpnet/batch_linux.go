@@ -1,0 +1,230 @@
+//go:build linux && (amd64 || arm64)
+
+package udpnet
+
+// Batched socket I/O over sendmmsg(2)/recvmmsg(2): the sender drains up
+// to Config.Batch same-priority datagrams per syscall and the receiver
+// harvests up to Config.Batch datagrams per wakeup, so at line rate the
+// per-packet syscall cost amortises away. The raw syscalls cooperate
+// with the runtime poller through syscall.RawConn: EAGAIN parks the
+// goroutine on the netpoller instead of spinning.
+//
+// The mmsghdr layout below matches 64-bit Linux (msghdr is 56 bytes,
+// 8-aligned); the build tag keeps 32-bit layouts out. Other platforms
+// use the portable one-datagram-per-syscall path in batch_generic.go.
+
+import (
+	"net/netip"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors struct mmsghdr on 64-bit Linux: one msghdr plus the
+// kernel-reported byte count, padded to 8-byte alignment.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	cnt uint32
+	_   [4]byte
+}
+
+func sendmmsg(fd uintptr, hs []mmsghdr) (int, syscall.Errno) {
+	r, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+		uintptr(unsafe.Pointer(&hs[0])), uintptr(len(hs)), 0, 0, 0)
+	return int(r), e
+}
+
+func recvmmsg(fd uintptr, hs []mmsghdr) (int, syscall.Errno) {
+	r, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+		uintptr(unsafe.Pointer(&hs[0])), uintptr(len(hs)), 0, 0, 0)
+	return int(r), e
+}
+
+// sockPort reads a sockaddr port field, which the kernel keeps in
+// network byte order regardless of host endianness.
+func sockPort(p *uint16) uint16 {
+	b := (*[2]byte)(unsafe.Pointer(p))
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+// setSockPort writes a sockaddr port field in network byte order.
+func setSockPort(p *uint16, v uint16) {
+	b := (*[2]byte)(unsafe.Pointer(p))
+	b[0], b[1] = byte(v>>8), byte(v)
+}
+
+// encodeSockaddr fills sa6 (viewed as the right family) with ap and
+// returns the sockaddr length for msg_namelen. v4 sockets take AF_INET
+// names; v6 sockets take AF_INET6 names with v4 peers mapped.
+func encodeSockaddr(sa6 *syscall.RawSockaddrInet6, ap netip.AddrPort, v4 bool) uint32 {
+	if v4 {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa6))
+		*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		sa.Addr = ap.Addr().Unmap().As4()
+		setSockPort(&sa.Port, ap.Port())
+		return syscall.SizeofSockaddrInet4
+	}
+	*sa6 = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+	sa6.Addr = ap.Addr().As16()
+	setSockPort(&sa6.Port, ap.Port())
+	return syscall.SizeofSockaddrInet6
+}
+
+// decodeSockaddr parses the sockaddr the kernel wrote into a recvmmsg
+// name slot. An unknown family yields the zero AddrPort, which the
+// caller treats as "no usable source address".
+func decodeSockaddr(sa6 *syscall.RawSockaddrInet6) netip.AddrPort {
+	switch sa6.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa6))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), sockPort(&sa.Port))
+	case syscall.AF_INET6:
+		return netip.AddrPortFrom(netip.AddrFrom16(sa6.Addr).Unmap(), sockPort(&sa6.Port))
+	}
+	return netip.AddrPort{}
+}
+
+// batchIO is the reusable mmsghdr state for one socket. The send-side
+// fields are touched only by sendLoop and the recv-side fields only by
+// recvLoop, so neither needs a lock. The RawConn callbacks are built
+// once and communicate through these fields, keeping the steady-state
+// path free of closure allocations.
+type batchIO struct {
+	// send side
+	shdrs  []mmsghdr
+	siovs  []syscall.Iovec
+	snames []syscall.RawSockaddrInet6
+	sn     int // datagrams armed for this writeBatch call
+	soff   int
+	sent   int
+	sbytes int
+	scalls int
+	sfn    func(fd uintptr) bool
+
+	// recv side
+	rhdrs  []mmsghdr
+	riovs  []syscall.Iovec
+	rnames []syscall.RawSockaddrInet6
+	rbufs  []*[]byte
+	rgot   int
+	rerr   syscall.Errno
+	rfn    func(fd uintptr) bool
+}
+
+// initBatchIO wires the socket for batched I/O; on failure the generic
+// one-datagram-per-syscall path takes over (rawc/bio stay nil).
+func (n *Network) initBatchIO() {
+	rawc, err := n.conn.SyscallConn()
+	if err != nil {
+		return
+	}
+	k := n.cfg.Batch
+	bio := &batchIO{
+		shdrs:  make([]mmsghdr, k),
+		siovs:  make([]syscall.Iovec, k),
+		snames: make([]syscall.RawSockaddrInet6, k),
+		rhdrs:  make([]mmsghdr, k),
+		riovs:  make([]syscall.Iovec, k),
+		rnames: make([]syscall.RawSockaddrInet6, k),
+		rbufs:  make([]*[]byte, k),
+	}
+	bio.sfn = func(fd uintptr) bool {
+		for bio.soff < bio.sn {
+			m, errno := sendmmsg(fd, bio.shdrs[bio.soff:bio.sn])
+			if errno == syscall.EAGAIN {
+				return false // park on the netpoller until writable
+			}
+			if errno != 0 {
+				bio.soff++ // skip the failing datagram, like a lossy wire
+				continue
+			}
+			bio.scalls++
+			for _, h := range bio.shdrs[bio.soff : bio.soff+m] {
+				bio.sbytes += int(h.cnt)
+			}
+			bio.sent += m
+			bio.soff += m
+		}
+		return true
+	}
+	bio.rfn = func(fd uintptr) bool {
+		for i := range bio.rhdrs {
+			bio.riovs[i].Base = &(*bio.rbufs[i])[0]
+			bio.riovs[i].Len = uint64(len(*bio.rbufs[i]))
+			h := &bio.rhdrs[i].hdr
+			h.Iov = &bio.riovs[i]
+			h.Iovlen = 1
+			h.Name = (*byte)(unsafe.Pointer(&bio.rnames[i]))
+			h.Namelen = syscall.SizeofSockaddrInet6
+			h.Flags = 0
+			bio.rhdrs[i].cnt = 0
+		}
+		m, errno := recvmmsg(fd, bio.rhdrs)
+		if errno == syscall.EAGAIN {
+			bio.rgot, bio.rerr = 0, 0
+			return false // park on the netpoller until readable
+		}
+		bio.rgot, bio.rerr = m, errno
+		return true
+	}
+	n.rawc = rawc
+	n.bio = bio
+}
+
+// writeBatch transmits one run of remote-bound datagrams, batching them
+// into as few sendmmsg calls as the socket accepts.
+func (n *Network) writeBatch(pkts []outPkt) (sent, bytes, calls int) {
+	bio := n.bio
+	if bio == nil {
+		return n.genericWriteBatch(pkts)
+	}
+	for i := range pkts {
+		wire := (*pkts[i].buf)[:pkts[i].n]
+		bio.siovs[i].Base = &wire[0]
+		bio.siovs[i].Len = uint64(len(wire))
+		h := &bio.shdrs[i].hdr
+		h.Iov = &bio.siovs[i]
+		h.Iovlen = 1
+		h.Name = (*byte)(unsafe.Pointer(&bio.snames[i]))
+		h.Namelen = encodeSockaddr(&bio.snames[i], pkts[i].addr, n.v4)
+		bio.shdrs[i].cnt = 0
+	}
+	bio.sn = len(pkts)
+	bio.soff, bio.sent, bio.sbytes, bio.scalls = 0, 0, 0, 0
+	_ = n.rawc.Write(bio.sfn) // a close mid-send just truncates the batch
+	runtime.KeepAlive(pkts)
+	return bio.sent, bio.sbytes, bio.scalls
+}
+
+// runRecvLoop harvests datagram batches until the socket closes.
+func (n *Network) runRecvLoop() {
+	bio := n.bio
+	if bio == nil {
+		n.genericRecvLoop()
+		return
+	}
+	for i := range bio.rbufs {
+		bio.rbufs[i] = n.getBuf()
+	}
+	for {
+		if err := n.rawc.Read(bio.rfn); err != nil || bio.rerr != 0 {
+			return // socket closed
+		}
+		si := n.stats()
+		si.recvBatches.Inc()
+		for i := 0; i < bio.rgot; i++ {
+			nr := int(bio.rhdrs[i].cnt)
+			from := decodeSockaddr(&bio.rnames[i])
+			buf := bio.rbufs[i]
+			bio.rbufs[i] = n.getBuf() // replace before handing ownership on
+			si.recvPkts.Inc()
+			si.recvBytes.Add(uint64(nr))
+			if bio.rhdrs[i].hdr.Flags&syscall.MSG_TRUNC != 0 {
+				si.hdrErrors.Inc() // datagram exceeded the MTU-sized buffer
+				n.putBuf(buf)
+				continue
+			}
+			n.ingest(buf, nr, from)
+		}
+	}
+}

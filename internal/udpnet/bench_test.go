@@ -1,0 +1,215 @@
+package udpnet
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmtos/internal/netif"
+)
+
+// benchPayload is the datagram payload size for the wire-path
+// benchmarks: a typical media TPDU, large enough that per-byte costs
+// (checksum, copy) show up next to the per-packet costs (syscall,
+// queueing, allocation).
+const benchPayload = 1024
+
+// benchWindow caps packets in flight so the sender can never overrun
+// the send ring, the kernel socket buffer or the receive inbox: every
+// packet sent is eventually delivered, which keeps pkts/s honest (no
+// silent drops inflating the send rate).
+const benchWindow = 256
+
+// BenchmarkMarshal measures the header encode + payload copy step of
+// the send path in isolation, writing into a reused wire buffer the way
+// the pooled send path does.
+func BenchmarkMarshal(b *testing.B) {
+	p := netif.Packet{
+		Src: 1, Dst: 2, Flow: 7, Prio: netif.PrioGuaranteed,
+		Payload: make([]byte, benchPayload),
+	}
+	dst := make([]byte, headerSize+benchPayload)
+	b.SetBytes(int64(headerSize + benchPayload))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		marshalInto(dst, p)
+	}
+}
+
+// BenchmarkUnmarshal measures the receive-side decode (header CRC,
+// payload CRC, packet view).
+func BenchmarkUnmarshal(b *testing.B) {
+	data := marshal(netif.Packet{
+		Src: 1, Dst: 2, Flow: 7, Prio: netif.PrioGuaranteed,
+		Payload: make([]byte, benchPayload),
+	})
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := unmarshal(data); !ok {
+			b.Fatal("unmarshal failed")
+		}
+	}
+}
+
+// pump drives n packets through net with at most benchWindow in flight,
+// waiting for every one to be delivered. It returns false if the pipe
+// stalls (a packet was lost), which fails the benchmark honestly
+// instead of deadlocking.
+func pump(b *testing.B, send func(netif.Packet) error, delivered *atomic.Int64, p netif.Packet, n int) bool {
+	b.Helper()
+	sent := 0
+	lastProgress := time.Now()
+	lastSeen := int64(0)
+	for sent < n {
+		got := delivered.Load()
+		if got != lastSeen {
+			lastSeen, lastProgress = got, time.Now()
+		}
+		if sent-int(got) >= benchWindow {
+			if time.Since(lastProgress) > 5*time.Second {
+				return false
+			}
+			runtime.Gosched()
+			continue
+		}
+		if err := send(p); err != nil {
+			b.Fatalf("Send: %v", err)
+		}
+		sent++
+	}
+	for int(delivered.Load()) < n {
+		if time.Since(lastProgress) > 5*time.Second {
+			return false
+		}
+		if got := delivered.Load(); got != lastSeen {
+			lastSeen, lastProgress = got, time.Now()
+		}
+		runtime.Gosched()
+	}
+	return true
+}
+
+// BenchmarkSendRecv is the end-to-end wire path: two substrates on
+// loopback UDP sockets, payloads crossing the kernel. pkts/s is the
+// sustained delivery rate with a bounded in-flight window.
+func BenchmarkSendRecv(b *testing.B) {
+	na, err := New(Config{Local: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		b.Skipf("UDP sockets unavailable: %v", err)
+	}
+	defer na.Close()
+	nb, err := New(Config{Local: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		b.Skipf("UDP sockets unavailable: %v", err)
+	}
+	defer nb.Close()
+	if err := na.AddPeer(2, nb.Addr().String()); err != nil {
+		b.Fatalf("AddPeer: %v", err)
+	}
+	var delivered atomic.Int64
+	_ = nb.SetHandler(2, func(netif.Packet) { delivered.Add(1) })
+	p := netif.Packet{
+		Src: 1, Dst: 2, Flow: 7, Prio: netif.PrioGuaranteed,
+		Payload: make([]byte, benchPayload),
+	}
+	b.SetBytes(int64(headerSize + benchPayload))
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	if !pump(b, na.Send, &delivered, p, b.N) {
+		b.Fatalf("wire path stalled: %d of %d delivered", delivered.Load(), b.N)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "pkts/s")
+}
+
+// BenchmarkSendRecvBatch is the same wire path driven through the
+// netif.BatchSender capability: the sender hands the substrate whole
+// bursts so the send ring fills in one lock acquisition and sendmmsg
+// batches stay full.
+func BenchmarkSendRecvBatch(b *testing.B) {
+	na, err := New(Config{Local: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		b.Skipf("UDP sockets unavailable: %v", err)
+	}
+	defer na.Close()
+	nb, err := New(Config{Local: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		b.Skipf("UDP sockets unavailable: %v", err)
+	}
+	defer nb.Close()
+	if err := na.AddPeer(2, nb.Addr().String()); err != nil {
+		b.Fatalf("AddPeer: %v", err)
+	}
+	var delivered atomic.Int64
+	_ = nb.SetHandler(2, func(netif.Packet) { delivered.Add(1) })
+	p := netif.Packet{
+		Src: 1, Dst: 2, Flow: 7, Prio: netif.PrioGuaranteed,
+		Payload: make([]byte, benchPayload),
+	}
+	const burst = 32
+	batch := make([]netif.Packet, burst)
+	for i := range batch {
+		batch[i] = p
+	}
+	b.SetBytes(int64(headerSize + benchPayload))
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	sent := 0
+	lastProgress := time.Now()
+	lastSeen := int64(0)
+	for int(delivered.Load()) < b.N {
+		got := delivered.Load()
+		if got != lastSeen {
+			lastSeen, lastProgress = got, time.Now()
+		}
+		if time.Since(lastProgress) > 5*time.Second {
+			b.Fatalf("wire path stalled: %d of %d delivered", got, b.N)
+		}
+		room := benchWindow - (sent - int(got))
+		if left := b.N - sent; left < room {
+			room = left
+		}
+		if room < 1 {
+			runtime.Gosched()
+			continue
+		}
+		if room > burst {
+			room = burst
+		}
+		if err := na.SendBatch(batch[:room]); err != nil {
+			b.Fatalf("SendBatch: %v", err)
+		}
+		sent += room
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "pkts/s")
+}
+
+// BenchmarkLoopback is the in-process path (Dst == Local): the same
+// marshal/queue/deliver pipeline with the kernel taken out, isolating
+// the substrate's own cost.
+func BenchmarkLoopback(b *testing.B) {
+	n, err := New(Config{Local: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		b.Skipf("UDP sockets unavailable: %v", err)
+	}
+	defer n.Close()
+	var delivered atomic.Int64
+	_ = n.SetHandler(1, func(netif.Packet) { delivered.Add(1) })
+	p := netif.Packet{
+		Src: 1, Dst: 1, Flow: 7, Prio: netif.PrioGuaranteed,
+		Payload: make([]byte, benchPayload),
+	}
+	b.SetBytes(int64(headerSize + benchPayload))
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	if !pump(b, n.Send, &delivered, p, b.N) {
+		b.Fatalf("loopback path stalled: %d of %d delivered", delivered.Load(), b.N)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "pkts/s")
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package udpnet
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its shadow-memory bookkeeping allocates, so strict
+// zero-allocation assertions are skipped under -race.
+const raceEnabled = true

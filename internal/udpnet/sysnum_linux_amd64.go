@@ -1,0 +1,9 @@
+package udpnet
+
+// linux/amd64 syscall numbers for the batch I/O path. SYS_RECVMMSG is
+// in the stdlib syscall package on this arch but SYS_SENDMMSG is not,
+// so both live here for symmetry.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

@@ -1,0 +1,7 @@
+package udpnet
+
+// linux/arm64 syscall numbers for the batch I/O path.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -13,6 +13,14 @@
 // admission control is advisory and local (resv.Local), wired to
 // PathCapability through SetAvailable so QoS negotiation and admission
 // agree.
+//
+// The data path is engineered for sustained CM throughput: wire buffers
+// come from a sync.Pool and are recycled once the receive handler
+// returns, the priority queues are fixed ring buffers that never
+// reallocate, and on Linux the sender and receiver drain up to
+// Config.Batch datagrams per sendmmsg/recvmmsg syscall. In steady state
+// the path allocates nothing per packet (see the alloc regression tests
+// and BenchmarkSendRecv).
 package udpnet
 
 import (
@@ -22,8 +30,10 @@ import (
 	"hash/crc32"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cmtos/internal/clock"
@@ -57,6 +67,15 @@ const (
 // fraction netem's per-link reservation uses.
 const reservableFraction = 0.9
 
+// maxBatch bounds Config.Batch: it sizes the per-socket mmsghdr arrays
+// and the sender's scratch, so it stays small and fixed.
+const maxBatch = 64
+
+// socketBuffer is the SO_SNDBUF/SO_RCVBUF request: the kernel default
+// (~200 KB) holds under a hundred MTU-sized datagrams of skb overhead,
+// far too shallow for a line-rate CM burst between two scheduler slices.
+const socketBuffer = 1 << 20
+
 // Config parameterises New. Local and Listen are required.
 type Config struct {
 	// Local is the host ID this process plays.
@@ -87,6 +106,12 @@ type Config struct {
 	// QueueLen bounds each priority queue; excess packets are dropped
 	// like a router's drop-tail queue. Default 256.
 	QueueLen int
+	// Batch bounds how many same-priority datagrams one
+	// sendmmsg/recvmmsg syscall moves (on platforms with batch I/O;
+	// elsewhere it only sizes the sender's drain quantum). Default 32,
+	// capped at 64. A paced sender always drains one packet at a time
+	// so strict priority stays preemptive at packet granularity.
+	Batch int
 }
 
 func (c Config) withDefaults() Config {
@@ -105,14 +130,70 @@ func (c Config) withDefaults() Config {
 	if c.QueueLen <= 0 {
 		c.QueueLen = 256
 	}
+	if c.Batch <= 0 {
+		c.Batch = 32
+	}
+	if c.Batch > maxBatch {
+		c.Batch = maxBatch
+	}
 	return c
 }
 
-// outPkt is one queued outbound datagram.
+// outPkt is one queued outbound datagram. buf is a pooled wire buffer
+// owned by the queue entry; ownership moves to the transmit path on
+// dequeue and back to the pool once the datagram is on the wire (or
+// to the delivery path for loopback destinations).
 type outPkt struct {
-	addr *net.UDPAddr // nil = local delivery
-	data []byte
-	size int // accounting size: payload + netif.WireOverhead
+	addr netip.AddrPort // zero (invalid) = local delivery
+	buf  *[]byte        // pooled wire buffer
+	n    int            // wire bytes in buf
+	size int            // accounting size: payload + netif.WireOverhead
+}
+
+// inPkt is one datagram queued for handler delivery. buf backs
+// p.Payload and returns to the pool after the handler runs.
+type inPkt struct {
+	p   netif.Packet
+	buf *[]byte
+}
+
+// ring is a fixed-capacity FIFO of outbound datagrams. It never
+// reallocates: enqueue beyond capacity fails (drop-tail), and dequeue
+// clears the vacated slot so no packet buffer is retained by the
+// backing array.
+type ring struct {
+	buf  []outPkt
+	head int
+	n    int
+}
+
+func newRing(capacity int) ring { return ring{buf: make([]outPkt, capacity)} }
+
+func (r *ring) len() int { return r.n }
+
+// push appends p; it reports false (and stores nothing) when full.
+func (r *ring) push(p outPkt) bool {
+	if r.n == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+	return true
+}
+
+// pop moves up to len(dst) packets into dst, oldest first, and returns
+// how many it moved. Vacated slots are zeroed so the ring holds no
+// reference to a dequeued packet's buffer.
+func (r *ring) pop(dst []outPkt) int {
+	k := 0
+	for k < len(dst) && r.n > 0 {
+		dst[k] = r.buf[r.head]
+		r.buf[r.head] = outPkt{}
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+		k++
+	}
+	return k
 }
 
 // Network is a UDP-socket substrate. Create with New; it is live
@@ -121,10 +202,15 @@ type Network struct {
 	cfg  Config
 	clk  clock.Clock
 	conn *net.UDPConn
+	rawc syscall.RawConn // set when batch I/O is available, else nil
+	v4   bool            // socket is AF_INET (affects sockaddr encoding)
+
+	bufSize int
+	pool    sync.Pool // of *[]byte, each bufSize long
 
 	mu      sync.Mutex
 	handler netif.Handler
-	peers   map[core.HostID]*net.UDPAddr
+	peers   map[core.HostID]netip.AddrPort
 	groups  map[core.HostID][]core.HostID
 	avail   func(src, dst core.HostID) float64
 	damageP float64
@@ -133,12 +219,14 @@ type Network struct {
 
 	qmu    sync.Mutex
 	qcond  *sync.Cond
-	queues [netif.NumPriorities][]outPkt
+	queues [netif.NumPriorities]ring
 
-	inbox    chan netif.Packet
+	inbox    chan inPkt
 	wg       sync.WaitGroup // sender + receiver
 	dwg      sync.WaitGroup // delivery
 	sendDone chan struct{}  // sendLoop has drained its queues and exited
+
+	bio *batchIO // platform batch-I/O state (nil without batch support)
 
 	si atomic.Pointer[instr]
 }
@@ -156,13 +244,19 @@ var noInstr instr
 
 // instr is the substrate's metrics; all instruments are nil-safe.
 type instr struct {
-	sentPkts, sentBytes *stats.Counter
-	recvPkts, recvBytes *stats.Counter
-	damaged, hdrErrors  *stats.Counter
-	overflows, misaddr  *stats.Counter
+	sentPkts, sentBytes   *stats.Counter
+	sentBatches           *stats.Counter
+	recvPkts, recvBytes   *stats.Counter
+	recvBatches           *stats.Counter
+	damaged, hdrErrors    *stats.Counter
+	sendOverflows         *stats.Counter
+	recvOverruns, misaddr *stats.Counter
 }
 
-var _ netif.Network = (*Network)(nil)
+var (
+	_ netif.Network     = (*Network)(nil)
+	_ netif.BatchSender = (*Network)(nil)
+)
 
 // New binds the UDP socket and starts the substrate's sender, receiver
 // and delivery goroutines.
@@ -179,17 +273,32 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udpnet: %w", err)
 	}
+	// Deep socket buffers: at line rate the batch receiver drains tens
+	// of datagrams per wakeup, and the kernel must hold them meanwhile.
+	_ = conn.SetReadBuffer(socketBuffer)
+	_ = conn.SetWriteBuffer(socketBuffer)
 	n := &Network{
 		cfg:      cfg,
 		clk:      cfg.Clock,
 		conn:     conn,
-		peers:    make(map[core.HostID]*net.UDPAddr),
+		bufSize:  headerSize + cfg.MTU,
+		peers:    make(map[core.HostID]netip.AddrPort),
 		groups:   make(map[core.HostID][]core.HostID),
 		rng:      rand.New(rand.NewSource(1)),
-		inbox:    make(chan netif.Packet, 1024),
+		inbox:    make(chan inPkt, 1024),
 		sendDone: make(chan struct{}),
 	}
+	n.pool.New = func() any {
+		b := make([]byte, n.bufSize)
+		return &b
+	}
+	local := conn.LocalAddr().(*net.UDPAddr).AddrPort().Addr().Unmap()
+	n.v4 = local.Is4()
 	n.qcond = sync.NewCond(&n.qmu)
+	for pr := range n.queues {
+		n.queues[pr] = newRing(cfg.QueueLen)
+	}
+	n.initBatchIO()
 	for id, addr := range cfg.Peers {
 		if err := n.AddPeer(id, addr); err != nil {
 			conn.Close()
@@ -204,6 +313,16 @@ func New(cfg Config) (*Network, error) {
 	return n, nil
 }
 
+// getBuf takes a wire buffer from the pool.
+func (n *Network) getBuf() *[]byte { return n.pool.Get().(*[]byte) }
+
+// putBuf returns a wire buffer to the pool.
+func (n *Network) putBuf(b *[]byte) {
+	if b != nil {
+		n.pool.Put(b)
+	}
+}
+
 // Addr returns the socket's bound address (useful with ":0" listens).
 func (n *Network) Addr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
 
@@ -213,9 +332,14 @@ func (n *Network) AddPeer(id core.HostID, addr string) error {
 	if err != nil {
 		return fmt.Errorf("udpnet: peer %v: %w", id, err)
 	}
+	ap := ua.AddrPort()
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	if n.v4 && !ap.Addr().Is4() {
+		return fmt.Errorf("udpnet: peer %v: %v is not reachable from an IPv4 socket", id, ap)
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.peers[id] = ua
+	n.peers[id] = ap
 	return nil
 }
 
@@ -223,14 +347,17 @@ func (n *Network) AddPeer(id core.HostID, addr string) error {
 func (n *Network) SetStats(sc stats.Scope) {
 	s := sc.Scope("net")
 	n.si.Store(&instr{
-		sentPkts:  s.Counter("sent_packets"),
-		sentBytes: s.Counter("sent_bytes"),
-		recvPkts:  s.Counter("recv_packets"),
-		recvBytes: s.Counter("recv_bytes"),
-		damaged:   s.Counter("damaged_packets"),
-		hdrErrors: s.Counter("header_errors"),
-		overflows: s.Counter("queue_overflows"),
-		misaddr:   s.Counter("misaddressed"),
+		sentPkts:      s.Counter("sent_packets"),
+		sentBytes:     s.Counter("sent_bytes"),
+		sentBatches:   s.Counter("sent_batches"),
+		recvPkts:      s.Counter("recv_packets"),
+		recvBytes:     s.Counter("recv_bytes"),
+		recvBatches:   s.Counter("recv_batches"),
+		damaged:       s.Counter("damaged_packets"),
+		hdrErrors:     s.Counter("header_errors"),
+		sendOverflows: s.Counter("send_overflows"),
+		recvOverruns:  s.Counter("recv_overruns"),
+		misaddr:       s.Counter("misaddressed"),
 	})
 }
 
@@ -246,7 +373,8 @@ func (n *Network) SetAvailable(fn func(src, dst core.HostID) float64) {
 
 // SetDamage makes the sender corrupt each outbound payload with
 // probability p after checksumming — a test hook standing in for wire
-// bit errors, which loopback paths never produce naturally.
+// bit errors, which loopback paths never produce naturally. Empty
+// payloads carry no bits to flip and pass through untouched.
 func (n *Network) SetDamage(p float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -333,7 +461,8 @@ func (n *Network) MTU() int { return n.cfg.MTU }
 
 // Send enqueues one packet at its priority. Group destinations fan out
 // to every member. Delivery is asynchronous and unreliable, like the
-// network underneath.
+// network underneath. The payload is copied into a wire buffer before
+// Send returns, so the caller may reuse it immediately.
 func (n *Network) Send(p netif.Packet) error {
 	if p.Dst >= netif.GroupBase {
 		n.mu.Lock()
@@ -352,64 +481,137 @@ func (n *Network) Send(p netif.Packet) error {
 		}
 		return firstErr
 	}
+	out, err := n.prepare(p)
+	if err != nil {
+		return err
+	}
+	n.enqueue(p.Prio, out)
+	n.qcond.Signal()
+	return nil
+}
+
+// SendBatch enqueues many packets with one marshal pass and one queue
+// lock acquisition per chunk — the netif.BatchSender fast path. Group
+// destinations fall back to Send's fan-out. Packets that fail
+// validation are skipped; the first such error is returned after the
+// rest of the batch has been enqueued.
+func (n *Network) SendBatch(ps []netif.Packet) error {
+	var firstErr error
+	var outs [maxBatch]outPkt
+	var prios [maxBatch]netif.Priority
+	for len(ps) > 0 {
+		chunk := ps
+		if len(chunk) > maxBatch {
+			chunk = chunk[:maxBatch]
+		}
+		ps = ps[len(chunk):]
+		k := 0
+		for _, p := range chunk {
+			if p.Dst >= netif.GroupBase {
+				if err := n.Send(p); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			out, err := n.prepare(p)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			outs[k], prios[k] = out, p.Prio
+			k++
+		}
+		if k == 0 {
+			continue
+		}
+		n.qmu.Lock()
+		for i := 0; i < k; i++ {
+			if !n.queues[prios[i]].push(outs[i]) {
+				n.putBuf(outs[i].buf)
+				n.stats().sendOverflows.Inc()
+			}
+		}
+		n.qmu.Unlock()
+		n.qcond.Signal()
+	}
+	return firstErr
+}
+
+// prepare validates p, resolves its destination and marshals it into a
+// pooled wire buffer, returning the queue entry.
+func (n *Network) prepare(p netif.Packet) (outPkt, error) {
 	if len(p.Payload) > n.cfg.MTU {
-		return fmt.Errorf("udpnet: payload %d exceeds MTU %d", len(p.Payload), n.cfg.MTU)
+		return outPkt{}, fmt.Errorf("udpnet: payload %d exceeds MTU %d", len(p.Payload), n.cfg.MTU)
 	}
 	if p.Prio >= netif.NumPriorities {
-		return fmt.Errorf("udpnet: invalid priority %d", p.Prio)
+		return outPkt{}, fmt.Errorf("udpnet: invalid priority %d", p.Prio)
 	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return errors.New("udpnet: network closed")
+		return outPkt{}, errors.New("udpnet: network closed")
 	}
-	var addr *net.UDPAddr // nil = deliver locally
+	var addr netip.AddrPort // zero = deliver locally
 	if p.Dst != n.cfg.Local {
 		var ok bool
 		addr, ok = n.peers[p.Dst]
 		if !ok {
 			n.mu.Unlock()
-			return fmt.Errorf("udpnet: unknown peer %v", p.Dst)
+			return outPkt{}, fmt.Errorf("udpnet: unknown peer %v", p.Dst)
 		}
 	}
 	damage := n.damageP > 0 && n.rng.Float64() < n.damageP
 	n.mu.Unlock()
 
-	data := marshal(p)
-	if damage {
-		data[headerSize] ^= 0x40 // flip one payload bit after checksumming
+	buf := n.getBuf()
+	wire := (*buf)[:headerSize+len(p.Payload)]
+	marshalInto(wire, p)
+	if damage && len(p.Payload) > 0 {
+		wire[headerSize] ^= 0x40 // flip one payload bit after checksumming
 	}
-	out := outPkt{addr: addr, data: data, size: len(p.Payload) + netif.WireOverhead}
-	n.qmu.Lock()
-	if len(n.queues[p.Prio]) >= n.cfg.QueueLen {
-		n.qmu.Unlock()
-		n.stats().overflows.Inc()
-		return nil // drop-tail, silently, like a congested router
-	}
-	n.queues[p.Prio] = append(n.queues[p.Prio], out)
-	n.qmu.Unlock()
-	n.qcond.Signal()
-	return nil
+	return outPkt{addr: addr, buf: buf, n: len(wire), size: len(p.Payload) + netif.WireOverhead}, nil
 }
 
-// marshal builds the wire datagram for p.
+// enqueue pushes one prepared packet, dropping tail-first when the
+// priority's ring is full, like a congested router.
+func (n *Network) enqueue(prio netif.Priority, out outPkt) {
+	n.qmu.Lock()
+	ok := n.queues[prio].push(out)
+	n.qmu.Unlock()
+	if !ok {
+		n.putBuf(out.buf)
+		n.stats().sendOverflows.Inc()
+	}
+}
+
+// marshalInto builds the wire datagram for p in dst, which must be
+// exactly headerSize+len(p.Payload) long.
+func marshalInto(dst []byte, p netif.Packet) {
+	binary.BigEndian.PutUint32(dst[0:], magic)
+	binary.BigEndian.PutUint32(dst[4:], uint32(p.Src))
+	binary.BigEndian.PutUint32(dst[8:], uint32(p.Dst))
+	binary.BigEndian.PutUint32(dst[12:], uint32(p.Flow))
+	dst[16] = byte(p.Prio)
+	dst[17] = 0
+	binary.BigEndian.PutUint16(dst[18:], uint16(len(p.Payload)))
+	copy(dst[headerSize:], p.Payload)
+	binary.BigEndian.PutUint32(dst[20:], crc32.ChecksumIEEE(p.Payload))
+	binary.BigEndian.PutUint32(dst[24:], crc32.ChecksumIEEE(dst[:24]))
+}
+
+// marshal builds the wire datagram for p in a fresh buffer (tests and
+// one-off callers; the data path marshals into pooled buffers).
 func marshal(p netif.Packet) []byte {
 	data := make([]byte, headerSize+len(p.Payload))
-	binary.BigEndian.PutUint32(data[0:], magic)
-	binary.BigEndian.PutUint32(data[4:], uint32(p.Src))
-	binary.BigEndian.PutUint32(data[8:], uint32(p.Dst))
-	binary.BigEndian.PutUint32(data[12:], uint32(p.Flow))
-	data[16] = byte(p.Prio)
-	data[17] = 0
-	binary.BigEndian.PutUint16(data[18:], uint16(len(p.Payload)))
-	copy(data[headerSize:], p.Payload)
-	binary.BigEndian.PutUint32(data[20:], crc32.ChecksumIEEE(p.Payload))
-	binary.BigEndian.PutUint32(data[24:], crc32.ChecksumIEEE(data[:24]))
+	marshalInto(data, p)
 	return data
 }
 
 // unmarshal parses a wire datagram. ok=false means the header cannot be
-// trusted and the datagram must be dropped.
+// trusted and the datagram must be dropped. The returned packet's
+// Payload aliases data — it is valid only as long as data is.
 func unmarshal(data []byte) (p netif.Packet, ok bool) {
 	if len(data) < headerSize {
 		return p, false
@@ -428,30 +630,34 @@ func unmarshal(data []byte) (p netif.Packet, ok bool) {
 	p.Dst = core.HostID(binary.BigEndian.Uint32(data[8:]))
 	p.Flow = core.VCID(binary.BigEndian.Uint32(data[12:]))
 	p.Prio = netif.Priority(data[16])
-	p.Payload = append([]byte(nil), data[headerSize:]...)
+	p.Payload = data[headerSize:]
 	p.Damaged = binary.BigEndian.Uint32(data[20:]) != crc32.ChecksumIEEE(p.Payload)
 	return p, true
 }
 
-// sendLoop drains the priority queues strictly highest-first, pacing to
-// PaceRate when configured.
+// sendLoop drains the priority queues strictly highest-first in batches
+// of up to Config.Batch packets, pacing each batch to PaceRate when
+// configured. A paced sender drains single packets so a control packet
+// can still preempt a queued best-effort burst.
 func (n *Network) sendLoop() {
 	defer n.wg.Done()
 	defer close(n.sendDone)
+	batch := make([]outPkt, n.cfg.Batch)
+	limit := len(batch)
+	if n.cfg.PaceRate > 0 {
+		limit = 1
+	}
 	for {
 		n.qmu.Lock()
-		var out outPkt
-		found := false
-		for !found {
+		k := 0
+		for k == 0 {
 			for pr := range n.queues {
-				if len(n.queues[pr]) > 0 {
-					out = n.queues[pr][0]
-					n.queues[pr] = n.queues[pr][1:]
-					found = true
+				if n.queues[pr].len() > 0 {
+					k = n.queues[pr].pop(batch[:limit])
 					break
 				}
 			}
-			if found {
+			if k > 0 {
 				break
 			}
 			n.mu.Lock()
@@ -465,86 +671,141 @@ func (n *Network) sendLoop() {
 		}
 		n.qmu.Unlock()
 		if n.cfg.PaceRate > 0 {
-			n.clk.Sleep(time.Duration(float64(out.size) / n.cfg.PaceRate * float64(time.Second)))
+			total := 0
+			for _, out := range batch[:k] {
+				total += out.size
+			}
+			n.clk.Sleep(time.Duration(float64(total) / n.cfg.PaceRate * float64(time.Second)))
 		}
-		if out.addr == nil {
+		n.transmit(batch[:k])
+	}
+}
+
+// transmit moves one dequeued batch to the wire (or the local delivery
+// path), recycling wire buffers as each datagram leaves.
+func (n *Network) transmit(batch []outPkt) {
+	i := 0
+	for i < len(batch) {
+		if !batch[i].addr.IsValid() {
 			// Local destination: hand the wire bytes straight to the
-			// receive path so loopback traffic shares its code.
-			n.handleDatagram(out.data)
-		} else if _, err := n.conn.WriteToUDP(out.data, out.addr); err == nil {
-			n.stats().sentPkts.Inc()
-			n.stats().sentBytes.Add(uint64(len(out.data)))
+			// receive path so loopback traffic shares its code. The
+			// buffer's ownership moves to the delivery pipeline.
+			n.ingest(batch[i].buf, batch[i].n, netip.AddrPort{})
+			i++
+			continue
+		}
+		j := i
+		for j < len(batch) && batch[j].addr.IsValid() {
+			j++
+		}
+		pkts, bytes, calls := n.writeBatch(batch[i:j])
+		si := n.stats()
+		si.sentPkts.Add(uint64(pkts))
+		si.sentBytes.Add(uint64(bytes))
+		si.sentBatches.Add(uint64(calls))
+		for ; i < j; i++ {
+			n.putBuf(batch[i].buf)
 		}
 	}
 }
 
-// recvLoop reads datagrams off the socket until Close.
+// recvLoop reads datagrams off the socket until Close, batching where
+// the platform supports it.
 func (n *Network) recvLoop() {
 	defer n.wg.Done()
-	buf := make([]byte, 65536)
+	n.runRecvLoop()
+}
+
+// genericWriteBatch transmits one datagram per syscall — the portable
+// path, also the fallback when batch I/O is unavailable.
+func (n *Network) genericWriteBatch(pkts []outPkt) (sent, bytes, calls int) {
+	for i := range pkts {
+		wire := (*pkts[i].buf)[:pkts[i].n]
+		if _, err := n.conn.WriteToUDPAddrPort(wire, pkts[i].addr); err == nil {
+			sent++
+			bytes += len(wire)
+			calls++
+		}
+	}
+	return sent, bytes, calls
+}
+
+// genericRecvLoop reads one datagram per syscall into a pooled buffer
+// and hands it to the delivery pipeline.
+func (n *Network) genericRecvLoop() {
 	for {
-		nr, raddr, err := n.conn.ReadFromUDP(buf)
+		buf := n.getBuf()
+		nr, from, err := n.conn.ReadFromUDPAddrPort(*buf)
 		if err != nil {
+			n.putBuf(buf)
 			return // socket closed
 		}
-		n.stats().recvPkts.Inc()
-		n.stats().recvBytes.Add(uint64(nr))
-		n.learnPeer(buf[:nr], raddr)
-		n.handleDatagram(buf[:nr])
+		si := n.stats()
+		si.recvPkts.Inc()
+		si.recvBytes.Add(uint64(nr))
+		si.recvBatches.Inc()
+		n.ingest(buf, nr, netip.AddrPortFrom(from.Addr().Unmap(), from.Port()))
 	}
 }
 
-// learnPeer records the sender's address for its host ID when the header
-// is trustworthy and the peer is unknown, so a responder needs no static
-// peer table.
-func (n *Network) learnPeer(data []byte, raddr *net.UDPAddr) {
-	if len(data) < headerSize ||
-		binary.BigEndian.Uint32(data[0:]) != magic ||
-		binary.BigEndian.Uint32(data[24:]) != crc32.ChecksumIEEE(data[:24]) {
-		return
-	}
-	src := core.HostID(binary.BigEndian.Uint32(data[4:]))
+// learnPeer records (or refreshes) the sender's address for its host ID
+// when a CRC-validated header arrives, so a responder needs no static
+// peer table and a peer that crash-restarts on a new port becomes
+// reachable again as soon as it speaks.
+func (n *Network) learnPeer(src core.HostID, from netip.AddrPort) {
 	if src == 0 || src == n.cfg.Local || src >= netif.GroupBase {
 		return
 	}
 	n.mu.Lock()
-	if _, ok := n.peers[src]; !ok {
-		n.peers[src] = raddr
+	if cur, ok := n.peers[src]; !ok || cur != from {
+		n.peers[src] = from
 	}
 	n.mu.Unlock()
 }
 
-// handleDatagram validates one wire datagram and queues it for delivery.
-func (n *Network) handleDatagram(data []byte) {
-	p, ok := unmarshal(data)
+// ingest validates one wire datagram sitting in a pooled buffer and
+// queues it for delivery, taking ownership of the buffer. from is the
+// sending socket address for peer learning; the zero AddrPort marks
+// local (loopback) delivery.
+func (n *Network) ingest(buf *[]byte, nr int, from netip.AddrPort) {
+	p, ok := unmarshal((*buf)[:nr])
 	if !ok {
 		n.stats().hdrErrors.Inc()
+		n.putBuf(buf)
 		return
+	}
+	if from.IsValid() {
+		n.learnPeer(p.Src, from)
 	}
 	if p.Dst != n.cfg.Local {
 		n.stats().misaddr.Inc()
+		n.putBuf(buf)
 		return
 	}
 	if p.Damaged {
 		n.stats().damaged.Inc()
 	}
 	select {
-	case n.inbox <- p:
+	case n.inbox <- inPkt{p: p, buf: buf}:
 	default:
-		n.stats().overflows.Inc() // receiver overrun; drop like a full NIC ring
+		n.stats().recvOverruns.Inc() // receiver overrun; drop like a full NIC ring
+		n.putBuf(buf)
 	}
 }
 
-// deliverLoop runs the handler for inbound packets.
+// deliverLoop runs the handler for inbound packets and recycles each
+// packet's wire buffer once the handler returns — handlers must copy
+// any payload bytes they keep (netif.Handler's contract).
 func (n *Network) deliverLoop() {
 	defer n.dwg.Done()
-	for p := range n.inbox {
+	for ip := range n.inbox {
 		n.mu.Lock()
 		h := n.handler
 		n.mu.Unlock()
 		if h != nil {
-			h(p)
+			h(ip.p)
 		}
+		n.putBuf(ip.buf)
 	}
 }
 

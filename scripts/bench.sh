@@ -1,0 +1,65 @@
+#!/bin/sh
+# bench.sh — the udpnet wire-path benchmark harness. Runs the
+# microbenchmarks (marshal, unmarshal, end-to-end loopback UDP, batched
+# send, in-process loopback) and writes the parsed results next to the
+# frozen pre-change baseline into a JSON report (default BENCH_5.json)
+# for CI artifact upload and regression eyeballing.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=5s scripts/bench.sh     # longer runs for stabler numbers
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_5.json}
+benchtime=${BENCHTIME:-2s}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+	-bench '^Benchmark(Marshal|Unmarshal|SendRecv|SendRecvBatch|Loopback)$' \
+	-benchtime "$benchtime" -count 1 ./internal/udpnet/ | tee "$raw"
+
+# Parse `go test -bench` lines into JSON objects. A line looks like:
+#   BenchmarkSendRecv  29763  39898 ns/op  26.37 MB/s  25065 pkts/s  185 B/op  0 allocs/op
+awk -v out="$out" -v benchtime="$benchtime" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip -GOMAXPROCS suffix if present
+	delete m
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") m["ns_op"] = $i
+		if ($(i + 1) == "MB/s") m["mb_s"] = $i
+		if ($(i + 1) == "pkts/s") m["pkts_s"] = $i
+		if ($(i + 1) == "B/op") m["b_op"] = $i
+		if ($(i + 1) == "allocs/op") m["allocs_op"] = $i
+	}
+	line = "    \"" name "\": {\"ns_op\": " m["ns_op"]
+	if ("pkts_s" in m) line = line ", \"pkts_s\": " m["pkts_s"]
+	if ("b_op" in m) line = line ", \"b_op\": " m["b_op"]
+	if ("allocs_op" in m) line = line ", \"allocs_op\": " m["allocs_op"]
+	line = line "}"
+	lines[++n] = line
+}
+/^(goos|goarch|pkg|cpu):/ { env[$1] = $2 }
+END {
+	print "{" > out
+	print "  \"bench\": \"udpnet wire path\"," > out
+	print "  \"benchtime\": \"" benchtime "\"," > out
+	if ("goos:" in env) print "  \"goos\": \"" env["goos:"] "\"," > out
+	if ("goarch:" in env) print "  \"goarch\": \"" env["goarch:"] "\"," > out
+	print "  \"baseline\": {" > out
+	print "    \"note\": \"pre-change path (commit 4257521) under the same harness. Its SendRecv number is from a 64-packet in-flight window — the largest it sustains: with default socket buffers it strands ~92 packets in flight and stalls at the harness window of 256. Loopback/codec numbers are directly comparable.\"," > out
+	print "    \"BenchmarkMarshal\": {\"ns_op\": 227.9, \"allocs_op\": 1}," > out
+	print "    \"BenchmarkUnmarshal\": {\"ns_op\": 205.7, \"allocs_op\": 1}," > out
+	print "    \"BenchmarkSendRecv\": {\"ns_op\": 154730, \"pkts_s\": 6463, \"allocs_op\": 4}," > out
+	print "    \"BenchmarkLoopback\": {\"ns_op\": 688.4, \"pkts_s\": 1452702, \"allocs_op\": 2}" > out
+	print "  }," > out
+	print "  \"current\": {" > out
+	for (i = 1; i <= n; i++) print lines[i] (i < n ? "," : "") > out
+	print "  }" > out
+	print "}" > out
+}
+' "$raw"
+
+echo "wrote $out"

@@ -16,6 +16,12 @@ go build ./...
 go vet ./...
 go test -race ./...
 
+# Bench smoke: run every udpnet wire-path benchmark for a single
+# iteration so a refactor that breaks the benchmark harness (or
+# reintroduces a per-packet allocation panic) fails here, not in the
+# nightly bench job.
+go test -run='^$' -bench=. -benchtime=1x ./internal/udpnet/
+
 # Short fuzz burst on the wire decoder: the corpus seeds cover every PDU
 # kind, so even a few seconds of mutation exercises the codec's bounds
 # checks on each decode path.
