@@ -70,6 +70,7 @@ type Ring struct {
 	scratch           []byte       // consumer copy-out buffer; see Get
 
 	fullChs []chan<- struct{} // NotifyFull subscribers
+	dataFn  func()            // SetDataNotify hook; called after mu is released
 
 	prodBlocked time.Duration
 	consBlocked time.Duration
@@ -88,6 +89,16 @@ func (r *Ring) SetBlockStats(producer, consumer *stats.Histogram) {
 	defer r.mu.Unlock()
 	r.prodHist = producer
 	r.consHist = consumer
+}
+
+// SetDataNotify installs a hook invoked after every successful Put or
+// TryPut, outside the ring lock. An event-driven consumer (a transport
+// shard's send pump) uses it instead of parking a goroutine in Get; the
+// hook must be cheap and must tolerate spurious and coalesced calls.
+func (r *Ring) SetDataNotify(fn func()) {
+	r.mu.Lock()
+	r.dataFn = fn
+	r.mu.Unlock()
 }
 
 // New returns a ring of n slots, each able to hold OSDUs up to maxOSDU
@@ -144,8 +155,8 @@ func (r *Ring) Full() bool {
 // ErrClosed after Close.
 func (r *Ring) Put(u OSDU) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if len(u.Payload) > len(r.slots[0]) {
+		r.mu.Unlock()
 		return errors.New("cbuf: OSDU exceeds negotiated MaxOSDUSize")
 	}
 	if r.count == len(r.slots) && !r.closed {
@@ -158,26 +169,39 @@ func (r *Ring) Put(u OSDU) error {
 		r.prodHist.Observe(d.Seconds())
 	}
 	if r.closed {
+		r.mu.Unlock()
 		return ErrClosed
 	}
 	r.write(u)
+	fn := r.dataFn
+	r.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 	return nil
 }
 
 // TryPut is Put without blocking; it reports whether the OSDU was queued.
 func (r *Ring) TryPut(u OSDU) (bool, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return false, ErrClosed
 	}
 	if len(u.Payload) > len(r.slots[0]) {
+		r.mu.Unlock()
 		return false, errors.New("cbuf: OSDU exceeds negotiated MaxOSDUSize")
 	}
 	if r.count == len(r.slots) {
+		r.mu.Unlock()
 		return false, nil
 	}
 	r.write(u)
+	fn := r.dataFn
+	r.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 	return true, nil
 }
 
@@ -494,4 +518,15 @@ func (r *Ring) NextSeq() (core.OSDUSeq, bool) {
 		return 0, false
 	}
 	return r.seqs[r.head], true
+}
+
+// LastSeq returns the sequence number of the most recently queued OSDU
+// still in the ring; ok is false when the ring is empty.
+func (r *Ring) LastSeq() (core.OSDUSeq, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return 0, false
+	}
+	return r.seqs[(r.tail-1+len(r.slots))%len(r.slots)], true
 }

@@ -108,6 +108,17 @@ func (t *Retainer) ReplayFrom(seq core.OSDUSeq) (out []OSDU, missed int) {
 	return out, missed
 }
 
+// LastSeq returns the highest retained sequence number; ok is false when
+// nothing is retained.
+func (t *Retainer) LastSeq() (core.OSDUSeq, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.entries) == 0 {
+		return 0, false
+	}
+	return t.entries[len(t.entries)-1].seq, true
+}
+
 // Expired returns the cumulative count of retained OSDUs dropped by the
 // age and cap bounds.
 func (t *Retainer) Expired() uint64 {

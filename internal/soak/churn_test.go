@@ -1,0 +1,141 @@
+package soak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/netif/nettest"
+	"cmtos/internal/qos"
+	"cmtos/internal/transport"
+)
+
+// TestConnectChurn drives rapid connect/close waves over both substrates
+// and pins the two goroutine properties of the sharded transport core:
+//
+//   - while a wave of VCs is live, the process goroutine count stays
+//     O(shards) — opening a VC adds no goroutines, where the old
+//     goroutine-per-VC core added three to five each;
+//   - after every wave closes, the count returns to the pre-wave idle
+//     level, and after the stack shuts down, to the pre-test baseline —
+//     churn must not accrete leaked send/retransmit/sample/flow loops
+//     or pending timers.
+func TestConnectChurn(t *testing.T) {
+	substrates := []struct {
+		name  string
+		build func(*testing.T, int64) *stack
+	}{
+		{"netem", buildNetem},
+		{"udp", buildUDP},
+	}
+	for _, sub := range substrates {
+		t.Run(sub.name, func(t *testing.T) { runChurn(t, sub.build) })
+	}
+}
+
+func runChurn(t *testing.T, build func(*testing.T, int64) *stack) {
+	const (
+		rounds  = 5
+		perWave = 32
+		writes  = 3
+	)
+	checkGoroutines := nettest.CheckGoroutines(t)
+	s := build(t, 7)
+
+	recvCh := make(chan *transport.RecvVC, perWave)
+	if err := s.hosts[3].Attach(200, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the freshly built stack settle (liveness timers, dispatch
+	// workers) before recording the idle goroutine level.
+	time.Sleep(50 * time.Millisecond)
+	idle := runtime.NumGoroutine()
+
+	payload := make([]byte, 32)
+	for round := 0; round < rounds; round++ {
+		sends := make([]*transport.SendVC, 0, perWave)
+		recvs := make([]*transport.RecvVC, 0, perWave)
+		for i := 0; i < perWave; i++ {
+			src := core.HostID(1 + i%2)
+			sv, err := s.hosts[src].Connect(transport.ConnectRequest{
+				SrcTSAP: core.TSAP(10 + i),
+				Dest:    core.Addr{Host: 3, TSAP: 200},
+				Class:   qos.ClassDetectIndicate,
+				Spec:    soakSpec(150),
+			})
+			if err != nil {
+				t.Fatalf("round %d connect %d: %v", round, i, err)
+			}
+			sends = append(sends, sv)
+			select {
+			case rv := <-recvCh:
+				recvs = append(recvs, rv)
+			case <-time.After(5 * time.Second):
+				t.Fatalf("round %d: sink VC %d never surfaced", round, i)
+			}
+		}
+
+		// Move data on every VC of the wave so the shard loops, pacing
+		// timers and ack paths all engage — churn with live traffic, not
+		// idle connections.
+		for _, sv := range sends {
+			for k := 0; k < writes; k++ {
+				if _, err := sv.Write(payload, 0); err != nil {
+					t.Fatalf("round %d write: %v", round, err)
+				}
+			}
+		}
+		for i, rv := range recvs {
+			got := 0
+			deadline := time.Now().Add(5 * time.Second)
+			for got < writes {
+				if _, ok, err := rv.TryRead(); err != nil {
+					t.Fatalf("round %d recv %d: %v", round, i, err)
+				} else if ok {
+					got++
+					continue
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("round %d recv %d: delivered %d/%d", round, i, got, writes)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+
+		// With the whole wave live, the goroutine count must be bounded
+		// by the shard budget, not the VC population. The old core would
+		// sit at 3×perWave and up here.
+		if live := runtime.NumGoroutine(); live-idle > 10 {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("round %d: %d goroutines with %d VCs live (idle %d) — O(VCs), not O(shards)\n%s",
+				round, live, perWave, idle, buf[:runtime.Stack(buf, true)])
+		}
+
+		for _, sv := range sends {
+			if err := sv.Close(core.ReasonUserInitiated); err != nil {
+				t.Fatalf("round %d close: %v", round, err)
+			}
+		}
+		if !waitUntil(5*time.Second, func() bool {
+			return runtime.NumGoroutine() <= idle+3
+		}) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("round %d: goroutines did not return to idle after close: %d (idle %d)\n%s",
+				round, runtime.NumGoroutine(), idle, buf[:runtime.Stack(buf, true)])
+		}
+	}
+
+	// Every reservation taken by the churn must have been released.
+	for i, rm := range s.rms {
+		if n := rm.Count(); n != 0 {
+			t.Errorf("reserver %d: %d reservations outstanding after churn", i, n)
+		}
+	}
+
+	s.shutdown()
+	checkGoroutines()
+}

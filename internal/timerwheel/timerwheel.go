@@ -1,0 +1,255 @@
+// Package timerwheel implements a hierarchical timing wheel for
+// single-threaded event loops. A transport shard owns one wheel and
+// multiplexes every per-VC deadline through it — regulation ticks,
+// retransmit deadlines, XON/flow probes, XOFF leases, keepalive probes —
+// instead of parking one goroutine per deadline on clk.After.
+//
+// The wheel is deliberately lock-free in the trivial sense: it has no
+// locks because exactly one goroutine (the owning shard loop) may touch
+// it. Timers are intrusive, reusable nodes, so steady-state scheduling
+// performs zero allocations: arming, firing, cancelling and rescheduling
+// all just relink list nodes.
+//
+// Layout: four levels of 64 slots at a 1ms base tick, covering ~1ms to
+// ~4.6 hours of horizon (64^4 ticks); deadlines past the horizon are
+// parked in the top level and re-cascaded until they come into range.
+// Time is tracked as an absolute tick index from the wheel's start
+// instant, so the wheel works identically under the system, skewed and
+// manual clocks.
+package timerwheel
+
+import "time"
+
+const (
+	levels   = 4
+	slotBits = 6
+	slots    = 1 << slotBits // 64 slots per level
+)
+
+// Timer is an intrusive timer node. The zero value is ready to use.
+// A Timer must only be manipulated through the Wheel that scheduled it,
+// from that wheel's owning goroutine. Reusing a node (Schedule after it
+// fired or was cancelled) is the intended pattern.
+type Timer struct {
+	fn   func()
+	when int64 // absolute deadline tick
+	next *Timer
+	prev *Timer
+}
+
+// Armed reports whether the timer is currently linked into a wheel
+// (scheduled and not yet fired or cancelled).
+func (t *Timer) Armed() bool { return t.next != nil }
+
+// Wheel is a hierarchical timing wheel. Not safe for concurrent use; see
+// the package comment.
+type Wheel struct {
+	start time.Time // absolute time of tick 0
+	tick  time.Duration
+	cur   int64 // last tick processed by Advance
+	n     int   // armed timers
+	slot  [levels][slots]Timer
+	fired Timer // transient list of due timers mid-Advance
+}
+
+// New returns a wheel whose tick 0 is the instant start, with the given
+// base tick (granularity). A tick of 0 defaults to 1ms.
+func New(start time.Time, tick time.Duration) *Wheel {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	w := &Wheel{start: start, tick: tick}
+	for l := range w.slot {
+		for s := range w.slot[l] {
+			h := &w.slot[l][s]
+			h.next, h.prev = h, h
+		}
+	}
+	w.fired.next, w.fired.prev = &w.fired, &w.fired
+	return w
+}
+
+// Len returns the number of armed timers.
+func (w *Wheel) Len() int { return w.n }
+
+func (w *Wheel) tickAt(now time.Time) int64 {
+	d := now.Sub(w.start)
+	if d < 0 {
+		return 0
+	}
+	return int64(d / w.tick)
+}
+
+func unlink(t *Timer) {
+	t.prev.next = t.next
+	t.next.prev = t.prev
+	t.next, t.prev = nil, nil
+}
+
+func pushBack(h, t *Timer) {
+	t.prev = h.prev
+	t.next = h
+	h.prev.next = t
+	h.prev = t
+}
+
+// place links t into the level whose slot index difference from the
+// current position is under one ring revolution, so every armed timer is
+// reachable by at most one cascade per level. Deadlines beyond the
+// top-level horizon are clamped to the furthest top slot and re-placed
+// as they cascade back into range.
+func (w *Wheel) place(t *Timer) {
+	for l := 0; l < levels; l++ {
+		shift := uint(slotBits * l)
+		diff := t.when>>shift - w.cur>>shift
+		if diff < slots || l == levels-1 {
+			idx := t.when >> shift
+			if diff >= slots { // beyond horizon: park at the far edge
+				idx = w.cur>>shift + slots - 1
+			}
+			pushBack(&w.slot[l][idx&(slots-1)], t)
+			return
+		}
+	}
+}
+
+// Schedule arms t to run fn once d from now (now being the wheel's
+// current position, i.e. the instant last passed to Advance). A d of
+// zero or less fires on the next tick — the wheel never fires inline
+// from Schedule. Scheduling an armed timer reschedules it.
+func (w *Wheel) Schedule(t *Timer, d time.Duration, fn func()) {
+	if t.next != nil {
+		unlink(t)
+		w.n--
+	}
+	ticks := int64((d + w.tick - 1) / w.tick) // ceil: never early
+	if ticks < 1 {
+		ticks = 1
+	}
+	t.when = w.cur + ticks
+	t.fn = fn
+	w.place(t)
+	w.n++
+}
+
+// ScheduleAt is Schedule with the deadline computed from now rather than
+// from the wheel's cursor. Event loops that park between Advances must use
+// this form: after an idle stretch the cursor lags real time, and a
+// cursor-relative deadline would land in the past — the next catch-up
+// Advance would fire it (and every re-arm made the same way) immediately,
+// turning a paced schedule into a burst.
+func (w *Wheel) ScheduleAt(t *Timer, now time.Time, d time.Duration, fn func()) {
+	if t.next != nil {
+		unlink(t)
+		w.n--
+	}
+	ticks := int64((d + w.tick - 1) / w.tick) // ceil: never early
+	if ticks < 1 {
+		ticks = 1
+	}
+	base := w.tickAt(now)
+	if base < w.cur {
+		base = w.cur // never behind already-processed ticks
+	}
+	t.when = base + ticks
+	t.fn = fn
+	w.place(t)
+	w.n++
+}
+
+// Cancel disarms t if armed. Reports whether it was armed. Cancelling a
+// timer whose callback is currently running has no effect on that run.
+func (w *Wheel) Cancel(t *Timer) bool {
+	if t.next == nil {
+		return false
+	}
+	unlink(t)
+	w.n--
+	return true
+}
+
+// cascade re-places every timer in the given slot one level down (or
+// onto the fired list when already due).
+func (w *Wheel) cascade(l int, s int64) {
+	h := &w.slot[l][s&(slots-1)]
+	for h.next != h {
+		t := h.next
+		unlink(t)
+		if t.when <= w.cur {
+			pushBack(&w.fired, t)
+		} else {
+			w.place(t)
+		}
+	}
+}
+
+// Advance moves the wheel to now, firing every timer whose deadline has
+// passed, in deadline order. Callbacks run on the caller's goroutine and
+// may freely Schedule, Reschedule or Cancel timers on this wheel.
+func (w *Wheel) Advance(now time.Time) {
+	target := w.tickAt(now)
+	for w.cur < target {
+		if w.n == 0 {
+			w.cur = target
+			return
+		}
+		w.cur++
+		if w.cur&(slots-1) == 0 {
+			if w.cur&(1<<(2*slotBits)-1) == 0 {
+				if w.cur&(1<<(3*slotBits)-1) == 0 {
+					w.cascade(3, w.cur>>(3*slotBits))
+				}
+				w.cascade(2, w.cur>>(2*slotBits))
+			}
+			w.cascade(1, w.cur>>slotBits)
+		}
+		// Every timer in the level-0 slot is due exactly now.
+		h := &w.slot[0][w.cur&(slots-1)]
+		for h.next != h {
+			t := h.next
+			unlink(t)
+			pushBack(&w.fired, t)
+		}
+		for w.fired.next != &w.fired {
+			t := w.fired.next
+			unlink(t)
+			w.n--
+			t.fn()
+		}
+	}
+}
+
+// NextWait returns how long after now the next timer could be due, and
+// whether any timer is armed. The bound is conservative — the wheel may
+// indicate an earlier wake than the real deadline for timers parked in
+// the coarse levels (the caller just re-Advances and re-asks) — but is
+// never later than a deadline.
+func (w *Wheel) NextWait(now time.Time) (time.Duration, bool) {
+	if w.n == 0 {
+		return 0, false
+	}
+	next := w.nextTick()
+	due := w.start.Add(time.Duration(next) * w.tick)
+	d := due.Sub(now)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// nextTick returns the earliest tick at which a timer could fire or
+// cascade into range.
+func (w *Wheel) nextTick() int64 {
+	for l := 0; l < levels; l++ {
+		shift := uint(slotBits * l)
+		idx := w.cur >> shift
+		for i := int64(1); i < slots; i++ {
+			h := &w.slot[l][(idx+i)&(slots-1)]
+			if h.next != h {
+				return (idx + i) << shift
+			}
+		}
+	}
+	// Unreachable while the placement invariant holds; wake next tick.
+	return w.cur + 1
+}

@@ -1,0 +1,265 @@
+package timerwheel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(0, 0)
+
+func at(ms int64) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+
+func TestFiresAtDeadline(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	var fired []time.Duration
+	for _, d := range []time.Duration{
+		time.Millisecond,
+		5 * time.Millisecond,
+		63 * time.Millisecond,
+		64 * time.Millisecond, // first level-1 resident
+		100 * time.Millisecond,
+		4096 * time.Millisecond, // first level-2 resident
+		10 * time.Second,
+		5 * time.Minute, // level 3
+	} {
+		d := d
+		w.Schedule(&Timer{}, d, func() { fired = append(fired, d) })
+	}
+	if w.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", w.Len())
+	}
+	// Advance in coarse hops; everything must fire exactly once, in
+	// deadline order, never before its deadline.
+	last := 0
+	for _, hop := range []int64{1, 5, 63, 64, 100, 4095, 4096, 10_000, 300_000} {
+		w.Advance(at(hop))
+		for _, d := range fired[last:] {
+			if int64(d/time.Millisecond) > hop {
+				t.Fatalf("timer %v fired early at %dms", d, hop)
+			}
+		}
+		last = len(fired)
+	}
+	if len(fired) != 8 {
+		t.Fatalf("fired %d timers, want 8", len(fired))
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("fired out of deadline order: %v", fired)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after all fired, want 0", w.Len())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	var hit bool
+	tm := &Timer{}
+	w.Schedule(tm, 10*time.Millisecond, func() { hit = true })
+	if !tm.Armed() || !w.Cancel(tm) {
+		t.Fatal("timer should be armed and cancellable")
+	}
+	if tm.Armed() || w.Cancel(tm) {
+		t.Fatal("double cancel should report false")
+	}
+	w.Advance(at(100))
+	if hit {
+		t.Fatal("cancelled timer fired")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", w.Len())
+	}
+}
+
+func TestRescheduleMovesDeadline(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	var fired int64
+	tm := &Timer{}
+	w.Schedule(tm, 5*time.Millisecond, func() { fired = 5 })
+	w.Schedule(tm, 50*time.Millisecond, func() { fired = 50 }) // re-arm
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after reschedule", w.Len())
+	}
+	w.Advance(at(10))
+	if fired != 0 {
+		t.Fatal("fired at the superseded deadline")
+	}
+	w.Advance(at(50))
+	if fired != 50 {
+		t.Fatalf("fired = %d, want 50", fired)
+	}
+}
+
+func TestRepeatingTimerRearmsFromCallback(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	var ticks int
+	tm := &Timer{}
+	var rearm func()
+	rearm = func() {
+		ticks++
+		w.Schedule(tm, 10*time.Millisecond, rearm)
+	}
+	w.Schedule(tm, 10*time.Millisecond, rearm)
+	w.Advance(at(105))
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestZeroDelayFiresNextTick(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	w.Advance(at(7))
+	var hit bool
+	w.Schedule(&Timer{}, 0, func() { hit = true })
+	w.Advance(at(7))
+	if hit {
+		t.Fatal("zero-delay timer fired inline")
+	}
+	w.Advance(at(8))
+	if !hit {
+		t.Fatal("zero-delay timer missed the next tick")
+	}
+}
+
+func TestCancelFromCallback(t *testing.T) {
+	// Two timers due the same tick; the first one's callback cancels the
+	// second while it sits on the transient fired list.
+	w := New(t0, time.Millisecond)
+	var hit bool
+	second := &Timer{}
+	w.Schedule(&Timer{}, 3*time.Millisecond, func() { w.Cancel(second) })
+	w.Schedule(second, 3*time.Millisecond, func() { hit = true })
+	w.Advance(at(10))
+	if hit {
+		t.Fatal("timer fired despite being cancelled by an earlier callback")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", w.Len())
+	}
+}
+
+func TestNextWait(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	if _, ok := w.NextWait(t0); ok {
+		t.Fatal("empty wheel reported a pending wait")
+	}
+	tm := &Timer{}
+	w.Schedule(tm, 40*time.Millisecond, func() {})
+	d, ok := w.NextWait(t0)
+	if !ok || d <= 0 || d > 40*time.Millisecond {
+		t.Fatalf("NextWait = %v,%v; want (0,40ms]", d, ok)
+	}
+	// A coarse-level timer: the bound must be conservative (never past
+	// the deadline), and repeatedly advancing to the reported wake time
+	// must reach the deadline rather than stall.
+	w.Cancel(tm)
+	w.Schedule(tm, 10*time.Second, func() {})
+	now := t0
+	for i := 0; i < 1000; i++ {
+		d, ok := w.NextWait(now)
+		if !ok {
+			t.Fatal("timer lost")
+		}
+		if now.Add(d).After(t0.Add(10 * time.Second)) {
+			t.Fatalf("NextWait overshot the deadline: now=%v wait=%v", now.Sub(t0), d)
+		}
+		if d == 0 {
+			d = time.Millisecond
+		}
+		now = now.Add(d)
+		w.Advance(now)
+		if w.Len() == 0 {
+			if now.Sub(t0) < 10*time.Second {
+				t.Fatalf("fired early at %v", now.Sub(t0))
+			}
+			return
+		}
+	}
+	t.Fatal("never reached the 10s deadline in 1000 wakes")
+}
+
+func TestHorizonClamp(t *testing.T) {
+	// A deadline beyond the top-level horizon (64^4 ticks ≈ 4.66h at
+	// 1ms) parks at the far edge and still fires at the right time.
+	w := New(t0, time.Millisecond)
+	var hit bool
+	far := 6 * time.Hour
+	w.Schedule(&Timer{}, far, func() { hit = true })
+	w.Advance(at(int64(far/time.Millisecond) - 1))
+	if hit {
+		t.Fatal("fired before a beyond-horizon deadline")
+	}
+	w.Advance(at(int64(far / time.Millisecond)))
+	if !hit {
+		t.Fatal("beyond-horizon timer never fired")
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	// Fuzz the wheel against a sorted-slice reference implementation.
+	rng := rand.New(rand.NewSource(1))
+	w := New(t0, time.Millisecond)
+	type ref struct {
+		tm   *Timer
+		when int64 // ms
+		hit  *bool
+	}
+	var live []ref
+	now := int64(0)
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // schedule
+			d := int64(1 + rng.Intn(300_000))
+			hit := new(bool)
+			tm := &Timer{}
+			w.Schedule(tm, time.Duration(d)*time.Millisecond, func() { *hit = true })
+			live = append(live, ref{tm, now + d, hit})
+		case op < 8 && len(live) > 0: // cancel a random live timer
+			i := rng.Intn(len(live))
+			w.Cancel(live[i].tm)
+			live = append(live[:i], live[i+1:]...)
+		default: // advance
+			now += int64(rng.Intn(10_000))
+			w.Advance(at(now))
+			rest := live[:0]
+			for _, r := range live {
+				if r.when <= now {
+					if !*r.hit {
+						t.Fatalf("step %d: timer due at %d not fired by %d", step, r.when, now)
+					}
+				} else {
+					if *r.hit {
+						t.Fatalf("step %d: timer due at %d fired early (now %d)", step, r.when, now)
+					}
+					rest = append(rest, r)
+				}
+			}
+			live = rest
+		}
+	}
+	if w.Len() != len(live) {
+		t.Fatalf("Len = %d, reference says %d", w.Len(), len(live))
+	}
+}
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	w := New(t0, time.Millisecond)
+	tm := &Timer{}
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Schedule(tm, 100*time.Millisecond, fn)
+		w.Cancel(tm)
+	}
+}
+
+func BenchmarkAdvanceIdle(b *testing.B) {
+	w := New(t0, time.Millisecond)
+	w.Schedule(&Timer{}, time.Hour, func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Advance(t0.Add(time.Duration(i) * time.Millisecond))
+	}
+}

@@ -94,6 +94,7 @@ func (e *Entity) connectAsSource(tup core.ConnectTuple, profile qos.Profile, cla
 		return nil, ErrClosed
 	}
 	e.sends[vc] = s
+	e.peerAddLocked(s.tuple.Dest.Host, vc)
 	e.mu.Unlock()
 	s.start()
 
@@ -158,6 +159,7 @@ func (e *Entity) handleConnReq(from core.HostID, c *pdu.Control) {
 		return
 	}
 	e.recvs[c.VC] = r
+	e.peerAddLocked(r.tuple.Source.Host, c.VC)
 	e.mu.Unlock()
 	r.start()
 

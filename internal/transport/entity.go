@@ -53,13 +53,21 @@ type Entity struct {
 	resumableQ []resumableKey        // insertion order, for eviction
 	closed     bool
 
-	// Peer-liveness state, under its own mutex so the per-packet
-	// last-heard update never contends with the entity lock.
-	lv struct {
-		sync.Mutex
-		lastHeard map[core.HostID]time.Time
-		misses    map[core.HostID]int
-	}
+	// peerVCs indexes live VCs by remote peer (under mu), maintained at
+	// VC registration and teardown, so the keepalive tick walks O(peers)
+	// instead of building a map of every VC each interval.
+	peerVCs map[core.HostID]map[core.VCID]struct{}
+
+	// shards are the entity's event loops; every VC's protocol work runs
+	// on the shard hashed from its VCID (see shard.go).
+	shards []*shard
+
+	// lastHeard maps core.HostID to a *atomic.Int64 UnixNano of the most
+	// recent packet from that peer. The per-packet update is a lock-free
+	// atomic store; map mutation only happens the first time a peer is
+	// heard. misses is owned exclusively by the shard-0 keepalive tick.
+	lastHeard sync.Map
+	misses    map[core.HostID]int
 }
 
 // NewEntity attaches a transport entity to host on net. The host must
@@ -81,6 +89,8 @@ func NewEntity(host core.HostID, clk clock.Clock, net netif.Network, rm resv.Res
 		pending:   make(map[uint32]chan *pdu.Control),
 		served:    make(map[servedKey]*servedEntry),
 		resumable: make(map[core.VCID]*RecvVC),
+		peerVCs:   make(map[core.HostID]map[core.VCID]struct{}),
+		misses:    make(map[core.HostID]int),
 		workDone:  make(chan struct{}),
 	}
 	// One TPDU must fit one substrate packet: shrink the TPDU bound to
@@ -97,14 +107,20 @@ func NewEntity(host core.HostID, clk clock.Clock, net netif.Network, rm resv.Res
 	for i := 0; i < e.cfg.DispatchWorkers; i++ {
 		go e.dispatchWorker()
 	}
-	e.lv.lastHeard = make(map[core.HostID]time.Time)
-	e.lv.misses = make(map[core.HostID]int)
+	e.shards = make([]*shard, e.cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = newShard(e, i)
+	}
 	if err := net.SetHandler(host, e.onPacket); err != nil {
 		close(e.workDone)
 		return nil, err
 	}
-	if e.cfg.KeepaliveInterval > 0 {
-		go e.livenessLoop()
+	// The event loops start after the handler is installed: anything the
+	// substrate delivers in between just queues on the shard rings. The
+	// keepalive tick rides shard 0's wheel, so the goroutine budget is
+	// O(shards + dispatch workers) regardless of VC count.
+	for _, sh := range e.shards {
+		go sh.loop()
 	}
 	return e, nil
 }
@@ -275,6 +291,9 @@ func (e *Entity) Close() {
 	}
 	for _, r := range recvs {
 		r.teardown()
+	}
+	for _, sh := range e.shards {
+		close(sh.done)
 	}
 }
 
@@ -461,13 +480,12 @@ func (e *Entity) onPacket(p netif.Packet) {
 	}
 	switch msg := m.(type) {
 	case *pdu.Data:
-		if r, ok := e.SinkVC(msg.VC); ok {
-			r.onData(msg)
-		}
+		// Hand off to the VC's owning shard: one queue write, no entity
+		// lock, no per-VC goroutine wake. pdu.Decode copied the payload,
+		// so the event owns its bytes.
+		e.shardFor(msg.VC).tryPost(shardEvent{kind: evData, vc: msg.VC, data: msg})
 	case *pdu.Ack:
-		if s, ok := e.SourceVC(msg.VC); ok {
-			s.onAck(msg)
-		}
+		e.shardFor(msg.VC).tryPost(shardEvent{kind: evAck, vc: msg.VC, ack: msg})
 	case *pdu.Orch:
 		e.mu.Lock()
 		fn := e.orchFn
@@ -519,13 +537,9 @@ func (e *Entity) onControl(from core.HostID, c *pdu.Control) {
 	case pdu.KindDiscConf:
 		// Release confirmations need no action in this implementation.
 	case pdu.KindFlowOff:
-		if s, ok := e.SourceVC(c.VC); ok {
-			s.peerHold(true)
-		}
+		e.shardFor(c.VC).tryPost(shardEvent{kind: evFlow, vc: c.VC, on: true})
 	case pdu.KindFlowOn:
-		if s, ok := e.SourceVC(c.VC); ok {
-			s.peerHold(false)
-		}
+		e.shardFor(c.VC).tryPost(shardEvent{kind: evFlow, vc: c.VC, on: false})
 	case pdu.KindKeepalive:
 		// Answer inline: liveness probes must work even when the
 		// dispatch pool is saturated, or congestion would read as death.
@@ -596,6 +610,7 @@ func (e *Entity) dropSend(s *SendVC) {
 	e.mu.Lock()
 	if e.sends[s.id] == s {
 		delete(e.sends, s.id)
+		e.peerDelLocked(s.tuple.Dest.Host, s.id)
 	}
 	e.mu.Unlock()
 }
@@ -606,8 +621,33 @@ func (e *Entity) dropRecv(r *RecvVC) {
 	e.mu.Lock()
 	if e.recvs[r.id] == r {
 		delete(e.recvs, r.id)
+		e.peerDelLocked(r.tuple.Source.Host, r.id)
 	}
 	e.mu.Unlock()
+}
+
+// peerAddLocked indexes a live VC under the remote peer it depends on;
+// caller holds mu. Self- and group-addressed VCs are not peers.
+func (e *Entity) peerAddLocked(peer core.HostID, vc core.VCID) {
+	if peer == e.host || peer >= netif.GroupBase {
+		return
+	}
+	m := e.peerVCs[peer]
+	if m == nil {
+		m = make(map[core.VCID]struct{})
+		e.peerVCs[peer] = m
+	}
+	m[vc] = struct{}{}
+}
+
+// peerDelLocked drops a VC from the peer index; caller holds mu.
+func (e *Entity) peerDelLocked(peer core.HostID, vc core.VCID) {
+	if m := e.peerVCs[peer]; m != nil {
+		delete(m, vc)
+		if len(m) == 0 {
+			delete(e.peerVCs, peer)
+		}
+	}
 }
 
 // pathSpecSize picks the packet size used for path capability estimates:

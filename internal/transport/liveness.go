@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"sync/atomic"
+	"time"
+
 	"cmtos/internal/core"
-	"cmtos/internal/netif"
 	"cmtos/internal/pdu"
 )
 
@@ -15,10 +17,18 @@ import (
 // silent intervals they are declared dead. Data traffic therefore
 // suppresses keepalives entirely, and the probes ride the control
 // priority class so media congestion cannot masquerade as death.
+//
+// The bookkeeping is split by access pattern. noteHeard runs on every
+// received packet, so it is a lock-free atomic store (the old
+// mutex-plus-map version serialised every receive goroutine in the
+// entity through one lock). The periodic tick runs on shard 0's timer
+// wheel and walks the peerVCs index — O(live peers), where the old code
+// rebuilt a map of every VC under the entity lock each interval.
 
-// SetPeerDownHandler installs a hook called (from the liveness goroutine)
-// after a peer is declared dead and its VCs torn down, with the affected
-// VC IDs. The orchestration layer uses it to mark groups degraded.
+// SetPeerDownHandler installs a hook called (from the shard-0 liveness
+// tick) after a peer is declared dead and its VCs torn down, with the
+// affected VC IDs. The orchestration layer uses it to mark groups
+// degraded.
 func (e *Entity) SetPeerDownHandler(fn func(peer core.HostID, vcs []core.VCID)) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -26,103 +36,95 @@ func (e *Entity) SetPeerDownHandler(fn func(peer core.HostID, vcs []core.VCID)) 
 }
 
 // noteHeard records that a packet from src arrived; called on every
-// receive, so it must stay cheap.
+// receive, so it must stay cheap: one sync.Map read plus one atomic
+// store. The slow path (allocating the per-peer cell) runs once per
+// peer lifetime. Presence of a cell — not a sentinel timestamp — marks
+// the peer as seen, so the scheme works even under a manual test clock
+// whose epoch is zero.
 func (e *Entity) noteHeard(src core.HostID) {
-	e.lv.Lock()
-	e.lv.lastHeard[src] = e.clk.Now()
-	if e.lv.misses[src] != 0 {
-		delete(e.lv.misses, src)
+	now := e.clk.Now().UnixNano()
+	if v, ok := e.lastHeard.Load(src); ok {
+		v.(*atomic.Int64).Store(now)
+		return
 	}
-	e.lv.Unlock()
-}
-
-// livenessLoop probes silent peers once per KeepaliveInterval until the
-// entity closes.
-func (e *Entity) livenessLoop() {
-	for {
-		select {
-		case <-e.workDone:
-			return
-		case <-e.clk.After(e.cfg.KeepaliveInterval):
-		}
-		e.livenessTick()
+	v := new(atomic.Int64)
+	v.Store(now)
+	if prev, loaded := e.lastHeard.LoadOrStore(src, v); loaded {
+		prev.(*atomic.Int64).Store(now)
 	}
 }
 
-// livePeers maps each remote peer host to the VCs shared with it.
-// Multicast group addresses are skipped: group sends fan out to member
-// VCs whose unicast peers are tracked individually.
-func (e *Entity) livePeers() map[core.HostID][]core.VCID {
+// vcsForPeer snapshots the VC IDs currently indexed under peer.
+func (e *Entity) vcsForPeer(peer core.HostID) []core.VCID {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := make(map[core.HostID][]core.VCID)
-	for id, s := range e.sends {
-		if h := s.tuple.Dest.Host; h != e.host && h < netif.GroupBase {
-			out[h] = append(out[h], id)
-		}
-	}
-	for id, r := range e.recvs {
-		if h := r.tuple.Source.Host; h != e.host && h < netif.GroupBase {
-			out[h] = append(out[h], id)
-		}
+	out := make([]core.VCID, 0, len(e.peerVCs[peer]))
+	for vc := range e.peerVCs[peer] {
+		out = append(out, vc)
 	}
 	return out
 }
 
 // livenessTick sends keepalives to silent peers and declares dead the
-// ones that stayed silent KeepaliveMisses probe intervals in a row.
+// ones that stayed silent KeepaliveMisses probe intervals in a row. It
+// runs on shard 0's wheel; the misses map is confined to it.
 func (e *Entity) livenessTick() {
-	peers := e.livePeers()
+	e.mu.Lock()
+	peers := make([]core.HostID, 0, len(e.peerVCs))
+	for h := range e.peerVCs {
+		peers = append(peers, h)
+	}
+	e.mu.Unlock()
+
 	now := e.clk.Now()
-	var probe []core.HostID
-	for peer, vcs := range peers {
-		e.lv.Lock()
-		last, seen := e.lv.lastHeard[peer]
+	live := make(map[core.HostID]bool, len(peers))
+	var probe, dead []core.HostID
+	for _, peer := range peers {
+		live[peer] = true
+		v, seen := e.lastHeard.Load(peer)
 		if !seen {
 			// First sighting: start the silence window now.
-			e.lv.lastHeard[peer] = now
-			e.lv.Unlock()
+			e.noteHeard(peer)
 			continue
 		}
+		last := time.Unix(0, v.(*atomic.Int64).Load())
 		if now.Sub(last) < e.cfg.KeepaliveInterval {
-			e.lv.Unlock()
+			delete(e.misses, peer)
 			continue
 		}
-		e.lv.misses[peer]++
-		missed := e.lv.misses[peer]
-		e.lv.Unlock()
-		if missed > e.cfg.KeepaliveMisses {
-			e.declarePeerDead(peer, vcs)
+		e.misses[peer]++
+		if e.misses[peer] > e.cfg.KeepaliveMisses {
+			dead = append(dead, peer)
 			continue
 		}
 		probe = append(probe, peer)
 	}
 	// Forget peers we no longer share VCs with.
-	e.lv.Lock()
-	for h := range e.lv.lastHeard {
-		if _, live := peers[h]; !live {
-			delete(e.lv.lastHeard, h)
-			delete(e.lv.misses, h)
+	e.lastHeard.Range(func(k, _ any) bool {
+		if h := k.(core.HostID); !live[h] {
+			e.lastHeard.Delete(h)
+			delete(e.misses, h)
 		}
-	}
-	e.lv.Unlock()
+		return true
+	})
 	for _, peer := range probe {
 		e.scope.Counter("liveness/keepalives").Inc()
 		e.sendCtl(peer, &pdu.Control{Kind: pdu.KindKeepalive})
 	}
+	for _, peer := range dead {
+		e.declarePeerDead(peer, e.vcsForPeer(peer))
+	}
 }
 
 // declarePeerDead tears down every VC shared with a dead peer exactly as
-// if the peer had sent a disconnect with ReasonNetworkFailure: delivery
-// loops stop, reservations are released by the teardown, and the user
-// sees OnDisconnect(..., live=false).
+// if the peer had sent a disconnect with ReasonNetworkFailure: the VCs'
+// shard work stops, reservations are released by the teardown, and the
+// user sees OnDisconnect(..., live=false).
 func (e *Entity) declarePeerDead(peer core.HostID, vcs []core.VCID) {
 	e.scope.Counter("liveness/peer_deaths").Inc()
 	e.scope.Counter("peer_deaths").Inc()
-	e.lv.Lock()
-	delete(e.lv.lastHeard, peer)
-	delete(e.lv.misses, peer)
-	e.lv.Unlock()
+	e.lastHeard.Delete(peer)
+	delete(e.misses, peer)
 	for _, vc := range vcs {
 		if s, ok := e.SourceVC(vc); ok && s.tuple.Dest.Host == peer {
 			e.trace("source", core.TDisconnectIndication)

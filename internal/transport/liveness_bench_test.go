@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/resv"
+)
+
+// BenchmarkNoteHeard measures the per-packet liveness bookkeeping that
+// every received PDU pays. "mutex-map" is a faithful replica of the old
+// implementation: one entity-wide mutex around a map store plus a misses
+// delete, serialising every substrate delivery goroutine behind a single
+// lock. "atomic" drives the live implementation — a per-peer atomic
+// timestamp cell held in a sync.Map, written without any lock once the
+// cell exists. RunParallel over a 64-peer working set makes the
+// contention the old path suffered under DispatchWorkers visible.
+func BenchmarkNoteHeard(b *testing.B) {
+	const peers = 64
+
+	b.Run("mutex-map", func(b *testing.B) {
+		var mu sync.Mutex
+		lastHeard := make(map[core.HostID]time.Time, peers)
+		misses := make(map[core.HostID]int, peers)
+		b.ReportAllocs()
+		b.SetParallelism(16) // model DispatchWorkers delivery goroutines
+		b.RunParallel(func(pb *testing.PB) {
+			var i uint32
+			for pb.Next() {
+				src := core.HostID(i % peers)
+				i++
+				mu.Lock()
+				lastHeard[src] = time.Now()
+				if misses[src] != 0 {
+					delete(misses, src)
+				}
+				mu.Unlock()
+			}
+		})
+	})
+
+	b.Run("atomic", func(b *testing.B) {
+		hub := newBenchHub()
+		e, err := NewEntity(1, sys, hub, resv.NewLocal(1e18, hub.Route), Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		for p := 0; p < peers; p++ {
+			e.noteHeard(core.HostID(p)) // pre-populate the cells
+		}
+		b.ReportAllocs()
+		b.SetParallelism(16) // model DispatchWorkers delivery goroutines
+		b.RunParallel(func(pb *testing.PB) {
+			var i uint32
+			for pb.Next() {
+				e.noteHeard(core.HostID(i % peers))
+				i++
+			}
+		})
+	})
+}

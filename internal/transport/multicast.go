@@ -135,6 +135,7 @@ func (e *Entity) ConnectMulticast(req ConnectRequest, dests []core.Addr) (*SendV
 		return nil, ErrClosed
 	}
 	e.sends[vc] = s
+	e.peerAddLocked(s.tuple.Dest.Host, vc)
 	e.mu.Unlock()
 	s.start()
 	e.trace("initiator", core.TConnectConfirm)

@@ -12,7 +12,13 @@ import (
 	"cmtos/internal/qos"
 	"cmtos/internal/rate"
 	"cmtos/internal/stats"
+	"cmtos/internal/timerwheel"
 )
+
+// maxReports bounds the retained per-VC QoS report history; the oldest
+// reports are discarded first. Long-lived VCs used to grow this slice by
+// one entry per sample period forever.
+const maxReports = 4096
 
 // RecvVC is the sink side of a simplex virtual circuit: it reassembles
 // OSDUs from data TPDUs (preserving boundaries, §3.7), applies the class
@@ -23,6 +29,7 @@ import (
 // orchestrator controls.
 type RecvVC struct {
 	e       *Entity
+	sh      *shard
 	id      core.VCID
 	tuple   core.ConnectTuple
 	profile qos.Profile
@@ -81,6 +88,19 @@ type RecvVC struct {
 		all  []qos.Report
 	}
 
+	// Shard timers (shard-confined): the QoS sample tick always repeats;
+	// the ack sweep repeats only for acknowledging classes; the flow
+	// probe is armed only while backpressure is engaged or the reorder
+	// stage holds OSDUs, so an idle VC costs the wheel nothing.
+	sampleTimer timerwheel.Timer
+	ackTimer    timerwheel.Timer
+	flowTimer   timerwheel.Timer
+
+	// flowArmQ coalesces cross-thread flow-timer arm requests (from
+	// Read/TryRead/FlushBuffered via maybeXon) into at most one queued
+	// evArmFlow.
+	flowArmQ atomic.Bool
+
 	closeOnce sync.Once
 	done      chan struct{}
 }
@@ -115,6 +135,7 @@ type partial struct {
 func newRecvVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profile, class qos.Class, contract qos.Contract) *RecvVC {
 	r := &RecvVC{
 		e:          e,
+		sh:         e.shardFor(id),
 		id:         id,
 		tuple:      tup,
 		profile:    profile,
@@ -172,38 +193,65 @@ func (r *RecvVC) setLateBound(c qos.Contract) {
 	r.lateBound.Store(int64(c.Delay + c.Jitter))
 }
 
-// start launches the sink's periodic work: QoS sampling and, for
-// acknowledging classes, the ack/sweep loop.
+// start hands the VC to its owning shard, which arms the periodic work:
+// QoS sampling and, for acknowledging classes, the ack/sweep tick.
 func (r *RecvVC) start() {
-	go r.sampleLoop()
-	go r.flowLoop()
+	r.sh.post(shardEvent{kind: evRegRecv, recv: r})
+}
+
+// startOnShard arms the VC's periodic timers; shard context.
+func (r *RecvVC) startOnShard() {
+	r.sh.schedule(&r.sampleTimer, r.e.cfg.SamplePeriod, r.sampleTick)
 	if r.acks() {
-		go r.ackLoop()
+		r.sh.schedule(&r.ackTimer, r.e.cfg.RTO, r.ackTick)
+	}
+	r.armFlowIfNeeded()
+}
+
+// armFlowIfNeeded arms the flow probe when there is flow-control work to
+// supervise — backpressure engaged or OSDUs parked in the reorder stage —
+// and leaves the wheel untouched otherwise. Shard context.
+func (r *RecvVC) armFlowIfNeeded() {
+	if r.flowTimer.Armed() {
+		return
+	}
+	r.rxMu.Lock()
+	need := r.xoff || len(r.pendingOut) != 0
+	r.rxMu.Unlock()
+	if need {
+		r.sh.schedule(&r.flowTimer, r.e.cfg.RTO, r.flowTick)
 	}
 }
 
-// flowLoop maintains the XOFF lease: while backpressure is wanted it is
+// requestFlowArm is the cross-thread edge of armFlowIfNeeded, for
+// application threads (Read, TryRead, FlushBuffered) that just changed
+// ring occupancy.
+func (r *RecvVC) requestFlowArm() {
+	if r.flowArmQ.CompareAndSwap(false, true) {
+		r.sh.post(shardEvent{kind: evArmFlow, recv: r})
+	}
+}
+
+// flowTick maintains the XOFF lease: while backpressure is wanted it is
 // refreshed every RTO (the source's lease outlives two refresh losses),
-// and a lost XON is repaired on the next tick.
-func (r *RecvVC) flowLoop() {
-	for {
-		select {
-		case <-r.done:
-			return
-		case <-r.e.clk.After(r.e.cfg.RTO):
+// and a lost XON is repaired on the next tick. It re-arms itself only
+// while there is still work to supervise.
+func (r *RecvVC) flowTick() {
+	r.rxMu.Lock()
+	r.flushInOrderLocked()
+	if r.xoff {
+		if r.xonReadyLocked() {
+			r.xoff = false
+			r.endStallLocked()
+			r.e.sendCtl(r.tuple.Source.Host, &pdu.Control{Kind: pdu.KindFlowOn, VC: r.id})
+		} else {
+			r.e.sendCtl(r.tuple.Source.Host, &pdu.Control{Kind: pdu.KindFlowOff, VC: r.id})
 		}
-		r.rxMu.Lock()
-		r.flushInOrderLocked()
-		if r.xoff {
-			if r.xonReadyLocked() {
-				r.xoff = false
-				r.endStallLocked()
-				r.e.sendCtl(r.tuple.Source.Host, &pdu.Control{Kind: pdu.KindFlowOn, VC: r.id})
-			} else {
-				r.e.sendCtl(r.tuple.Source.Host, &pdu.Control{Kind: pdu.KindFlowOff, VC: r.id})
-			}
-		}
-		r.rxMu.Unlock()
+	}
+	need := r.xoff || len(r.pendingOut) != 0
+	r.rxMu.Unlock()
+	if need {
+		r.sh.schedule(&r.flowTimer, r.e.cfg.RTO, r.flowTick)
 	}
 }
 
@@ -675,14 +723,20 @@ func (r *RecvVC) endStallLocked() {
 
 // maybeXon flushes any OSDUs parked in the reorder stage into freed ring
 // slots and lifts backpressure once the buffer has drained below half.
+// Runs on application threads; if flow-control work remains it asks the
+// owning shard to keep the flow probe armed.
 func (r *RecvVC) maybeXon() {
 	r.rxMu.Lock()
-	defer r.rxMu.Unlock()
 	r.flushInOrderLocked()
 	if r.xoff && r.xonReadyLocked() {
 		r.xoff = false
 		r.endStallLocked()
 		r.e.sendCtl(r.tuple.Source.Host, &pdu.Control{Kind: pdu.KindFlowOn, VC: r.id})
+	}
+	need := r.xoff || len(r.pendingOut) != 0
+	r.rxMu.Unlock()
+	if need {
+		r.requestFlowArm()
 	}
 }
 
@@ -702,105 +756,107 @@ func (r *RecvVC) xonReadyLocked() bool {
 	return r.ring.Free() >= r.ring.Cap()/2
 }
 
-// ackLoop periodically acknowledges and sweeps stale state for
+// ackTick periodically acknowledges and sweeps stale state for
 // acknowledging classes: it re-requests long-missing TPDUs and declares
-// dead OSDUs whose retransmissions never arrived.
-func (r *RecvVC) ackLoop() {
+// dead OSDUs whose retransmissions never arrived. Shard context; repeats
+// every RTO for the VC's lifetime.
+func (r *RecvVC) ackTick() {
 	deadAfter := 4 * r.e.cfg.RTO
-	for {
-		select {
-		case <-r.done:
-			return
-		case <-r.e.clk.After(r.e.cfg.RTO):
-		}
-		r.rxMu.Lock()
-		if r.maxSeen > 0 {
-			r.sendAckLocked()
-		}
-		if r.class.Corrects() {
-			now := r.e.clk.Now()
-			for s, since := range r.missing {
-				if now.Sub(since) > deadAfter {
-					delete(r.missing, s)
-				}
-			}
-			// Declare head-of-line OSDUs dead when their reassembly has
-			// stalled past the dead horizon.
-			for seq, p := range r.asm {
-				if now.Sub(p.started) > deadAfter {
-					delete(r.asm, seq)
-				}
-			}
-			// If the head OSDU can no longer complete — nothing of it
-			// is under reassembly and no missing TPDU (which a
-			// retransmission could still fill) remains — skip past it.
-			if next, ok := r.oldestPendingLocked(); ok && len(r.missing) == 0 && next > r.nextDeliver {
-				headStalled := true
-				for s := r.nextDeliver; s < next; s++ {
-					if _, inAsm := r.asm[s]; inAsm {
-						headStalled = false
-						break
-					}
-				}
-				if headStalled {
-					r.countLost(int(next - r.nextDeliver))
-					r.nextDeliver = next
-					r.flushInOrderLocked()
-				}
-			}
-		}
-		r.rxMu.Unlock()
+	r.rxMu.Lock()
+	if r.maxSeen > 0 {
+		r.sendAckLocked()
 	}
+	if r.class.Corrects() {
+		now := r.e.clk.Now()
+		for s, since := range r.missing {
+			if now.Sub(since) > deadAfter {
+				delete(r.missing, s)
+			}
+		}
+		// Declare head-of-line OSDUs dead when their reassembly has
+		// stalled past the dead horizon.
+		for seq, p := range r.asm {
+			if now.Sub(p.started) > deadAfter {
+				delete(r.asm, seq)
+			}
+		}
+		// If the head OSDU can no longer complete — nothing of it
+		// is under reassembly and no missing TPDU (which a
+		// retransmission could still fill) remains — skip past it.
+		if next, ok := r.oldestPendingLocked(); ok && len(r.missing) == 0 && next > r.nextDeliver {
+			headStalled := true
+			for s := r.nextDeliver; s < next; s++ {
+				if _, inAsm := r.asm[s]; inAsm {
+					headStalled = false
+					break
+				}
+			}
+			if headStalled {
+				r.countLost(int(next - r.nextDeliver))
+				r.nextDeliver = next
+				r.flushInOrderLocked()
+			}
+		}
+	}
+	r.rxMu.Unlock()
+	r.armFlowIfNeeded()
+	r.sh.schedule(&r.ackTimer, r.e.cfg.RTO, r.ackTick)
 }
 
-// sampleLoop closes the QoS monitor every sample period and raises
+// sampleTick closes the QoS monitor every sample period and raises
 // T-QoS.indication when the class indicates and the contract was violated
-// (Table 2).
-func (r *RecvVC) sampleLoop() {
+// (Table 2). Shard context; repeats every sample period.
+func (r *RecvVC) sampleTick() {
 	period := r.e.cfg.SamplePeriod
-	for {
-		select {
-		case <-r.done:
-			return
-		case <-r.e.clk.After(period):
-		}
-		rep := r.mon.Close(period)
-		r.reports.Lock()
-		r.reports.last = rep
-		r.reports.all = append(r.reports.all, rep)
-		r.reports.Unlock()
+	rep := r.mon.Close(period)
+	r.reports.Lock()
+	r.reports.last = rep
+	if len(r.reports.all) >= maxReports {
+		copy(r.reports.all, r.reports.all[1:])
+		r.reports.all = r.reports.all[:maxReports-1]
+	}
+	r.reports.all = append(r.reports.all, rep)
+	r.reports.Unlock()
 
-		// Publish the period's measured QoS as gauges.
-		r.si.qosThr.Set(rep.Throughput)
-		r.si.qosDelay.Set(rep.MeanDelay.Seconds())
-		r.si.qosJitter.Set(rep.Jitter.Seconds())
-		r.si.qosPER.Set(rep.PER)
-		r.si.qosBER.Set(rep.BER)
+	// Publish the period's measured QoS as gauges.
+	r.si.qosThr.Set(rep.Throughput)
+	r.si.qosDelay.Set(rep.MeanDelay.Seconds())
+	r.si.qosJitter.Set(rep.Jitter.Seconds())
+	r.si.qosPER.Set(rep.PER)
+	r.si.qosBER.Set(rep.BER)
 
-		contract := r.Contract()
-		violated := rep.Violations(contract, r.e.cfg.QoSSlack)
-		r.si.violations.Add(uint64(len(violated)))
-		if len(violated) == 0 || !r.class.Indicates() {
-			continue
-		}
-		// Local T-QoS.indication at the sink user ...
-		r.e.trace("dest", core.TQoSIndication)
-		if u, ok := r.e.user(r.tuple.Dest.TSAP); ok && u.OnQoS != nil {
-			u.OnQoS(QoSIndication{
-				VC: r.id, Tuple: r.tuple, Contract: contract,
-				Report: rep, Violated: violated,
-			})
-		}
-		// ... and relay toward source (and initiator, via the source).
-		q := &pdu.QoSReport{VC: r.id, Tuple: r.tuple, Report: rep, Violated: violated}
-		_ = r.e.net.Send(netif.Packet{
-			Src: r.tuple.Dest.Host, Dst: r.tuple.Source.Host,
-			Prio: netif.PrioControl, Payload: q.Marshal(nil),
+	r.sh.schedule(&r.sampleTimer, period, r.sampleTick)
+
+	contract := r.Contract()
+	violated := rep.Violations(contract, r.e.cfg.QoSSlack)
+	r.si.violations.Add(uint64(len(violated)))
+	if len(violated) == 0 || !r.class.Indicates() {
+		return
+	}
+	// Local T-QoS.indication at the sink user ...
+	r.e.trace("dest", core.TQoSIndication)
+	if u, ok := r.e.user(r.tuple.Dest.TSAP); ok && u.OnQoS != nil {
+		u.OnQoS(QoSIndication{
+			VC: r.id, Tuple: r.tuple, Contract: contract,
+			Report: rep, Violated: violated,
 		})
 	}
+	// ... and relay toward source (and initiator, via the source).
+	q := &pdu.QoSReport{VC: r.id, Tuple: r.tuple, Report: rep, Violated: violated}
+	_ = r.e.net.Send(netif.Packet{
+		Src: r.tuple.Dest.Host, Dst: r.tuple.Source.Host,
+		Prio: netif.PrioControl, Payload: q.Marshal(nil),
+	})
 }
 
-// teardown stops the VC's goroutines and frees its resources. Safe to
+// shardClose disarms the VC's wheel timers; shard context.
+func (r *RecvVC) shardClose() {
+	r.sh.wheel.Cancel(&r.sampleTimer)
+	r.sh.wheel.Cancel(&r.ackTimer)
+	r.sh.wheel.Cancel(&r.flowTimer)
+}
+
+// teardown stops the VC's periodic work and frees its resources. Safe to
 // call more than once.
 func (r *RecvVC) teardown() {
 	r.closeOnce.Do(func() {
@@ -814,5 +870,6 @@ func (r *RecvVC) teardown() {
 		// application drain what is already buffered, and the consumed
 		// watermark keeps advancing until a resume seals it.
 		r.e.noteResumable(r)
+		r.sh.post(shardEvent{kind: evCloseRecv, recv: r})
 	})
 }

@@ -210,6 +210,7 @@ func (e *Entity) Resume(req ResumeRequest) (*SendVC, core.OSDUSeq, error) {
 		return nil, 0, &RejectError{Reason: core.ReasonProtocolError, Detail: "VC already live"}
 	}
 	e.sends[req.VC] = s
+	e.peerAddLocked(s.tuple.Dest.Host, req.VC)
 	e.mu.Unlock()
 	s.start()
 	e.scope.Scope(vcScopeName(req.VC)).Counter("recoveries").Inc()
@@ -309,6 +310,7 @@ func (e *Entity) handleResumeReq(from core.HostID, c *pdu.Control) {
 		return
 	}
 	e.recvs[c.VC] = r
+	e.peerAddLocked(r.tuple.Source.Host, c.VC)
 	e.mu.Unlock()
 	r.start()
 

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"cmtos/internal/cbuf"
-	"cmtos/internal/clock"
 	"cmtos/internal/core"
 	"cmtos/internal/netif"
 	"cmtos/internal/pdu"
@@ -14,16 +13,25 @@ import (
 	"cmtos/internal/rate"
 	"cmtos/internal/resv"
 	"cmtos/internal/stats"
+	"cmtos/internal/timerwheel"
 )
 
 // SendVC is the source side of a simplex virtual circuit. The application
 // thread queues OSDUs with Write into the shared circular buffer (§3.7);
-// the protocol thread drains the buffer, segments OSDUs into TPDUs, paces
-// them with the profile's flow-control discipline, and retransmits per the
-// class of service. The exported regulation hooks (Hold, DropQueued,
-// ScaleRate, block statistics) are driven by the low-level orchestrator.
+// the VC's owning shard drains the buffer, segments OSDUs into TPDUs,
+// paces them with the profile's flow-control discipline, and retransmits
+// per the class of service. The exported regulation hooks (Hold,
+// DropQueued, ScaleRate, block statistics) are driven by the low-level
+// orchestrator.
+//
+// Unlike the original goroutine-per-VC design (a send loop blocked in
+// ring.Get plus a retransmit loop parked on clk.After), all protocol-side
+// work runs as an event-driven pump on the owning shard: ring Puts,
+// gate releases and ack credit wake the pump, and pacing debt, RTO sweeps
+// and XOFF leases are deadlines on the shard's timer wheel.
 type SendVC struct {
 	e         *Entity
+	sh        *shard
 	id        core.VCID
 	tuple     core.ConnectTuple
 	profile   qos.Profile
@@ -37,13 +45,12 @@ type SendVC struct {
 	// retain, when enabled by the session layer, keeps copies of OSDUs
 	// popped from the ring so a resumed VC can replay from the sink's
 	// delivery watermark. Atomic because EnableRetention may run after the
-	// send loop is already draining the ring. path is the admitted route
+	// pump is already draining the ring. path is the admitted route
 	// (nil for best effort), kept so recovery can avoid its dead hops.
 	retain atomic.Pointer[cbuf.Retainer]
 	path   []core.HostID
 
 	mu       sync.Mutex
-	cond     *sync.Cond
 	contract qos.Contract
 	gates    gateBit
 	nextSeq  core.OSDUSeq
@@ -59,21 +66,36 @@ type SendVC struct {
 	sentSeq atomic.Uint64 // sequence number just past the last transmitted OSDU
 	dropped atomic.Uint64 // OSDUs discarded at the source by regulation
 
-	retrans struct {
-		sync.Mutex
-		buf map[uint64]retransEntry
-	}
+	// pumpQueued coalesces cross-thread pump wake-ups: at most one evPump
+	// for this VC sits in the shard's control queue at a time.
+	pumpQueued atomic.Bool
 
-	// xoffTimer expires a peer-flow-control hold if the sink's XON is
+	// protoStall accumulates time the pump spent starved for data
+	// (nanoseconds) — the "protocol blocked at source" statistic that the
+	// blocking Get used to measure.
+	protoStall atomic.Int64
+
+	// Everything below is shard-confined: only the owning shard's loop
+	// (pump, timer callbacks, onAck, peerHold, shardClose) touches it, so
+	// no locks are needed.
+	pendValid  bool      // an OSDU is mid-segmentation
+	pend       cbuf.OSDU // current OSDU, payload copied out of the ring
+	frag       int       // next fragment index to transmit
+	frags      int       // fragment count for pend
+	paid       bool      // pacing debt taken for the current fragment
+	creditHeld bool      // window credit held for the current fragment
+	starving   bool      // pump found the ring empty
+	starveAt   time.Time
+
+	retransBuf map[uint64]retransEntry // correcting classes only
+
+	// xoffLease expires a peer-flow-control hold if the sink's XON is
 	// lost; the sink refreshes XOFF while it still needs the pause.
-	// xoffGen stamps each (re-)arming so a stale expiry callback can
-	// recognise that the hold it was guarding has since been refreshed
-	// or released, and back off instead of clearing the fresh hold.
-	xoffMu    sync.Mutex
-	xoffTimer clock.Timer
-	xoffGen   uint64
-	xoffHeld  bool
-	xoffAt    time.Time
+	pumpTimer    timerwheel.Timer
+	retransTimer timerwheel.Timer
+	xoffLease    timerwheel.Timer
+	xoffHeld     bool
+	xoffAt       time.Time
 
 	si sendInstr
 
@@ -88,7 +110,6 @@ type SendVC struct {
 	}
 
 	closeOnce sync.Once
-	done      chan struct{}
 }
 
 // sendInstr holds the VC's registry instruments; all nil when metrics
@@ -102,6 +123,7 @@ type sendInstr struct {
 	xoffHolds    *stats.Counter
 	xoffExpiries *stats.Counter
 	xoffHold     *stats.Histogram
+	protoBlock   *stats.Histogram
 }
 
 type retransEntry struct {
@@ -112,15 +134,14 @@ type retransEntry struct {
 func newSendVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profile, class qos.Class, contract qos.Contract, resvID resv.ID) *SendVC {
 	s := &SendVC{
 		e:       e,
+		sh:      e.shardFor(id),
 		id:      id,
 		tuple:   tup,
 		profile: profile,
 		class:   class,
 		resvID:  resvID,
 		ring:    cbuf.New(e.clk, e.cfg.RingSlots, contract.MaxOSDUSize),
-		done:    make(chan struct{}),
 	}
-	s.cond = sync.NewCond(&s.mu)
 	s.contract = contract
 	// Rate-based flow control paces logical units: the contract's
 	// throughput is an OSDU rate, and "at each time period there will
@@ -133,7 +154,7 @@ func newSendVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profi
 		s.window = rate.NewWindow(e.cfg.RetransBuf)
 	}
 	if class.Corrects() {
-		s.retrans.buf = make(map[uint64]retransEntry)
+		s.retransBuf = make(map[uint64]retransEntry)
 	}
 	sc := e.scope.Scope(vcScopeName(id)).Scope("send")
 	s.si = sendInstr{
@@ -145,20 +166,20 @@ func newSendVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profi
 		xoffHolds:    sc.Counter("xoff_holds"),
 		xoffExpiries: sc.Counter("xoff_expiries"),
 		xoffHold:     sc.Histogram("xoff_hold_seconds", stats.DurationBuckets()),
+		protoBlock:   sc.Histogram("block_proto_seconds", stats.DurationBuckets()),
 	}
 	s.ring.SetBlockStats(
 		sc.Histogram("block_app_seconds", stats.DurationBuckets()),
-		sc.Histogram("block_proto_seconds", stats.DurationBuckets()),
+		s.si.protoBlock,
 	)
+	s.ring.SetDataNotify(s.schedulePump)
 	return s
 }
 
-// start launches the protocol threads.
+// start hands the VC to its owning shard; the registration event runs the
+// first pump, picking up anything already written.
 func (s *SendVC) start() {
-	go s.sendLoop()
-	if s.class.Corrects() {
-		go s.retransmitLoop()
-	}
+	s.sh.post(shardEvent{kind: evRegSend, send: s})
 }
 
 // ID returns the VC identifier.
@@ -192,11 +213,17 @@ func (s *SendVC) Write(payload []byte, event core.EventPattern) (core.OSDUSeq, e
 		return 0, ErrClosed
 	}
 	seq := s.nextSeq
-	s.nextSeq++
 	s.mu.Unlock()
 	if err := s.ring.Put(cbuf.OSDU{Seq: seq, Event: event, Payload: payload}); err != nil {
+		// The seq was never committed: a teardown that fails this Put (the
+		// ring closing under a blocked writer) must not burn a sequence
+		// number, or the successor incarnation would resume past a seq no
+		// OSDU ever carried and the receiver would see a phantom loss.
 		return 0, err
 	}
+	s.mu.Lock()
+	s.nextSeq = seq + 1
+	s.mu.Unlock()
 	s.written.Add(1)
 	s.si.written.Inc()
 	return seq, nil
@@ -242,7 +269,10 @@ func (s *SendVC) FlushQueued() int { return s.ring.Flush() }
 func (s *SendVC) Hold() { s.setGate(gateOrch, true) }
 
 // Release resumes transmission.
-func (s *SendVC) Release() { s.setGate(gateOrch, false) }
+func (s *SendVC) Release() {
+	s.setGate(gateOrch, false)
+	s.schedulePump()
+}
 
 // Held reports whether an orchestration hold is in force.
 func (s *SendVC) Held() bool {
@@ -266,10 +296,10 @@ func (s *SendVC) ScaleRate(factor float64) {
 
 // TakeBlockStats returns and resets the source-side blocking times: how
 // long the application thread blocked on a full buffer, and how long the
-// protocol thread blocked on an empty one (§6.3.1.2).
+// protocol side was starved waiting for data (§6.3.1.2).
 func (s *SendVC) TakeBlockStats() (app, proto time.Duration) {
 	st := s.ring.TakeStats()
-	return st.ProducerBlocked, st.ConsumerBlocked
+	return st.ProducerBlocked, st.ConsumerBlocked + time.Duration(s.protoStall.Swap(0))
 }
 
 // Close releases the VC with T-Disconnect.request toward the sink.
@@ -300,7 +330,21 @@ func (s *SendVC) Path() []core.HostID { return s.path }
 func (s *SendVC) ResumeState() (nextSeq core.OSDUSeq, nextTPDU uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.nextSeq, s.tpduSeq
+	ns := s.nextSeq
+	// Write commits nextSeq only after its ring Put succeeds, so a Put that
+	// squeaked in just before the teardown may be visible in the ring or the
+	// retainer a beat before the counter advances. Reconcile against both
+	// tails so the successor never hands out a sequence number that a live
+	// OSDU already carries.
+	if rt := s.retain.Load(); rt != nil {
+		if last, ok := rt.LastSeq(); ok && last+1 > ns {
+			ns = last + 1
+		}
+	}
+	if last, ok := s.ring.LastSeq(); ok && last+1 > ns {
+		ns = last + 1
+	}
+	return ns, s.tpduSeq
 }
 
 // DrainUnsent removes and returns every OSDU still queued in the ring —
@@ -326,58 +370,64 @@ func (s *SendVC) Replay(u cbuf.OSDU) error {
 	return nil
 }
 
+// isClosed reports whether teardown has run.
+func (s *SendVC) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// schedulePump posts a coalesced pump wake-up to the owning shard. It is
+// the cross-thread edge of the pump: ring Puts (via the data-notify
+// hook), Release and renegotiation call it from application threads.
+// Shard-context code calls pump directly instead of posting to itself.
+func (s *SendVC) schedulePump() {
+	if s.pumpQueued.CompareAndSwap(false, true) {
+		s.sh.post(shardEvent{kind: evPump, send: s})
+	}
+}
+
 // peerHold engages or releases the sink's flow-control hold. Holds are
 // leases: they expire after a few RTOs unless the sink refreshes them, so
-// a lost XON cannot stall the VC forever.
+// a lost XON cannot stall the VC forever. Runs on the owning shard, so
+// the lease timer needs no generation stamp — Cancel/Schedule on the
+// wheel is deterministic here.
 func (s *SendVC) peerHold(on bool) {
-	s.xoffMu.Lock()
-	s.xoffGen++
-	gen := s.xoffGen
-	if s.xoffTimer != nil {
-		s.xoffTimer.Stop()
-		s.xoffTimer = nil
-	}
+	s.sh.wheel.Cancel(&s.xoffLease)
 	if on {
 		if !s.xoffHeld {
 			s.xoffHeld = true
 			s.xoffAt = s.e.clk.Now()
 			s.si.xoffHolds.Inc()
 		}
-		ttl := 4 * s.e.cfg.RTO
-		s.xoffTimer = s.e.clk.AfterFunc(ttl, func() { s.xoffExpire(gen) })
+		s.sh.schedule(&s.xoffLease, 4*s.e.cfg.RTO, s.xoffExpire)
 		// Stop accruing pacing credit while held: resuming must not
 		// release a burst that overruns the sink again.
 		s.bucket.Pause()
-	} else {
-		s.endPeerHoldLocked()
-		s.bucket.Resume()
+		s.setGate(gatePeer, true)
+		return
 	}
-	s.xoffMu.Unlock()
-	s.setGate(gatePeer, on)
+	s.endPeerHold()
+	s.bucket.Resume()
+	s.setGate(gatePeer, false)
+	s.pump()
 }
 
 // xoffExpire releases a hold whose lease ran out without an XON — the
-// sink crashed or its XON was lost. A hold refreshed or released after
-// this timer was armed carries a newer generation, making the stale
-// callback a no-op; the old code skipped that check and could tear down
-// a freshly refreshed hold it did not own.
-func (s *SendVC) xoffExpire(gen uint64) {
-	s.xoffMu.Lock()
-	if gen != s.xoffGen || !s.xoffHeld {
-		s.xoffMu.Unlock()
+// sink crashed or its XON was lost.
+func (s *SendVC) xoffExpire() {
+	if !s.xoffHeld {
 		return
 	}
-	s.xoffTimer = nil
 	s.si.xoffExpiries.Inc()
-	s.endPeerHoldLocked()
+	s.endPeerHold()
 	s.bucket.Resume()
-	s.xoffMu.Unlock()
 	s.setGate(gatePeer, false)
+	s.pump()
 }
 
-// endPeerHoldLocked closes out the current hold episode; caller holds
-// xoffMu.
-func (s *SendVC) endPeerHoldLocked() {
+// endPeerHold closes out the current hold episode; shard context.
+func (s *SendVC) endPeerHold() {
 	if s.xoffHeld {
 		s.xoffHeld = false
 		s.si.xoffHold.Observe(s.e.clk.Since(s.xoffAt).Seconds())
@@ -387,110 +437,142 @@ func (s *SendVC) endPeerHoldLocked() {
 // setGate sets or clears one hold bit.
 func (s *SendVC) setGate(bit gateBit, on bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if on {
 		s.gates |= bit
 	} else {
 		s.gates &^= bit
 	}
-	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
-// waitGates blocks while any hold bit is set; it reports false once the
-// VC is closed.
-func (s *SendVC) waitGates() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for s.gates != 0 && !s.closed {
-		s.cond.Wait()
+// pumpTick is the wheel callback for pacing debt.
+func (s *SendVC) pumpTick() { s.pump() }
+
+// pump drains the ring: segment, pace, send. It runs only on the owning
+// shard and returns whenever it cannot make progress — a gate is up, the
+// window is out of credit, the pacing bucket is in debt (a wheel timer
+// re-enters), or the ring is empty (the next Put re-enters via the
+// data-notify hook).
+func (s *SendVC) pump() {
+	if s.pumpTimer.Armed() {
+		// Pacing debt outstanding: the current fragment is paid for but its
+		// debt has not elapsed. Any other wake-up (a Write's evPump, an ack,
+		// a gate release) must yield to the wheel timer, or each one would
+		// smuggle a fragment past the pacer.
+		return
 	}
-	return !s.closed
-}
-
-// sendLoop is the protocol thread: drain the ring, segment, pace, send.
-func (s *SendVC) sendLoop() {
 	maxTPDU := s.e.cfg.MaxTPDU
 	for {
-		u, err := s.ring.Get()
-		if err != nil {
+		s.mu.Lock()
+		gates, closed := s.gates, s.closed
+		s.mu.Unlock()
+		if closed {
 			return
 		}
-		if rt := s.retain.Load(); rt != nil {
-			// Retain before any gate or pacing wait: once an OSDU is
-			// popped the ring forgets it, so this copy is the only thing
-			// standing between a mid-transmission failure and data loss.
-			rt.Keep(u)
-		}
-		size := len(u.Payload)
-		frags := (size + maxTPDU - 1) / maxTPDU
-		if frags == 0 {
-			frags = 1 // zero-length OSDUs still occupy one TPDU
-		}
-		for f := 0; f < frags; f++ {
-			if !s.waitGates() {
+		if !s.pendValid {
+			u, ok, err := s.ring.TryGet()
+			if err != nil {
 				return
 			}
-			lo := f * maxTPDU
-			hi := lo + maxTPDU
-			if hi > size {
-				hi = size
+			if !ok {
+				if !s.starving {
+					s.starving = true
+					s.starveAt = s.e.clk.Now()
+				}
+				return
 			}
-			var payload []byte
-			if size > 0 {
-				// Copy out of the ring slot: the slot is reused as
-				// soon as the ring wraps, and retransmission may
-				// need the bytes much later.
-				payload = append([]byte(nil), u.Payload[lo:hi]...)
+			if s.starving {
+				s.starving = false
+				d := s.e.clk.Since(s.starveAt)
+				s.protoStall.Add(int64(d))
+				s.si.protoBlock.Observe(d.Seconds())
 			}
-			d := &pdu.Data{
-				VC:        s.id,
-				Seq:       0, // assigned below
-				OSDU:      u.Seq,
-				Frag:      uint16(f),
-				FragCount: uint16(frags),
-				OSDUSize:  uint32(size),
-				Event:     u.Event,
-				Payload:   payload,
+			if rt := s.retain.Load(); rt != nil {
+				// Retain before any gate or pacing wait: once an OSDU is
+				// popped the ring forgets it, so this copy is the only
+				// thing standing between a mid-transmission failure and
+				// data loss.
+				rt.Keep(u)
 			}
-			if !s.sendTPDU(d) {
+			s.pend = u
+			if len(u.Payload) > 0 {
+				// One copy per OSDU out of the ring's scratch buffer;
+				// fragments slice into it, and retransmission entries keep
+				// their disjoint sub-slices alive as long as needed.
+				s.pend.Payload = append([]byte(nil), u.Payload...)
+			}
+			s.frags = (len(u.Payload) + maxTPDU - 1) / maxTPDU
+			if s.frags == 0 {
+				s.frags = 1 // zero-length OSDUs still occupy one TPDU
+			}
+			s.frag = 0
+			s.paid = false
+			s.creditHeld = false
+			s.pendValid = true
+		}
+		if gates != 0 {
+			return // the gate release re-pumps
+		}
+		// Credit first (window profile and correcting classes), then rate.
+		if s.window != nil && !s.creditHeld {
+			if !s.window.TryAcquire() {
+				return // the ack that releases credit re-pumps
+			}
+			s.creditHeld = true
+		}
+		if s.profile == qos.ProfileCMRate && !s.paid {
+			s.paid = true
+			if debt := s.bucket.Take(1 / float64(s.frags)); debt > 0 {
+				s.sh.schedule(&s.pumpTimer, debt, s.pumpTick)
 				return
 			}
 		}
-		s.sent.Add(1)
-		s.si.sent.Inc()
-		s.sentSeq.Store(uint64(u.Seq) + 1)
-	}
-}
-
-// sendTPDU paces and transmits one data TPDU, recording it for
-// retransmission when the class corrects. It reports false when the VC
-// closed underneath it.
-func (s *SendVC) sendTPDU(d *pdu.Data) bool {
-	// Credit first (window profile and correcting classes), then rate.
-	if s.window != nil {
-		if !s.window.Acquire() {
-			return false
+		size := len(s.pend.Payload)
+		lo := s.frag * maxTPDU
+		hi := lo + maxTPDU
+		if hi > size {
+			hi = size
 		}
-	}
-	if s.profile == qos.ProfileCMRate {
-		s.bucket.Wait(1 / float64(d.FragCount))
-	}
-	s.mu.Lock()
-	if s.closed {
+		var payload []byte
+		if size > 0 {
+			payload = s.pend.Payload[lo:hi]
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		seq := s.nextTPDUSeqLocked()
 		s.mu.Unlock()
-		return false
+		d := &pdu.Data{
+			VC:        s.id,
+			Seq:       seq,
+			OSDU:      s.pend.Seq,
+			Frag:      uint16(s.frag),
+			FragCount: uint16(s.frags),
+			OSDUSize:  uint32(size),
+			Event:     s.pend.Event,
+			Payload:   payload,
+			SentAt:    s.e.clk.Now(),
+		}
+		if s.retransBuf != nil {
+			s.retransBuf[seq] = retransEntry{data: d, sentAt: d.SentAt}
+			if !s.retransTimer.Armed() {
+				s.sh.schedule(&s.retransTimer, s.e.cfg.RTO, s.retransTick)
+			}
+		}
+		s.transmit(d)
+		s.frag++
+		s.paid = false
+		s.creditHeld = false
+		if s.frag == s.frags {
+			s.pendValid = false
+			s.sent.Add(1)
+			s.si.sent.Inc()
+			s.sentSeq.Store(uint64(s.pend.Seq) + 1)
+			s.pend = cbuf.OSDU{}
+		}
 	}
-	seq := s.nextTPDUSeqLocked()
-	s.mu.Unlock()
-	d.Seq = seq
-	d.SentAt = s.e.clk.Now()
-	if s.class.Corrects() {
-		s.retrans.Lock()
-		s.retrans.buf[seq] = retransEntry{data: d, sentAt: d.SentAt}
-		s.retrans.Unlock()
-	}
-	s.transmit(d)
-	return true
 }
 
 // nextTPDUSeqLocked allocates the next TPDU sequence number; caller holds mu.
@@ -512,9 +594,9 @@ func (s *SendVC) transmit(d *pdu.Data) {
 }
 
 // onAck processes cumulative and selective acknowledgements (correcting
-// classes and the window profile).
+// classes and the window profile). Shard context.
 func (s *SendVC) onAck(a *pdu.Ack) {
-	if s.retrans.buf == nil {
+	if s.retransBuf == nil {
 		if s.window != nil {
 			// Window profile without correction: the cumulative ack
 			// returns credit for every newly covered TPDU.
@@ -526,31 +608,39 @@ func (s *SendVC) onAck(a *pdu.Ack) {
 			s.mu.Unlock()
 			if released > 0 {
 				s.window.Release(int(released))
+				s.pump()
 			}
 		}
 		return
 	}
-	nak := make(map[uint64]bool, len(a.Naks))
-	for _, n := range a.Naks {
-		nak[n] = true
+	var nak map[uint64]bool
+	if len(a.Naks) > 0 {
+		nak = make(map[uint64]bool, len(a.Naks))
+		for _, n := range a.Naks {
+			nak[n] = true
+		}
 	}
 	var resend []*pdu.Data
 	released := 0
 	now := s.e.clk.Now()
-	s.retrans.Lock()
-	for seq, entry := range s.retrans.buf {
+	for seq, entry := range s.retransBuf {
 		switch {
 		case nak[seq]:
 			resend = append(resend, entry.data)
 			entry.sentAt = now
-			s.retrans.buf[seq] = entry
+			s.retransBuf[seq] = entry
 		case seq < a.CumSeq:
 			s.si.ackRTT.Observe(now.Sub(entry.sentAt).Seconds())
-			delete(s.retrans.buf, seq)
+			delete(s.retransBuf, seq)
 			released++
 		}
 	}
-	s.retrans.Unlock()
+	if len(s.retransBuf) == 0 {
+		// Nothing left to retransmit: stop the RTO sweep until the next
+		// in-flight TPDU arms it again. The old per-VC retransmit loop
+		// ticked every RTO forever, even on idle VCs.
+		s.sh.wheel.Cancel(&s.retransTimer)
+	}
 	if s.window != nil && released > 0 {
 		s.window.Release(released)
 	}
@@ -558,43 +648,54 @@ func (s *SendVC) onAck(a *pdu.Ack) {
 	for _, d := range resend {
 		s.transmit(d)
 	}
-}
-
-// retransmitLoop re-sends unacknowledged TPDUs older than the RTO.
-func (s *SendVC) retransmitLoop() {
-	for {
-		select {
-		case <-s.done:
-			return
-		case <-s.e.clk.After(s.e.cfg.RTO):
-		}
-		now := s.e.clk.Now()
-		var resend []*pdu.Data
-		s.retrans.Lock()
-		for seq, entry := range s.retrans.buf {
-			if now.Sub(entry.sentAt) >= s.e.cfg.RTO {
-				resend = append(resend, entry.data)
-				entry.sentAt = now
-				s.retrans.buf[seq] = entry
-			}
-		}
-		s.retrans.Unlock()
-		s.si.retransmits.Add(uint64(len(resend)))
-		for _, d := range resend {
-			s.transmit(d)
-		}
+	if released > 0 {
+		s.pump()
 	}
 }
 
-// teardown stops the VC's goroutines and frees its resources. Safe to
-// call more than once.
+// retransTick re-sends unacknowledged TPDUs older than the RTO; it stays
+// armed only while something is actually in flight.
+func (s *SendVC) retransTick() {
+	now := s.e.clk.Now()
+	var resend []*pdu.Data
+	for seq, entry := range s.retransBuf {
+		if now.Sub(entry.sentAt) >= s.e.cfg.RTO {
+			resend = append(resend, entry.data)
+			entry.sentAt = now
+			s.retransBuf[seq] = entry
+		}
+	}
+	s.si.retransmits.Add(uint64(len(resend)))
+	for _, d := range resend {
+		s.transmit(d)
+	}
+	if len(s.retransBuf) > 0 {
+		s.sh.schedule(&s.retransTimer, s.e.cfg.RTO, s.retransTick)
+	}
+}
+
+// shardClose disarms the VC's wheel timers on the owning shard; after it
+// runs no stale callback can fire against the dead VC. The goroutine-per-
+// VC code never stopped the XOFF lease timer at teardown, so a hold
+// engaged at close would later "expire" and count an xoff_expiry against
+// a VC that no longer existed.
+func (s *SendVC) shardClose() {
+	s.sh.wheel.Cancel(&s.pumpTimer)
+	s.sh.wheel.Cancel(&s.retransTimer)
+	s.sh.wheel.Cancel(&s.xoffLease)
+	s.endPeerHold()
+	s.pendValid = false
+	s.pend = cbuf.OSDU{}
+	s.retransBuf = nil
+}
+
+// teardown stops the VC and frees its resources. Safe to call more than
+// once.
 func (s *SendVC) teardown() {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
 		s.closed = true
-		s.cond.Broadcast()
 		s.mu.Unlock()
-		close(s.done)
 		s.ring.Close()
 		if s.window != nil {
 			s.window.Close()
@@ -609,5 +710,6 @@ func (s *SendVC) teardown() {
 			s.e.net.RemoveGroup(s.group)
 		}
 		s.e.dropSend(s)
+		s.sh.post(shardEvent{kind: evCloseSend, send: s})
 	})
 }

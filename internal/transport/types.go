@@ -17,6 +17,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"cmtos/internal/core"
@@ -66,6 +67,18 @@ type Config struct {
 	// DispatchQueue bounds queued dispatch work; beyond it PDUs are
 	// dropped (confirmed exchanges retransmit). Default 256.
 	DispatchQueue int
+	// Shards is the number of transport event-loop goroutines. Every VC
+	// is assigned to the shard hashed from its VCID; all of its protocol
+	// work (send pacing, retransmission, QoS sampling, flow control,
+	// keepalives) runs there, multiplexed through a per-shard timer
+	// wheel, so the entity's steady-state goroutine count is O(Shards),
+	// not O(VCs). Default min(8, GOMAXPROCS).
+	Shards int
+	// ShardQueue is the per-shard receive handoff ring capacity (rounded
+	// up to a power of two). Data, ack and flow events beyond it are
+	// dropped and counted in shard/handoff_drops; all are
+	// protocol-recoverable. Default 2048.
+	ShardQueue int
 	// KeepaliveInterval is the peer-liveness probe period: peers with
 	// live VCs that stay silent a whole interval are sent a keepalive
 	// control PDU, and after KeepaliveMisses further silent intervals
@@ -140,6 +153,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DispatchQueue <= 0 {
 		c.DispatchQueue = 256
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.ShardQueue <= 0 {
+		c.ShardQueue = 2048
 	}
 	if c.KeepaliveInterval == 0 {
 		c.KeepaliveInterval = time.Second

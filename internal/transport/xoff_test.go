@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"cmtos/internal/core"
 	"cmtos/internal/qos"
 	"cmtos/internal/stats"
 )
@@ -71,5 +72,59 @@ func TestXoffLostXonReleasesSender(t *testing.T) {
 	}
 	if got := holds.Value(); got < 1 {
 		t.Errorf("xoff_holds = %d, want >= 1", got)
+	}
+}
+
+// TestXoffLeaseCanceledAtTeardown pins the XOFF-lease teardown leak: in
+// the goroutine-per-VC core the 4×RTO lease was an uncancellable timer
+// wait inside the retransmit loop, so tearing a VC down while a hold was
+// in force left the timer running and it counted a phantom xoff_expiry
+// (and an expiry-path release) against a VC that no longer existed. The
+// sharded core cancels the lease timer in shardClose; after a teardown
+// under XOFF, waiting well past the lease horizon must record zero
+// expiries.
+func TestXoffLeaseCanceledAtTeardown(t *testing.T) {
+	reg := stats.NewRegistry()
+	cfg := Config{
+		RingSlots: 4,
+		RTO:       25 * time.Millisecond,
+		Stats:     reg,
+	}
+	r := newRig(t, 2, fastLink(), cfg)
+	spec := cmSpec()
+	spec.Throughput = qos.Tolerance{Preferred: 2000, Acceptable: 100}
+	s, _ := connectPair(t, r, qos.ClassDetectIndicate, qos.ProfileCMRate, spec)
+
+	// The sink never reads: its ring fills and XOFF engages.
+	go func() {
+		payload := make([]byte, 64)
+		for i := 0; i < 400; i++ {
+			if _, err := s.Write(payload, 0); err != nil {
+				return
+			}
+		}
+	}()
+
+	scope := fmt.Sprintf("host/1/vc/%d/send", uint32(s.ID()))
+	holds := reg.Counter(scope + "/xoff_holds")
+	expiries := reg.Counter(scope + "/xoff_expiries")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for holds.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for XOFF to engage\n%s", reg.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Tear the VC down while the hold is in force, then outwait the
+	// 4×RTO lease horizon with margin.
+	if err := s.Close(core.ReasonUserInitiated); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	time.Sleep(10 * cfg.RTO)
+
+	if got := expiries.Value(); got != 0 {
+		t.Errorf("xoff_expiries = %d after teardown, want 0 (lease must be canceled with the VC)", got)
 	}
 }

@@ -22,6 +22,12 @@ go test -race ./...
 # nightly bench job.
 go test -run='^$' -bench=. -benchtime=1x ./internal/udpnet/
 
+# Bench smoke for the transport sharded core: a tiny VC population for a
+# single iteration, so a refactor that breaks the scale-benchmark harness
+# fails here rather than in the nightly BENCH_6 job.
+CMTOS_BENCH_VCS=64 go test -run='^$' -bench='^(Benchmark100kVC|BenchmarkNoteHeard)$' \
+	-benchtime=1x ./internal/transport/
+
 # Short fuzz burst on the wire decoder: the corpus seeds cover every PDU
 # kind, so even a few seconds of mutation exercises the codec's bounds
 # checks on each decode path.
