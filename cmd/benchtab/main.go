@@ -1,8 +1,9 @@
 // Benchtab regenerates every experiment in EXPERIMENTS.md in one run and
 // prints the results as tables: the six primitive tables (T1-T6), the two
 // time-sequence figures driven as latency probes (F6, F7 are covered by
-// T6 and T5 respectively), and the four ablations (A1-A4). Use -quick for
-// a faster, noisier pass.
+// T6 and T5 respectively), the distribution-tree table (T7: splice
+// fan-out with the relay/<id>/* and shard/handoff_drops counters), and
+// the four ablations (A1-A4). Use -quick for a faster, noisier pass.
 //
 //	go run ./cmd/benchtab [-quick]
 package main
@@ -81,6 +82,17 @@ func main() {
 	fmt.Printf("\nT6  Table 6 / Fig. 6 — regulation target tracking (20 × 100ms intervals)\n")
 	fmt.Printf("    indications: %d   mean |lag|: %.1f OSDUs   max |lag|: %d OSDUs   drops: %d (registry send/osdus_dropped)\n",
 		r6.Intervals, r6.MeanAbsLag, r6.MaxAbsLag, r6.Dropped)
+
+	// T7 — distribution tree (not in the paper; ROADMAP item 1).
+	r7, err := lab.RelayFanoutOnce(4, frames)
+	check("T7", err)
+	fmt.Printf("\nT7  distribution tree — source → relay → 4 leaves splice fan-out\n")
+	fmt.Printf("    spliced %d OSDUs once at the relay; every leaf delivered %d in %v\n",
+		r7.Spliced, r7.MinDelivered, r7.Elapsed.Round(time.Millisecond))
+	fmt.Printf("    relay counters: fanout %d, replayed %d, reparents %d\n",
+		r7.Fanout, r7.Replayed, r7.Reparents)
+	fmt.Printf("    shard/handoff_drops across all hosts: %d (no OSDU counted twice per hop)\n",
+		r7.HandoffDrops)
 
 	// A1.
 	a1, err := lab.RateVsWindowOnce(frames)

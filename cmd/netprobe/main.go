@@ -16,6 +16,17 @@
 //	go run ./cmd/netprobe -listen 127.0.0.1:7000
 //	go run ./cmd/netprobe -listen 127.0.0.1:0 -peer 127.0.0.1:7000
 //
+// With -relay the UDP demo becomes a three-process distribution chain:
+// the source streams one VC to a relay whose splice re-publishes every
+// OSDU onto an egress VC to the sink, so the source's uplink carries a
+// single VC regardless of the fan-out behind the relay. Start downstream
+// first; -stats on the relay prints the relay/<id>/fanout, spliced,
+// replayed and reparents counters:
+//
+//	go run ./cmd/netprobe -relay sink   -listen 127.0.0.1:7002
+//	go run ./cmd/netprobe -relay relay  -listen 127.0.0.1:7001 -peer 127.0.0.1:7002 -stats
+//	go run ./cmd/netprobe -relay source -listen 127.0.0.1:0    -peer 127.0.0.1:7001
+//
 // Either mode takes -fault to wrap the substrate in the fault injector,
 // e.g. -fault drop=0.05,dup=0.01,partition=2s — a partition blackholes
 // the probe path one second in and heals after the given duration:
@@ -76,6 +87,7 @@ func main() {
 	peer := flag.String("peer", "", "UDP mode: receiver address to stream to (sender role; omit for receiver role)")
 	fault := flag.String("fault", "", "fault spec for the injector, e.g. drop=0.05,dup=0.01,partition=2s")
 	recoverDemoF := flag.Bool("recover", false, "emulated mode: kill the path mid-stream and let the session layer resurrect the VC")
+	relayRole := flag.String("relay", "", "UDP mode: role in the three-process source→relay→sink chain (source|relay|sink)")
 	flag.Parse()
 
 	fsp, err := faultnet.ParseSpec(*fault)
@@ -83,6 +95,22 @@ func main() {
 
 	if *recoverDemoF {
 		recoverDemo(*hops, *bw, *delay, *jitter, fsp, *rate, *size, *count, *dumpStats)
+		return
+	}
+	if *relayRole != "" {
+		if *listen == "" {
+			log.Fatal("-relay requires -listen (the chain runs over the UDP substrate)")
+		}
+		switch *relayRole {
+		case "source":
+			relaySource(*listen, *peer, fsp, *rate, *size, *count, *dumpStats)
+		case "relay":
+			relayNode(*listen, *peer, fsp, *dumpStats)
+		case "sink":
+			relaySink(*listen, fsp, *rate, *dumpStats)
+		default:
+			log.Fatalf("unknown -relay role %q (want source, relay or sink)", *relayRole)
+		}
 		return
 	}
 	if *listen != "" {

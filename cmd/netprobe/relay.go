@@ -1,0 +1,161 @@
+// The -relay mode: a three-process distribution chain over the real-UDP
+// substrate. Host 1 (source) streams one VC to host 2 (relay), whose
+// splice re-publishes every OSDU — boundaries and numbering intact — onto
+// an egress VC to host 3 (sink). The source's uplink carries only the one
+// relay VC no matter how many leaves sit behind the relay; -stats on the
+// relay shows the relay/<id>/fanout, spliced, replayed and reparents
+// counters that the orchestration layer aggregates for tree repair.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+	"cmtos/internal/media"
+	"cmtos/internal/netif/faultnet"
+	"cmtos/internal/qos"
+	"cmtos/internal/relay"
+	"cmtos/internal/stats"
+	"cmtos/internal/transport"
+)
+
+// TSAP layout of the relay chain: the source originates at 10, the relay
+// ingests on 20 and originates its egress VCs at 30, the sink listens on
+// 40.
+const (
+	relaySrcTSAP    = core.TSAP(10)
+	relayIngestTSAP = core.TSAP(20)
+	relayEgressTSAP = core.TSAP(30)
+	relaySinkTSAP   = core.TSAP(40)
+)
+
+// relaySource is host 1 of the chain: it negotiates one VC to the relay's
+// ingest TSAP and pumps the probe through it at the nominal rate.
+func relaySource(listen, peer string, fsp faultnet.Spec, rate float64, size int, count uint, dumpStats bool) {
+	reg := stats.NewRegistry()
+	nw, ent, _ := udpStack(1, listen, fsp, reg)
+	defer nw.Close()
+	defer ent.Close()
+	check(nw.AddPeer(2, peer))
+
+	send, err := ent.Connect(transport.ConnectRequest{
+		SrcTSAP: relaySrcTSAP, Dest: core.Addr{Host: 2, TSAP: relayIngestTSAP},
+		Class: qos.ClassDetectIndicate,
+		Spec:  probeSpec(rate, size),
+	})
+	check(err)
+	c := send.Contract()
+	fmt.Printf("VC %d established to relay: %.0f OSDU/s, delay <= %v\n",
+		uint32(send.ID()), c.Throughput, c.Delay.Round(time.Microsecond))
+
+	check(media.Pump(clock.System{}, &media.CBR{Size: size - 16, FrameRate: rate, Count: uint32(count)}, send, nil))
+	// Let the tail clear the send ring and its acks settle before the
+	// disconnect tears the feed down under the relay.
+	deadline := time.Now().Add(10 * time.Second)
+	for send.Sent() < uint64(count) && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond)
+	check(ent.Disconnect(send.ID(), core.ReasonNone))
+	fmt.Printf("pumped %d OSDUs through the relay and disconnected\n", count)
+	if dumpStats {
+		fmt.Printf("\nsource metrics registry:\n%s", reg.String())
+	}
+}
+
+// relayNode is host 2 of the chain: every VC arriving on the ingest TSAP
+// becomes a splice, and each splice immediately grows one egress to the
+// sink. When the feed disconnects it drains the subtree edge, prints the
+// splice report, and releases the leaves.
+func relayNode(listen, peer string, fsp faultnet.Spec, dumpStats bool) {
+	reg := stats.NewRegistry()
+	nw, ent, _ := udpStack(2, listen, fsp, reg)
+	defer nw.Close()
+	defer ent.Close()
+	check(nw.AddPeer(3, peer))
+
+	node := relay.NewNode(ent, relay.Config{Stats: reg})
+	done := make(chan struct{})
+	var once sync.Once
+	check(ent.Attach(relayIngestTSAP, transport.UserCallbacks{
+		OnRecvReady: func(r *transport.RecvVC) {
+			sp := node.Accept(r)
+			fmt.Printf("ingest VC %d spliced\n", uint32(r.ID()))
+			// Grow the egress off the callback goroutine: Connect blocks on
+			// the downstream QoS negotiation.
+			go func() {
+				eg, err := sp.AddSink(relayEgressTSAP, core.Addr{Host: 3, TSAP: relaySinkTSAP})
+				check(err)
+				fmt.Printf("egress VC %d connected to sink (fanout %d)\n", uint32(eg.ID()), sp.Fanout())
+			}()
+		},
+		OnDisconnect: func(vc core.VCID, reason core.Reason, live bool) {
+			if !live {
+				once.Do(func() { close(done) })
+			}
+		},
+	}))
+	fmt.Printf("relay listening on %v as host 2\n", nw.Addr())
+	<-done
+
+	// The feed is gone; let the slowest egress catch the splice head, then
+	// report and release the subtree.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, sp := range node.Splices() {
+		for sp.LastReport().MinSentSeq < sp.Head() && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		rep := sp.LastReport()
+		fmt.Printf("\nsplice %d: head %d, fanout %d, spliced %d, replayed %d\n",
+			uint32(sp.ID()), uint64(rep.Head), rep.Fanout, rep.Spliced, rep.Replayed)
+		for _, eg := range sp.Egresses() {
+			check(ent.Disconnect(eg.ID(), core.ReasonNone))
+		}
+	}
+	if dumpStats {
+		fmt.Printf("\nrelay metrics registry:\n%s", reg.String())
+	}
+}
+
+// relaySink is host 3 of the chain: it accepts the relay's egress VC,
+// drains it into a media sink, and proves the relayed stream arrived
+// whole — same frame numbering the source produced, zero gaps.
+func relaySink(listen string, fsp faultnet.Spec, rate float64, dumpStats bool) {
+	reg := stats.NewRegistry()
+	nw, ent, _ := udpStack(3, listen, fsp, reg)
+	defer nw.Close()
+	defer ent.Close()
+
+	sink := media.NewSink()
+	sink.NominalRate = rate
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	var once sync.Once
+	check(ent.Attach(relaySinkTSAP, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) {
+			fmt.Printf("VC %d accepted from relay\n", uint32(rv.ID()))
+			go media.Drain(clock.System{}, rv, sink, stop)
+		},
+		OnDisconnect: func(vc core.VCID, reason core.Reason, live bool) {
+			if !live {
+				once.Do(func() { close(done) })
+			}
+		},
+	}))
+	fmt.Printf("sink listening on %v as host 3\n", nw.Addr())
+	<-done
+	close(stop)
+
+	st := sink.Stats()
+	fmt.Printf("\nstream finished: delivered %d OSDUs, gaps %d\n", st.Received, st.Gaps)
+	fmt.Printf("  inter-arrival mean %v, σ %v, max %v\n",
+		st.MeanInterArrival.Round(10*time.Microsecond),
+		st.JitterStdDev.Round(10*time.Microsecond),
+		st.MaxInterArrival.Round(10*time.Microsecond))
+	if dumpStats {
+		fmt.Printf("\nsink metrics registry:\n%s", reg.String())
+	}
+}

@@ -1,0 +1,137 @@
+// The distribution-tree scenario: one source VC spliced across a relay
+// onto N leaf VCs (ROADMAP item 1). It exists so cmd/benchtab can print
+// the relay-path counters — relay/<id>/spliced (once per OSDU, however
+// wide the fan-out), replayed, reparents — alongside the sharded core's
+// shard/handoff_drops, proving no OSDU is counted twice per hop across
+// the splice re-publication.
+package lab
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/qos"
+	"cmtos/internal/relay"
+	"cmtos/internal/transport"
+)
+
+// RelayFanoutResult is one run of the source → relay → leaves tree.
+type RelayFanoutResult struct {
+	Fanout       int           // egress count at the relay
+	Spliced      uint64        // OSDUs the splice accepted (once each)
+	Replayed     uint64        // OSDUs replayed out-of-band to joining leaves
+	Reparents    uint64        // leaves adopted from a failed parent (0 in the clean run)
+	MinDelivered uint64        // slowest leaf's delivery count
+	HandoffDrops uint64        // shard/handoff_drops summed over every host
+	Elapsed      time.Duration // first write to last leaf delivery
+}
+
+// RelayFanoutOnce builds a 1 → relay → leaves distribution tree on the
+// emulated network, streams frames OSDUs through the splice, and waits
+// until every leaf has delivered all of them. The source's uplink carries
+// exactly one VC regardless of the leaf count.
+func RelayFanoutOnce(leaves int, frames uint32) (RelayFanoutResult, error) {
+	const (
+		ingestTSAP = core.TSAP(0x300)
+		egressTSAP = core.TSAP(0x301)
+		leafTSAP   = core.TSAP(0x302)
+		rate       = 500.0
+		size       = 512
+	)
+	env, err := NewEnv(EnvConfig{Hosts: 2 + leaves, Link: DefaultLink(), Trans: transport.Config{RingSlots: 64}})
+	if err != nil {
+		return RelayFanoutResult{}, err
+	}
+	defer env.Close()
+
+	counts := make([]*atomic.Uint64, leaves)
+	for i := 0; i < leaves; i++ {
+		counts[i] = &atomic.Uint64{}
+		n := counts[i]
+		if err := env.Ents[core.HostID(3+i)].Attach(leafTSAP, transport.UserCallbacks{
+			OnRecvReady: func(rv *transport.RecvVC) {
+				go func() {
+					for {
+						if _, err := rv.Read(); err != nil {
+							return
+						}
+						n.Add(1)
+					}
+				}()
+			},
+		}); err != nil {
+			return RelayFanoutResult{}, err
+		}
+	}
+
+	node := relay.NewNode(env.Ents[2], relay.Config{Stats: env.Stats})
+	if err := node.Listen(ingestTSAP); err != nil {
+		return RelayFanoutResult{}, err
+	}
+	send, err := env.Ents[1].Connect(transport.ConnectRequest{
+		SrcTSAP: core.TSAP(0x303), Dest: core.Addr{Host: 2, TSAP: ingestTSAP},
+		Class: qos.ClassDetectIndicate,
+		Spec:  CMSpec(rate, size),
+	})
+	if err != nil {
+		return RelayFanoutResult{}, err
+	}
+
+	var sp *relay.Splice
+	for until := env.Clk.Now().Add(5 * time.Second); ; {
+		var ok bool
+		if sp, ok = node.Splice(send.ID()); ok {
+			break
+		}
+		if !env.Clk.Now().Before(until) {
+			return RelayFanoutResult{}, fmt.Errorf("lab: splice never formed")
+		}
+		env.Clk.Sleep(time.Millisecond)
+	}
+	for i := 0; i < leaves; i++ {
+		if _, err := sp.AddSink(egressTSAP, core.Addr{Host: core.HostID(3 + i), TSAP: leafTSAP}); err != nil {
+			return RelayFanoutResult{}, err
+		}
+	}
+
+	start := env.Clk.Now()
+	payload := make([]byte, size-16)
+	for seq := uint32(0); seq < frames; seq++ {
+		if _, err := send.Write(payload, 0); err != nil {
+			return RelayFanoutResult{}, err
+		}
+	}
+	deadline := env.Clk.Now().Add(30 * time.Second)
+	for {
+		min := counts[0].Load()
+		for _, c := range counts[1:] {
+			if v := c.Load(); v < min {
+				min = v
+			}
+		}
+		if min >= uint64(frames) {
+			break
+		}
+		if !env.Clk.Now().Before(deadline) {
+			return RelayFanoutResult{}, fmt.Errorf("lab: tree stalled at %d/%d delivered", min, frames)
+		}
+		env.Clk.Sleep(2 * time.Millisecond)
+	}
+	elapsed := env.Clk.Now().Sub(start)
+
+	rep := sp.LastReport()
+	res := RelayFanoutResult{
+		Fanout:       rep.Fanout,
+		Spliced:      rep.Spliced,
+		Replayed:     rep.Replayed,
+		Reparents:    env.Stats.Counter(fmt.Sprintf("relay/%d/reparents", uint32(send.ID()))).Value(),
+		MinDelivered: uint64(frames),
+		Elapsed:      elapsed,
+	}
+	for id := core.HostID(1); id <= core.HostID(2+leaves); id++ {
+		res.HandoffDrops += env.Stats.Counter(fmt.Sprintf("host/%d/shard/handoff_drops", uint32(id))).Value()
+	}
+	return res, nil
+}

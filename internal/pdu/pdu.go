@@ -210,9 +210,11 @@ type Control struct {
 	Contract qos.Contract
 	Reason   core.Reason
 	Token    uint32
-	// Seq carries the OSDU resume point on the resume handshake: zero on
-	// KindResumeReq, and the sink's next-expected OSDU sequence on
-	// KindResumeConf (the sender replays retained OSDUs from here).
+	// Seq carries an OSDU sequence where the exchange needs one: the
+	// sink's next-expected OSDU on KindResumeConf (the sender replays
+	// retained OSDUs from here), and the mid-stream starting sequence on
+	// KindConnReq when a relay splices a new leaf onto a stream already
+	// in flight (zero for a from-the-top connect).
 	Seq uint64
 }
 

@@ -1,0 +1,304 @@
+package resv
+
+import (
+	"fmt"
+	"sync"
+
+	"cmtos/internal/core"
+)
+
+// NodeID identifies one tree node. Interior nodes (the source and the
+// relays) are hosts; leaves are individual sink endpoints, of which one
+// host may carry thousands — so the two spaces are kept disjoint.
+type NodeID uint64
+
+// HostNode is the tree identity of a source or relay host.
+func HostNode(h core.HostID) NodeID { return NodeID(h) }
+
+// SinkNode is the tree identity of one sink endpoint, keyed by the VC
+// feeding it.
+func SinkNode(vc core.VCID) NodeID { return 1<<32 | NodeID(vc) }
+
+// Tree aggregates admission control up a fan-out distribution tree. The
+// point of the relay refactor is that a subtree shares ONE upstream VC: a
+// sink admitted behind a relay charges only that relay's downlink, never
+// the source's uplink, so the source-side cost of a group is bounded by
+// its direct children regardless of total sink count. Tree is the
+// bookkeeping for that invariant — per-node downlink budgets, per-edge
+// charges, and placement queries ("nearest non-saturated relay") for the
+// HLO's tree build/repair. It sits above the per-hop Reserver (which still
+// admits each relay→leaf VC on its own path); Tree answers the
+// orchestration-level question of which parent can afford another child.
+type Tree struct {
+	mu    sync.Mutex
+	nodes map[NodeID]*treeNode
+}
+
+type treeNode struct {
+	parent   NodeID  // 0 when this node is a root
+	attached bool    // has a parent edge (distinguishes root from orphan)
+	budget   float64 // downlink capacity in bytes/sec (0 = unlimited)
+	used     float64 // bytes/sec charged by direct children
+	children map[NodeID]float64
+	rate     float64 // bytes/sec this node draws from its parent
+}
+
+// NewTree returns an empty admission tree.
+func NewTree() *Tree {
+	return &Tree{nodes: make(map[NodeID]*treeNode)}
+}
+
+func (t *Tree) node(h NodeID) *treeNode {
+	n := t.nodes[h]
+	if n == nil {
+		n = &treeNode{children: make(map[NodeID]float64)}
+		t.nodes[h] = n
+	}
+	return n
+}
+
+// SetBudget fixes a node's downlink capacity in bytes/sec; children beyond
+// it are refused admission. A budget of 0 means unlimited (a leaf, or a
+// node whose substrate enforces its own limit).
+func (t *Tree) SetBudget(h NodeID, bps float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.node(h).budget = bps
+}
+
+// Attach admits child under parent at the given downlink rate, charging
+// only the parent's budget: the subtree above parent already carries the
+// stream on one VC, so nothing upstream is re-charged.
+func (t *Tree) Attach(child, parent NodeID, bps float64) error {
+	if child == parent {
+		return fmt.Errorf("resv: node %v cannot parent itself", child)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.node(child)
+	if c.attached {
+		return fmt.Errorf("resv: node %v already attached", child)
+	}
+	// Refuse cycles: parent must not be a descendant of child.
+	for p := parent; ; {
+		n := t.nodes[p]
+		if n == nil || !n.attached {
+			break
+		}
+		if n.parent == child {
+			return fmt.Errorf("resv: attaching %v under %v would form a cycle", child, parent)
+		}
+		p = n.parent
+	}
+	p := t.node(parent)
+	if p.budget > 0 && p.used+bps > p.budget {
+		return fmt.Errorf("resv: node %v downlink saturated: %.0f+%.0f > %.0f bytes/sec",
+			parent, p.used, bps, p.budget)
+	}
+	p.used += bps
+	p.children[child] = bps
+	c.parent, c.attached, c.rate = parent, true, bps
+	return nil
+}
+
+// Detach removes child's edge, refunding its parent's downlink. The
+// child's own children keep their edges (re-parent them first when tearing
+// down an interior node for good).
+func (t *Tree) Detach(child NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.nodes[child]
+	if c == nil || !c.attached {
+		return
+	}
+	if p := t.nodes[c.parent]; p != nil {
+		p.used -= p.children[child]
+		delete(p.children, child)
+	}
+	c.parent, c.attached, c.rate = 0, false, 0
+}
+
+// Reparent atomically moves child from its current parent onto newParent,
+// refunding the old downlink and charging the new one — the admission half
+// of subtree repair after a relay death. The charge keeps the child's
+// original rate.
+func (t *Tree) Reparent(child, newParent NodeID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.nodes[child]
+	if c == nil || !c.attached {
+		return fmt.Errorf("resv: node %v not attached", child)
+	}
+	if newParent == child {
+		return fmt.Errorf("resv: node %v cannot parent itself", child)
+	}
+	for p := newParent; ; {
+		n := t.nodes[p]
+		if n == nil || !n.attached {
+			break
+		}
+		if n.parent == child {
+			return fmt.Errorf("resv: reparenting %v under %v would form a cycle", child, newParent)
+		}
+		p = n.parent
+	}
+	np := t.node(newParent)
+	if np.budget > 0 && np.used+c.rate > np.budget {
+		return fmt.Errorf("resv: node %v downlink saturated", newParent)
+	}
+	if op := t.nodes[c.parent]; op != nil {
+		op.used -= op.children[child]
+		delete(op.children, child)
+	}
+	np.used += c.rate
+	np.children[child] = c.rate
+	c.parent = newParent
+	return nil
+}
+
+// Remove deletes a node outright (a dead relay), refunding its parent and
+// orphaning any children still attached — they stay charged nowhere and
+// must be re-parented to rejoin the tree.
+func (t *Tree) Remove(h NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nodes[h]
+	if n == nil {
+		return
+	}
+	if n.attached {
+		if p := t.nodes[n.parent]; p != nil {
+			p.used -= p.children[h]
+			delete(p.children, h)
+		}
+	}
+	for ch := range n.children {
+		if c := t.nodes[ch]; c != nil {
+			c.parent, c.attached, c.rate = 0, false, 0
+		}
+	}
+	delete(t.nodes, h)
+}
+
+// Parent returns h's parent; ok is false for roots and unknown nodes.
+func (t *Tree) Parent(h NodeID) (NodeID, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nodes[h]
+	if n == nil || !n.attached {
+		return 0, false
+	}
+	return n.parent, true
+}
+
+// Children returns h's direct children.
+func (t *Tree) Children(h NodeID) []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nodes[h]
+	if n == nil {
+		return nil
+	}
+	out := make([]NodeID, 0, len(n.children))
+	for ch := range n.children {
+		out = append(out, ch)
+	}
+	return out
+}
+
+// Fanout returns h's direct child count.
+func (t *Tree) Fanout(h NodeID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := t.nodes[h]; n != nil {
+		return len(n.children)
+	}
+	return 0
+}
+
+// Headroom returns h's remaining downlink in bytes/sec; unlimited budgets
+// report +Inf-like generosity as a negative budget would be meaningless,
+// so they return the largest float64.
+func (t *Tree) Headroom(h NodeID) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nodes[h]
+	if n == nil {
+		return 0
+	}
+	if n.budget <= 0 {
+		return maxHeadroom
+	}
+	return n.budget - n.used
+}
+
+const maxHeadroom = 1.797693134862315708145274237317043567981e308
+
+// SubtreeSize returns the number of nodes below h (descendants, not
+// counting h itself) — the per-interval aggregate a relay reports upward.
+func (t *Tree) SubtreeSize(h NodeID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.subtreeSizeLocked(h)
+}
+
+func (t *Tree) subtreeSizeLocked(h NodeID) int {
+	n := t.nodes[h]
+	if n == nil {
+		return 0
+	}
+	total := 0
+	for ch := range n.children {
+		total += 1 + t.subtreeSizeLocked(ch)
+	}
+	return total
+}
+
+// AggregateRate returns the bytes/sec h's whole subtree consumes of h's
+// downlink — the sum over direct edges (descendant edges are charged to
+// their own parents, which is the entire point).
+func (t *Tree) AggregateRate(h NodeID) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := t.nodes[h]; n != nil {
+		return n.used
+	}
+	return 0
+}
+
+// Best picks the parent for a new sink of the given rate: the nearest
+// non-saturated candidate, nearest first (dist, typically hop count from
+// the sink; nil means all equidistant) and largest headroom as the
+// tiebreak. It returns an error when every candidate is saturated.
+func (t *Tree) Best(candidates []NodeID, bps float64, dist func(NodeID) int) (NodeID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var best NodeID
+	bestDist := int(^uint(0) >> 1)
+	bestRoom := -1.0
+	found := false
+	for _, h := range candidates {
+		n := t.nodes[h]
+		if n == nil {
+			continue
+		}
+		room := maxHeadroom
+		if n.budget > 0 {
+			room = n.budget - n.used
+		}
+		if room < bps {
+			continue
+		}
+		d := 0
+		if dist != nil {
+			d = dist(h)
+		}
+		if !found || d < bestDist || (d == bestDist && room > bestRoom) {
+			best, bestDist, bestRoom, found = h, d, room, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("resv: no candidate parent with %.0f bytes/sec of downlink headroom", bps)
+	}
+	return best, nil
+}

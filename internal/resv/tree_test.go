@@ -1,0 +1,152 @@
+package resv
+
+import (
+	"testing"
+)
+
+func TestTreeAttachChargesOnlyParent(t *testing.T) {
+	tr := NewTree()
+	tr.SetBudget(1, 1000) // source uplink
+	tr.SetBudget(2, 500)  // relay downlink
+
+	if err := tr.Attach(2, 1, 400); err != nil {
+		t.Fatal(err)
+	}
+	// Sinks behind the relay charge the relay, not the source.
+	for i := 0; i < 5; i++ {
+		if err := tr.Attach(NodeID(10+i), 2, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Headroom(1); got != 600 {
+		t.Errorf("source headroom = %v, want 600 (one relay edge only)", got)
+	}
+	if got := tr.Headroom(2); got != 0 {
+		t.Errorf("relay headroom = %v, want 0", got)
+	}
+	// Relay saturated: the sixth sink is refused.
+	if err := tr.Attach(20, 2, 100); err == nil {
+		t.Error("attach beyond relay budget succeeded")
+	}
+	if got := tr.Fanout(2); got != 5 {
+		t.Errorf("relay fanout = %d, want 5", got)
+	}
+	if got := tr.SubtreeSize(1); got != 6 {
+		t.Errorf("source subtree = %d, want 6", got)
+	}
+}
+
+func TestTreeReparentMovesCharge(t *testing.T) {
+	tr := NewTree()
+	tr.SetBudget(2, 300)
+	tr.SetBudget(3, 300)
+	if err := tr.Attach(2, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Attach(3, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Attach(10, 2, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Reparent(10, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Headroom(2); got != 300 {
+		t.Errorf("old parent headroom = %v, want full refund 300", got)
+	}
+	if got := tr.Headroom(3); got != 100 {
+		t.Errorf("new parent headroom = %v, want 100", got)
+	}
+	if p, ok := tr.Parent(10); !ok || p != 3 {
+		t.Errorf("parent = %v,%v, want 3,true", p, ok)
+	}
+	// A saturated survivor refuses the move.
+	if err := tr.Attach(11, 2, 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Reparent(11, 3); err == nil {
+		t.Error("reparent onto saturated host succeeded")
+	}
+	if got := tr.Headroom(2); got != 50 {
+		t.Errorf("failed reparent must not refund: headroom = %v, want 50", got)
+	}
+}
+
+func TestTreeRemoveOrphansChildren(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Attach(2, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Attach(10, 2, 50); err != nil {
+		t.Fatal(err)
+	}
+	tr.Remove(2)
+	if _, ok := tr.Parent(10); ok {
+		t.Error("orphaned child still reports a parent")
+	}
+	if got := tr.Fanout(1); got != 0 {
+		t.Errorf("dead relay still charged to source: fanout = %d", got)
+	}
+	// The orphan can rejoin.
+	if err := tr.Attach(10, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeCycleRefused(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Attach(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Attach(3, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Attach(1, 3, 1); err == nil {
+		t.Error("cycle attach succeeded")
+	}
+	if err := tr.Reparent(2, 3); err == nil {
+		t.Error("cycle reparent succeeded")
+	}
+}
+
+func TestTreeBest(t *testing.T) {
+	tr := NewTree()
+	tr.SetBudget(2, 100)
+	tr.SetBudget(3, 1000)
+	tr.SetBudget(4, 1000)
+	for _, h := range []NodeID{2, 3, 4} {
+		if err := tr.Attach(h, 1, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 2 is nearest but saturated for 200; 3 and 4 tie on distance, 4 has
+	// more headroom after 3 takes a child.
+	if err := tr.Attach(10, 3, 500); err != nil {
+		t.Fatal(err)
+	}
+	dist := func(h NodeID) int {
+		if h == 2 {
+			return 1
+		}
+		return 2
+	}
+	got, err := tr.Best([]NodeID{2, 3, 4}, 200, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("Best = %v, want 4", got)
+	}
+	// Small enough for the nearest: 2 wins on distance.
+	got, err = tr.Best([]NodeID{2, 3, 4}, 50, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("Best = %v, want 2", got)
+	}
+	if _, err := tr.Best([]NodeID{2}, 1000, nil); err == nil {
+		t.Error("Best with no viable candidate succeeded")
+	}
+}

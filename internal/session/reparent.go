@@ -1,0 +1,160 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cmtos/internal/clock"
+	"cmtos/internal/core"
+)
+
+// Subtree re-parenting: when a relay dies, every leaf below it still holds
+// an exact delivery watermark in its resume tombstone (PR 4), and any
+// surviving relay that carries the same stream can adopt it — resume the
+// leaf's VC with itself as the new source and replay the gap from its own
+// splice retention. The Reparenter is the session-layer state machine that
+// drives those adoptions: per-orphan retry with backoff, and a terminal
+// adopted/abandoned verdict per leaf. It deliberately takes the adopting
+// node as a narrow interface so the session layer stays independent of the
+// relay package.
+
+// Adopter re-homes one orphaned leaf VC onto the node it describes.
+// *relay.Splice implements it.
+type Adopter interface {
+	// Adopt resumes the leaf's VC with this node as the new source,
+	// replaying from the leaf's delivery watermark; it returns that
+	// watermark. A failed adoption must leave the leaf's continuity
+	// intact so another adopter (or attempt) can still succeed.
+	Adopt(vc core.VCID, leaf core.Addr, srcTSAP core.TSAP) (core.OSDUSeq, error)
+}
+
+// ReparentState is one orphan's position in the re-parent lifecycle.
+type ReparentState int
+
+const (
+	// ReparentPending: the orphan is queued, no attempt made yet.
+	ReparentPending ReparentState = iota
+	// ReparentTrying: adoption attempts are in flight.
+	ReparentTrying
+	// ReparentAdopted: a survivor carries the leaf; the stream continues
+	// from the leaf's exact watermark.
+	ReparentAdopted
+	// ReparentAbandoned: every attempt failed; the leaf is on its own.
+	ReparentAbandoned
+)
+
+// String implements fmt.Stringer.
+func (s ReparentState) String() string {
+	switch s {
+	case ReparentPending:
+		return "pending"
+	case ReparentTrying:
+		return "trying"
+	case ReparentAdopted:
+		return "adopted"
+	case ReparentAbandoned:
+		return "abandoned"
+	}
+	return fmt.Sprintf("reparent(%d)", int(s))
+}
+
+// Orphan names one leaf VC that lost its parent.
+type Orphan struct {
+	// VC is the leaf's (dead) ingest VC; adoption resurrects it under
+	// the same identity.
+	VC core.VCID
+	// Leaf is the sink endpoint to re-home.
+	Leaf core.Addr
+	// SrcTSAP is the survivor-side TSAP the replacement egress VC
+	// originates from.
+	SrcTSAP core.TSAP
+}
+
+// ReparentResult is the terminal verdict for one orphan.
+type ReparentResult struct {
+	Orphan
+	State       ReparentState
+	ResumedFrom core.OSDUSeq
+	Attempts    int
+	Err         error
+}
+
+// ReparentPolicy sets how hard re-parenting fights per orphan.
+type ReparentPolicy struct {
+	// Attempts per orphan (default 3).
+	Attempts int
+	// Backoff between attempts (default 250ms).
+	Backoff time.Duration
+	// OnStateChange observes every orphan transition; it runs without
+	// internal locks held.
+	OnStateChange func(vc core.VCID, from, to ReparentState)
+}
+
+func (p *ReparentPolicy) withDefaults() {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 250 * time.Millisecond
+	}
+}
+
+// Reparenter drives orphan adoptions onto a surviving node.
+type Reparenter struct {
+	clk clock.Clock
+	pol ReparentPolicy
+}
+
+// NewReparenter returns a re-parent driver with the given policy.
+func NewReparenter(clk clock.Clock, pol ReparentPolicy) *Reparenter {
+	pol.withDefaults()
+	return &Reparenter{clk: clk, pol: pol}
+}
+
+// Run adopts every orphan onto the survivor, concurrently, and returns one
+// terminal result per orphan (same order as the input). It blocks until
+// every orphan is adopted or abandoned.
+func (rp *Reparenter) Run(orphans []Orphan, to Adopter) []ReparentResult {
+	results := make([]ReparentResult, len(orphans))
+	var wg sync.WaitGroup
+	for i, o := range orphans {
+		wg.Add(1)
+		go func(i int, o Orphan) {
+			defer wg.Done()
+			results[i] = rp.runOne(o, to)
+		}(i, o)
+	}
+	wg.Wait()
+	return results
+}
+
+// runOne walks one orphan through pending → trying → adopted/abandoned.
+func (rp *Reparenter) runOne(o Orphan, to Adopter) ReparentResult {
+	res := ReparentResult{Orphan: o, State: ReparentPending}
+	transition := func(next ReparentState) {
+		from := res.State
+		res.State = next
+		if rp.pol.OnStateChange != nil && from != next {
+			rp.pol.OnStateChange(o.VC, from, next)
+		}
+	}
+	transition(ReparentTrying)
+	var err error
+	for attempt := 1; attempt <= rp.pol.Attempts; attempt++ {
+		res.Attempts = attempt
+		var from core.OSDUSeq
+		from, err = to.Adopt(o.VC, o.Leaf, o.SrcTSAP)
+		if err == nil {
+			res.ResumedFrom = from
+			transition(ReparentAdopted)
+			return res
+		}
+		if attempt < rp.pol.Attempts {
+			<-rp.clk.After(rp.pol.Backoff)
+		}
+	}
+	res.Err = err
+	transition(ReparentAbandoned)
+	return res
+}

@@ -1,0 +1,453 @@
+package soak
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/netif/faultnet"
+	"cmtos/internal/netif/nettest"
+	"cmtos/internal/orch/hlo"
+	"cmtos/internal/qos"
+	"cmtos/internal/relay"
+	"cmtos/internal/resv"
+	"cmtos/internal/session"
+	"cmtos/internal/transport"
+)
+
+const (
+	relayIngestTSAP = core.TSAP(50) // relay ingest listener
+	relayEgressTSAP = core.TSAP(55) // relay-side TSAP for egress VCs
+)
+
+// treeCfg is soakCfg with liveness slack. The tree suites run in the
+// always-on test pass, where parallel packages can starve the keepalive
+// goroutines long enough for the soak config's 400ms detector to kill a
+// healthy VC — and the clean cells have nothing that would resurrect it.
+// Crash repair here is driven explicitly (TreeAgent.HostDown), not by
+// liveness detection, so the slower detector costs only teardown latency
+// on the crashed relay's VCs.
+func treeCfg() transport.Config {
+	cfg := soakCfg()
+	cfg.KeepaliveInterval = 500 * time.Millisecond
+	cfg.KeepaliveMisses = 4
+	return cfg
+}
+
+// treeLeaf records every OSDU sequence delivered at one leaf host's sink
+// TSAP, across resumes (a re-parented VC arrives as a fresh OnRecvReady).
+type treeLeaf struct {
+	host core.HostID
+	mu   sync.Mutex
+	seqs []core.OSDUSeq
+}
+
+func (l *treeLeaf) snapshot() []core.OSDUSeq {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]core.OSDUSeq(nil), l.seqs...)
+}
+
+func (l *treeLeaf) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.seqs)
+}
+
+func listenTreeLeaf(t *testing.T, s *stack, host core.HostID, tsap core.TSAP) *treeLeaf {
+	t.Helper()
+	l := &treeLeaf{host: host}
+	if err := s.hosts[host].Attach(tsap, transport.UserCallbacks{
+		OnRecvReady: func(rv *transport.RecvVC) {
+			go func() {
+				for {
+					u, err := rv.Read()
+					if err != nil {
+						return
+					}
+					l.mu.Lock()
+					l.seqs = append(l.seqs, u.Seq)
+					l.mu.Unlock()
+				}
+			}()
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// assertLeafExact checks a leaf saw exactly 0..total-1 in order.
+func assertLeafExact(t *testing.T, who string, l *treeLeaf, total int) {
+	t.Helper()
+	if !waitUntil(25*time.Second, func() bool { return l.count() >= total }) {
+		t.Fatalf("%s delivered %d/%d OSDUs", who, l.count(), total)
+	}
+	seqs := l.snapshot()
+	if len(seqs) != total {
+		t.Fatalf("%s delivered %d OSDUs, want exactly %d (duplicates)", who, len(seqs), total)
+	}
+	for i, got := range seqs {
+		if got != core.OSDUSeq(i) {
+			t.Fatalf("%s order broken at %d: got seq %d (gap or duplicate)", who, i, got)
+		}
+	}
+}
+
+// buildTree wires the 2-level tree on an n≥7 stack: host 1 is the source,
+// hosts 2 and 3 are relays fed in lock-step over two VCs, hosts 4..7 are
+// leaves placed two per relay via the distance hint. It returns the
+// controller, the two feeds, and the four leaf recorders.
+func buildTree(t *testing.T, s *stack) (*hlo.TreeAgent, []*transport.SendVC, []*treeLeaf) {
+	t.Helper()
+	relayHosts := []core.HostID{2, 3}
+	nodes := make(map[core.HostID]*relay.Node, 2)
+	for _, h := range relayHosts {
+		n := relay.NewNode(s.hosts[h], relay.Config{})
+		if err := n.Listen(relayIngestTSAP); err != nil {
+			t.Fatal(err)
+		}
+		nodes[h] = n
+	}
+	leaves := make([]*treeLeaf, 4)
+	for i := range leaves {
+		leaves[i] = listenTreeLeaf(t, s, core.HostID(4+i), core.TSAP(100+i))
+	}
+
+	feeds := make([]*transport.SendVC, 2)
+	for i, h := range relayHosts {
+		sv, err := s.hosts[1].Connect(transport.ConnectRequest{
+			SrcTSAP: core.TSAP(10 + i),
+			Dest:    core.Addr{Host: h, TSAP: relayIngestTSAP},
+			Class:   qos.ClassDetectIndicate,
+			Spec:    soakSpec(150),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feeds[i] = sv
+	}
+
+	ta := hlo.NewTreeAgent(sys, 1, 0, hlo.TreePolicy{
+		Reparent: session.ReparentPolicy{Attempts: 60, Backoff: 100 * time.Millisecond},
+		// Leaves 4,5 sit nearest relay 2; leaves 6,7 nearest relay 3.
+		Dist: func(sink, rel core.HostID) int {
+			if (sink <= 5) == (rel == 2) {
+				return 1
+			}
+			return 2
+		},
+	})
+	for i, h := range relayHosts {
+		// Wait for the relay to accept its ingest before registering it.
+		n := nodes[h]
+		vc := feeds[i].ID()
+		if !waitUntil(5*time.Second, func() bool { _, ok := n.Splice(vc); return ok }) {
+			t.Fatalf("relay %v never spliced ingest %v", h, vc)
+		}
+		if err := ta.AddRelay(h, n, vc, relayEgressTSAP, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, l := range leaves {
+		parent, err := ta.PlaceSink(core.Addr{Host: l.host, TSAP: core.TSAP(100 + i)}, 1)
+		if err != nil {
+			t.Fatalf("PlaceSink(%v): %v", l.host, err)
+		}
+		if want := relayHosts[i/2]; parent != want {
+			t.Fatalf("leaf %v placed on relay %v, want %v", l.host, parent, want)
+		}
+	}
+	if got := ta.SourceFanout(); got != 2 {
+		t.Fatalf("source fanout = %d, want 2 (direct children only, not %d sinks)",
+			got, len(leaves))
+	}
+	return ta, feeds, leaves
+}
+
+// runRelayTree drives one (substrate, regime) cell of the tree matrix: a
+// paced source feeding a 2-level distribution tree, optionally with one
+// relay crashed mid-stream and its subtree re-parented onto the survivor.
+// Every leaf must see exactly 0..total-1, and the stack must pass the
+// standard invariant sweep afterwards.
+func runRelayTree(t *testing.T, build func(*testing.T, int64) *stack, crash bool, seed int64) {
+	const (
+		rate  = 100.0
+		total = 300
+	)
+	checkGoroutines := nettest.CheckGoroutines(t)
+	s := build(t, seed)
+	ta, feeds, leaves := buildTree(t, s)
+
+	// Paced lock-step writer: both feeds carry the same OSDU sequence. A
+	// feed that dies (its relay crashed) is simply skipped from then on.
+	writeDone := make(chan struct{})
+	crashAt := -1
+	if crash {
+		crashAt = total / 3
+	}
+	repaired := make(chan []session.ReparentResult, 1)
+	go func() {
+		defer close(writeDone)
+		payload := make([]byte, 32)
+		dead := make([]bool, len(feeds))
+		start := sys.Now()
+		for i := 0; i < total; i++ {
+			due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			if d := due.Sub(sys.Now()); d > 0 {
+				sys.Sleep(d)
+			}
+			if i == crashAt {
+				mirror(s, func(f *faultnet.Network) { f.Crash(2) })
+				go func() { repaired <- ta.HostDown(2) }()
+			}
+			for fi, sv := range feeds {
+				if dead[fi] {
+					continue
+				}
+				if _, err := sv.Write(payload, 0); err != nil {
+					dead[fi] = true
+				}
+			}
+		}
+	}()
+
+	if crash {
+		var results []session.ReparentResult
+		select {
+		case results = <-repaired:
+		case <-time.After(30 * time.Second):
+			t.Fatal("tree repair never finished")
+		}
+		if len(results) != 2 {
+			t.Fatalf("repair produced %d results, want 2 orphans", len(results))
+		}
+		for _, res := range results {
+			if res.State != session.ReparentAdopted {
+				t.Fatalf("orphan %v not adopted after %d attempts: %v",
+					res.VC, res.Attempts, res.Err)
+			}
+		}
+		if got := ta.SourceFanout(); got != 1 {
+			t.Errorf("source fanout after relay death = %d, want 1", got)
+		}
+		// The survivor now feeds all four leaves; the roll-up sees them.
+		reps := ta.Report()
+		if len(reps) != 1 || reps[0].Host != 3 {
+			t.Fatalf("tree report = %+v, want exactly relay 3", reps)
+		}
+		if reps[0].Subtree != 4 {
+			t.Errorf("survivor subtree = %d, want 4", reps[0].Subtree)
+		}
+		if reps[0].Splice.Fanout != 4 {
+			t.Errorf("survivor splice fanout = %d, want 4", reps[0].Splice.Fanout)
+		}
+	}
+
+	select {
+	case <-writeDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("writer never finished")
+	}
+	for i, l := range leaves {
+		assertLeafExact(t, fmt.Sprintf("leaf %v", 4+i), l, total)
+	}
+
+	// Invariant sweep: reservations refunded, VCs terminal, goroutines back.
+	vcs := []core.VCID{feeds[0].ID(), feeds[1].ID()}
+	for _, m := range ta.Members() {
+		vcs = append(vcs, m.VC)
+	}
+	s.shutdown()
+	for _, rm := range s.rms {
+		deadline := time.Now().Add(5 * time.Second)
+		for rm.Count() != 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := rm.Count(); n != 0 {
+			t.Errorf("%d reservations outstanding after shutdown", n)
+		}
+	}
+	for id, e := range s.hosts {
+		for _, vc := range vcs {
+			if _, ok := e.SourceVC(vc); ok {
+				t.Errorf("host %v: source VC %v not terminal after shutdown", id, vc)
+			}
+			if _, ok := e.SinkVC(vc); ok {
+				t.Errorf("host %v: sink VC %v not terminal after shutdown", id, vc)
+			}
+		}
+	}
+	checkGoroutines()
+}
+
+// TestRelayTree is the fan-out distribution-tree suite: {netem, udp} ×
+// {clean, relay-crash} over a 2-level tree (source → 2 relays → 4
+// leaves). The clean cells pin the data plane (exact delivery through a
+// splice, source uplink bounded by direct children); the crash cells pin
+// the repair plane (mid-stream relay death, HLO re-parent onto the
+// survivor, zero loss and zero duplication at every leaf).
+func TestRelayTree(t *testing.T) {
+	substrates := []struct {
+		name  string
+		build func(*testing.T, int64) *stack
+	}{
+		{"netem", func(t *testing.T, seed int64) *stack { return buildNetemCfg(t, seed, 7, treeCfg()) }},
+		{"udp", func(t *testing.T, seed int64) *stack { return buildUDPCfg(t, seed, 7, treeCfg()) }},
+	}
+	regimes := []struct {
+		name  string
+		crash bool
+	}{
+		{"clean", false},
+		{"relay-crash", true},
+	}
+	for i, sub := range substrates {
+		for j, rg := range regimes {
+			seed := int64(9000*i + 100*j + 5)
+			t.Run(fmt.Sprintf("%s/%s", sub.name, rg.name), func(t *testing.T) {
+				runRelayTree(t, sub.build, rg.crash, seed)
+			})
+		}
+	}
+}
+
+// TestRelayScale pins the whole point of the tree refactor: thousands of
+// sinks behind two relays while the source's uplink carries exactly two
+// VCs. Short CI runs a few hundred sinks; the nightly long soak runs the
+// full 10k. Every sink must deliver the complete stream exactly.
+func TestRelayScale(t *testing.T) {
+	sinks := 300
+	if longSoak() {
+		sinks = 10000
+	}
+	const total = 20
+	checkGoroutines := nettest.CheckGoroutines(t)
+	s := buildNetemCfg(t, 31, 5, treeCfg()) // 1=source 2,3=relays 4,5=leaf hosts
+
+	relayHosts := []core.HostID{2, 3}
+	nodes := make(map[core.HostID]*relay.Node, 2)
+	for _, h := range relayHosts {
+		n := relay.NewNode(s.hosts[h], relay.Config{})
+		if err := n.Listen(relayIngestTSAP); err != nil {
+			t.Fatal(err)
+		}
+		nodes[h] = n
+	}
+	feeds := make([]*transport.SendVC, 2)
+	for i, h := range relayHosts {
+		sv, err := s.hosts[1].Connect(transport.ConnectRequest{
+			SrcTSAP: core.TSAP(10 + i),
+			Dest:    core.Addr{Host: h, TSAP: relayIngestTSAP},
+			Class:   qos.ClassDetectIndicate,
+			Spec:    soakSpec(150),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feeds[i] = sv
+	}
+	ta := hlo.NewTreeAgent(sys, 1, 0, hlo.TreePolicy{})
+	for i, h := range relayHosts {
+		n, vc := nodes[h], feeds[i].ID()
+		if !waitUntil(5*time.Second, func() bool { _, ok := n.Splice(vc); return ok }) {
+			t.Fatalf("relay %v never spliced ingest %v", h, vc)
+		}
+		// Budget each relay to half the sinks so placement saturates one
+		// and spills to the other — both relays end up loaded.
+		if err := ta.AddRelay(h, n, vc, relayEgressTSAP, 1, float64(sinks/2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sinks alternate between the two leaf hosts, one TSAP each. Placement
+	// runs concurrently — tree admission and the splices are shared state.
+	leaves := make([]*treeLeaf, sinks)
+	var wg sync.WaitGroup
+	errCh := make(chan error, sinks)
+	sem := make(chan struct{}, 64)
+	for i := 0; i < sinks; i++ {
+		host := core.HostID(4 + i%2)
+		tsap := core.TSAP(1000 + i)
+		leaves[i] = listenTreeLeaf(t, s, host, tsap)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, host core.HostID, tsap core.TSAP) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := ta.PlaceSink(core.Addr{Host: host, TSAP: tsap}, 1); err != nil {
+				errCh <- fmt.Errorf("sink %d: %w", i, err)
+			}
+		}(i, host, tsap)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// The invariant under test: sinks scaled 4 orders of magnitude beyond
+	// the source's fan-out, and the uplink still carries two VCs.
+	if got := ta.SourceFanout(); got != 2 {
+		t.Fatalf("source fanout = %d with %d sinks, want 2", got, sinks)
+	}
+	for _, h := range relayHosts {
+		if got := ta.Tree().Fanout(resv.HostNode(h)); got != sinks/2 {
+			t.Errorf("relay %v fanout = %d, want %d", h, got, sinks/2)
+		}
+	}
+
+	payload := make([]byte, 32)
+	for i := 0; i < total; i++ {
+		for _, sv := range feeds {
+			if _, err := sv.Write(payload, 0); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+	}
+	deadline := 60 * time.Second
+	if longSoak() {
+		deadline = 5 * time.Minute
+	}
+	if !waitUntil(deadline, func() bool {
+		for _, l := range leaves {
+			if l.count() < total {
+				return false
+			}
+		}
+		return true
+	}) {
+		delivered := 0
+		for _, l := range leaves {
+			if l.count() >= total {
+				delivered++
+			}
+		}
+		t.Fatalf("only %d/%d sinks received the full stream", delivered, sinks)
+	}
+	for i, l := range leaves {
+		seqs := l.snapshot()
+		if len(seqs) != total {
+			t.Fatalf("sink %d delivered %d OSDUs, want exactly %d", i, len(seqs), total)
+		}
+		for j, got := range seqs {
+			if got != core.OSDUSeq(j) {
+				t.Fatalf("sink %d order broken at %d: got %d", i, j, got)
+			}
+		}
+	}
+
+	s.shutdown()
+	for _, rm := range s.rms {
+		dl := time.Now().Add(10 * time.Second)
+		for rm.Count() != 0 && time.Now().Before(dl) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := rm.Count(); n != 0 {
+			t.Errorf("%d reservations outstanding after shutdown", n)
+		}
+	}
+	checkGoroutines()
+}

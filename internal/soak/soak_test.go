@@ -100,17 +100,28 @@ func soakCfg() transport.Config {
 
 // buildNetem stacks three entities over one emulated network behind a
 // single fault injector.
-func buildNetem(t *testing.T, seed int64) *stack {
+func buildNetem(t *testing.T, seed int64) *stack { return buildNetemN(t, seed, 3) }
+
+// buildNetemN is the n-host form: a full mesh of n entities over one
+// emulated network behind a single fault injector (the relay-tree tests
+// need more than the classic three hosts).
+func buildNetemN(t *testing.T, seed int64, n int) *stack {
+	return buildNetemCfg(t, seed, n, soakCfg())
+}
+
+// buildNetemCfg additionally lets the caller pick the transport config
+// (the tree suites trade the fast soak detector for liveness slack).
+func buildNetemCfg(t *testing.T, seed int64, n int, cfg transport.Config) *stack {
 	t.Helper()
 	nw := netem.New(sys)
 	link := netem.LinkConfig{Bandwidth: 50e6, Delay: 200 * time.Microsecond, QueueLen: 4096}
-	for id := core.HostID(1); id <= 3; id++ {
+	for id := core.HostID(1); id <= core.HostID(n); id++ {
 		if err := nw.AddHost(id, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
-	for a := core.HostID(1); a <= 3; a++ {
-		for b := a + 1; b <= 3; b++ {
+	for a := core.HostID(1); a <= core.HostID(n); a++ {
+		for b := a + 1; b <= core.HostID(n); b++ {
 			if err := nw.AddLink(a, b, link); err != nil {
 				t.Fatal(err)
 			}
@@ -128,8 +139,8 @@ func buildNetem(t *testing.T, seed int64) *stack {
 		rms:    []counter{rm},
 	}
 	s.onClose(fn.Close)
-	for id := core.HostID(1); id <= 3; id++ {
-		e, err := transport.NewEntity(id, sys, fn, rm, soakCfg())
+	for id := core.HostID(1); id <= core.HostID(n); id++ {
+		e, err := transport.NewEntity(id, sys, fn, rm, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,14 +157,22 @@ func buildNetem(t *testing.T, seed int64) *stack {
 // substrate (and one fault injector, and one admission manager) per
 // host. Fault calls must be mirrored to every injector — each one only
 // sees its own host's sends.
-func buildUDP(t *testing.T, seed int64) *stack {
+func buildUDP(t *testing.T, seed int64) *stack { return buildUDPN(t, seed, 3) }
+
+// buildUDPN is the n-host form of buildUDP.
+func buildUDPN(t *testing.T, seed int64, n int) *stack {
+	return buildUDPCfg(t, seed, n, soakCfg())
+}
+
+// buildUDPCfg additionally lets the caller pick the transport config.
+func buildUDPCfg(t *testing.T, seed int64, n int, cfg transport.Config) *stack {
 	t.Helper()
 	s := &stack{
 		hosts: make(map[core.HostID]*transport.Entity),
 		llos:  make(map[core.HostID]*orch.LLO),
 	}
 	nets := make(map[core.HostID]*udpnet.Network)
-	for id := core.HostID(1); id <= 3; id++ {
+	for id := core.HostID(1); id <= core.HostID(n); id++ {
 		nw, err := udpnet.New(udpnet.Config{Local: id, Listen: "127.0.0.1:0"})
 		if err != nil {
 			s.shutdown()
@@ -165,7 +184,7 @@ func buildUDP(t *testing.T, seed int64) *stack {
 		fn := faultnet.Wrap(nw, faultnet.Options{Seed: seed + int64(id), Clock: sys})
 		s.faults = append(s.faults, fn)
 		s.rms = append(s.rms, rm)
-		e, err := transport.NewEntity(id, sys, fn, rm, soakCfg())
+		e, err := transport.NewEntity(id, sys, fn, rm, cfg)
 		if err != nil {
 			s.shutdown()
 			t.Fatal(err)
@@ -175,8 +194,8 @@ func buildUDP(t *testing.T, seed int64) *stack {
 		l := s.llos[id]
 		s.onClose(func() { l.Close(); e.Close(); fn.Close() })
 	}
-	for a := core.HostID(1); a <= 3; a++ {
-		for b := core.HostID(1); b <= 3; b++ {
+	for a := core.HostID(1); a <= core.HostID(n); a++ {
+		for b := core.HostID(1); b <= core.HostID(n); b++ {
 			if a == b {
 				continue
 			}

@@ -21,7 +21,7 @@ func (e *Entity) Connect(req ConnectRequest) (*SendVC, error) {
 		Dest:      req.Dest,
 	}
 	e.trace("initiator", core.TConnectRequest)
-	s, err := e.connectAsSource(tup, req.Profile, req.Class, req.Spec)
+	s, err := e.connectAsSource(tup, req.Profile, req.Class, req.Spec, req.StartSeq)
 	if err != nil {
 		e.trace("initiator", core.TDisconnectIndication)
 		return nil, err
@@ -33,7 +33,7 @@ func (e *Entity) Connect(req ConnectRequest) (*SendVC, error) {
 // connectAsSource runs establishment from the source entity: negotiate
 // against the path, reserve, and complete the CR/CC exchange with the
 // destination.
-func (e *Entity) connectAsSource(tup core.ConnectTuple, profile qos.Profile, class qos.Class, spec qos.Spec) (*SendVC, error) {
+func (e *Entity) connectAsSource(tup core.ConnectTuple, profile qos.Profile, class qos.Class, spec qos.Spec, startSeq core.OSDUSeq) (*SendVC, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -67,6 +67,7 @@ func (e *Entity) connectAsSource(tup core.ConnectTuple, profile qos.Profile, cla
 	reply, err := e.request(tup.Dest.Host, &pdu.Control{
 		Kind: pdu.KindConnReq, VC: vc, Tuple: tup,
 		Profile: profile, Class: class, Spec: spec, Contract: contract,
+		Seq: uint64(startSeq),
 	})
 	if err != nil {
 		release()
@@ -86,6 +87,12 @@ func (e *Entity) connectAsSource(tup core.ConnectTuple, profile qos.Profile, cla
 
 	s := newSendVC(e, vc, tup, profile, class, final, resvID)
 	s.path = path
+	if startSeq > 0 {
+		// Mid-stream join: numbering starts at the splice head, and the
+		// transmit watermark must not look behind it.
+		s.nextSeq = startSeq
+		s.sentSeq.Store(uint64(startSeq))
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -140,6 +147,9 @@ func (e *Entity) handleConnReq(from core.HostID, c *pdu.Control) {
 	e.trace("dest", core.TConnectResponse)
 
 	r := newRecvVC(e, c.VC, c.Tuple, c.Profile, c.Class, final)
+	if c.Seq > 0 {
+		r.initStart(core.OSDUSeq(c.Seq))
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -240,7 +250,7 @@ func (e *Entity) handleRemoteConnReq(from core.HostID, c *pdu.Control) {
 	}
 	e.trace("source", core.TConnectResponse)
 	e.trace("source", core.TConnectRequest)
-	s, err := e.connectAsSource(c.Tuple, c.Profile, c.Class, spec)
+	s, err := e.connectAsSource(c.Tuple, c.Profile, c.Class, spec, 0)
 	if err != nil {
 		reason := core.ReasonNetworkFailure
 		if rej, ok := err.(*RejectError); ok {

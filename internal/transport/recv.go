@@ -58,6 +58,7 @@ type RecvVC struct {
 	asm         map[core.OSDUSeq]*partial
 	pendingOut  map[core.OSDUSeq]cbuf.OSDU // complete, awaiting in-order delivery
 	nextDeliver core.OSDUSeq               // next OSDU seq owed to the ring
+	tap         func(cbuf.OSDU) bool       // delivery tap; replaces the ring when set
 	expected    uint64                     // next in-order TPDU seq
 	maxSeen     uint64                     // highest TPDU seq seen
 	missing     map[uint64]time.Time       // TPDU gaps (correcting classes)
@@ -184,6 +185,64 @@ func (r *RecvVC) initResume(base core.OSDUSeq, tok uint32) {
 	r.resumeTok = tok
 	r.nextDeliver = base
 	r.expectAdopt = true
+	r.deliveredSeq.Store(uint64(base))
+}
+
+// SetDeliveryTap replaces ring delivery with a direct handoff: every
+// in-order OSDU is passed to fn instead of being queued for Read. The tap
+// is the re-publication hook for relay splices (one ingest VC fanned out
+// onto N egress VCs): the OSDU's payload is freshly allocated per OSDU, so
+// fn may retain it without copying. fn runs on the VC's owning shard (or,
+// transiently, an application thread) and must not block; returning false
+// keeps the OSDU in the reorder stage, engages source backpressure, and
+// retries every RTO until fn accepts it. A tapped VC must not be Read
+// concurrently — the ring is bypassed entirely, and DeliveredSeq advances
+// as the tap accepts.
+//
+// Installing a tap drains anything already buffered in the ring through fn
+// first (a resumed ingest may have delivered a few OSDUs before the tap
+// owner reattached); those drained OSDUs are handed over unconditionally,
+// since the ring has already committed them in order.
+func (r *RecvVC) SetDeliveryTap(fn func(cbuf.OSDU) bool) {
+	r.rxMu.Lock()
+	r.tap = fn
+	if fn != nil {
+		for {
+			u, ok, err := r.ring.TryGet()
+			if !ok || err != nil {
+				break
+			}
+			fn(u)
+			r.delivered.Add(1)
+			r.si.delivered.Inc()
+			if next := uint64(u.Seq) + 1; next > r.deliveredSeq.Load() {
+				r.deliveredSeq.Store(next)
+			}
+		}
+		r.flushInOrderLocked()
+	}
+	need := r.xoff || len(r.pendingOut) != 0
+	r.rxMu.Unlock()
+	if need {
+		r.requestFlowArm()
+	}
+}
+
+// Nudge retries delivery of anything parked in the reorder stage and lifts
+// backpressure when possible. Tap consumers call it when downstream
+// capacity frees up, instead of waiting for the next RTO flow probe.
+func (r *RecvVC) Nudge() { r.maybeXon() }
+
+// Profile returns the VC's protocol profile.
+func (r *RecvVC) Profile() qos.Profile { return r.profile }
+
+// initStart configures a fresh RecvVC to begin in-order delivery at base
+// instead of 0 — a mid-stream join, where a relay publishes from its
+// current splice head onto a newly connected leaf. TPDU numbering is NOT
+// adopted: the sender is a brand-new VC whose TPDUs start at 1. Must run
+// before start().
+func (r *RecvVC) initStart(base core.OSDUSeq) {
+	r.nextDeliver = base
 	r.deliveredSeq.Store(uint64(base))
 }
 
@@ -511,7 +570,14 @@ func (r *RecvVC) onData(d *pdu.Data) {
 		}
 	}
 	r.flushInOrderLocked()
+	need := r.xoff || len(r.pendingOut) != 0
 	r.rxMu.Unlock()
+	// Arm the flow probe from the receive path too: a tapped VC has no
+	// application Read to nudge the reorder stage, so without this a
+	// downstream-full stall would never be retried. Shard context.
+	if need {
+		r.armFlowIfNeeded()
+	}
 }
 
 // trackTPDU advances the in-order TPDU tracking and, for acknowledging
@@ -649,9 +715,25 @@ func (r *RecvVC) oldestPendingLocked() (core.OSDUSeq, bool) {
 }
 
 // deliverLocked matches events and places one OSDU into the shared
-// buffer, reporting whether it fit; callers keep OSDUs that do not fit in
-// the reorder stage. Caller holds rxMu.
+// buffer (or hands it to the delivery tap), reporting whether it was
+// accepted; callers keep OSDUs that were not in the reorder stage. Caller
+// holds rxMu.
 func (r *RecvVC) deliverLocked(u cbuf.OSDU) bool {
+	if r.tap != nil {
+		if !r.tap(u) {
+			// Downstream full: backpressure the source and keep the OSDU;
+			// the flow probe retries every RTO.
+			r.sendXoffLocked()
+			return false
+		}
+		r.matchEventLocked(u)
+		r.delivered.Add(1)
+		r.si.delivered.Inc()
+		if next := uint64(u.Seq) + 1; next > r.deliveredSeq.Load() {
+			r.deliveredSeq.Store(next)
+		}
+		return true
+	}
 	ok, err := r.ring.TryPut(u)
 	if err != nil {
 		return true // closed: discard silently, the VC is going away
@@ -661,23 +743,30 @@ func (r *RecvVC) deliverLocked(u cbuf.OSDU) bool {
 		r.sendXoffLocked()
 		return false
 	}
-	if u.Event != 0 {
-		r.evMu.Lock()
-		fn := r.eventFn
-		hit := r.patterns[u.Event]
-		r.evMu.Unlock()
-		if hit {
-			r.lastEvent.Store(uint64(u.Event))
-			if fn != nil {
-				fn(u.Seq, u.Event)
-			}
-		}
-	}
+	r.matchEventLocked(u)
 	// Backpressure early: leave headroom for TPDUs already in flight.
 	if free := r.ring.Free(); free <= r.xoffThreshold() {
 		r.sendXoffLocked()
 	}
 	return true
+}
+
+// matchEventLocked raises Orch.Event.indication for a delivered OSDU whose
+// event field matches a registered pattern. Caller holds rxMu.
+func (r *RecvVC) matchEventLocked(u cbuf.OSDU) {
+	if u.Event == 0 {
+		return
+	}
+	r.evMu.Lock()
+	fn := r.eventFn
+	hit := r.patterns[u.Event]
+	r.evMu.Unlock()
+	if hit {
+		r.lastEvent.Store(uint64(u.Event))
+		if fn != nil {
+			fn(u.Seq, u.Event)
+		}
+	}
 }
 
 // xoffThreshold is the free-slot level at which backpressure engages.
@@ -847,6 +936,23 @@ func (r *RecvVC) sampleTick() {
 		Src: r.tuple.Dest.Host, Dst: r.tuple.Source.Host,
 		Prio: netif.PrioControl, Payload: q.Marshal(nil),
 	})
+}
+
+// sealResumePoint seals the incarnation and returns the exact delivery
+// watermark a successor must resume from. For ring delivery that is the
+// sealed ring's consumed watermark; for a tapped VC the ring is bypassed,
+// so the watermark is whatever the tap has accepted (DeliveredSeq) — the
+// tap owner's own retention carries everything at or above it.
+func (r *RecvVC) sealResumePoint() core.OSDUSeq {
+	seq := r.ring.Seal()
+	r.rxMu.Lock()
+	if r.tap != nil {
+		if d := core.OSDUSeq(r.deliveredSeq.Load()); d > seq {
+			seq = d
+		}
+	}
+	r.rxMu.Unlock()
+	return seq
 }
 
 // shardClose disarms the VC's wheel timers; shard context.

@@ -111,7 +111,7 @@ func (e *Entity) takeResumePoint(vc core.VCID) (core.OSDUSeq, bool) {
 	// pop, so the watermark cannot move after we read it. (Teardown alone
 	// would let the application keep draining buffered OSDUs, making any
 	// advertised watermark stale by the time the sender replays.)
-	seq := old.ring.Seal()
+	seq := old.sealResumePoint()
 	old.teardown()
 	return seq, true
 }
@@ -195,6 +195,7 @@ func (e *Entity) Resume(req ResumeRequest) (*SendVC, core.OSDUSeq, error) {
 	s.path = path
 	s.nextSeq = req.NextSeq
 	s.tpduSeq = req.NextTPDU
+	s.replayBase = req.NextSeq
 	s.sentSeq.Store(uint64(resumeFrom))
 	e.mu.Lock()
 	if e.closed {

@@ -61,10 +61,18 @@ type SendVC struct {
 	bucket *rate.Bucket // cm-rate profile pacing (bytes/sec)
 	window *rate.Window // window profile credit / correcting-class bound
 
-	written atomic.Uint64 // OSDUs accepted by Write
-	sent    atomic.Uint64 // OSDUs fully transmitted
-	sentSeq atomic.Uint64 // sequence number just past the last transmitted OSDU
-	dropped atomic.Uint64 // OSDUs discarded at the source by regulation
+	written  atomic.Uint64 // OSDUs accepted by Write or Publish
+	sent     atomic.Uint64 // OSDUs fully transmitted for the first time
+	replayed atomic.Uint64 // OSDUs re-transmitted from a predecessor incarnation
+	sentSeq  atomic.Uint64 // sequence number just past the last transmitted OSDU
+	dropped  atomic.Uint64 // OSDUs discarded at the source by regulation
+
+	// replayBase is the successor incarnation's initial nextSeq (0 on a
+	// fresh VC): OSDUs below it were assigned — and counted written/sent —
+	// by a predecessor under the same VC scope, so the pump accounts their
+	// re-transmission as osdus_replayed instead of double-counting
+	// osdus_sent. Set once before start(), then read-only.
+	replayBase core.OSDUSeq
 
 	// pumpQueued coalesces cross-thread pump wake-ups: at most one evPump
 	// for this VC sits in the shard's control queue at a time.
@@ -117,6 +125,7 @@ type SendVC struct {
 type sendInstr struct {
 	written      *stats.Counter
 	sent         *stats.Counter
+	replayed     *stats.Counter
 	dropped      *stats.Counter
 	retransmits  *stats.Counter
 	ackRTT       *stats.Histogram
@@ -160,6 +169,7 @@ func newSendVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profi
 	s.si = sendInstr{
 		written:      sc.Counter("osdus_written"),
 		sent:         sc.Counter("osdus_sent"),
+		replayed:     sc.Counter("osdus_replayed"),
 		dropped:      sc.Counter("osdus_dropped"),
 		retransmits:  sc.Counter("retransmits"),
 		ackRTT:       sc.Histogram("ack_rtt_seconds", stats.DurationBuckets()),
@@ -232,8 +242,13 @@ func (s *SendVC) Write(payload []byte, event core.EventPattern) (core.OSDUSeq, e
 // Written returns the count of OSDUs accepted by Write.
 func (s *SendVC) Written() uint64 { return s.written.Load() }
 
-// Sent returns the count of OSDUs fully transmitted.
+// Sent returns the count of OSDUs fully transmitted for the first time
+// (replays of a predecessor incarnation's OSDUs are counted by Replayed).
 func (s *SendVC) Sent() uint64 { return s.sent.Load() }
+
+// Replayed returns the count of predecessor-incarnation OSDUs this VC
+// re-transmitted after a resume.
+func (s *SendVC) Replayed() uint64 { return s.replayed.Load() }
 
 // SentSeq returns the OSDU sequence number one past the last OSDU fully
 // transmitted. It leads Sent() once regulation drops OSDUs at the source.
@@ -354,8 +369,43 @@ func (s *SendVC) DrainUnsent() []cbuf.OSDU { return s.ring.Drain() }
 
 // Replay re-enqueues a retained OSDU on a resumed VC without assigning a
 // new sequence number: the OSDU keeps the sequence the failed incarnation
-// gave it, so the receiver observes one unbroken stream.
+// gave it, so the receiver observes one unbroken stream. The predecessor
+// already counted the OSDU written under this VC's stats scope, so replays
+// are accounted separately rather than inflating osdus_written again.
 func (s *SendVC) Replay(u cbuf.OSDU) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	return s.ring.Put(u)
+}
+
+// TryPublish queues an OSDU that already carries its sequence number,
+// without blocking — the relay splice's re-publication path: a tapped
+// ingest OSDU keeps its upstream sequence on every egress VC, so OSDU
+// boundaries and numbering survive each hop intact. It reports false when
+// the ring is full (the caller retries via its own retention). Publish and
+// Write must not be mixed with out-of-order sequences on one VC.
+func (s *SendVC) TryPublish(u cbuf.OSDU) (bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	s.mu.Unlock()
+	ok, err := s.ring.TryPut(u)
+	if err != nil || !ok {
+		return ok, err
+	}
+	s.notePublished(u.Seq)
+	return true, nil
+}
+
+// Publish is TryPublish with blocking-on-full semantics, for out-of-band
+// catch-up replay when an egress joins or adopts mid-stream.
+func (s *SendVC) Publish(u cbuf.OSDU) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -365,9 +415,21 @@ func (s *SendVC) Replay(u cbuf.OSDU) error {
 	if err := s.ring.Put(u); err != nil {
 		return err
 	}
+	s.notePublished(u.Seq)
+	return nil
+}
+
+// notePublished commits a published sequence number: nextSeq advances
+// monotonically past it so a later Write or ResumeState never reuses a
+// sequence a published OSDU already carries.
+func (s *SendVC) notePublished(seq core.OSDUSeq) {
+	s.mu.Lock()
+	if seq+1 > s.nextSeq {
+		s.nextSeq = seq + 1
+	}
+	s.mu.Unlock()
 	s.written.Add(1)
 	s.si.written.Inc()
-	return nil
 }
 
 // isClosed reports whether teardown has run.
@@ -567,9 +629,20 @@ func (s *SendVC) pump() {
 		s.creditHeld = false
 		if s.frag == s.frags {
 			s.pendValid = false
-			s.sent.Add(1)
-			s.si.sent.Inc()
-			s.sentSeq.Store(uint64(s.pend.Seq) + 1)
+			if s.pend.Seq < s.replayBase {
+				// A predecessor incarnation already counted this OSDU sent
+				// on this hop; its re-transmission is a replay, not a send.
+				s.replayed.Add(1)
+				s.si.replayed.Inc()
+			} else {
+				s.sent.Add(1)
+				s.si.sent.Inc()
+			}
+			// Monotonic: a replay must not drag the transmit watermark
+			// backwards past sequences already covered.
+			if next := uint64(s.pend.Seq) + 1; next > s.sentSeq.Load() {
+				s.sentSeq.Store(next)
+			}
 			s.pend = cbuf.OSDU{}
 		}
 	}

@@ -278,6 +278,10 @@ type ConnectRequest struct {
 	Class qos.Class
 	// Spec is the requested QoS tolerance window.
 	Spec qos.Spec
+	// StartSeq, when nonzero, asks the sink to begin in-order delivery at
+	// this OSDU sequence instead of 0 — a mid-stream join, where a relay
+	// publishes from its current splice head onto a newly connected leaf.
+	StartSeq core.OSDUSeq
 }
 
 // Errors returned by connection management.

@@ -1,7 +1,7 @@
 #!/bin/sh
-# bench.sh — the benchmark harness. Two suites, each written next to its
-# frozen pre-change baseline into a JSON report for CI artifact upload
-# and regression eyeballing:
+# bench.sh — the benchmark harness. Three suites, each written next to
+# its frozen pre-change baseline into a JSON report for CI artifact
+# upload and regression eyeballing:
 #
 #   - the udpnet wire-path microbenchmarks (marshal, unmarshal,
 #     end-to-end loopback UDP, batched send, in-process loopback)
@@ -9,8 +9,11 @@
 #   - the transport sharded-core scale benchmark (Benchmark100kVC at
 #     10k/50k/100k concurrent VCs, reporting goroutine counts and
 #     per-op allocations) -> BENCH_6.json
+#   - the relay splice fan-out benchmark (BenchmarkRelayFanout: one
+#     Write re-published onto 64 egress VCs, per-OSDU allocations)
+#     -> BENCH_7.json
 #
-# Usage: scripts/bench.sh [wire-output.json] [scale-output.json]
+# Usage: scripts/bench.sh [wire-output.json] [scale-output.json] [relay-output.json]
 #   BENCHTIME=5s scripts/bench.sh     # longer wire runs for stabler numbers
 set -eu
 
@@ -131,3 +134,51 @@ END {
 ' "$raw6"
 
 echo "wrote $out6"
+
+# --- relay splice fan-out benchmark -> BENCH_7.json -----------------------
+#
+# One source Write carried through a 1 -> 64 splice on a star topology:
+# the measured op is a paced write at the source plus the tap re-publishing
+# it onto all 64 egress rings, with the harness waiting for every leaf to
+# deliver. allocs/op is the per-OSDU distribution cost across the whole
+# tree (~15 allocations per egress).
+out7=${3:-BENCH_7.json}
+raw7=$(mktemp)
+trap 'rm -f "$raw" "$raw6" "$raw7"' EXIT
+
+go test -run '^$' -bench '^BenchmarkRelayFanout$' \
+	-benchtime "$benchtime" -count 1 ./internal/relay/ | tee "$raw7"
+
+awk -v out="$out7" -v benchtime="$benchtime" '
+/^BenchmarkRelayFanout/ {
+	delete m
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") m["ns_op"] = $i
+		if ($(i + 1) == "B/op") m["b_op"] = $i
+		if ($(i + 1) == "allocs/op") m["allocs_op"] = $i
+	}
+	line = "    \"BenchmarkRelayFanout\": {\"ns_op\": " m["ns_op"]
+	if ("b_op" in m) line = line ", \"b_op\": " m["b_op"]
+	if ("allocs_op" in m) line = line ", \"allocs_op\": " m["allocs_op"]
+	line = line "}"
+	lines[++n] = line
+}
+/^(goos|goarch|pkg|cpu):/ { env[$1] = $2 }
+END {
+	print "{" > out
+	print "  \"bench\": \"relay splice fan-out, 1 source -> 64 leaves\"," > out
+	print "  \"benchtime\": \"" benchtime "\"," > out
+	if ("goos:" in env) print "  \"goos\": \"" env["goos:"] "\"," > out
+	if ("goarch:" in env) print "  \"goarch\": \"" env["goarch:"] "\"," > out
+	print "  \"baseline\": {" > out
+	print "    \"note\": \"no pre-change number exists: before the distribution-tree refactor the core had no relay primitive, so reaching 64 sinks cost 64 independent point-to-point VCs all multiplexed onto the source uplink. The first post-change measurement (commit of the refactor, benchtime 2s) is frozen here instead: one Write through a 1->64 splice over emulated star links.\"," > out
+	print "    \"BenchmarkRelayFanout\": {\"ns_op\": 455000, \"allocs_op\": 949}" > out
+	print "  }," > out
+	print "  \"current\": {" > out
+	for (i = 1; i <= n; i++) print lines[i] (i < n ? "," : "") > out
+	print "  }" > out
+	print "}" > out
+}
+' "$raw7"
+
+echo "wrote $out7"

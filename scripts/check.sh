@@ -28,6 +28,11 @@ go test -run='^$' -bench=. -benchtime=1x ./internal/udpnet/
 CMTOS_BENCH_VCS=64 go test -run='^$' -bench='^(Benchmark100kVC|BenchmarkNoteHeard)$' \
 	-benchtime=1x ./internal/transport/
 
+# Bench smoke for the relay splice: one iteration of the 1→64 fan-out,
+# so a refactor that breaks the tree data plane (or regresses it into
+# per-egress copies) fails here rather than in the nightly BENCH_7 job.
+go test -run='^$' -bench='^BenchmarkRelayFanout$' -benchtime=1x ./internal/relay/
+
 # Short fuzz burst on the wire decoder: the corpus seeds cover every PDU
 # kind, so even a few seconds of mutation exercises the codec's bounds
 # checks on each decode path.
