@@ -2,8 +2,9 @@
 // prints the results as tables: the six primitive tables (T1-T6), the two
 // time-sequence figures driven as latency probes (F6, F7 are covered by
 // T6 and T5 respectively), the distribution-tree table (T7: splice
-// fan-out with the relay/<id>/* and shard/handoff_drops counters), and
-// the four ablations (A1-A4). Use -quick for a faster, noisier pass.
+// fan-out with the relay/<id>/* and shard/handoff_drops counters), the
+// four ablations (A1-A4), and the predictive-vs-reactive QoS guard A/B
+// (B9). Use -quick for a faster, noisier pass.
 //
 //	go run ./cmd/benchtab [-quick]
 package main
@@ -130,6 +131,28 @@ func main() {
 	fmt.Printf("\nA4  drift bounding over %v with ±2%% clock skew (§3.6)\n", driftFor)
 	fmt.Printf("    unregulated max skew: %8v (grows without bound)\n", a4.UnregulatedSkew.Round(time.Millisecond))
 	fmt.Printf("    regulated   max skew: %8v (bounded by the Fig. 6 loop)\n", a4.RegulatedSkew.Round(time.Millisecond))
+
+	// B9 — predictive QoS guard vs the reactive ladder.
+	scenarios := lab.PredictScenarios
+	if *quick {
+		scenarios = []string{"delay-ramp"}
+	}
+	fmt.Printf("\nB9  predictive QoS guard vs reactive ladder (6s fault regimes)\n")
+	fmt.Printf("    %-15s %-11s %9s %9s %7s %9s %7s %6s %4s\n",
+		"scenario", "arm", "violated", "delivered", "stalls", "max stall", "renegs", "rungs", "FPs")
+	for _, sc := range scenarios {
+		r, err := lab.PredictABOnce(sc, 6*time.Second)
+		check("B9", err)
+		for _, row := range []struct {
+			name string
+			arm  lab.PredictArm
+		}{{"reactive", r.Reactive}, {"predictive", r.Predictive}} {
+			fmt.Printf("    %-15s %-11s %9d %9d %7d %9v %7d %6d %4d\n",
+				sc, row.name, row.arm.ViolatedPeriods, row.arm.Delivered,
+				row.arm.Stalls, row.arm.MaxStall.Round(time.Millisecond),
+				row.arm.GuardRenegs, row.arm.DegradeSteps, row.arm.FalsePositives)
+		}
+	}
 
 	fmt.Println("\ndone.")
 }

@@ -33,6 +33,15 @@
 //
 //	go run ./cmd/netprobe -hops 2 -fault drop=0.05,partition=2s
 //
+// With -predict the emulated probe arms the predictive QoS guard on the
+// sender: every guard decision (shed, reroute, renegotiate) is printed
+// as it fires, with the forecast probability that triggered it. Pair it
+// with a forecastable fault regime to watch the guard act before the
+// violation lands:
+//
+//	go run ./cmd/netprobe -hops 2 -predict -fault ramp=2ms:40:30ms
+//	go run ./cmd/netprobe -hops 2 -predict -fault ge=0.01:0.25:0:0.5
+//
 // With -recover the emulated probe runs under the session layer's VC
 // supervisor: the path is killed mid-stream (the -fault partition
 // duration, default 2s) and the demo prints the recovery state machine
@@ -56,6 +65,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"cmtos/internal/clock"
@@ -65,6 +75,7 @@ import (
 	"cmtos/internal/netif"
 	"cmtos/internal/netif/faultnet"
 	"cmtos/internal/orch"
+	"cmtos/internal/predict"
 	"cmtos/internal/qos"
 	"cmtos/internal/resv"
 	"cmtos/internal/session"
@@ -87,6 +98,7 @@ func main() {
 	peer := flag.String("peer", "", "UDP mode: receiver address to stream to (sender role; omit for receiver role)")
 	fault := flag.String("fault", "", "fault spec for the injector, e.g. drop=0.05,dup=0.01,partition=2s")
 	recoverDemoF := flag.Bool("recover", false, "emulated mode: kill the path mid-stream and let the session layer resurrect the VC")
+	predictF := flag.Bool("predict", false, "emulated mode: arm the predictive QoS guard and print its decisions")
 	relayRole := flag.String("relay", "", "UDP mode: role in the three-process source→relay→sink chain (source|relay|sink)")
 	flag.Parse()
 
@@ -121,7 +133,7 @@ func main() {
 		}
 		return
 	}
-	emulated(*hops, *bw, *delay, *jitter, *loss, fsp, *rate, *size, *count, *dumpStats)
+	emulated(*hops, *bw, *delay, *jitter, *loss, fsp, *rate, *size, *count, *dumpStats, *predictF)
 }
 
 // injectFaults wraps a substrate in the fault injector per spec; with an
@@ -273,7 +285,7 @@ func udpReceiver(listen string, fsp faultnet.Spec, rate float64, dumpStats bool)
 }
 
 // emulated is the original single-process probe over the netem substrate.
-func emulated(hops int, bw float64, delay, jitter time.Duration, loss float64, fsp faultnet.Spec, rate float64, size int, count uint, dumpStats bool) {
+func emulated(hops int, bw float64, delay, jitter time.Duration, loss float64, fsp faultnet.Spec, rate float64, size int, count uint, dumpStats, predictive bool) {
 	reg := stats.NewRegistry()
 	sys := clock.System{}
 	nw := netem.New(sys)
@@ -305,6 +317,16 @@ func emulated(hops int, bw float64, delay, jitter time.Duration, loss float64, f
 	rm := resv.New(nw)
 	fnw := injectFaults(nw, fsp, src, dst)
 	tcfg := transport.Config{SamplePeriod: 500 * time.Millisecond, Stats: reg}
+	if predictive {
+		// Arm the guard with a tightened measurement regime: shorter
+		// sample periods so the trend is visible within a short probe, and
+		// the ladder the guard renegotiates down when shed and reroute are
+		// unavailable (no orchestrated session, no alternate path).
+		tcfg.SamplePeriod = 100 * time.Millisecond
+		tcfg.QoSSlack = 0.15
+		tcfg.DegradeAfter = 2
+		tcfg.PredictThreshold = 0.55
+	}
 	eSrc, err := transport.NewEntity(src, sys, fnw, rm, tcfg)
 	check(err)
 	eDst, err := transport.NewEntity(dst, sys, fnw, rm, tcfg)
@@ -312,14 +334,42 @@ func emulated(hops int, bw float64, delay, jitter time.Duration, loss float64, f
 	defer eSrc.Close()
 	defer eDst.Close()
 
+	if predictive {
+		check(eSrc.Attach(10, transport.UserCallbacks{
+			OnGuard: func(vc core.VCID, a transport.GuardAction, f predict.Forecast) bool {
+				fmt.Printf("guard: VC %d %s (P(violation within %d periods) = %.2f, worst: %v)\n",
+					uint32(vc), a, f.Horizon, f.PViolation, f.Worst)
+				return true
+			},
+			OnQoS: func(q transport.QoSIndication) {
+				fmt.Printf("T-QoS.indication: VC %d violated %v\n", uint32(q.VC), q.Violated)
+			},
+			OnRenegotiated: func(vc core.VCID, c qos.Contract) {
+				fmt.Printf("guard: VC %d renegotiated to %.0f OSDU/s, delay <= %v, jitter <= %v\n",
+					uint32(vc), c.Throughput, c.Delay.Round(time.Millisecond), c.Jitter.Round(time.Millisecond))
+			},
+			OnDisconnect: func(vc core.VCID, reason core.Reason, live bool) {
+				fmt.Printf("T-Disconnect.indication: VC %d %v\n", uint32(vc), reason)
+			},
+		}))
+	}
+
 	recvCh := make(chan *transport.RecvVC, 1)
 	check(eDst.Attach(20, transport.UserCallbacks{
 		OnRecvReady: func(rv *transport.RecvVC) { recvCh <- rv },
 	}))
+	spec := probeSpec(rate, size)
+	if predictive {
+		// A contract the fault regimes can plausibly threaten: the stock
+		// probe spec tolerates seconds of delay and 90% loss.
+		spec.Throughput.Preferred = rate
+		spec.Delay = qos.CeilTolerance{Preferred: 0.015 + delay.Seconds(), Acceptable: 0.5}
+		spec.Jitter = qos.CeilTolerance{Preferred: 0.005 + jitter.Seconds(), Acceptable: 0.25}
+	}
 	send, err := eSrc.Connect(transport.ConnectRequest{
 		SrcTSAP: 10, Dest: core.Addr{Host: dst, TSAP: 20},
 		Class: qos.ClassDetectIndicate,
-		Spec:  probeSpec(rate, size),
+		Spec:  spec,
 	})
 	check(err)
 	rv := <-recvCh
@@ -332,7 +382,15 @@ func emulated(hops int, bw float64, delay, jitter time.Duration, loss float64, f
 	stop := make(chan struct{})
 	go media.Drain(sys, rv, sink, stop)
 	start := time.Now()
-	check(media.Pump(sys, &media.CBR{Size: size - 16, FrameRate: rate, Count: uint32(count)}, send, nil))
+	if err := media.Pump(sys, &media.CBR{Size: size - 16, FrameRate: rate, Count: uint32(count)}, send, nil); err != nil {
+		if !predictive {
+			check(err)
+		}
+		// Under -predict the ladder is armed, so a fault regime the last
+		// rung cannot absorb legitimately ends in ReasonQoSUnattainable:
+		// report the partial probe rather than dying mid-demo.
+		fmt.Printf("stream ended early (%v): the fault regime outran the degrade ladder\n", err)
+	}
 	for sink.Received() < int(count) && time.Since(start) < 2*time.Duration(float64(count)/rate*float64(time.Second)) {
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -356,6 +414,23 @@ func emulated(hops int, bw float64, delay, jitter time.Duration, loss float64, f
 		st.MaxInterArrival.Round(10*time.Microsecond))
 	fmt.Printf("  transport sample: throughput %.1f OSDU/s, mean delay %v, max %v\n",
 		rep.Throughput, rep.MeanDelay.Round(10*time.Microsecond), rep.MaxDelay.Round(10*time.Microsecond))
+
+	if predictive {
+		snap := reg.Snapshot()
+		total := func(suffix string) (n uint64) {
+			for name, v := range snap.Counters {
+				if strings.HasSuffix(name, suffix) {
+					n += v
+				}
+			}
+			return
+		}
+		fmt.Printf("  guard: %d shed, %d reroute, %d renegotiate, %d vetoed, %d false positives, %d disarms (reactive rungs: %d)\n",
+			total("guard/actions/shed"), total("guard/actions/reroute"),
+			total("guard/actions/renegotiate"), total("guard/vetoed"),
+			total("guard/false_positives"), total("guard/disarms"),
+			total("degrade/steps"))
+	}
 
 	if dumpStats {
 		fmt.Printf("\nmetrics registry:\n%s", reg.String())

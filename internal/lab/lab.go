@@ -15,6 +15,7 @@ import (
 	"cmtos/internal/media"
 	"cmtos/internal/netem"
 	"cmtos/internal/netif"
+	"cmtos/internal/netif/faultnet"
 	"cmtos/internal/orch"
 	"cmtos/internal/orch/hlo"
 	"cmtos/internal/qos"
@@ -30,6 +31,9 @@ type Env struct {
 	RM   *resv.Manager
 	Ents map[core.HostID]*transport.Entity
 	LLOs map[core.HostID]*orch.LLO
+	// Fault is the fault injector wrapped around the emulated network
+	// when EnvConfig.FaultSeed is set; nil otherwise.
+	Fault *faultnet.Network
 	// Clk is the environment's base clock (EnvConfig.Clock or the system
 	// clock); everything except per-host overridden entities runs on it.
 	Clk clock.Clock
@@ -49,6 +53,10 @@ type EnvConfig struct {
 	// Stats is the metrics registry wired through the network links and
 	// every transport entity. Nil creates a fresh registry.
 	Stats *stats.Registry
+	// FaultSeed, when non-zero, interposes a faultnet injector between
+	// the entities and the emulated links (Env.Fault), seeded for
+	// reproducible fault scenarios.
+	FaultSeed int64
 }
 
 // DefaultLink is the lab's standard link: 10 Mbit/s, 2ms, light jitter.
@@ -88,10 +96,24 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	if err := nw.Start(); err != nil {
 		return nil, err
 	}
+	// Reservations act on the raw emulated topology; the fault injector
+	// (when enabled) sits between the entities and the wire, invisible to
+	// admission exactly like real-world failures.
 	rm := resv.New(nw)
+	var net netif.Network = nw
+	var fault *faultnet.Network
+	if cfg.FaultSeed != 0 {
+		fault = faultnet.Wrap(nw, faultnet.Options{
+			Seed:  cfg.FaultSeed,
+			Clock: base,
+			Stats: reg.Scope(""),
+		})
+		net = fault
+	}
 	env := &Env{
-		Net:   nw,
+		Net:   net,
 		RM:    rm,
+		Fault: fault,
 		Ents:  make(map[core.HostID]*transport.Entity),
 		LLOs:  make(map[core.HostID]*orch.LLO),
 		Clk:   base,
@@ -104,7 +126,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		if c, ok := cfg.Clocks[id]; ok {
 			clk = c
 		}
-		e, err := transport.NewEntity(id, clk, nw, rm, tcfg)
+		e, err := transport.NewEntity(id, clk, net, rm, tcfg)
 		if err != nil {
 			nw.Close()
 			return nil, err

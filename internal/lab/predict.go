@@ -1,0 +1,207 @@
+package lab
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cmtos/internal/media"
+	"cmtos/internal/netif/faultnet"
+	"cmtos/internal/qos"
+	"cmtos/internal/transport"
+)
+
+// ---------------------------------------------------------------------------
+// B9: predictive QoS guard vs the purely reactive ladder.
+//
+// The same media stream runs twice through the same seeded fault
+// scenario: once with only the reactive degradation machinery
+// (DegradeAfter and the ladder), once with the predictive guard armed on
+// top of it (PredictThreshold > 0). The comparison the paper's soft
+// guarantee ultimately cares about is user-visible: how many sample
+// periods actually violated the contract, and how often playout stalled.
+
+// PredictScenarios lists the fault regimes the A/B covers.
+var PredictScenarios = []string{"ge-burst", "delay-ramp", "slow-partition"}
+
+// PredictArm is one arm's measurements.
+type PredictArm struct {
+	// ViolatedPeriods counts T-QoS.indication deliveries at the source
+	// user: sample periods that actually violated the (current) contract.
+	ViolatedPeriods int
+	// Delivered and LostFrames summarise the sink's ledger.
+	Delivered  int
+	LostFrames int
+	// Stalls and MaxStall are the user-visible playout gaps (delivery
+	// pauses longer than three frame periods).
+	Stalls   int
+	MaxStall time.Duration
+	// GuardSheds/GuardReroutes/GuardRenegs count proactive actions (zero
+	// in the reactive arm by construction).
+	GuardSheds    int
+	GuardReroutes int
+	GuardRenegs   int
+	// FalsePositives counts guard actions whose forecast horizon passed
+	// without any observed violation.
+	FalsePositives int
+	// DegradeSteps counts ladder rungs the reactive streak took; the
+	// proactive rungs are under GuardRenegs (the two paths share the
+	// ladder position, so rungs are never repeated or skipped).
+	DegradeSteps int
+}
+
+// PredictABResult is one scenario's paired measurement.
+type PredictABResult struct {
+	Scenario   string
+	Reactive   PredictArm
+	Predictive PredictArm
+}
+
+// PredictABOnce runs one scenario through both arms over the given
+// duration and returns the paired measurements. Valid scenarios are the
+// members of PredictScenarios.
+func PredictABOnce(scenario string, dur time.Duration) (PredictABResult, error) {
+	res := PredictABResult{Scenario: scenario}
+	reactive, err := predictArmOnce(scenario, dur, false)
+	if err != nil {
+		return res, fmt.Errorf("reactive arm: %w", err)
+	}
+	predictive, err := predictArmOnce(scenario, dur, true)
+	if err != nil {
+		return res, fmt.Errorf("predictive arm: %w", err)
+	}
+	res.Reactive, res.Predictive = reactive, predictive
+	return res, nil
+}
+
+// predictSpec is the A/B contract: throughput pinned at the media rate
+// and delay/jitter bounds tight enough that the delay-ramp regime
+// actually bites (the contract's late bound is delay+jitter = 20ms over
+// a 2ms path). The PER ceiling is loose enough that burst losses
+// surface as throughput violations — the parameter the ladder can
+// genuinely relax.
+func predictSpec(rate float64, size int) qos.Spec {
+	s := CMSpec(rate, size)
+	s.Throughput.Preferred = rate
+	s.Delay = qos.CeilTolerance{Preferred: 0.015, Acceptable: 0.12}
+	s.Jitter = qos.CeilTolerance{Preferred: 0.005, Acceptable: 0.05}
+	s.PER = qos.CeilTolerance{Preferred: 0.4, Acceptable: 1}
+	return s
+}
+
+// predictLadder relaxes hard enough that a single rung absorbs each
+// regime: throughput drops a quarter (so burst-period delivery stays
+// legal) and the jitter allowance quadruples (so the late bound clears
+// the saturated delay ramp).
+func predictLadder() []transport.DegradeStep {
+	return []transport.DegradeStep{
+		{Throughput: 0.75, Jitter: 4},
+		{Throughput: 0.75, Jitter: 4},
+	}
+}
+
+// applyPredictFault arms the scenario's fault regime on the injector.
+func applyPredictFault(fn *faultnet.Network, scenario string, dur time.Duration) error {
+	switch scenario {
+	case "ge-burst":
+		// Short bursts (mean 4 packets, under one sample period) that
+		// recur every second or so: each burst drags the period's
+		// delivered throughput below the violation floor but never
+		// sustains a streak long enough for the reactive ladder to act.
+		// Only the burst-recurrence estimator sees the next one coming.
+		fn.SetGE(faultnet.GEParams{PGB: 0.01, PBG: 0.25, PG: 0, PB: 0.5})
+	case "delay-ramp":
+		// Congestion builds deterministically: +2ms of queueing every 40
+		// packets, saturating just past the contract's delay+jitter late
+		// bound but inside the bound one ladder rung buys. The trend is
+		// visible many sample periods before the first late discard.
+		fn.SetDelayRamp(2*time.Millisecond, 40, 30*time.Millisecond)
+	case "slow-partition":
+		// The source→sink direction erodes linearly over the run's back
+		// half and is fully cut at the end.
+		fn.SlowPartition(1, 2, dur/2)
+	default:
+		return fmt.Errorf("lab: unknown predict scenario %q", scenario)
+	}
+	return nil
+}
+
+// predictArmOnce runs one arm of one scenario.
+func predictArmOnce(scenario string, dur time.Duration, predictive bool) (PredictArm, error) {
+	const (
+		rate = 100.0
+		size = 256 // frame payload; the OSDU bound leaves header room
+	)
+	tcfg := transport.Config{
+		SamplePeriod: 100 * time.Millisecond,
+		// At 100 OSDU/s a sample period holds ten OSDUs, so one OSDU of
+		// period-boundary jitter is a 10% throughput wobble; 15% slack
+		// keeps that noise below the violation floor and leaves real
+		// faults as the only violations either arm can commit.
+		QoSSlack:      0.15,
+		DegradeAfter:  2,
+		DegradeLadder: predictLadder(),
+	}
+	if predictive {
+		tcfg.PredictThreshold = 0.55
+	}
+	env, err := NewEnv(EnvConfig{Hosts: 2, Link: DefaultLink(), Trans: tcfg, FaultSeed: 42})
+	if err != nil {
+		return PredictArm{}, err
+	}
+	defer env.Close()
+
+	var violated atomic.Int64
+	if err := env.Ents[1].Attach(0x2000, transport.UserCallbacks{
+		OnQoS: func(transport.QoSIndication) { violated.Add(1) },
+	}); err != nil {
+		return PredictArm{}, err
+	}
+	p, err := env.Connect(1, 2, 0, qos.ClassDetectIndicate, qos.ProfileCMRate, predictSpec(rate, size+64))
+	if err != nil {
+		return PredictArm{}, err
+	}
+
+	sink := media.NewSink()
+	sink.VerifyCBR = true
+	sink.NominalRate = rate
+	stop := make(chan struct{})
+	go func() { _ = media.Pump(env.Clk, &media.CBR{Size: size, FrameRate: rate}, p.Send, stop) }()
+	go media.Drain(env.Clk, p.Recv, sink, stop)
+
+	// Let the stream reach steady state before the weather turns, so both
+	// arms' predictors see a healthy baseline first.
+	env.Clk.Sleep(dur / 4)
+	if err := applyPredictFault(env.Fault, scenario, dur); err != nil {
+		close(stop)
+		return PredictArm{}, err
+	}
+	env.Clk.Sleep(dur)
+	close(stop)
+
+	st := sink.Stats()
+	arm := PredictArm{
+		ViolatedPeriods: int(violated.Load()),
+		Delivered:       st.Received,
+		LostFrames:      st.Gaps,
+		Stalls:          st.Stalls,
+		MaxStall:        st.MaxStall,
+	}
+	snap := env.Stats.Snapshot()
+	for name, v := range snap.Counters {
+		switch {
+		case strings.HasSuffix(name, "guard/actions/shed"):
+			arm.GuardSheds += int(v)
+		case strings.HasSuffix(name, "guard/actions/reroute"):
+			arm.GuardReroutes += int(v)
+		case strings.HasSuffix(name, "guard/actions/renegotiate"):
+			arm.GuardRenegs += int(v)
+		case strings.HasSuffix(name, "guard/false_positives"):
+			arm.FalsePositives += int(v)
+		case strings.HasSuffix(name, "degrade/steps"):
+			arm.DegradeSteps += int(v)
+		}
+	}
+	return arm, nil
+}

@@ -1,0 +1,56 @@
+package lab
+
+import (
+	"testing"
+	"time"
+)
+
+// The delay-ramp regime is the predictor's headline scenario: congestion
+// builds deterministically, so the trend is visible sample periods before
+// the first violation. The reactive arm must pay at least DegradeAfter
+// violated periods before its first ladder rung; the predictive arm acts
+// on the forecast and must never do worse.
+func TestPredictABDelayRamp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("15s wall-clock A/B")
+	}
+	r, err := PredictABOnce("delay-ramp", 6*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reactive:   %+v", r.Reactive)
+	t.Logf("predictive: %+v", r.Predictive)
+	if r.Reactive.ViolatedPeriods == 0 {
+		t.Fatal("delay ramp never violated the reactive arm — the regime is too gentle to compare")
+	}
+	if r.Reactive.GuardRenegs+r.Reactive.GuardSheds+r.Reactive.GuardReroutes != 0 {
+		t.Fatalf("reactive arm took guard actions: %+v", r.Reactive)
+	}
+	if r.Predictive.GuardRenegs == 0 {
+		t.Fatal("predictive arm never renegotiated proactively")
+	}
+	if r.Predictive.ViolatedPeriods > r.Reactive.ViolatedPeriods {
+		t.Fatalf("predictive arm violated more periods (%d) than reactive (%d)",
+			r.Predictive.ViolatedPeriods, r.Reactive.ViolatedPeriods)
+	}
+}
+
+// The other two scenarios just need to produce sane paired measurements;
+// their comparative numbers are benchtab/EXPERIMENTS.md material.
+func TestPredictABScenarioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("15s wall-clock A/B")
+	}
+	r, err := PredictABOnce("ge-burst", 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reactive:   %+v", r.Reactive)
+	t.Logf("predictive: %+v", r.Predictive)
+	if r.Reactive.Delivered == 0 || r.Predictive.Delivered == 0 {
+		t.Fatalf("an arm delivered nothing: %+v", r)
+	}
+	if _, err := PredictABOnce("no-such-regime", time.Second); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

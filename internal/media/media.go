@@ -270,6 +270,13 @@ type SinkStats struct {
 	// PaceError is |mean inter-arrival - nominal period| / period: how
 	// far delivery pacing is from isochronous (0 = perfect).
 	PaceError float64
+	// Stalls counts user-visible delivery pauses: inter-arrival gaps
+	// longer than three nominal periods, the point where a playout
+	// device with a typical jitter buffer runs dry and the viewer sees
+	// a freeze. Requires NominalRate.
+	Stalls int
+	// MaxStall is the longest such pause (zero when none occurred).
+	MaxStall time.Duration
 }
 
 // Sink is a measuring media sink. It is safe for concurrent use.
@@ -367,6 +374,15 @@ func (s *Sink) Stats() SinkStats {
 	st.JitterStdDev = time.Duration(math.Sqrt(variance) * float64(time.Second))
 	if s.NominalRate > 0 {
 		period := time.Duration(float64(time.Second) / s.NominalRate)
+		stallBound := 3 * period
+		for i := 1; i < len(s.times); i++ {
+			if ia := s.times[i].Sub(s.times[i-1]); ia > stallBound {
+				st.Stalls++
+				if ia > st.MaxStall {
+					st.MaxStall = ia
+				}
+			}
+		}
 		first := s.seqs[0]
 		margin := 2 * period
 		for i, at := range s.times {

@@ -1,7 +1,9 @@
 // Package faultnet wraps any netif.Network in a scriptable fault
 // injector: probabilistic drop (global, per-flow, per-priority),
-// duplication, one-packet reordering, payload corruption, delay spikes,
-// asymmetric host-pair partitions, and whole-host crash/blackhole. All
+// Gilbert–Elliott bursty loss, duplication, one-packet reordering,
+// payload corruption, delay spikes, a deterministic delay ramp,
+// asymmetric host-pair partitions (instant or slow-onset), and
+// whole-host crash/blackhole. All
 // randomness comes from one seeded generator and all timing from the
 // injected clock, so a fault scenario replays identically under the lab
 // clock. Every injected fault increments a counter under the "fault"
@@ -56,15 +58,39 @@ type Network struct {
 	delayP   float64
 	delayD   time.Duration
 	parts    map[[2]core.HostID]bool
+	slow     map[[2]core.HostID]slowPart
 	crashed  map[core.HostID]bool
 	held     *netif.Packet
 
+	// Gilbert–Elliott bursty-loss chain (nil when disabled): a two-state
+	// Markov chain stepped once per packet, losing with pG in Good and pB
+	// in Bad. Mean burst length is 1/pBG packets; stationary loss is
+	// πB·pB + πG·pG with πB = pGB/(pGB+pBG).
+	ge    *GEParams
+	geBad bool
+
+	// Delay ramp: every rampEvery packets the added delay grows by
+	// rampStep, saturating at rampMax — a deterministic "congestion
+	// builds" regime that predictors should see coming.
+	rampStep  time.Duration
+	rampEvery int
+	rampMax   time.Duration
+	rampCount uint64
+
 	fi instr
+}
+
+// slowPart is one slow-onset partition: the a→b drop probability ramps
+// linearly from 0 to 1 over the window, then the pair is fully cut.
+type slowPart struct {
+	start time.Time
+	over  time.Duration
 }
 
 type instr struct {
 	sent, dropped, duplicated, corrupted      *stats.Counter
 	delayed, reordered, partitioned, crashed_ *stats.Counter
+	geDropped, ramped, slowPartitioned        *stats.Counter
 }
 
 // Wrap builds a fault injector in front of inner. With no faults
@@ -83,16 +109,20 @@ func Wrap(inner netif.Network, o Options) *Network {
 		rng:      rand.New(rand.NewSource(o.Seed)),
 		dropFlow: make(map[core.VCID]float64),
 		parts:    make(map[[2]core.HostID]bool),
+		slow:     make(map[[2]core.HostID]slowPart),
 		crashed:  make(map[core.HostID]bool),
 		fi: instr{
-			sent:        sc.Counter("sent"),
-			dropped:     sc.Counter("dropped"),
-			duplicated:  sc.Counter("duplicated"),
-			corrupted:   sc.Counter("corrupted"),
-			delayed:     sc.Counter("delayed"),
-			reordered:   sc.Counter("reordered"),
-			partitioned: sc.Counter("partitioned"),
-			crashed_:    sc.Counter("blackholed"),
+			sent:            sc.Counter("sent"),
+			dropped:         sc.Counter("dropped"),
+			duplicated:      sc.Counter("duplicated"),
+			corrupted:       sc.Counter("corrupted"),
+			delayed:         sc.Counter("delayed"),
+			reordered:       sc.Counter("reordered"),
+			partitioned:     sc.Counter("partitioned"),
+			crashed_:        sc.Counter("blackholed"),
+			geDropped:       sc.Counter("ge_dropped"),
+			ramped:          sc.Counter("ramp_delayed"),
+			slowPartitioned: sc.Counter("slow_partitioned"),
 		},
 	}
 }
@@ -141,6 +171,49 @@ func (n *Network) SetDelay(p float64, d time.Duration) {
 	n.mu.Unlock()
 }
 
+// SetGE enables Gilbert–Elliott bursty loss with the given transition
+// and per-state loss probabilities; the chain starts in Good. Zero
+// transition probabilities in both directions disable the model.
+func (n *Network) SetGE(p GEParams) {
+	n.mu.Lock()
+	if p.PGB <= 0 && p.PBG <= 0 {
+		n.ge = nil
+	} else {
+		cp := p
+		n.ge = &cp
+	}
+	n.geBad = false
+	n.mu.Unlock()
+}
+
+// SetDelayRamp enables the deterministic delay ramp: the added delay
+// grows by step every `every` packets, saturating at max (0 = no cap).
+// step <= 0 or every <= 0 disables the ramp and resets its progress.
+func (n *Network) SetDelayRamp(step time.Duration, every int, max time.Duration) {
+	n.mu.Lock()
+	if step <= 0 || every <= 0 {
+		n.rampStep, n.rampEvery, n.rampMax = 0, 0, 0
+	} else {
+		n.rampStep, n.rampEvery, n.rampMax = step, every, max
+	}
+	n.rampCount = 0
+	n.mu.Unlock()
+}
+
+// SlowPartition starts a slow-onset partition from a to b: the drop
+// probability on that direction ramps linearly from 0 to 1 over the
+// window, after which the pair is fully cut (one direction only, like
+// Partition). Heal removes it.
+func (n *Network) SlowPartition(a, b core.HostID, over time.Duration) {
+	if over <= 0 {
+		n.Partition(a, b)
+		return
+	}
+	n.mu.Lock()
+	n.slow[[2]core.HostID{a, b}] = slowPart{start: n.clk.Now(), over: over}
+	n.mu.Unlock()
+}
+
 // Partition blackholes packets from a to b (one direction only; call
 // twice for a symmetric partition).
 func (n *Network) Partition(a, b core.HostID) {
@@ -149,10 +222,11 @@ func (n *Network) Partition(a, b core.HostID) {
 	n.mu.Unlock()
 }
 
-// Heal removes the a→b partition.
+// Heal removes the a→b partition (instant or slow-onset).
 func (n *Network) Heal(a, b core.HostID) {
 	n.mu.Lock()
 	delete(n.parts, [2]core.HostID{a, b})
+	delete(n.slow, [2]core.HostID{a, b})
 	n.mu.Unlock()
 }
 
@@ -160,6 +234,7 @@ func (n *Network) Heal(a, b core.HostID) {
 func (n *Network) HealAll() {
 	n.mu.Lock()
 	n.parts = make(map[[2]core.HostID]bool)
+	n.slow = make(map[[2]core.HostID]slowPart)
 	n.mu.Unlock()
 }
 
@@ -194,6 +269,41 @@ func (n *Network) Send(p netif.Packet) error {
 		n.mu.Unlock()
 		return nil
 	}
+	if p.Dst < netif.GroupBase {
+		if sp, ok := n.slow[[2]core.HostID{p.Src, p.Dst}]; ok {
+			frac := float64(n.clk.Now().Sub(sp.start)) / float64(sp.over)
+			if frac >= 1 {
+				n.fi.partitioned.Inc()
+				n.mu.Unlock()
+				return nil
+			}
+			if frac > 0 && n.rng.Float64() < frac {
+				n.fi.slowPartitioned.Inc()
+				n.mu.Unlock()
+				return nil
+			}
+		}
+	}
+	if n.ge != nil {
+		// Step the chain once per packet, then lose with the state's
+		// probability — losses cluster while the chain sits in Bad.
+		if n.geBad {
+			if n.rng.Float64() < n.ge.PBG {
+				n.geBad = false
+			}
+		} else if n.rng.Float64() < n.ge.PGB {
+			n.geBad = true
+		}
+		pl := n.ge.PG
+		if n.geBad {
+			pl = n.ge.PB
+		}
+		if pl > 0 && n.rng.Float64() < pl {
+			n.fi.geDropped.Inc()
+			n.mu.Unlock()
+			return nil
+		}
+	}
 	pDrop := n.drop
 	if v, ok := n.dropFlow[p.Flow]; ok && p.Flow != 0 && v > pDrop {
 		pDrop = v
@@ -216,11 +326,25 @@ func (n *Network) Send(p netif.Packet) error {
 		n.fi.corrupted.Inc()
 	}
 	dup := n.dup > 0 && n.rng.Float64() < n.dup
+	var extra time.Duration
+	if n.rampStep > 0 && n.rampEvery > 0 {
+		d := time.Duration(n.rampCount/uint64(n.rampEvery)) * n.rampStep
+		if n.rampMax > 0 && d > n.rampMax {
+			d = n.rampMax
+		}
+		n.rampCount++
+		if d > 0 {
+			extra = d
+			n.fi.ramped.Inc()
+		}
+	}
 	if n.delayP > 0 && n.rng.Float64() < n.delayP {
 		n.fi.delayed.Inc()
-		d := n.delayD
+		extra += n.delayD
+	}
+	if extra > 0 {
 		n.mu.Unlock()
-		n.clk.AfterFunc(d, func() { _ = n.inner.Send(p) })
+		n.clk.AfterFunc(extra, func() { _ = n.inner.Send(p) })
 		return nil
 	}
 	var release *netif.Packet
@@ -335,10 +459,36 @@ func (n *Network) Close() {
 	n.inner.Close()
 }
 
+// GEParams are the Gilbert–Elliott chain's parameters: the per-packet
+// Good→Bad and Bad→Good transition probabilities, and the per-state loss
+// probabilities.
+type GEParams struct {
+	PGB, PBG, PG, PB float64
+}
+
+// MeanBurst is the expected length, in packets, of a stay in Bad.
+func (g GEParams) MeanBurst() float64 {
+	if g.PBG <= 0 {
+		return 0
+	}
+	return 1 / g.PBG
+}
+
+// StationaryLoss is the chain's long-run packet loss probability.
+func (g GEParams) StationaryLoss() float64 {
+	den := g.PGB + g.PBG
+	if den <= 0 {
+		return g.PG
+	}
+	piB := g.PGB / den
+	return piB*g.PB + (1-piB)*g.PG
+}
+
 // Spec is a parsed fault scenario, as accepted by cmd/netprobe's -fault
 // flag: "drop=0.05,dup=0.01,corrupt=0.001,reorder=0.02,delay=10ms,
-// delayp=0.1,partition=2s". Partition scheduling is up to the caller
-// (the injector does not know which hosts exist).
+// delayp=0.1,ge=0.05:0.5:0:1,ramp=1ms:100:50ms,slowpart=2s,
+// partition=2s". Partition and slow-partition scheduling is up to the
+// caller (the injector does not know which hosts exist).
 type Spec struct {
 	Drop      float64
 	Dup       float64
@@ -347,6 +497,15 @@ type Spec struct {
 	DelayProb float64
 	Delay     time.Duration
 	Partition time.Duration
+	// GE enables Gilbert–Elliott bursty loss when non-nil.
+	GE *GEParams
+	// RampStep/RampEvery/RampMax configure the deterministic delay ramp.
+	RampStep  time.Duration
+	RampEvery int
+	RampMax   time.Duration
+	// SlowPartition is the onset window of a slow partition; which host
+	// pair it cuts (and when it starts) is the caller's business.
+	SlowPartition time.Duration
 }
 
 // ParseSpec parses a comma-separated fault list.
@@ -376,6 +535,15 @@ func ParseSpec(s string) (Spec, error) {
 			sp.Delay, err = time.ParseDuration(v)
 		case "partition":
 			sp.Partition, err = time.ParseDuration(v)
+		case "ge":
+			var g GEParams
+			if g, err = parseGE(v); err == nil {
+				sp.GE = &g
+			}
+		case "ramp":
+			sp.RampStep, sp.RampEvery, sp.RampMax, err = parseRamp(v)
+		case "slowpart":
+			sp.SlowPartition, err = time.ParseDuration(v)
 		default:
 			return sp, fmt.Errorf("faultnet: unknown fault %q", k)
 		}
@@ -389,12 +557,95 @@ func ParseSpec(s string) (Spec, error) {
 	return sp, nil
 }
 
+// parseGE parses "pGB:pBG:pG:pB".
+func parseGE(v string) (GEParams, error) {
+	parts := strings.Split(v, ":")
+	if len(parts) != 4 {
+		return GEParams{}, fmt.Errorf("want pGB:pBG:pG:pB, got %d fields", len(parts))
+	}
+	var g GEParams
+	for i, dst := range []*float64{&g.PGB, &g.PBG, &g.PG, &g.PB} {
+		f, err := strconv.ParseFloat(parts[i], 64)
+		if err != nil {
+			return GEParams{}, err
+		}
+		if f < 0 || f > 1 {
+			return GEParams{}, fmt.Errorf("probability %g out of [0,1]", f)
+		}
+		*dst = f
+	}
+	if g.PGB <= 0 || g.PBG <= 0 {
+		return GEParams{}, fmt.Errorf("transition probabilities must be positive")
+	}
+	return g, nil
+}
+
+// parseRamp parses "step:every:max".
+func parseRamp(v string) (step time.Duration, every int, max time.Duration, err error) {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("want step:every:max, got %d fields", len(parts))
+	}
+	if step, err = time.ParseDuration(parts[0]); err != nil {
+		return 0, 0, 0, err
+	}
+	if every, err = strconv.Atoi(parts[1]); err != nil {
+		return 0, 0, 0, err
+	}
+	if max, err = time.ParseDuration(parts[2]); err != nil {
+		return 0, 0, 0, err
+	}
+	if step <= 0 || every <= 0 {
+		return 0, 0, 0, fmt.Errorf("step and every must be positive")
+	}
+	return step, every, max, nil
+}
+
+// String renders the spec back into the ParseSpec grammar (canonical
+// field order, zero fields omitted), so specs round-trip.
+func (sp Spec) String() string {
+	var parts []string
+	addF := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	addD := func(k string, v time.Duration) {
+		if v > 0 {
+			parts = append(parts, k+"="+v.String())
+		}
+	}
+	addF("drop", sp.Drop)
+	addF("dup", sp.Dup)
+	addF("corrupt", sp.Corrupt)
+	addF("reorder", sp.Reorder)
+	addF("delayp", sp.DelayProb)
+	addD("delay", sp.Delay)
+	if sp.GE != nil {
+		f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+		parts = append(parts, fmt.Sprintf("ge=%s:%s:%s:%s",
+			f(sp.GE.PGB), f(sp.GE.PBG), f(sp.GE.PG), f(sp.GE.PB)))
+	}
+	if sp.RampStep > 0 && sp.RampEvery > 0 {
+		parts = append(parts, fmt.Sprintf("ramp=%s:%d:%s", sp.RampStep, sp.RampEvery, sp.RampMax))
+	}
+	addD("slowpart", sp.SlowPartition)
+	addD("partition", sp.Partition)
+	return strings.Join(parts, ",")
+}
+
 // Apply configures the injector's scalar faults from a parsed Spec.
-// Partitions are time-scheduled by the caller.
+// Partitions (instant and slow) are time-scheduled by the caller.
 func (n *Network) Apply(sp Spec) {
 	n.SetDrop(sp.Drop)
 	n.SetDuplicate(sp.Dup)
 	n.SetCorrupt(sp.Corrupt)
 	n.SetReorder(sp.Reorder)
 	n.SetDelay(sp.DelayProb, sp.Delay)
+	if sp.GE != nil {
+		n.SetGE(*sp.GE)
+	} else {
+		n.SetGE(GEParams{})
+	}
+	n.SetDelayRamp(sp.RampStep, sp.RampEvery, sp.RampMax)
 }

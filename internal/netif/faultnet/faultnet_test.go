@@ -300,3 +300,172 @@ func TestHealRestoreIdempotent(t *testing.T) {
 		t.Fatalf("HealAll left a partition up: %+v", got)
 	}
 }
+
+func TestParseSpecGERoundTrip(t *testing.T) {
+	in := "drop=0.05,delayp=0.1,delay=10ms,ge=0.05:0.5:0:1,ramp=1ms:100:50ms,slowpart=2s,partition=2s"
+	sp, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.GE == nil || sp.GE.PGB != 0.05 || sp.GE.PBG != 0.5 || sp.GE.PG != 0 || sp.GE.PB != 1 {
+		t.Fatalf("GE parsed as %+v", sp.GE)
+	}
+	if sp.RampStep != time.Millisecond || sp.RampEvery != 100 || sp.RampMax != 50*time.Millisecond {
+		t.Fatalf("ramp parsed as %v:%d:%v", sp.RampStep, sp.RampEvery, sp.RampMax)
+	}
+	if sp.SlowPartition != 2*time.Second {
+		t.Fatalf("slowpart parsed as %v", sp.SlowPartition)
+	}
+	if got := sp.String(); got != in {
+		t.Fatalf("String() = %q, want %q", got, in)
+	}
+	sp2, err := ParseSpec(sp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.String() != sp.String() {
+		t.Fatalf("round trip drifted: %q vs %q", sp2.String(), sp.String())
+	}
+
+	for _, bad := range []string{
+		"ge=0.1:0.5:0", "ge=0.1:0.5:0:2", "ge=0:0:0:1", "ge=a:b:c:d",
+		"ramp=1ms:0:5ms", "ramp=1ms:10", "ramp=-1ms:10:5ms",
+		"slowpart=xyz",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestGEBurstStatistics checks the chain against its closed-form moments:
+// with pG=0 and pB=1 the missing-packet runs are exactly the Bad-state
+// stays, so mean burst length must approach 1/pBG and the loss rate the
+// stationary probability pGB/(pGB+pBG).
+func TestGEBurstStatistics(t *testing.T) {
+	inner := &stubNet{}
+	n := Wrap(inner, Options{Seed: 42})
+	ge := GEParams{PGB: 0.1, PBG: 0.5, PG: 0, PB: 1}
+	n.SetGE(ge)
+	const N = 40000
+	for i := 0; i < N; i++ {
+		_ = n.Send(netif.Packet{Src: 1, Dst: 2, Payload: []byte{byte(i), byte(i >> 8), byte(i >> 16)}})
+	}
+	got := inner.packets()
+	arrived := make([]bool, N)
+	for _, p := range got {
+		idx := int(p.Payload[0]) | int(p.Payload[1])<<8 | int(p.Payload[2])<<16
+		arrived[idx] = true
+	}
+	lost, bursts, run := 0, 0, 0
+	var runSum int
+	for i := 0; i < N; i++ {
+		if !arrived[i] {
+			lost++
+			run++
+			continue
+		}
+		if run > 0 {
+			bursts++
+			runSum += run
+			run = 0
+		}
+	}
+	if run > 0 {
+		bursts++
+		runSum += run
+	}
+	lossRate := float64(lost) / N
+	if want := ge.StationaryLoss(); lossRate < want-0.02 || lossRate > want+0.02 {
+		t.Errorf("loss rate = %.3f, want %.3f ± 0.02", lossRate, want)
+	}
+	meanBurst := float64(runSum) / float64(bursts)
+	if want := ge.MeanBurst(); meanBurst < want-0.3 || meanBurst > want+0.3 {
+		t.Errorf("mean burst = %.2f packets, want %.2f ± 0.3", meanBurst, want)
+	}
+	// Bursty ≠ uniform: under independent drops at the same rate the
+	// expected run length would be 1/(1-p) ≈ 1.2, well below 2.
+	if meanBurst < 1.5 {
+		t.Errorf("mean burst = %.2f, losses are not clustered", meanBurst)
+	}
+}
+
+func TestDelayRampGrowsDeferral(t *testing.T) {
+	inner := &stubNet{}
+	clk := clock.NewManual(time.Unix(0, 0))
+	n := Wrap(inner, Options{Seed: 7, Clock: clk})
+	n.SetDelayRamp(time.Millisecond, 10, 3*time.Millisecond)
+
+	for i := 0; i < 10; i++ { // ramp still at 0: immediate
+		_ = n.Send(pkt(0, netif.PrioGuaranteed, byte(i)))
+	}
+	if got := inner.packets(); len(got) != 10 {
+		t.Fatalf("first tranche: %d delivered, want 10", len(got))
+	}
+	_ = n.Send(pkt(0, netif.PrioGuaranteed, 10)) // 11th: +1ms
+	if got := inner.packets(); len(got) != 10 {
+		t.Fatal("ramped packet delivered immediately")
+	}
+	clk.Advance(time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for len(inner.packets()) < 11 {
+		if time.Now().After(deadline) {
+			t.Fatal("ramped packet never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Drive far past the cap; the added delay must saturate at 3ms.
+	for i := 0; i < 100; i++ {
+		_ = n.Send(pkt(0, netif.PrioGuaranteed, byte(i)))
+	}
+	clk.Advance(3 * time.Millisecond)
+	deadline = time.Now().Add(time.Second)
+	for len(inner.packets()) < 111 {
+		if time.Now().After(deadline) {
+			t.Fatalf("saturated ramp: %d delivered, want 111 after 3ms", len(inner.packets()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n.SetDelayRamp(0, 0, 0) // disable: back to immediate
+	_ = n.Send(pkt(0, netif.PrioGuaranteed, 99))
+	if got := inner.packets(); len(got) != 112 {
+		t.Fatalf("disabled ramp still deferring: %d", len(got))
+	}
+}
+
+func TestSlowPartitionRampsToCut(t *testing.T) {
+	inner := &stubNet{}
+	clk := clock.NewManual(time.Unix(0, 0))
+	n := Wrap(inner, Options{Seed: 11, Clock: clk})
+	n.SlowPartition(1, 2, 100*time.Millisecond)
+
+	_ = n.Send(pkt(0, netif.PrioGuaranteed, 1)) // t=0: frac 0, passes
+	if got := inner.packets(); len(got) != 1 {
+		t.Fatalf("onset not gradual: %d packets at t=0", len(got))
+	}
+	clk.Advance(50 * time.Millisecond) // frac 0.5
+	before := len(inner.packets())
+	const N = 2000
+	for i := 0; i < N; i++ {
+		_ = n.Send(pkt(0, netif.PrioGuaranteed, byte(i)))
+	}
+	passed := len(inner.packets()) - before
+	if frac := float64(passed) / N; frac < 0.35 || frac > 0.65 {
+		t.Errorf("half-way survivor fraction = %.2f, want ≈ 0.5", frac)
+	}
+	// Reverse direction is untouched.
+	_ = n.Send(netif.Packet{Src: 2, Dst: 1, Payload: []byte{9}})
+	mid := len(inner.packets())
+	clk.Advance(60 * time.Millisecond) // past the window: full cut
+	for i := 0; i < 50; i++ {
+		_ = n.Send(pkt(0, netif.PrioGuaranteed, byte(i)))
+	}
+	if got := len(inner.packets()); got != mid {
+		t.Errorf("fully-ramped partition leaked %d packets", got-mid)
+	}
+	n.Heal(1, 2)
+	_ = n.Send(pkt(0, netif.PrioGuaranteed, 42))
+	if got := len(inner.packets()); got != mid+1 {
+		t.Error("heal did not clear the slow partition")
+	}
+}

@@ -12,7 +12,7 @@ func (l *LLO) onPDU(from core.HostID, o *pdu.Orch) {
 	switch o.Op {
 	case pdu.OrchSetupAck, pdu.OrchPrimed, pdu.OrchStartAck, pdu.OrchStopAck,
 		pdu.OrchAddAck, pdu.OrchRemoveAck, pdu.OrchDelayedAck, pdu.OrchPingAck,
-		pdu.OrchDeny:
+		pdu.OrchForecastAck, pdu.OrchDeny:
 		l.mu.Lock()
 		ch := l.pending[o.Token]
 		l.mu.Unlock()
@@ -41,6 +41,8 @@ func (l *LLO) onPDU(from core.HostID, o *pdu.Orch) {
 		l.ack(from, o, pdu.OrchPingAck, true, core.ReasonNone)
 	case pdu.OrchRegulate:
 		l.handleRegulate(o)
+	case pdu.OrchForecast:
+		l.handleForecast(from, o)
 	case pdu.OrchReport:
 		l.handleReport(o)
 	case pdu.OrchDelayed:
@@ -451,6 +453,24 @@ func (l *LLO) handleRegulate(o *pdu.Orch) {
 	l.mu.Lock()
 	rs.cancel = func() { timer.Stop() }
 	l.mu.Unlock()
+}
+
+// handleForecast raises the guard's forecast at the HLO agent running
+// on this host and acks with the agent's decision: OK means drop
+// budget was shifted toward the stream for the coming intervals.
+func (l *LLO) handleForecast(from core.HostID, o *pdu.Orch) {
+	l.mu.Lock()
+	fn := l.forecastFn
+	l.mu.Unlock()
+	l.si.forecastsInd.Inc()
+	ok := false
+	if fn != nil {
+		ok = fn(ForecastIndication{
+			Session: o.Session, VC: o.VC, From: from,
+			Probability: o.Probability, Horizon: int(o.Horizon),
+		})
+	}
+	l.ack(from, o, pdu.OrchForecastAck, ok, reasonIf(!ok, core.ReasonAppDenied))
 }
 
 // handleReport pairs the source and sink halves of one interval's report

@@ -102,6 +102,11 @@ type Policy struct {
 	// DisableReadmit turns off the recovery probing that re-admits evicted
 	// hosts; the group then stays degraded until released.
 	DisableReadmit bool
+	// ShedIntervals is how many regulation intervals a guard forecast
+	// (OrchForecast from a source's predictive QoS guard) doubles the
+	// stream's MaxDrop budget for (default 4). Streams with a zero
+	// MaxDrop are loss-intolerant and decline the shed request.
+	ShedIntervals int
 }
 
 func (p Policy) withDefaults() Policy {
@@ -116,6 +121,9 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.SuspectIntervals <= 0 {
 		p.SuspectIntervals = 5
+	}
+	if p.ShedIntervals <= 0 {
+		p.ShedIntervals = 4
 	}
 	return p
 }
@@ -132,6 +140,7 @@ type StreamStatus struct {
 	LastBlocks    orch.Report  // most recent full report
 	ReportsSeen   int
 	Compensations int // times compensation policy fired
+	Sheds         int // guard forecasts that shifted this stream's drop budget
 }
 
 // Agent is an HLO agent for one orchestrated session. Create it on the
@@ -189,6 +198,9 @@ type streamState struct {
 	// not demanded back).
 	base   int64
 	status StreamStatus
+	// shedUntil is the last interval id with a guard-boosted drop
+	// budget (Policy.ShedIntervals beyond the forecast's arrival).
+	shedUntil core.IntervalID
 }
 
 // New creates an agent for session sid over the given streams, driving
@@ -227,7 +239,28 @@ func New(llo *orch.LLO, clk clock.Clock, sid core.SessionID, streams []StreamCon
 	}
 	llo.SetRegulateHandler(a.onReport)
 	llo.SetEventHandler(a.onEvent)
+	llo.SetForecastHandler(a.onForecast)
 	return a, nil
+}
+
+// onForecast is the guard's shed request (OrchForecast): double the
+// stream's per-interval drop budget for the next Policy.ShedIntervals
+// intervals, so the source sheds stale OSDUs earlier instead of
+// limping into the forecast violation. Declined for unknown or
+// loss-intolerant (MaxDrop 0) streams and while the loop is stopped.
+func (a *Agent) onForecast(f orch.ForecastIndication) bool {
+	if f.Session != a.sid {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.streams[f.VC]
+	if !ok || !a.running || st.cfg.MaxDrop <= 0 {
+		return false
+	}
+	st.shedUntil = a.ivID + core.IntervalID(a.pol.ShedIntervals)
+	st.status.Sheds++
+	return true
 }
 
 // Session returns the agent's session id.
@@ -680,7 +713,11 @@ func (a *Agent) issueTargets() {
 		}
 		target := core.OSDUSeq(t64)
 		st.status.Target = target
-		jobs = append(jobs, job{vc, target, st.cfg.MaxDrop})
+		maxDrop := st.cfg.MaxDrop
+		if iv <= st.shedUntil {
+			maxDrop *= 2 // guard-forecast shed window
+		}
+		jobs = append(jobs, job{vc, target, maxDrop})
 	}
 	interval := a.pol.Interval
 	sid := a.sid

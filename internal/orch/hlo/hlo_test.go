@@ -642,3 +642,58 @@ func TestAgentWithoutCommonNode(t *testing.T) {
 		t.Fatalf("stream a delivered only %d", reads.Load())
 	}
 }
+
+// TestGuardShedBoostsDropBudget walks the guard's shed lever end to
+// end: the source host's LLO forwards an OrchForecast to the agent,
+// which doubles the stream's drop budget for ShedIntervals intervals
+// and acks OK; loss-intolerant (MaxDrop 0) streams and foreign VCs are
+// declined, so the transport guard escalates instead.
+func TestGuardShedBoostsDropBudget(t *testing.T) {
+	r := newRig(t, nil)
+	a := connect(t, r, 1, 0, 100)
+	b := connect(t, r, 2, 1, 100)
+	agent, err := New(r.llo[3], sys, 1, []StreamConfig{
+		{Desc: a.desc, Rate: 100, MaxDrop: 2},
+		{Desc: b.desc, Rate: 100}, // loss-intolerant: no shed allowed
+	}, Policy{Interval: 50 * time.Millisecond, ShedIntervals: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Prime(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Release()
+
+	// The source host's LLO serves the transport guard's shed hook.
+	if !r.llo[1].GuardShed(a.desc.VC, 0.9, 4) {
+		t.Fatal("shed request for a droppable orchestrated stream was declined")
+	}
+	var shed *StreamStatus
+	for _, st := range agent.Status() {
+		if st.VC == a.desc.VC {
+			s := st
+			shed = &s
+		}
+	}
+	if shed == nil || shed.Sheds != 1 {
+		t.Fatalf("agent did not record the shed: %+v", shed)
+	}
+	if r.llo[2].GuardShed(b.desc.VC, 0.9, 4) {
+		t.Fatal("shed request for a loss-intolerant stream was accepted")
+	}
+	if r.llo[1].GuardShed(core.VCID(9999), 0.9, 4) {
+		t.Fatal("shed request for an unorchestrated VC was accepted")
+	}
+	// The boost decays: after ShedIntervals intervals the budget is back
+	// to the configured value and a fresh forecast is accepted again.
+	time.Sleep(5 * 50 * time.Millisecond)
+	if !r.llo[1].GuardShed(a.desc.VC, 0.8, 4) {
+		t.Fatal("shed request after the boost window was declined")
+	}
+}

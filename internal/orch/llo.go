@@ -65,6 +65,17 @@ type EventIndication struct {
 	Event   core.EventPattern
 }
 
+// ForecastIndication is raised at the HLO agent when a source's
+// predictive QoS guard forecasts a violation on an orchestrated VC and
+// asks for source-side drop budget to be shifted toward that stream.
+type ForecastIndication struct {
+	Session     core.SessionID
+	VC          core.VCID
+	From        core.HostID // the forecasting source host
+	Probability float64     // P(violation within Horizon sample periods)
+	Horizon     int
+}
+
 // LLO is one host's low-level orchestrator, bound to that host's
 // transport entity. All methods are safe for concurrent use. The group
 // methods (Setup, Prime, Start, ...) are intended to be called on the
@@ -81,6 +92,7 @@ type LLO struct {
 
 	regulateFn func(Report)
 	eventFn    func(EventIndication)
+	forecastFn func(ForecastIndication) bool
 
 	// halves pairs the source and sink half-reports of one interval.
 	halves map[halfKey]*Report
@@ -101,6 +113,8 @@ type orchInstr struct {
 	reportsPartial *stats.Counter // partial reports (one half lost)
 	delayedIssued  *stats.Counter // Orch.Delayed requests issued (agent)
 	delayedInd     *stats.Counter // Orch.Delayed indications raised here
+	forecasts      *stats.Counter // guard forecasts forwarded to an agent
+	forecastsInd   *stats.Counter // forecast indications raised here (agent)
 }
 
 type halfKey struct {
@@ -150,9 +164,50 @@ func New(e *transport.Entity) *LLO {
 		reportsPartial: l.stats.Counter("reports_partial"),
 		delayedIssued:  l.stats.Counter("delayed_issued"),
 		delayedInd:     l.stats.Counter("delayed_indications"),
+		forecasts:      l.stats.Counter("forecasts_sent"),
+		forecastsInd:   l.stats.Counter("forecast_indications"),
 	}
 	e.SetOrchHandler(l.onPDU)
+	e.SetGuardShedder(l.GuardShed)
 	return l
+}
+
+// SetForecastHandler installs the HLO agent's receiver for guard
+// forecast indications; its return value is the ack: true means the
+// agent shifted drop budget toward the stream.
+func (l *LLO) SetForecastHandler(fn func(ForecastIndication) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.forecastFn = fn
+}
+
+// GuardShed is the transport guard's load-shed lever (installed on the
+// entity by New): it forwards the forecast to the HLO agent of the
+// session the VC is orchestrated under, as a confirmed OrchForecast
+// exchange, and reports whether the agent shifted budget. False when
+// the VC is in no orchestrated session, the exchange fails, or the
+// agent declines — the guard then escalates to its next lever.
+func (l *LLO) GuardShed(vc core.VCID, prob float64, horizon int) bool {
+	l.mu.Lock()
+	var sid core.SessionID
+	var agent core.HostID
+	found := false
+	for _, s := range l.sessions {
+		if _, ok := s.vcs[vc]; ok {
+			sid, agent, found = s.id, s.agent, true
+			break
+		}
+	}
+	l.mu.Unlock()
+	if !found || agent == 0 {
+		return false
+	}
+	l.si.forecasts.Inc()
+	reply, err := l.request(agent, &pdu.Orch{
+		Op: pdu.OrchForecast, Session: sid, VC: vc,
+		Probability: prob, Horizon: uint32(horizon),
+	})
+	return err == nil && reply.OK
 }
 
 // StatsScope returns the LLO's metrics scope (host/<id>/orch), for

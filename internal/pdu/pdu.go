@@ -324,53 +324,57 @@ type OrchKind uint8
 // Orchestration PDU kinds, covering Tables 4-6. Each request kind has a
 // matching reply carrying OK or a deny reason.
 const (
-	OrchSetup      OrchKind = iota + 1 // establish orchestration for a VC set (Table 4)
-	OrchSetupAck                       // accept/deny reply
-	OrchRelease                        // release the session
-	OrchPrime                          // prime a VC (fill receive buffers, hold delivery)
-	OrchPrimed                         // sink reports buffers full (or deny)
-	OrchStart                          // atomically release delivery
-	OrchStartAck                       // start acknowledged
-	OrchStop                           // freeze data flow
-	OrchStopAck                        // stop acknowledged
-	OrchAdd                            // add VC to the session
-	OrchAddAck                         // add acknowledged
-	OrchRemove                         // remove VC from the session
-	OrchRemoveAck                      // remove acknowledged
-	OrchRegulate                       // set per-interval flow-rate target (Table 6)
-	OrchReport                         // end-of-interval Orch.Regulate.indication payload
-	OrchDelayed                        // Orch.Delayed relay toward the lagging thread
-	OrchDelayedAck                     // Orch.Delayed response/deny
-	OrchEventReg                       // register an event pattern at the sink
-	OrchEventHit                       // matched event notification toward the agent
-	OrchDeny                           // generic denial with reason
-	OrchPing                           // agent → participant liveness probe
-	OrchPingAck                        // participant liveness response
+	OrchSetup       OrchKind = iota + 1 // establish orchestration for a VC set (Table 4)
+	OrchSetupAck                        // accept/deny reply
+	OrchRelease                         // release the session
+	OrchPrime                           // prime a VC (fill receive buffers, hold delivery)
+	OrchPrimed                          // sink reports buffers full (or deny)
+	OrchStart                           // atomically release delivery
+	OrchStartAck                        // start acknowledged
+	OrchStop                            // freeze data flow
+	OrchStopAck                         // stop acknowledged
+	OrchAdd                             // add VC to the session
+	OrchAddAck                          // add acknowledged
+	OrchRemove                          // remove VC from the session
+	OrchRemoveAck                       // remove acknowledged
+	OrchRegulate                        // set per-interval flow-rate target (Table 6)
+	OrchReport                          // end-of-interval Orch.Regulate.indication payload
+	OrchDelayed                         // Orch.Delayed relay toward the lagging thread
+	OrchDelayedAck                      // Orch.Delayed response/deny
+	OrchEventReg                        // register an event pattern at the sink
+	OrchEventHit                        // matched event notification toward the agent
+	OrchDeny                            // generic denial with reason
+	OrchPing                            // agent → participant liveness probe
+	OrchPingAck                         // participant liveness response
+	OrchForecast                        // source guard → agent: predicted QoS violation, shed request
+	OrchForecastAck                     // forecast acknowledged (OK = budget shifted)
 )
 
 var orchKindNames = [...]string{
-	OrchSetup:      "setup",
-	OrchSetupAck:   "setup-ack",
-	OrchRelease:    "release",
-	OrchPrime:      "prime",
-	OrchPrimed:     "primed",
-	OrchStart:      "start",
-	OrchStartAck:   "start-ack",
-	OrchStop:       "stop",
-	OrchStopAck:    "stop-ack",
-	OrchAdd:        "add",
-	OrchAddAck:     "add-ack",
-	OrchRemove:     "remove",
-	OrchRemoveAck:  "remove-ack",
-	OrchRegulate:   "regulate",
-	OrchReport:     "report",
-	OrchDelayed:    "delayed",
-	OrchDelayedAck: "delayed-ack",
-	OrchEventReg:   "event-reg",
-	OrchEventHit:   "event-hit",
-	OrchDeny:       "deny",
-	OrchPing:       "ping",
-	OrchPingAck:    "ping-ack",
+	OrchSetup:       "setup",
+	OrchSetupAck:    "setup-ack",
+	OrchRelease:     "release",
+	OrchPrime:       "prime",
+	OrchPrimed:      "primed",
+	OrchStart:       "start",
+	OrchStartAck:    "start-ack",
+	OrchStop:        "stop",
+	OrchStopAck:     "stop-ack",
+	OrchAdd:         "add",
+	OrchAddAck:      "add-ack",
+	OrchRemove:      "remove",
+	OrchRemoveAck:   "remove-ack",
+	OrchRegulate:    "regulate",
+	OrchReport:      "report",
+	OrchDelayed:     "delayed",
+	OrchDelayedAck:  "delayed-ack",
+	OrchEventReg:    "event-reg",
+	OrchEventHit:    "event-hit",
+	OrchDeny:        "deny",
+	OrchPing:        "ping",
+	OrchPingAck:     "ping-ack",
+	OrchForecast:    "forecast",
+	OrchForecastAck: "forecast-ack",
 }
 
 // String returns the orchestration kind's name.
@@ -426,6 +430,11 @@ type Orch struct {
 
 	// Session setup: the VCs to orchestrate.
 	VCs []core.VCID
+
+	// Predictive guard (OrchForecast): the forecast probability of a QoS
+	// violation and the horizon, in sample periods, it covers.
+	Probability float64
+	Horizon     uint32
 }
 
 // MessageKind implements Message.
@@ -459,6 +468,8 @@ func (o *Orch) Marshal(dst []byte) []byte {
 	for _, vc := range o.VCs {
 		w.u32(uint32(vc))
 	}
+	w.u64(math.Float64bits(o.Probability))
+	w.u32(o.Horizon)
 	return w.trailer(dst)
 }
 
@@ -494,6 +505,8 @@ func decodeOrch(r *reader) (*Orch, error) {
 			o.VCs[i] = core.VCID(r.u32())
 		}
 	}
+	o.Probability = math.Float64frombits(r.u64())
+	o.Horizon = r.u32()
 	return o, r.err
 }
 

@@ -1,0 +1,373 @@
+// Package predict turns the per-period qos.Report series produced by
+// qos.Monitor into a forward-looking violation forecast. The paper's
+// T-QoS.indication machinery (§4.1.2) is purely reactive — it reports a
+// violated sample period after the user has already seen the gap. The
+// predictor watches the same interval series and estimates the
+// probability that the contract will be violated within the next k
+// sample periods, so the transport's guard can shed, re-route, or
+// renegotiate *before* the violation streak fires.
+//
+// Two estimators run side by side:
+//
+//   - A Holt double-exponential trend (EWMA level + slope) per contract
+//     parameter, with an EWMA of squared one-step residuals as the
+//     innovation variance. The k-step-ahead forecast is level + k·slope
+//     with variance k·var, and a Gaussian tail gives the per-step
+//     probability of crossing the contract bound.
+//
+//   - A two-state Gilbert–Elliott-style loss-burst estimator: sample
+//     periods are classified Good/Bad by their loss fraction, transition
+//     counts (with Laplace smoothing) estimate the chain's pGB/pBG, and
+//     a forward-algorithm posterior tracks P(currently in a burst). The
+//     probability of entering (or staying in) the Bad state within the
+//     next k periods upgrades the packet-error-rate forecast, which a
+//     pure trend follower is too slow to catch at burst onset.
+//
+// Probabilities are combined across steps and parameters as
+// 1 − ∏(1 − p): the chance that at least one period in the horizon
+// violates at least one parameter.
+package predict
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"cmtos/internal/qos"
+)
+
+// numParams mirrors the qos parameter enum (Throughput..BER).
+const numParams = int(qos.BER) + 1
+
+// Config tunes the predictor. The zero value selects usable defaults.
+type Config struct {
+	// Alpha is the EWMA gain for the level estimate (0 < Alpha ≤ 1).
+	Alpha float64
+	// Beta is the EWMA gain for the slope estimate.
+	Beta float64
+	// VarGain is the EWMA gain for the residual-variance estimate.
+	VarGain float64
+	// Window is how many recent reports are retained for inspection.
+	Window int
+	// MinSamples is how many reports must be observed before Forecast
+	// returns non-zero probabilities; below it the predictor abstains.
+	MinSamples int
+	// BadLoss is the loss fraction at or above which a sample period is
+	// classified as Bad (in a loss burst) for the Gilbert–Elliott chain.
+	BadLoss float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.4
+	}
+	if c.Beta <= 0 || c.Beta > 1 {
+		c.Beta = 0.2
+	}
+	if c.VarGain <= 0 || c.VarGain > 1 {
+		c.VarGain = 0.25
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 4
+	}
+	if c.BadLoss <= 0 || c.BadLoss > 1 {
+		c.BadLoss = 0.08
+	}
+	return c
+}
+
+// Forecast is the predictor's answer for one horizon: the probability of
+// at least one violated sample period within the next k periods, broken
+// down per parameter.
+type Forecast struct {
+	// PViolation is P(any parameter violated in the next k periods).
+	PViolation float64
+	// PParam is the per-parameter violation probability over the horizon,
+	// indexed by qos.Param.
+	PParam [numParams]float64
+	// Worst is the parameter with the highest forecast probability.
+	Worst qos.Param
+	// BurstPosterior is the Gilbert–Elliott P(currently in the Bad state).
+	BurstPosterior float64
+	// Horizon echoes the number of periods the forecast covers.
+	Horizon int
+}
+
+// trend is one Holt double-exponential smoother with residual variance.
+type trend struct {
+	level, slope float64
+	resVar       float64
+	n            int
+}
+
+func (t *trend) observe(x, alpha, beta, varGain float64) {
+	if t.n == 0 {
+		t.level = x
+		t.n = 1
+		return
+	}
+	f := t.level + t.slope
+	resid := x - f
+	t.resVar = (1-varGain)*t.resVar + varGain*resid*resid
+	prevLevel := t.level
+	t.level = alpha*x + (1-alpha)*f
+	t.slope = beta*(t.level-prevLevel) + (1-beta)*t.slope
+	t.n++
+}
+
+// forecast returns the k-step-ahead mean and standard deviation.
+func (t *trend) forecast(k int) (mean, sd float64) {
+	mean = t.level + float64(k)*t.slope
+	sd = math.Sqrt(t.resVar * float64(k))
+	return
+}
+
+// pAbove is P(forecast at step k exceeds bound) under a Gaussian with the
+// smoother's innovation variance.
+func (t *trend) pAbove(bound float64, k int) float64 {
+	mean, sd := t.forecast(k)
+	if sd < 1e-12 {
+		if mean > bound {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * math.Erfc((bound-mean)/(sd*math.Sqrt2))
+}
+
+// pBelow is P(forecast at step k falls below bound).
+func (t *trend) pBelow(bound float64, k int) float64 {
+	mean, sd := t.forecast(k)
+	if sd < 1e-12 {
+		if mean < bound {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * math.Erfc((mean-bound)/(sd*math.Sqrt2))
+}
+
+// geChain is the two-state loss-burst estimator. Transition probabilities
+// are estimated online from classified periods with Laplace smoothing;
+// the posterior is a forward-algorithm update using each state's
+// estimated emission (loss-fraction) statistics.
+type geChain struct {
+	// Laplace-smoothed transition counts: [from][to], 0 = Good, 1 = Bad.
+	trans [2][2]float64
+	// Loss-fraction running sums per state, for emission estimates.
+	lossSum [2]float64
+	lossN   [2]float64
+	// post is P(currently in Bad).
+	post float64
+	prev int // previous period's hard classification
+	n    int
+}
+
+func newGEChain() geChain {
+	return geChain{
+		// One pseudo-observation per transition keeps early estimates
+		// sane; the prior says bursts are rare and short.
+		trans:   [2][2]float64{{8, 1}, {1, 2}},
+		lossSum: [2]float64{0, 0.5},
+		lossN:   [2]float64{1, 1},
+	}
+}
+
+// pGB and pBG are the estimated per-period transition probabilities.
+func (g *geChain) pGB() float64 { return g.trans[0][1] / (g.trans[0][0] + g.trans[0][1]) }
+func (g *geChain) pBG() float64 { return g.trans[1][0] / (g.trans[1][0] + g.trans[1][1]) }
+
+// lossIn returns the estimated mean loss fraction emitted in a state.
+func (g *geChain) lossIn(state int) float64 { return g.lossSum[state] / g.lossN[state] }
+
+// observe folds in one period's loss fraction.
+func (g *geChain) observe(lossFrac, badLoss float64) {
+	state := 0
+	if lossFrac >= badLoss {
+		state = 1
+	}
+	if g.n > 0 {
+		g.trans[g.prev][state]++
+	}
+	g.prev = state
+	g.lossSum[state] += lossFrac
+	g.lossN[state]++
+	g.n++
+
+	// Forward update: predict one step with the estimated chain, then
+	// weight by each state's emission likelihood for the observation.
+	// Emissions are modelled as Bernoulli-with-mean loss fractions —
+	// crude, but it only needs to separate "quiet" from "bursty".
+	predBad := g.post*(1-g.pBG()) + (1-g.post)*g.pGB()
+	likeG := emission(lossFrac, g.lossIn(0))
+	likeB := emission(lossFrac, g.lossIn(1))
+	num := predBad * likeB
+	den := num + (1-predBad)*likeG
+	if den > 1e-12 {
+		g.post = num / den
+	} else {
+		g.post = predBad
+	}
+}
+
+// emission is the likelihood of observing loss fraction x from a state
+// whose mean loss fraction is mu, under a clamped Bernoulli model.
+func emission(x, mu float64) float64 {
+	mu = math.Min(math.Max(mu, 0.01), 0.99)
+	return math.Pow(mu, x) * math.Pow(1-mu, 1-x)
+}
+
+// pBadWithin is P(the chain is in Bad during at least one of the next k
+// periods): the complement of starting Good and never transitioning.
+func (g *geChain) pBadWithin(k int) float64 {
+	stayGood := (1 - g.post) * math.Pow(1-g.pGB(), float64(k))
+	return 1 - stayGood
+}
+
+// Predictor maintains the trend and burst estimators for one VC. It is
+// safe for concurrent use.
+type Predictor struct {
+	mu      sync.Mutex
+	cfg     Config
+	trends  [numParams]trend
+	ge      geChain
+	recent  []qos.Report
+	next    int
+	samples int
+}
+
+// New returns a predictor with the given configuration.
+func New(cfg Config) *Predictor {
+	return &Predictor{
+		cfg:    cfg.withDefaults(),
+		ge:     newGEChain(),
+		recent: make([]qos.Report, 0, cfg.withDefaults().Window),
+	}
+}
+
+// Observe folds one closed sample period into the estimators. Idle
+// periods (nothing delivered, nothing lost) carry no evidence about the
+// provider and are skipped entirely, matching the reactive monitor's
+// treatment of idle throughput.
+func (p *Predictor) Observe(r qos.Report) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r.Delivered+r.Lost == 0 {
+		return
+	}
+	if len(p.recent) < p.cfg.Window {
+		p.recent = append(p.recent, r)
+	} else {
+		p.recent[p.next] = r
+		p.next = (p.next + 1) % p.cfg.Window
+	}
+	a, b, g := p.cfg.Alpha, p.cfg.Beta, p.cfg.VarGain
+	p.trends[qos.Throughput].observe(r.Throughput, a, b, g)
+	p.trends[qos.Delay].observe(float64(r.MaxDelay), a, b, g)
+	p.trends[qos.Jitter].observe(float64(r.Jitter), a, b, g)
+	p.trends[qos.PER].observe(r.PER, a, b, g)
+	p.trends[qos.BER].observe(r.BER, a, b, g)
+	p.ge.observe(r.PER, p.cfg.BadLoss)
+	p.samples++
+}
+
+// Samples returns how many non-idle reports have been observed.
+func (p *Predictor) Samples() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.samples
+}
+
+// Recent returns a copy of the retained report window, oldest first.
+func (p *Predictor) Recent() []qos.Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]qos.Report, 0, len(p.recent))
+	if len(p.recent) == p.cfg.Window {
+		out = append(out, p.recent[p.next:]...)
+		out = append(out, p.recent[:p.next]...)
+	} else {
+		out = append(out, p.recent...)
+	}
+	return out
+}
+
+// Forecast estimates the probability of violating the contract within the
+// next k sample periods, using the same bounds (and slack) as
+// qos.Report.Violations so predictor and reactive monitor agree on what
+// "violated" means. Before MinSamples reports the predictor abstains and
+// returns a zero forecast.
+func (p *Predictor) Forecast(c qos.Contract, slack float64, k int) Forecast {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if k <= 0 {
+		k = 1
+	}
+	f := Forecast{Horizon: k, BurstPosterior: p.ge.post}
+	if p.samples < p.cfg.MinSamples {
+		return f
+	}
+
+	perStep := func(pAt func(step int) float64) float64 {
+		keep := 1.0
+		for i := 1; i <= k; i++ {
+			keep *= 1 - clamp01(pAt(i))
+		}
+		return 1 - keep
+	}
+
+	thrBound := c.Throughput * (1 - slack)
+	f.PParam[qos.Throughput] = perStep(func(i int) float64 {
+		return p.trends[qos.Throughput].pBelow(thrBound, i)
+	})
+	if c.Delay > 0 {
+		delayBound := float64(c.Delay+c.Jitter) * (1 + slack)
+		f.PParam[qos.Delay] = perStep(func(i int) float64 {
+			return p.trends[qos.Delay].pAbove(delayBound, i)
+		})
+	}
+	if c.Jitter > 0 {
+		jitterBound := float64(c.Jitter) * (1 + slack)
+		f.PParam[qos.Jitter] = perStep(func(i int) float64 {
+			return p.trends[qos.Jitter].pAbove(jitterBound, i)
+		})
+	}
+	perBound := c.PER + slack*0.01
+	perTrend := perStep(func(i int) float64 {
+		return p.trends[qos.PER].pAbove(perBound, i)
+	})
+	// The burst chain only implies a violation when its Bad state
+	// actually loses more than the contract tolerates.
+	perBurst := 0.0
+	if p.ge.lossIn(1) > perBound {
+		perBurst = p.ge.pBadWithin(k)
+	}
+	f.PParam[qos.PER] = math.Max(perTrend, perBurst)
+	berBound := c.BER + slack*1e-6
+	f.PParam[qos.BER] = perStep(func(i int) float64 {
+		return p.trends[qos.BER].pAbove(berBound, i)
+	})
+
+	keep := 1.0
+	for i, pp := range f.PParam {
+		keep *= 1 - clamp01(pp)
+		if pp > f.PParam[f.Worst] {
+			f.Worst = qos.Param(i)
+		}
+	}
+	f.PViolation = 1 - keep
+	return f
+}
+
+// clamp01 clips a probability into [0, 1].
+func clamp01(x float64) float64 {
+	return math.Min(math.Max(x, 0), 1)
+}
+
+// Interval is a small helper: the nominal duration of k sample periods.
+func Interval(period time.Duration, k int) time.Duration {
+	return period * time.Duration(k)
+}

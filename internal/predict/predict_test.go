@@ -1,0 +1,203 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"cmtos/internal/qos"
+)
+
+func contract() qos.Contract {
+	return qos.Contract{
+		Throughput:  100,
+		MaxOSDUSize: 1024,
+		Delay:       20 * time.Millisecond,
+		Jitter:      10 * time.Millisecond,
+		PER:         0.05,
+		BER:         1e-4,
+		Guarantee:   qos.Soft,
+	}
+}
+
+// healthy is a fully compliant sample period.
+func healthy() qos.Report {
+	return qos.Report{
+		Period:     100 * time.Millisecond,
+		Delivered:  10,
+		Throughput: 100,
+		MeanDelay:  5 * time.Millisecond,
+		MaxDelay:   6 * time.Millisecond,
+		Jitter:     2 * time.Millisecond,
+	}
+}
+
+func TestAbstainsBeforeMinSamples(t *testing.T) {
+	p := New(Config{MinSamples: 5})
+	for i := 0; i < 4; i++ {
+		r := healthy()
+		r.PER = 1 // catastrophic, but not enough evidence yet
+		r.Lost = 10
+		p.Observe(r)
+	}
+	f := p.Forecast(contract(), 0.05, 4)
+	if f.PViolation != 0 {
+		t.Fatalf("forecast before MinSamples = %g, want 0 (abstain)", f.PViolation)
+	}
+}
+
+func TestIdlePeriodsCarryNoEvidence(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 20; i++ {
+		p.Observe(qos.Report{Period: 100 * time.Millisecond}) // idle
+	}
+	if p.Samples() != 0 {
+		t.Fatalf("idle periods counted: %d samples", p.Samples())
+	}
+}
+
+func TestStableHealthyStreamForecastsQuiet(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 30; i++ {
+		p.Observe(healthy())
+	}
+	f := p.Forecast(contract(), 0.05, 4)
+	if f.PViolation > 0.2 {
+		t.Fatalf("healthy stream PViolation = %g, want near 0", f.PViolation)
+	}
+}
+
+// A steadily climbing max delay must push the delay forecast up BEFORE
+// the bound is actually crossed — that early warning is the predictor's
+// whole reason to exist.
+func TestDelayRampForecastsEarly(t *testing.T) {
+	p := New(Config{})
+	c := contract()
+	bound := float64(c.Delay+c.Jitter) * 1.05 // ≈ 31.5ms
+	var warned int
+	for i := 0; i < 40; i++ {
+		r := healthy()
+		r.MaxDelay = time.Duration(5+i) * time.Millisecond // +1ms per period
+		r.MeanDelay = r.MaxDelay - time.Millisecond
+		p.Observe(r)
+		f := p.Forecast(c, 0.05, 4)
+		if warned == 0 && f.PViolation > 0.7 {
+			warned = i
+		}
+		if float64(r.MaxDelay) > bound {
+			if warned == 0 {
+				t.Fatalf("delay crossed the bound at period %d with no forecast warning", i)
+			}
+			if f.Worst != qos.Delay {
+				t.Fatalf("worst param = %v at period %d, want delay", f.Worst, i)
+			}
+			return
+		}
+	}
+	t.Fatal("ramp never reached the bound")
+}
+
+// A throughput slide toward the floor must be flagged as a throughput
+// forecast, not an error-rate one.
+func TestThroughputSlideForecast(t *testing.T) {
+	p := New(Config{})
+	c := contract()
+	for i := 0; i < 25; i++ {
+		r := healthy()
+		r.Throughput = 130 - 2*float64(i)
+		r.Delivered = int(r.Throughput / 10)
+		p.Observe(r)
+	}
+	// Level ≈ 82 and falling 2/period; the 95-OSDU floor is near.
+	f := p.Forecast(c, 0.05, 4)
+	if f.PParam[qos.Throughput] < 0.9 {
+		t.Fatalf("throughput forecast = %g, want ≥ 0.9", f.PParam[qos.Throughput])
+	}
+	if f.Worst != qos.Throughput {
+		t.Fatalf("worst = %v, want throughput", f.Worst)
+	}
+}
+
+// The Gilbert–Elliott chain: repeated loss bursts teach the estimator
+// that bursts recur, so even during quiet periods the k-step forecast
+// stays materially above zero, and the posterior spikes inside a burst.
+func TestBurstEstimatorLearnsRecurrence(t *testing.T) {
+	p := New(Config{})
+	c := contract()
+	burst := func(n int) {
+		for i := 0; i < n; i++ {
+			r := healthy()
+			r.Lost = 4
+			r.Delivered = 6
+			r.PER = 0.4
+			p.Observe(r)
+		}
+	}
+	quiet := func(n int) {
+		for i := 0; i < n; i++ {
+			p.Observe(healthy())
+		}
+	}
+	quiet(6)
+	var inBurst, inQuiet Forecast
+	for cycle := 0; cycle < 4; cycle++ {
+		burst(3)
+		inBurst = p.Forecast(c, 0.05, 4)
+		quiet(8)
+		inQuiet = p.Forecast(c, 0.05, 4)
+	}
+	if inBurst.BurstPosterior < 0.5 {
+		t.Errorf("posterior inside a burst = %g, want ≥ 0.5", inBurst.BurstPosterior)
+	}
+	if inQuiet.BurstPosterior > 0.5 {
+		t.Errorf("posterior after 8 quiet periods = %g, want < 0.5", inQuiet.BurstPosterior)
+	}
+	if inBurst.PParam[qos.PER] < 0.5 {
+		t.Errorf("PER forecast inside burst = %g, want ≥ 0.5", inBurst.PParam[qos.PER])
+	}
+	// With ~3 G→B transitions per 11 periods learned, the chance of
+	// entering a burst within 4 periods is far from negligible.
+	if inQuiet.PParam[qos.PER] < 0.1 {
+		t.Errorf("quiet-time PER forecast = %g, want ≥ 0.1 (bursts recur)", inQuiet.PParam[qos.PER])
+	}
+}
+
+func TestRecentWindowRotation(t *testing.T) {
+	p := New(Config{Window: 4})
+	for i := 1; i <= 6; i++ {
+		r := healthy()
+		r.Delivered = i
+		p.Observe(r)
+	}
+	got := p.Recent()
+	if len(got) != 4 {
+		t.Fatalf("window length = %d, want 4", len(got))
+	}
+	for i, r := range got {
+		if r.Delivered != i+3 {
+			t.Fatalf("window[%d].Delivered = %d, want %d (oldest first)", i, r.Delivered, i+3)
+		}
+	}
+}
+
+func TestForecastBoundsAreProbabilities(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 50; i++ {
+		r := healthy()
+		if i%3 == 0 {
+			r.Lost, r.PER = 9, 0.9
+			r.MaxDelay = 100 * time.Millisecond
+			r.Jitter = 50 * time.Millisecond
+			r.Throughput = 1
+		}
+		p.Observe(r)
+		f := p.Forecast(contract(), 0.05, 8)
+		if f.PViolation < 0 || f.PViolation > 1 {
+			t.Fatalf("PViolation out of range: %g", f.PViolation)
+		}
+		for j, pp := range f.PParam {
+			if pp < 0 || pp > 1 {
+				t.Fatalf("PParam[%d] out of range: %g", j, pp)
+			}
+		}
+	}
+}

@@ -41,7 +41,11 @@ type Report struct {
 // indicated, not that marginal jitter trip instantly.
 func (r Report) Violations(c Contract, slack float64) []Param {
 	var v []Param
-	if r.Throughput < c.Throughput*(1-slack) {
+	// An idle period — nothing delivered and nothing known lost — says
+	// nothing about the provider's throughput: the source simply sent
+	// nothing. Only a period that carried (or dropped) traffic can violate
+	// the throughput contract.
+	if r.Delivered+r.Lost > 0 && r.Throughput < c.Throughput*(1-slack) {
 		v = append(v, Throughput)
 	}
 	// The delay bound is on nominal delay; observed maxima legitimately

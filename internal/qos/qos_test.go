@@ -394,8 +394,9 @@ func TestReportViolations(t *testing.T) {
 	if v := ok.Violations(c, 0.05); len(v) != 0 {
 		t.Fatalf("compliant report flagged: %v", v)
 	}
-	bad := Report{Throughput: 10, MaxDelay: 300 * time.Millisecond,
-		Jitter: 50 * time.Millisecond, PER: 0.2, BER: 1e-3}
+	bad := Report{Delivered: 10, Lost: 2, Throughput: 10,
+		MaxDelay: 300 * time.Millisecond,
+		Jitter:   50 * time.Millisecond, PER: 0.2, BER: 1e-3}
 	// 300ms max delay far exceeds the 100ms+10ms contract allowance.
 	v := bad.Violations(c, 0.05)
 	if len(v) != 5 {
@@ -405,12 +406,114 @@ func TestReportViolations(t *testing.T) {
 
 func TestViolationsSlackAbsorbsNoise(t *testing.T) {
 	c := Contract{Throughput: 25, Jitter: 10 * time.Millisecond}
-	r := Report{Throughput: 24.5, Jitter: 10400 * time.Microsecond}
+	r := Report{Delivered: 24, Throughput: 24.5, Jitter: 10400 * time.Microsecond}
 	if v := r.Violations(c, 0.05); len(v) != 0 {
 		t.Fatalf("marginal report flagged with 5%% slack: %v", v)
 	}
 	if v := r.Violations(c, 0); len(v) == 0 {
 		t.Fatal("marginal report not flagged with zero slack")
+	}
+}
+
+// Regression: an idle sample period (nothing delivered, nothing lost)
+// measures Throughput 0 but must not trip a throughput violation — the
+// source simply sent nothing, the provider violated nothing.
+func TestViolationsIdlePeriodNotVacuous(t *testing.T) {
+	c := Contract{Throughput: 25, Delay: 100 * time.Millisecond,
+		Jitter: 10 * time.Millisecond, PER: 0.01, BER: 1e-6}
+	idle := Report{Period: time.Second}
+	if v := idle.Violations(c, 0.05); len(v) != 0 {
+		t.Fatalf("idle period flagged: %v", v)
+	}
+	// A period that carried only losses is NOT idle: everything the source
+	// sent was dropped, which is the worst possible throughput.
+	lossy := Report{Period: time.Second, Lost: 5, PER: 1}
+	v := lossy.Violations(c, 0.05)
+	if len(v) != 2 || v[0] != Throughput || v[1] != PER {
+		t.Fatalf("all-loss period violations = %v, want [throughput per]", v)
+	}
+}
+
+// A period with exactly one delivered OSDU has no measurable delay spread:
+// jitter must be zero, and both mean and max delay equal that one sample.
+func TestMonitorSingleOSDUJitter(t *testing.T) {
+	m := NewMonitor()
+	m.Delivered(100, 7*time.Millisecond)
+	r := m.Close(time.Second)
+	if r.Jitter != 0 {
+		t.Errorf("single-OSDU jitter = %v, want 0", r.Jitter)
+	}
+	if r.MeanDelay != 7*time.Millisecond || r.MaxDelay != 7*time.Millisecond {
+		t.Errorf("mean/max delay = %v/%v, want 7ms/7ms", r.MeanDelay, r.MaxDelay)
+	}
+}
+
+// Close must fully isolate periods: measurements from one period may not
+// bleed into the delay extrema (or anything else) of the next.
+func TestMonitorResetAfterCloseIsolation(t *testing.T) {
+	m := NewMonitor()
+	m.Delivered(100, time.Millisecond)
+	m.Delivered(100, 40*time.Millisecond)
+	m.Lost(3)
+	m.BitErrors(2)
+	_ = m.Close(time.Second)
+
+	m.Delivered(200, 50*time.Millisecond)
+	r := m.Close(time.Second)
+	if r.Delivered != 1 || r.Lost != 0 || r.BitErrors != 0 || r.Bytes != 200 {
+		t.Fatalf("second period not isolated: %+v", r)
+	}
+	// If delayMin leaked from period one, jitter would be 49ms.
+	if r.Jitter != 0 {
+		t.Errorf("second-period jitter = %v, want 0 (min/max must reset)", r.Jitter)
+	}
+	if r.MeanDelay != 50*time.Millisecond {
+		t.Errorf("second-period mean delay = %v, want 50ms", r.MeanDelay)
+	}
+}
+
+// Concurrent Delivered/Lost racing against periodic Close: no sample may
+// be lost or double-counted across the period boundary (run with -race).
+func TestMonitorConcurrentClose(t *testing.T) {
+	m := NewMonitor()
+	const writers, perWriter = 4, 2000
+	done := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		go func() {
+			for j := 0; j < perWriter; j++ {
+				m.Delivered(10, time.Millisecond)
+				m.Lost(1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	closed := make(chan struct{})
+	totals := make(chan [2]int)
+	go func() {
+		var d, l int
+		for {
+			select {
+			case <-closed:
+				totals <- [2]int{d, l}
+				return
+			default:
+				r := m.Close(100 * time.Millisecond)
+				d += r.Delivered
+				l += r.Lost
+			}
+		}
+	}()
+	for i := 0; i < writers; i++ {
+		<-done
+	}
+	close(closed)
+	got := <-totals
+	final := m.Close(100 * time.Millisecond)
+	delivered := got[0] + final.Delivered
+	lost := got[1] + final.Lost
+	if delivered != writers*perWriter || lost != writers*perWriter {
+		t.Fatalf("totals across periods = %d/%d, want %d/%d",
+			delivered, lost, writers*perWriter, writers*perWriter)
 	}
 }
 

@@ -16,6 +16,7 @@
 package session
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -114,12 +115,26 @@ type Supervisor struct {
 }
 
 // New wraps an entity. The supervisor installs itself as the entity's
-// VC-down handler, so there is one supervisor per entity.
+// VC-down handler, so there is one supervisor per entity. It also
+// serves the transport's predictive guard as the re-route provider:
+// when a forecast crosses the guard threshold, the guard may ask the
+// supervisor to migrate a still-healthy stream onto an avoiding path.
 func New(e *transport.Entity, pol Policy) *Supervisor {
 	pol.withDefaults()
 	sup := &Supervisor{e: e, pol: pol, streams: make(map[core.VCID]*Stream)}
 	e.SetVCDownHandler(sup.onDown)
+	e.SetGuardRerouter(sup.guardReroute)
 	return sup
+}
+
+// guardReroute adapts Stream.Reroute to the transport guard's hook:
+// true only when the stream really moved onto an avoiding path.
+func (sup *Supervisor) guardReroute(vc core.VCID) bool {
+	st, ok := sup.Stream(vc)
+	if !ok {
+		return false
+	}
+	return st.Reroute() == nil
 }
 
 // Entity returns the wrapped transport entity.
@@ -317,21 +332,65 @@ func (st *Stream) vcIDQuiet() core.VCID {
 	return st.vc.ID()
 }
 
+// ErrNoAlternatePath is returned by Reroute when the stream's current
+// reservation has no intermediate hops to route around (best effort or
+// a direct link), or when re-establishment landed back on a path using
+// the same intermediates.
+var ErrNoAlternatePath = errors.New("session: no alternate path")
+
+// Reroute proactively migrates a healthy stream onto a path avoiding
+// its current intermediate hops — the predictive guard's second
+// escalation lever, but also callable by applications. The VC is
+// suspended locally (the sink keeps running until the successor seals
+// it), then re-established through the normal resume machinery with
+// the current intermediates in the avoid set; the retained tail
+// replays, so the receiver observes one unbroken sequence. Returns nil
+// only when the stream really moved onto an avoiding path; landing
+// back on the old intermediates (no alternate existed) still leaves
+// the stream up, but reports ErrNoAlternatePath.
+func (st *Stream) Reroute() error {
+	st.mu.Lock()
+	old := st.vc
+	st.mu.Unlock()
+	p := old.Path()
+	if len(p) <= 2 {
+		return ErrNoAlternatePath // direct link or best effort: nothing to avoid
+	}
+	if !st.beginRecovery(old) {
+		return fmt.Errorf("session: stream not steady (%v)", st.State())
+	}
+	old.Suspend()
+	nextSeq, nextTPDU := old.ResumeState()
+	queued := old.DrainUnsent()
+	// The current intermediates are avoided transiently — the path is
+	// healthy, only forecast-suspect, so it must stay available as the
+	// fallback and for future recoveries.
+	st.mu.Lock()
+	avoid := append([]core.HostID(nil), st.avoid...)
+	st.mu.Unlock()
+	oldMid := append([]core.HostID(nil), p[1:len(p)-1]...)
+	for _, h := range oldMid {
+		if !hostIn(avoid, h) {
+			avoid = append(avoid, h)
+		}
+	}
+	st.setState(StateReconnecting)
+	avoided, err := st.reestablish(old, nextSeq, nextTPDU, queued, avoid, true)
+	if err != nil {
+		return err
+	}
+	if !avoided {
+		return ErrNoAlternatePath
+	}
+	return nil
+}
+
 // recover resurrects the stream after incarnation old died. One recovery
 // runs at a time; stale notifications (an already-replaced incarnation)
 // are ignored.
 func (st *Stream) recover(old *transport.SendVC) {
-	st.mu.Lock()
-	if st.vc != old || st.state != StateUp && st.state != StateResumed {
-		st.mu.Unlock()
+	if !st.beginRecovery(old) {
 		return
-	}
-	from := st.state
-	st.state = StateSuspect
-	st.cond.Broadcast()
-	st.mu.Unlock()
-	if fn := st.sup.pol.OnStateChange; fn != nil {
-		fn(old.ID(), from, StateSuspect)
 	}
 
 	// Capture the resume point: sequence counters are final after
@@ -350,10 +409,40 @@ func (st *Stream) recover(old *transport.SendVC) {
 	}
 	st.mu.Lock()
 	avoid := append([]core.HostID(nil), st.avoid...)
-	spec := st.spec
 	st.mu.Unlock()
 	st.setState(StateReconnecting)
+	_, _ = st.reestablish(old, nextSeq, nextTPDU, queued, avoid, false)
+}
 
+// beginRecovery atomically claims the stream for one recovery run,
+// moving it to StateSuspect. False when the incarnation was already
+// replaced or a recovery is in flight.
+func (st *Stream) beginRecovery(old *transport.SendVC) bool {
+	st.mu.Lock()
+	if st.vc != old || st.state != StateUp && st.state != StateResumed {
+		st.mu.Unlock()
+		return false
+	}
+	from := st.state
+	st.state = StateSuspect
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	if fn := st.sup.pol.OnStateChange; fn != nil {
+		fn(old.ID(), from, StateSuspect)
+	}
+	return true
+}
+
+// reestablish runs the resume attempt schedule for a torn-down
+// incarnation. forceAvoid inverts the avoid parity — the first attempt
+// routes around the avoid set (a proactive re-route wants the new path
+// first, the old one only as fallback); without it the first attempt
+// hopes the old path healed. Reports whether the winning attempt used
+// the avoid set; on total failure the stream is abandoned.
+func (st *Stream) reestablish(old *transport.SendVC, nextSeq core.OSDUSeq, nextTPDU uint64, queued []cbuf.OSDU, avoid []core.HostID, forceAvoid bool) (avoided bool, err error) {
+	st.mu.Lock()
+	spec := st.spec
+	st.mu.Unlock()
 	pol := st.sup.pol
 	e := st.sup.e
 	sched := backoff.Schedule(pol.Deadline, pol.Attempts,
@@ -364,34 +453,38 @@ func (st *Stream) recover(old *transport.SendVC) {
 		if pol.FloorSpec != nil && 2*i >= len(sched) {
 			attemptSpec = *pol.FloorSpec // degrade rather than die
 		}
+		// Alternate between the avoid set and an unconstrained try.
+		useAvoid := i%2 == 1
+		if forceAvoid {
+			useAvoid = i%2 == 0
+		}
 		var av []core.HostID
-		if i%2 == 1 {
-			// Alternate between hoping the old path healed and routing
-			// around every hop a failed incarnation ever used.
+		if useAvoid {
 			av = avoid
 		}
-		ns, resumeFrom, err := e.Resume(transport.ResumeRequest{
+		ns, resumeFrom, rerr := e.Resume(transport.ResumeRequest{
 			VC: old.ID(), Tuple: old.Tuple(),
 			Profile: old.Profile(), Class: old.Class(), Spec: attemptSpec,
 			Avoid: av, NextSeq: nextSeq, NextTPDU: nextTPDU,
 		})
-		if err == nil {
+		if rerr == nil {
 			st.finishResume(old, ns, resumeFrom, nextSeq, queued, i)
-			return
+			return useAvoid, nil
 		}
-		lastErr = err
+		lastErr = rerr
 		e.Clock().Sleep(wait)
 	}
 
 	st.mu.Lock()
 	st.abandonErr = fmt.Errorf("session: vc %v abandoned after %d attempts: %v",
 		old.ID(), len(sched), lastErr)
-	err := st.abandonErr
+	err = st.abandonErr
 	st.mu.Unlock()
 	st.setState(StateAbandoned)
 	if pol.OnAbandoned != nil {
 		pol.OnAbandoned(old.ID(), err)
 	}
+	return false, err
 }
 
 // finishResume installs the successor incarnation and replays the tail:

@@ -388,3 +388,101 @@ func waitFor(t *testing.T, d time.Duration, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestStreamProactiveReroute exercises the predictive guard's second
+// escalation lever directly: Reroute migrates a perfectly healthy
+// stream onto the arm avoiding its current intermediate hop — no
+// partition, no keepalive loss, no violated period — and the receiver
+// still observes one gapless sequence across the migration.
+func TestStreamProactiveReroute(t *testing.T) {
+	links := [][2]core.HostID{{1, 2}, {1, 3}, {2, 4}, {3, 4}}
+	bw := map[[2]core.HostID]float64{{1, 2}: 1e6, {2, 4}: 1e6}
+	r := newRig(t, []core.HostID{1, 2, 3, 4}, links, bw, fastCfg())
+	seqCh := make(chan core.OSDUSeq, 64)
+	sinkReader(t, r.ent[4], 20, seqCh)
+
+	sup := New(r.ent[1], Policy{Attempts: 4, Deadline: 5 * time.Second})
+	st, err := sup.Connect(transport.ConnectRequest{
+		SrcTSAP: 10, Dest: core.Addr{Host: 4, TSAP: 20},
+		Profile: qos.ProfileCMRate, Class: qos.ClassDetectIndicate, Spec: cmSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := st.VC().Path(); len(p) != 3 || p[1] != 2 {
+		t.Fatalf("initial path = %v, want via host 2", p)
+	}
+	const before = 4
+	for i := 0; i < before; i++ {
+		if _, err := st.Write([]byte(fmt.Sprintf("osdu-%03d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := st.Reroute(); err != nil {
+		t.Fatalf("proactive reroute failed: %v", err)
+	}
+	if p := st.VC().Path(); len(p) != 3 || p[1] != 3 {
+		t.Fatalf("rerouted path = %v, want via host 3", p)
+	}
+	if got := st.State(); got != StateResumed {
+		t.Fatalf("state after reroute = %v, want resumed", got)
+	}
+	if got := st.Recoveries(); got != 1 {
+		t.Fatalf("recoveries after reroute = %d, want 1", got)
+	}
+
+	const after = 4
+	for i := 0; i < after; i++ {
+		if _, err := st.Write([]byte(fmt.Sprintf("osdu-%03d", before+i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []core.OSDUSeq
+	deadline := time.After(10 * time.Second)
+	for len(got) < before+after {
+		select {
+		case s := <-seqCh:
+			got = append(got, s)
+		case <-deadline:
+			t.Fatalf("receiver stalled with %d/%d OSDUs: %v", len(got), before+after, got)
+		}
+	}
+	for i, s := range got {
+		if s != core.OSDUSeq(i) {
+			t.Fatalf("delivered sequence has gap/duplicate at %d: %v", i, got)
+		}
+	}
+}
+
+// A stream on a direct link has no intermediates to route around:
+// Reroute must refuse without disturbing the stream, so the guard can
+// escalate to renegotiation instead.
+func TestStreamRerouteNoAlternatePath(t *testing.T) {
+	r := newRig(t, []core.HostID{1, 2}, [][2]core.HostID{{1, 2}}, nil, fastCfg())
+	seqCh := make(chan core.OSDUSeq, 16)
+	sinkReader(t, r.ent[2], 20, seqCh)
+
+	sup := New(r.ent[1], Policy{})
+	st, err := sup.Connect(transport.ConnectRequest{
+		SrcTSAP: 10, Dest: core.Addr{Host: 2, TSAP: 20},
+		Profile: qos.ProfileCMRate, Class: qos.ClassDetectIndicate, Spec: cmSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Reroute(); err != ErrNoAlternatePath {
+		t.Fatalf("Reroute on a direct link = %v, want ErrNoAlternatePath", err)
+	}
+	if got := st.State(); got != StateUp {
+		t.Fatalf("refused reroute disturbed the stream: state %v", got)
+	}
+	if _, err := st.Write([]byte("still-alive"), 0); err != nil {
+		t.Fatalf("Write after refused reroute: %v", err)
+	}
+	select {
+	case <-seqCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OSDU never delivered after refused reroute")
+	}
+}

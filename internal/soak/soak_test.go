@@ -314,6 +314,9 @@ func connectStream(t *testing.T, s *stack, src core.HostID, idx int, rate float6
 type regime struct {
 	name string
 	long bool // only in the CMTOS_SOAK=long matrix
+	// cfg picks the transport configuration for the stack; nil selects
+	// soakCfg(). The guard regimes use it to arm the predictive guard.
+	cfg func() transport.Config
 	// scalars configures steady-state fault rates on one injector before
 	// the session is orchestrated.
 	scalars func(f *faultnet.Network)
@@ -385,6 +388,19 @@ func regimes() []regime {
 			f.SetDelay(0.05, 5*time.Millisecond)
 		}},
 		{name: "heavy-drop", long: true, scalars: func(f *faultnet.Network) { f.SetDrop(0.2) }},
+		// The guard regimes run the predictive QoS guard under fault
+		// pressure: bursty loss that keeps the burst estimator and the
+		// shed→reroute→renegotiate escalation busy, and a delay ramp that
+		// drives proactive renegotiations. The invariants they enforce are
+		// the sweep's usual ones — zero leaked goroutines, reservations and
+		// VC table entries after shutdown — with the guard armed the whole
+		// time.
+		{name: "guard-burst", cfg: guardCfg, scalars: func(f *faultnet.Network) {
+			f.SetGE(faultnet.GEParams{PGB: 0.02, PBG: 0.2, PG: 0, PB: 0.5})
+		}},
+		{name: "guard-ramp", long: true, cfg: guardCfg, scalars: func(f *faultnet.Network) {
+			f.SetDelayRamp(time.Millisecond, 50, 20*time.Millisecond)
+		}},
 		{name: "partition", long: true, supervise: true, mid: func(t *testing.T, s *stack) {
 			time.Sleep(200 * time.Millisecond)
 			mirror(s, func(f *faultnet.Network) {
@@ -413,11 +429,25 @@ func regimes() []regime {
 	}
 }
 
+// guardCfg is soakCfg with the predictive QoS guard armed on top of the
+// reactive ladder.
+func guardCfg() transport.Config {
+	cfg := soakCfg()
+	cfg.QoSSlack = 0.15
+	cfg.DegradeAfter = 2
+	cfg.PredictThreshold = 0.55
+	return cfg
+}
+
 // runSoak drives one (substrate, regime) cell and enforces the three
 // invariants.
-func runSoak(t *testing.T, build func(*testing.T, int64) *stack, rg regime, seed int64) {
+func runSoak(t *testing.T, build func(*testing.T, int64, transport.Config) *stack, rg regime, seed int64) {
 	checkGoroutines := nettest.CheckGoroutines(t)
-	s := build(t, seed)
+	cfg := soakCfg()
+	if rg.cfg != nil {
+		cfg = rg.cfg()
+	}
+	s := build(t, seed, cfg)
 
 	a := connectStream(t, s, 1, 0, 100, rg.supervise)
 	b := connectStream(t, s, 2, 1, 100, rg.supervise)
@@ -520,10 +550,14 @@ func runSoak(t *testing.T, build func(*testing.T, int64) *stack, rg regime, seed
 func TestChaosSoak(t *testing.T) {
 	substrates := []struct {
 		name  string
-		build func(*testing.T, int64) *stack
+		build func(*testing.T, int64, transport.Config) *stack
 	}{
-		{"netem", buildNetem},
-		{"udp", buildUDP},
+		{"netem", func(t *testing.T, seed int64, cfg transport.Config) *stack {
+			return buildNetemCfg(t, seed, 3, cfg)
+		}},
+		{"udp", func(t *testing.T, seed int64, cfg transport.Config) *stack {
+			return buildUDPCfg(t, seed, 3, cfg)
+		}},
 	}
 	for i, sub := range substrates {
 		for j, rg := range regimes() {

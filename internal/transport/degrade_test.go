@@ -8,9 +8,45 @@ import (
 	"cmtos/internal/qos"
 )
 
-// An idle Soft VC violates its throughput contract every sample period,
-// so no fault injection is needed to drive the degradation ladder: the
-// sink's monitor reports the violations and the source walks down.
+// slowWrite drives the VC at roughly one OSDU per `every` until Write
+// fails or stop is called. Sample periods then carry real traffic well
+// below the contract floor: an idle source no longer counts as a
+// throughput violation (qos.Report.Violations guards the vacuous case),
+// so degradation tests must actually send too slowly, not nothing.
+func slowWrite(s *SendVC, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			if _, err := s.Write([]byte("slow-osdu"), 0); err != nil {
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// drain consumes the sink greedily so flow control never throttles the
+// already-slow source.
+func drain(rv *RecvVC) {
+	go func() {
+		for {
+			if _, err := rv.Read(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// A Soft VC fed at ~40 OSDU/s against a 200 OSDU/s contract violates
+// its throughput bound every sample period; the sink's monitor reports
+// the violations and the source walks down the ladder.
 func TestDegradeLaddersDownThenDisconnects(t *testing.T) {
 	cfg := Config{
 		SamplePeriod:  50 * time.Millisecond,
@@ -36,8 +72,11 @@ func TestDegradeLaddersDownThenDisconnects(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	s, _ := connectPair(t, r, qos.ClassDetectIndicate, qos.ProfileCMRate, cmSpec())
+	s, rv := connectPair(t, r, qos.ClassDetectIndicate, qos.ProfileCMRate, cmSpec())
 	orig := s.Contract().Throughput
+	drain(rv)
+	stop := slowWrite(s, 25*time.Millisecond) // ~40 OSDU/s, far below 200
+	defer stop()
 
 	// Rung 0: sustained violation renegotiates throughput down by half.
 	select {
@@ -55,8 +94,8 @@ func TestDegradeLaddersDownThenDisconnects(t *testing.T) {
 		t.Fatalf("first OnDegrade step = %d, want 0", step)
 	}
 
-	// Ladder exhausted: still violating, so the VC is given up with
-	// ReasonQoSUnattainable and live=false.
+	// Ladder exhausted: 40 OSDU/s still violates the halved contract, so
+	// the VC is given up with ReasonQoSUnattainable and live=false.
 	select {
 	case reason := <-discCh:
 		if reason != core.ReasonQoSUnattainable {
@@ -106,8 +145,11 @@ func TestDegradeUserVetoKeepsContract(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	s, _ := connectPair(t, r, qos.ClassDetectIndicate, qos.ProfileCMRate, cmSpec())
+	s, rv := connectPair(t, r, qos.ClassDetectIndicate, qos.ProfileCMRate, cmSpec())
 	orig := s.Contract()
+	drain(rv)
+	stop := slowWrite(s, 25*time.Millisecond)
+	defer stop()
 
 	select {
 	case <-vetoed:

@@ -49,9 +49,16 @@ type Entity struct {
 	traceFn    func(at string, p core.Primitive)
 	peerDownFn func(peer core.HostID, vcs []core.VCID)
 	vcDownFn   func(s *SendVC, reason core.Reason)
-	resumable  map[core.VCID]*RecvVC // torn-down sinks awaiting a possible resume
-	resumableQ []resumableKey        // insertion order, for eviction
-	closed     bool
+	// Predictive-guard escalation hooks (see guard.go): shedFn asks the
+	// orchestration layer to shift the VC's source-side drop budget,
+	// rerouteFn asks the session supervisor to migrate the VC onto a
+	// path avoiding its current intermediate hops. Either may be nil —
+	// the guard escalates past an unavailable lever.
+	guardShedFn    func(vc core.VCID, prob float64, horizon int) bool
+	guardRerouteFn func(vc core.VCID) bool
+	resumable      map[core.VCID]*RecvVC // torn-down sinks awaiting a possible resume
+	resumableQ     []resumableKey        // insertion order, for eviction
+	closed         bool
 
 	// peerVCs indexes live VCs by remote peer (under mu), maintained at
 	// VC registration and teardown, so the keepalive tick walks O(peers)
@@ -215,6 +222,36 @@ func (e *Entity) SendOrch(dst core.HostID, o *pdu.Orch) error {
 		Src: e.host, Dst: dst, Prio: netif.PrioControl,
 		Payload: o.Marshal(nil),
 	})
+}
+
+// SetGuardShedder installs the predictive guard's load-shed hook
+// (used by the LLO: it forwards the forecast to the session's agent,
+// which shifts drop budget toward this stream for a few intervals).
+func (e *Entity) SetGuardShedder(fn func(vc core.VCID, prob float64, horizon int) bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.guardShedFn = fn
+}
+
+// SetGuardRerouter installs the predictive guard's re-route hook (used
+// by the session supervisor: it suspends the VC and re-establishes it
+// on a path avoiding the current intermediate hops).
+func (e *Entity) SetGuardRerouter(fn func(vc core.VCID) bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.guardRerouteFn = fn
+}
+
+func (e *Entity) guardShedder() func(vc core.VCID, prob float64, horizon int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.guardShedFn
+}
+
+func (e *Entity) guardRerouter() func(vc core.VCID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.guardRerouteFn
 }
 
 // SendDatagram transmits a connectionless user-data unit to a TSAP on a
@@ -559,18 +596,28 @@ func (e *Entity) onQoSReport(from core.HostID, q *pdu.QoSReport) {
 		ind.Contract = src.Contract()
 	}
 	if e.host == q.Tuple.Source.Host {
-		e.trace("source", core.TQoSIndication)
-		if u, ok := e.user(q.Tuple.Source.TSAP); ok && u.OnQoS != nil {
-			u.OnQoS(ind)
+		// With prediction enabled the sink relays every sample period, but
+		// only violated periods are T-QoS.indications — clean reports feed
+		// the guard's predictor and nothing else, so user-visible behavior
+		// with the guard disabled is byte-identical to the reactive-only
+		// service.
+		if len(q.Violated) > 0 {
+			e.trace("source", core.TQoSIndication)
+			if u, ok := e.user(q.Tuple.Source.TSAP); ok && u.OnQoS != nil {
+				u.OnQoS(ind)
+			}
+			if haveSrc {
+				src.noteViolation()
+			}
+			if q.Tuple.Remote() {
+				_ = e.net.Send(netif.Packet{
+					Src: e.host, Dst: q.Tuple.Initiator.Host, Prio: netif.PrioControl,
+					Payload: q.Marshal(nil),
+				})
+			}
 		}
-		if haveSrc && len(q.Violated) > 0 {
-			src.noteViolation()
-		}
-		if q.Tuple.Remote() {
-			_ = e.net.Send(netif.Packet{
-				Src: e.host, Dst: q.Tuple.Initiator.Host, Prio: netif.PrioControl,
-				Payload: q.Marshal(nil),
-			})
+		if haveSrc {
+			src.guardObserve(q.Report, len(q.Violated) > 0)
 		}
 		return
 	}

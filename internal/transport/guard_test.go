@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"cmtos/internal/core"
+	"cmtos/internal/predict"
+	"cmtos/internal/qos"
+)
+
+// guardRep builds a sample-period report carrying real traffic at the
+// given measured throughput, comfortably inside every other bound of
+// cmSpec's contract.
+func guardRep(thr float64) qos.Report {
+	return qos.Report{
+		Period:     50 * time.Millisecond,
+		Delivered:  10,
+		Throughput: thr,
+		MeanDelay:  300 * time.Microsecond,
+		MaxDelay:   400 * time.Microsecond,
+		Jitter:     100 * time.Microsecond,
+	}
+}
+
+// feed pushes a report through the source guard exactly as the entity's
+// report path would, computing the violated flag against the live
+// contract so the test can never lie about it.
+func feed(t *testing.T, s *SendVC, rep qos.Report) (violated bool) {
+	t.Helper()
+	v := rep.Violations(s.Contract(), s.e.cfg.QoSSlack)
+	s.guardObserve(rep, len(v) > 0)
+	return len(v) > 0
+}
+
+// The guard must fire on a throughput slide BEFORE any period actually
+// violates, try the escalation levers in order (shed, reroute,
+// renegotiate — the first two unavailable here), and land one ladder
+// rung down.
+func TestGuardRenegotiatesBeforeViolation(t *testing.T) {
+	cfg := Config{
+		SamplePeriod:     50 * time.Millisecond,
+		PredictThreshold: 0.7,
+		DegradeLadder:    []DegradeStep{{Throughput: 0.5}},
+	}
+	r := newRig(t, 2, fastLink(), cfg)
+
+	actions := make(chan GuardAction, 8)
+	reneg := make(chan qos.Contract, 4)
+	if err := r.ent[1].Attach(10, UserCallbacks{
+		OnGuard: func(_ core.VCID, a GuardAction, f predict.Forecast) bool {
+			if f.PViolation < cfg.PredictThreshold {
+				t.Errorf("OnGuard forecast %g below threshold", f.PViolation)
+			}
+			actions <- a
+			return true
+		},
+		OnRenegotiated: func(_ core.VCID, c qos.Contract) { reneg <- c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// ClassDetect does not indicate, so the sink relays nothing and the
+	// test alone decides what the guard sees.
+	s, _ := connectPair(t, r, qos.ClassDetect, qos.ProfileCMRate, cmSpec())
+	orig := s.Contract().Throughput // 200 OSDU/s; violation floor ≈ 190
+
+	if s.guard == nil {
+		t.Fatal("guard not armed despite PredictThreshold > 0")
+	}
+	// A healthy plateau, then a slide toward the floor that never
+	// actually reaches it: every period stays legal, only the trend is
+	// alarming.
+	for i := 0; i < 10; i++ {
+		if feed(t, s, guardRep(260)) {
+			t.Fatal("healthy plateau report counted as violated")
+		}
+	}
+	fired := false
+	for thr := 260.0; thr >= 196; thr -= 8 {
+		if feed(t, s, guardRep(thr)) {
+			t.Fatalf("slide report at %v OSDU/s already violated — test drives the guard too late", thr)
+		}
+		select {
+		case a := <-actions:
+			if a != GuardShed {
+				t.Fatalf("first escalation level = %v, want shed", a)
+			}
+			fired = true
+		case <-time.After(20 * time.Millisecond):
+		}
+		if fired {
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("guard never fired during a clean downward slide")
+	}
+	// Shed and reroute have no providers in this rig, so one firing
+	// escalates through all three levels and renegotiates.
+	for _, want := range []GuardAction{GuardReroute, GuardRenegotiate} {
+		select {
+		case a := <-actions:
+			if a != want {
+				t.Fatalf("escalation order: got %v, want %v", a, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("guard never escalated to %v", want)
+		}
+	}
+	select {
+	case c := <-reneg:
+		if c.Throughput >= orig {
+			t.Fatalf("proactive renegotiation did not lower throughput: %v", c.Throughput)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("proactive renegotiation never completed")
+	}
+}
+
+// A vetoed guard stands down: no contract change, no disconnect, and
+// the reactive machinery untouched.
+func TestGuardVetoHoldsContract(t *testing.T) {
+	cfg := Config{
+		SamplePeriod:     50 * time.Millisecond,
+		PredictThreshold: 0.7,
+		DegradeLadder:    []DegradeStep{{Throughput: 0.5}},
+	}
+	r := newRig(t, 2, fastLink(), cfg)
+
+	vetoed := make(chan struct{}, 16)
+	if err := r.ent[1].Attach(10, UserCallbacks{
+		OnGuard: func(core.VCID, GuardAction, predict.Forecast) bool {
+			select {
+			case vetoed <- struct{}{}:
+			default:
+			}
+			return false
+		},
+		OnRenegotiated: func(core.VCID, qos.Contract) {
+			t.Error("vetoed guard still renegotiated")
+		},
+		OnDisconnect: func(core.VCID, core.Reason, bool) {
+			t.Error("guard disconnected a VC — it must never do that")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := connectPair(t, r, qos.ClassDetect, qos.ProfileCMRate, cmSpec())
+	orig := s.Contract()
+
+	for i := 0; i < 10; i++ {
+		feed(t, s, guardRep(260))
+	}
+	for thr := 260.0; thr >= 196; thr -= 8 {
+		feed(t, s, guardRep(thr))
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case <-vetoed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnGuard veto hook never consulted")
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := s.Contract(); got != orig {
+		t.Fatalf("contract changed despite veto: %+v != %+v", got, orig)
+	}
+}
+
+// Actions whose forecast horizon passes without any observed violation
+// count against the false-positive budget; over budget, the guard
+// disarms for PredictDisarm and re-arms afterwards.
+func TestGuardFalsePositiveBudgetDisarms(t *testing.T) {
+	cfg := Config{
+		SamplePeriod:     20 * time.Millisecond,
+		PredictThreshold: 0.7,
+		PredictHorizon:   4,
+		PredictCooldown:  40 * time.Millisecond,
+		PredictFPBudget:  2,
+		PredictDisarm:    500 * time.Millisecond,
+		DegradeLadder:    []DegradeStep{{Throughput: 0.9}, {Throughput: 0.9}, {Throughput: 0.9}},
+	}
+	r := newRig(t, 2, fastLink(), cfg)
+
+	sheds := make(chan struct{}, 16)
+	r.ent[1].SetGuardShedder(func(core.VCID, float64, int) bool {
+		sheds <- struct{}{}
+		return true
+	})
+	if err := r.ent[1].Attach(10, UserCallbacks{}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := connectPair(t, r, qos.ClassDetect, qos.ProfileCMRate, cmSpec())
+
+	slide := func() bool {
+		for i := 0; i < 10; i++ {
+			feed(t, s, guardRep(260))
+		}
+		for thr := 260.0; thr >= 196; thr -= 8 {
+			feed(t, s, guardRep(thr))
+			select {
+			case <-sheds:
+				return true
+			case <-time.After(15 * time.Millisecond):
+			}
+		}
+		// Give the async action a last chance before declaring no-fire.
+		select {
+		case <-sheds:
+			return true
+		case <-time.After(100 * time.Millisecond):
+			return false
+		}
+	}
+	recover := func() {
+		// Past the horizon (5 sample periods) with clean reports: the
+		// pending action resolves as a false positive.
+		time.Sleep(5*cfg.SamplePeriod + 20*time.Millisecond)
+		for i := 0; i < 12; i++ {
+			feed(t, s, guardRep(260))
+		}
+	}
+
+	// Budget is 2: two fire-then-quiet cycles exhaust it.
+	for cycle := 0; cycle < 2; cycle++ {
+		if !slide() {
+			t.Fatalf("cycle %d: guard never fired", cycle)
+		}
+		recover()
+	}
+	// Third slide: disarmed, no action.
+	if slide() {
+		t.Fatal("guard fired while disarmed over the false-positive budget")
+	}
+	// After PredictDisarm expires the guard re-arms.
+	time.Sleep(cfg.PredictDisarm)
+	if !slide() {
+		t.Fatal("guard never re-armed after the disarm window")
+	}
+}
+
+// With PredictThreshold zero nothing is armed: no guard state, no
+// relay-all, and the reactive path untouched.
+func TestGuardDisabledByDefault(t *testing.T) {
+	r := newRig(t, 2, fastLink(), Config{SamplePeriod: 50 * time.Millisecond})
+	s, _ := connectPair(t, r, qos.ClassDetectIndicate, qos.ProfileCMRate, cmSpec())
+	if s.guard != nil {
+		t.Fatal("guard armed without PredictThreshold")
+	}
+	// Feeding the nil guard is a no-op, not a crash.
+	s.guardObserve(guardRep(10), true)
+}

@@ -919,18 +919,26 @@ func (r *RecvVC) sampleTick() {
 	contract := r.Contract()
 	violated := rep.Violations(contract, r.e.cfg.QoSSlack)
 	r.si.violations.Add(uint64(len(violated)))
-	if len(violated) == 0 || !r.class.Indicates() {
+	if !r.class.Indicates() {
 		return
 	}
-	// Local T-QoS.indication at the sink user ...
-	r.e.trace("dest", core.TQoSIndication)
-	if u, ok := r.e.user(r.tuple.Dest.TSAP); ok && u.OnQoS != nil {
-		u.OnQoS(QoSIndication{
-			VC: r.id, Tuple: r.tuple, Contract: contract,
-			Report: rep, Violated: violated,
-		})
+	if len(violated) > 0 {
+		// Local T-QoS.indication at the sink user ...
+		r.e.trace("dest", core.TQoSIndication)
+		if u, ok := r.e.user(r.tuple.Dest.TSAP); ok && u.OnQoS != nil {
+			u.OnQoS(QoSIndication{
+				VC: r.id, Tuple: r.tuple, Contract: contract,
+				Report: rep, Violated: violated,
+			})
+		}
+	} else if r.e.cfg.PredictThreshold <= 0 {
+		// Without the predictive guard only violated periods travel —
+		// the paper's T-QoS.indication discipline, and zero overhead for
+		// clean streams. With the guard enabled every period is relayed
+		// so the source predictor sees trends before they violate.
+		return
 	}
-	// ... and relay toward source (and initiator, via the source).
+	// Relay toward source (and initiator, via the source).
 	q := &pdu.QoSReport{VC: r.id, Tuple: r.tuple, Report: rep, Violated: violated}
 	_ = r.e.net.Send(netif.Packet{
 		Src: r.tuple.Dest.Host, Dst: r.tuple.Source.Host,

@@ -117,6 +117,10 @@ type SendVC struct {
 		active   bool      // a degradation exchange is in flight
 	}
 
+	// guard is the predictive QoS guard (see guard.go); nil unless
+	// Config.PredictThreshold is enabled.
+	guard *vcGuard
+
 	closeOnce sync.Once
 }
 
@@ -183,6 +187,9 @@ func newSendVC(e *Entity, id core.VCID, tup core.ConnectTuple, profile qos.Profi
 		s.si.protoBlock,
 	)
 	s.ring.SetDataNotify(s.schedulePump)
+	if e.cfg.PredictThreshold > 0 && contract.Guarantee == qos.Soft {
+		s.guard = newVCGuard(e, id)
+	}
 	return s
 }
 
@@ -320,6 +327,17 @@ func (s *SendVC) TakeBlockStats() (app, proto time.Duration) {
 // Close releases the VC with T-Disconnect.request toward the sink.
 func (s *SendVC) Close(reason core.Reason) error {
 	return s.e.Disconnect(s.id, reason)
+}
+
+// Suspend tears the VC down locally without notifying the peer: timers
+// stop, the reservation is released, and the ring closes, but no
+// disconnect PDU is sent and no VC-down notification fires. The sink
+// keeps running until a successor incarnation seals it through the
+// resume machinery, so a session layer can proactively migrate a
+// still-healthy VC onto a better path (guard re-route) the same way it
+// recovers a dead one.
+func (s *SendVC) Suspend() {
+	s.teardown()
 }
 
 // EnableRetention attaches a replay store to the VC: every OSDU popped from

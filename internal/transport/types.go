@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cmtos/internal/core"
+	"cmtos/internal/predict"
 	"cmtos/internal/qos"
 	"cmtos/internal/stats"
 )
@@ -108,6 +109,32 @@ type Config struct {
 	// two-step ladder (75% then 50% of the current rate, doubling the
 	// jitter bound each time).
 	DegradeLadder []DegradeStep
+	// PredictThreshold enables the predictive QoS guard for Soft source
+	// VCs: every relayed sample report (violated or not) feeds a per-VC
+	// predictor, and when the forecast probability of a violation within
+	// PredictHorizon sample periods crosses this threshold the guard acts
+	// proactively — shed source drop budget via orchestration, re-route
+	// around congested hops via the session supervisor, or renegotiate
+	// one ladder rung down — before the reactive violation streak fires.
+	// 0 (the default) disables prediction entirely; the reactive ladder
+	// behaves exactly as without a guard.
+	PredictThreshold float64
+	// PredictHorizon is the forecast lookahead in sample periods.
+	// Default 4.
+	PredictHorizon int
+	// PredictWindow is the predictor's rolling report window. Default 32.
+	PredictWindow int
+	// PredictCooldown is the minimum spacing between guard actions on one
+	// VC — the hysteresis that keeps the guard from flapping. Default
+	// 4x SamplePeriod.
+	PredictCooldown time.Duration
+	// PredictFPBudget is how many consecutive guard actions may resolve
+	// without an observed violation before the guard disarms itself and
+	// defers to the reactive ladder. Default 3.
+	PredictFPBudget int
+	// PredictDisarm is how long an over-budget guard stays disarmed
+	// before re-arming with fresh counters. Default 16x SamplePeriod.
+	PredictDisarm time.Duration
 	// Stats receives the entity's metrics under host/<id>/... Nil (the
 	// default) disables metrics collection entirely; the data path then
 	// pays only nil-instrument no-op calls.
@@ -172,13 +199,57 @@ func (c Config) withDefaults() Config {
 	if c.ResumeWindow <= 0 {
 		c.ResumeWindow = 30 * time.Second
 	}
-	if c.DegradeAfter > 0 && len(c.DegradeLadder) == 0 {
+	if (c.DegradeAfter > 0 || c.PredictThreshold > 0) && len(c.DegradeLadder) == 0 {
 		c.DegradeLadder = []DegradeStep{
 			{Throughput: 0.75, Jitter: 2},
 			{Throughput: 0.5, Jitter: 2},
 		}
 	}
+	if c.PredictThreshold > 0 {
+		if c.PredictHorizon <= 0 {
+			c.PredictHorizon = 4
+		}
+		if c.PredictWindow <= 0 {
+			c.PredictWindow = 32
+		}
+		if c.PredictCooldown <= 0 {
+			c.PredictCooldown = 4 * c.SamplePeriod
+		}
+		if c.PredictFPBudget <= 0 {
+			c.PredictFPBudget = 3
+		}
+		if c.PredictDisarm <= 0 {
+			c.PredictDisarm = 16 * c.SamplePeriod
+		}
+	}
 	return c
+}
+
+// GuardAction identifies one escalation level of the predictive QoS
+// guard, in the order the guard tries them.
+type GuardAction uint8
+
+// Guard escalation levels: shift source-side drop budget through the
+// orchestration layer, re-route around the congested path through the
+// session supervisor, then renegotiate one ladder rung down.
+const (
+	GuardShed GuardAction = iota
+	GuardReroute
+	GuardRenegotiate
+)
+
+var guardActionNames = [...]string{
+	GuardShed:        "shed",
+	GuardReroute:     "reroute",
+	GuardRenegotiate: "renegotiate",
+}
+
+// String returns the action's name.
+func (a GuardAction) String() string {
+	if int(a) < len(guardActionNames) {
+		return guardActionNames[a]
+	}
+	return fmt.Sprintf("guard-action(%d)", uint8(a))
 }
 
 // DegradeStep is one rung of the automatic degradation ladder: the
@@ -262,6 +333,13 @@ type UserCallbacks struct {
 	// VC holds its contract and the violation streak restarts). Nil
 	// accepts every step.
 	OnDegrade func(vc core.VCID, step int, proposed qos.Spec) bool
+	// OnGuard, when the predictive guard (Config.PredictThreshold) is
+	// enabled, is consulted before each proactive action: action is the
+	// escalation level about to fire and f the forecast that crossed the
+	// threshold. Return false to veto — the guard stands down for this
+	// firing (cooldown still applies) and the reactive ladder remains
+	// the only authority. Nil accepts every action.
+	OnGuard func(vc core.VCID, action GuardAction, f predict.Forecast) bool
 }
 
 // ConnectRequest carries the parameters of T-Connect.request (Table 1)

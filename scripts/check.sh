@@ -38,7 +38,15 @@ go test -run='^$' -bench='^BenchmarkRelayFanout$' -benchtime=1x ./internal/relay
 # checks on each decode path.
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/pdu/
 
-# Short chaos soak: the clean/drop/crash regimes over both substrates,
-# checking reservations, VC tables and goroutines all drain to zero.
-# CMTOS_SOAK=long (the nightly workflow) adds the heavier fault regimes.
+# Predictor A/B smoke: the predictive-vs-reactive guard harness (B9)
+# under its delay-ramp and burst regimes, asserting the guard acts
+# proactively and never does worse than the reactive ladder on violated
+# periods. The full multi-scenario table is cmd/benchtab material.
+go test -race -count=1 -run='^TestPredictAB' ./internal/lab/
+
+# Short chaos soak: the clean/drop/crash regimes over both substrates —
+# including the guard-burst regime, which runs the predictive QoS guard
+# under bursty loss — checking reservations, VC tables and goroutines
+# all drain to zero. CMTOS_SOAK=long (the nightly workflow) adds the
+# heavier fault regimes.
 go test -race -count=1 -run='^TestChaosSoak$' ./internal/soak/
