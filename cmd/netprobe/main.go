@@ -56,9 +56,18 @@
 // disconnecting; both processes print their metrics registries, which
 // carry the same host/<id>/vc/<id> scopes an emulated run produces,
 // plus the UDP substrate's net/ scope: sent/recv packet, byte and
-// syscall-batch counters, send_overflows (packets dropped from a full
-// priority send ring) and recv_overruns (datagrams discarded because
-// delivery fell behind the socket).
+// syscall-batch counters, send_errors (wire writes the kernel refused),
+// gso_supers and gro_supers (super-datagrams the kernel segmented for
+// us on send and coalesced for us on receive), send_overflows (packets
+// dropped from a full priority send ring) and recv_overruns (datagrams
+// discarded because delivery fell behind the socket).
+//
+// UDP mode defaults to kernel offload — UDP_SEGMENT/UDP_GRO
+// super-datagrams plus SO_REUSEPORT receive sharding, one shard per
+// CPU — probed at runtime and silently falling back where the kernel
+// refuses. -shards pins the shard count and -nooffload forces the
+// plain sendmmsg/recvmmsg path, which is how the offload A/B in
+// BENCH_8 is reproduced by hand.
 package main
 
 import (
@@ -100,6 +109,8 @@ func main() {
 	recoverDemoF := flag.Bool("recover", false, "emulated mode: kill the path mid-stream and let the session layer resurrect the VC")
 	predictF := flag.Bool("predict", false, "emulated mode: arm the predictive QoS guard and print its decisions")
 	relayRole := flag.String("relay", "", "UDP mode: role in the three-process source→relay→sink chain (source|relay|sink)")
+	flag.IntVar(&udpShards, "shards", 0, "UDP mode: send/receive shard count (0 = one per CPU, capped at 8)")
+	flag.BoolVar(&udpNoOffload, "nooffload", false, "UDP mode: disable UDP_SEGMENT/UDP_GRO kernel offload (plain sendmmsg path)")
 	flag.Parse()
 
 	fsp, err := faultnet.ParseSpec(*fault)
@@ -177,8 +188,19 @@ func probeSpec(rate float64, size int) qos.Spec {
 // advisory admission, transport entity and orchestrator. The fault
 // injector, when requested, sits between the entity and the socket;
 // admission and metrics stay wired to the real substrate underneath.
+// udpShards and udpNoOffload carry the -shards/-nooffload flags into
+// every UDP-mode stack (sender, receiver, and each relay role).
+var (
+	udpShards    int
+	udpNoOffload bool
+)
+
 func udpStack(id core.HostID, listen string, fsp faultnet.Spec, reg *stats.Registry) (*udpnet.Network, *transport.Entity, *orch.LLO) {
-	nw, err := udpnet.New(udpnet.Config{Local: id, Listen: listen})
+	nw, err := udpnet.New(udpnet.Config{
+		Local: id, Listen: listen,
+		SendShards: udpShards, RecvShards: udpShards,
+		NoOffload: udpNoOffload,
+	})
 	check(err)
 	nw.SetStats(reg.Scope(fmt.Sprintf("host/%d", uint32(id))))
 	rm := resv.NewLocal(nw.Capacity(), nw.Route)

@@ -257,17 +257,35 @@ func (n *Network) Restore(h core.HostID) {
 // substrate. Fault order: crash/partition, drop, corruption,
 // duplication, delay spike, reordering.
 func (n *Network) Send(p netif.Packet) error {
+	var buf [3]netif.Packet // p, its duplicate, a released held packet
+	out := buf[:0]
+	n.decide(p, &out)
+	var firstErr error
+	for _, q := range out {
+		if err := n.inner.Send(q); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// decide takes every fault decision for one packet and appends to out
+// the packets that must go to the inner substrate now, in wire order:
+// the packet itself (possibly corrupted), its duplicate, then a
+// previously-held packet the reorderer releases behind it. Dropped,
+// delayed (AfterFunc re-send) and newly-held packets append nothing.
+func (n *Network) decide(p netif.Packet, out *[]netif.Packet) {
 	n.mu.Lock()
 	n.fi.sent.Inc()
 	if n.crashed[p.Src] || (p.Dst < netif.GroupBase && n.crashed[p.Dst]) {
 		n.fi.crashed_.Inc()
 		n.mu.Unlock()
-		return nil
+		return
 	}
 	if p.Dst < netif.GroupBase && n.parts[[2]core.HostID{p.Src, p.Dst}] {
 		n.fi.partitioned.Inc()
 		n.mu.Unlock()
-		return nil
+		return
 	}
 	if p.Dst < netif.GroupBase {
 		if sp, ok := n.slow[[2]core.HostID{p.Src, p.Dst}]; ok {
@@ -275,12 +293,12 @@ func (n *Network) Send(p netif.Packet) error {
 			if frac >= 1 {
 				n.fi.partitioned.Inc()
 				n.mu.Unlock()
-				return nil
+				return
 			}
 			if frac > 0 && n.rng.Float64() < frac {
 				n.fi.slowPartitioned.Inc()
 				n.mu.Unlock()
-				return nil
+				return
 			}
 		}
 	}
@@ -301,7 +319,7 @@ func (n *Network) Send(p netif.Packet) error {
 		if pl > 0 && n.rng.Float64() < pl {
 			n.fi.geDropped.Inc()
 			n.mu.Unlock()
-			return nil
+			return
 		}
 	}
 	pDrop := n.drop
@@ -314,7 +332,7 @@ func (n *Network) Send(p netif.Packet) error {
 	if pDrop > 0 && n.rng.Float64() < pDrop {
 		n.fi.dropped.Inc()
 		n.mu.Unlock()
-		return nil
+		return
 	}
 	if n.corrupt > 0 && len(p.Payload) > 0 && n.rng.Float64() < n.corrupt {
 		flipped := make([]byte, len(p.Payload))
@@ -345,7 +363,7 @@ func (n *Network) Send(p netif.Packet) error {
 	if extra > 0 {
 		n.mu.Unlock()
 		n.clk.AfterFunc(extra, func() { _ = n.inner.Send(p) })
-		return nil
+		return
 	}
 	var release *netif.Packet
 	if n.reorder > 0 && n.rng.Float64() < n.reorder && n.held == nil {
@@ -356,36 +374,47 @@ func (n *Network) Send(p netif.Packet) error {
 		n.fi.reordered.Inc()
 		n.mu.Unlock()
 		n.clk.AfterFunc(reorderFlush, n.flushHeld)
-		return nil
+		return
 	}
 	release, n.held = n.held, nil
 	n.mu.Unlock()
 
-	if err := n.inner.Send(p); err != nil {
-		return err
-	}
+	*out = append(*out, p)
 	if dup {
 		n.fi.duplicated.Inc()
-		_ = n.inner.Send(p)
+		*out = append(*out, p)
 	}
 	if release != nil {
-		_ = n.inner.Send(*release)
+		*out = append(*out, *release)
 	}
-	return nil
 }
 
 // SendBatch implements netif.BatchSender over the fault pipeline: each
 // packet of the batch takes its own fault decisions (drop, corruption,
 // reordering are per-packet events on a real wire), so a batched sender
-// above suffers exactly the faults a packet-at-a-time sender would.
+// above suffers exactly the faults a packet-at-a-time sender would. The
+// survivors then go to the inner substrate as one batch: a segmenting
+// (GSO) substrate underneath still sees coalescible runs instead of
+// the per-packet sends that would defeat its batching.
 func (n *Network) SendBatch(ps []netif.Packet) error {
-	var firstErr error
-	for _, p := range ps {
-		if err := n.Send(p); err != nil && firstErr == nil {
-			firstErr = err
+	bs, ok := n.inner.(netif.BatchSender)
+	if !ok {
+		var firstErr error
+		for _, p := range ps {
+			if err := n.Send(p); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
+		return firstErr
 	}
-	return firstErr
+	out := make([]netif.Packet, 0, len(ps)+2) // +2: a dup and a release can join
+	for _, p := range ps {
+		n.decide(p, &out)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return bs.SendBatch(out)
 }
 
 // flushHeld releases a reordered packet that nothing overtook in time.

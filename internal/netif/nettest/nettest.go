@@ -82,6 +82,8 @@ func Run(t *testing.T, mk Factory) {
 	t.Run("BatchDelivery", func(t *testing.T) { testBatchDelivery(t, mk) })
 	t.Run("PriorityOrdering", func(t *testing.T) { testPriorityOrdering(t, mk) })
 	t.Run("DamagedAttribution", func(t *testing.T) { testDamagedAttribution(t, mk) })
+	t.Run("SegmentedDelivery", func(t *testing.T) { testSegmentedDelivery(t, mk) })
+	t.Run("SegmentedDamage", func(t *testing.T) { testSegmentedDamage(t, mk) })
 	t.Run("HandlerDetachOnClose", func(t *testing.T) { testHandlerDetachOnClose(t, mk) })
 }
 
@@ -251,6 +253,127 @@ func testDamagedAttribution(t *testing.T, mk Factory) {
 	}
 	if damaged == 0 {
 		t.Fatalf("no damaged deliveries on a corrupting path")
+	}
+}
+
+// segBurst builds the segmented-delivery workload: bursts of
+// equal-size packets — exactly what a GSO send coalesces into
+// super-datagrams and a GRO receive re-splits — with per-packet
+// distinct content and flow so any misattribution after the split is
+// visible. The index is sealed into the payload head; the rest is an
+// index-derived fill so a segment-boundary slip corrupts the pattern.
+func segBurst(h *Harness, n, size int) []netif.Packet {
+	batch := make([]netif.Packet, n)
+	for i := range batch {
+		pl := make([]byte, size)
+		pl[0], pl[1] = byte(i>>8), byte(i)
+		for j := 2; j < size; j++ {
+			pl[j] = byte(i * 31)
+		}
+		batch[i] = netif.Packet{
+			Src: h.HostA, Dst: h.HostB, Flow: core.VCID(100 + i%7),
+			Prio: netif.PrioGuaranteed, Payload: pl,
+		}
+	}
+	return batch
+}
+
+// sendAll pushes a burst through SendBatch when the substrate has it,
+// else packet-by-packet — the conformance claim is the same either way.
+func sendAll(t *testing.T, h *Harness, batch []netif.Packet) {
+	t.Helper()
+	if bs, ok := h.A.(netif.BatchSender); ok {
+		if err := bs.SendBatch(batch); err != nil {
+			t.Fatalf("SendBatch: %v", err)
+		}
+		return
+	}
+	for i, p := range batch {
+		if err := h.A.Send(p); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+}
+
+// testSegmentedDelivery: a burst of equal-size packets — the shape a
+// GSO/GRO substrate moves as coalesced super-datagrams — must deliver
+// every packet individually, with per-packet Flow, Prio and payload
+// intact. A substrate that leaks segmentation (merged, split or
+// misattributed packets) fails here even though each lone datagram
+// round-trips fine.
+func testSegmentedDelivery(t *testing.T, mk Factory) {
+	h := mk(t, Options{})
+	defer h.Close()
+	col := &collector{}
+	if err := h.B.SetHandler(h.HostB, col.handle); err != nil {
+		t.Fatalf("SetHandler: %v", err)
+	}
+	const N, size = 96, 512 // > one 64-segment super-datagram
+	sendAll(t, h, segBurst(h, N, size))
+	if !waitFor(5*time.Second, func() bool { return col.count() >= N }) {
+		t.Fatalf("delivered %d of %d segmented packets", col.count(), N)
+	}
+	seen := make(map[int]bool)
+	for _, p := range col.snapshot() {
+		if len(p.Payload) != size {
+			t.Fatalf("segment boundary lost: %d-byte delivery, want %d", len(p.Payload), size)
+		}
+		i := int(p.Payload[0])<<8 | int(p.Payload[1])
+		if i >= N {
+			t.Fatalf("impossible packet index %d", i)
+		}
+		if p.Flow != core.VCID(100+i%7) || p.Prio != netif.PrioGuaranteed || p.Src != h.HostA {
+			t.Fatalf("packet %d misattributed after split: %+v", i, p)
+		}
+		for j := 2; j < size; j++ {
+			if p.Payload[j] != byte(i*31) {
+				t.Fatalf("packet %d payload corrupted at byte %d", i, j)
+			}
+		}
+		if p.Damaged {
+			t.Fatalf("packet %d damaged on a clean path", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != N {
+		t.Fatalf("got %d distinct packets, want %d", len(seen), N)
+	}
+}
+
+// testSegmentedDamage: per-packet Damaged attribution must survive
+// coalescing — when segments of one super-datagram are corrupted, each
+// is delivered with its own Damaged flag and Flow, and clean
+// neighbours in the same super-datagram stay clean.
+func testSegmentedDamage(t *testing.T, mk Factory) {
+	h := mk(t, Options{Damage: true})
+	defer h.Close()
+	col := &collector{}
+	if err := h.B.SetHandler(h.HostB, col.handle); err != nil {
+		t.Fatalf("SetHandler: %v", err)
+	}
+	const N, size = 64, 512
+	sendAll(t, h, segBurst(h, N, size))
+	if !waitFor(5*time.Second, func() bool { return col.count() >= N }) {
+		t.Fatalf("delivered %d of %d segmented packets", col.count(), N)
+	}
+	damaged := 0
+	for _, p := range col.snapshot() {
+		if len(p.Payload) != size {
+			t.Fatalf("segment boundary lost: %d-byte delivery, want %d", len(p.Payload), size)
+		}
+		i := int(p.Payload[0])<<8 | int(p.Payload[1])
+		if p.Damaged {
+			damaged++
+			if i < N && p.Flow != core.VCID(100+i%7) {
+				t.Fatalf("damaged segment lost its Flow attribution: %+v", p)
+			}
+		}
+	}
+	if damaged == 0 {
+		t.Fatalf("no damaged deliveries on a corrupting path")
+	}
+	if damaged == N {
+		t.Fatalf("every segment damaged: attribution not per-packet")
 	}
 }
 

@@ -37,17 +37,17 @@ func TestNetemConformance(t *testing.T) {
 	})
 }
 
-// TestUDPConformance runs the substrate suite against the UDP substrate,
-// two sockets on the loopback interface. Skips where the sandbox forbids
-// socket use.
-func TestUDPConformance(t *testing.T) {
-	Run(t, func(t *testing.T, o Options) *Harness {
+// udpFactory builds the UDP-substrate harness factory, letting each
+// conformance variant tweak the base config (offload on/off, shard
+// counts). Skips where the sandbox forbids socket use.
+func udpFactory(base udpnet.Config) Factory {
+	return func(t *testing.T, o Options) *Harness {
 		mkNet := func(id core.HostID) *udpnet.Network {
-			n, err := udpnet.New(udpnet.Config{
-				Local:    id,
-				Listen:   "127.0.0.1:0",
-				PaceRate: o.PaceBps,
-			})
+			cfg := base
+			cfg.Local = id
+			cfg.Listen = "127.0.0.1:0"
+			cfg.PaceRate = o.PaceBps
+			n, err := udpnet.New(cfg)
 			if err != nil {
 				t.Skipf("UDP sockets unavailable: %v", err)
 			}
@@ -68,5 +68,29 @@ func TestUDPConformance(t *testing.T) {
 			a.Close()
 			b.Close()
 		}}
-	})
+	}
+}
+
+// TestUDPConformance runs the substrate suite against the UDP substrate
+// in its default configuration — kernel offload (GSO/GRO, reuseport
+// sharding) wherever the kernel grants it, the plain batched path
+// elsewhere. Two sockets on the loopback interface.
+func TestUDPConformance(t *testing.T) {
+	Run(t, udpFactory(udpnet.Config{}))
+}
+
+// TestUDPNoOffloadConformance pins the portable fallback: the same
+// suite with UDP_SEGMENT/UDP_GRO refused, which is what the substrate
+// runs on pre-4.18 kernels and non-Linux builds. Segmented bursts must
+// behave identically whether or not the kernel coalesces them.
+func TestUDPNoOffloadConformance(t *testing.T) {
+	Run(t, udpFactory(udpnet.Config{NoOffload: true}))
+}
+
+// TestUDPShardedConformance forces multi-shard send and receive paths
+// even where GOMAXPROCS would default them to one, so flow-to-shard
+// hashing, per-shard pools and the reuseport receive group get
+// conformance coverage on any machine.
+func TestUDPShardedConformance(t *testing.T) {
+	Run(t, udpFactory(udpnet.Config{SendShards: 4, RecvShards: 4}))
 }

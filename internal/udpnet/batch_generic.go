@@ -2,18 +2,39 @@
 
 package udpnet
 
-// Portable fallback: no batched syscalls, one datagram per
-// WriteToUDPAddrPort/ReadFromUDPAddrPort. The pooled-buffer and
-// ring-queue machinery is shared with the batched path, so the data
-// path stays allocation-free here too — it just pays one syscall per
-// datagram.
+// Portable fallback: no batched syscalls, no kernel offload, one
+// datagram per WriteToUDPAddrPort/ReadFromUDPAddrPort. The pooled-
+// buffer, ring-queue and per-shard send machinery is shared with the
+// offloaded path, so the data path stays allocation-free here too — it
+// just pays one syscall per datagram. Without SO_REUSEPORT semantics to
+// rely on, receive sharding collapses to a single socket.
+
+import "net"
+
+// platformMaxRecvShards: a second socket cannot share the advertised
+// port portably, so receive sharding is unavailable.
+const platformMaxRecvShards = 1
+
+// listenShared binds a UDP socket; reuseport is never requested here
+// because platformMaxRecvShards caps the shard count at one.
+func listenShared(addr string, reuseport bool) (*net.UDPConn, error) {
+	_ = reuseport
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.ListenUDP("udp", ua)
+}
 
 type batchIO struct{}
 
-func (n *Network) initBatchIO() {}
+func (s *shard) initBatchIO() {}
 
-func (n *Network) writeBatch(pkts []outPkt) (sent, bytes, calls int) {
-	return n.genericWriteBatch(pkts)
+// probeOffload: no UDP_SEGMENT/UDP_GRO off Linux.
+func (s *shard) probeOffload() (gso, gro bool) { return false, false }
+
+func (s *shard) writeBatch(pkts []outPkt) (sent, bytes, calls, errs int) {
+	return s.genericWriteBatch(pkts)
 }
 
-func (n *Network) runRecvLoop() { n.genericRecvLoop() }
+func (s *shard) runRecvLoop() { s.genericRecvLoop() }

@@ -14,13 +14,34 @@
 // PathCapability through SetAvailable so QoS negotiation and admission
 // agree.
 //
-// The data path is engineered for sustained CM throughput: wire buffers
-// come from a sync.Pool and are recycled once the receive handler
-// returns, the priority queues are fixed ring buffers that never
-// reallocate, and on Linux the sender and receiver drain up to
-// Config.Batch datagrams per sendmmsg/recvmmsg syscall. In steady state
-// the path allocates nothing per packet (see the alloc regression tests
-// and BenchmarkSendRecv).
+// The data path is engineered for multi-core kernel-offload throughput:
+//
+//   - Config.SendShards per-CPU send structures, each with its own
+//     socket, strict-priority rings, buffer pool and sendmmsg loop, so
+//     SendBatch enqueues contention-free (flows hash-pin to a shard,
+//     preserving per-flow FIFO order).
+//   - UDP_SEGMENT send-side GSO: one sendmsg carries up to a 64KB
+//     super-datagram of same-destination, same-priority, same-size
+//     packets as a gather list — the kernel (or the NIC) splits it into
+//     individual datagrams, so the per-packet syscall and protocol-stack
+//     cost amortises over the whole run. Per-packet CRC framing is
+//     unchanged: every segment is a complete wire datagram.
+//   - Config.RecvShards SO_REUSEPORT sockets on the advertised port:
+//     the kernel hashes inbound flows across them, so recvmmsg receive
+//     processing scales across CPUs. Each shard feeds its own delivery
+//     goroutine; the transport's handler hands events to its own
+//     per-shard MPSC rings, so no new locks appear on the path.
+//   - UDP_GRO on receive: coalesced super-datagrams are split back into
+//     individual packets at the GSO segment size, each CRC-checked and
+//     Damaged-attributed exactly as a lone datagram would be.
+//
+// Wire buffers come from per-shard sync.Pools and are recycled once the
+// receive handler returns; the priority queues are fixed ring buffers
+// that never reallocate. In steady state the path allocates nothing per
+// packet (see the alloc regression tests and BenchmarkSendRecv). Where
+// the kernel lacks UDP_SEGMENT/UDP_GRO (or on non-Linux builds) the
+// substrate transparently falls back to plain sendmmsg/recvmmsg or
+// one-datagram-per-syscall I/O; conformance semantics are identical.
 package udpnet
 
 import (
@@ -28,9 +49,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"math/rand"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -43,23 +66,32 @@ import (
 	"cmtos/internal/stats"
 )
 
-// Wire header layout, big-endian, headerSize bytes total:
+// Wire header layout v2, big-endian, headerSize bytes total:
 //
-//	[0:4]   magic "CMT1"
+//	[0:4]   magic "CMT2"
 //	[4:8]   src HostID
 //	[8:12]  dst HostID
 //	[12:16] flow VCID
 //	[16]    priority
 //	[17]    flags (reserved, 0)
-//	[18:20] payload length
-//	[20:24] payload CRC-32 (IEEE)
-//	[24:28] header CRC-32 over bytes [0:24]
+//	[18:20] sender's advertised (listen) port
+//	[20:22] payload length
+//	[22:24] reserved (0)
+//	[24:28] payload CRC-32 (IEEE)
+//	[28:32] header CRC-32 over bytes [0:28]
+//
+// v2 adds the sender's advertised port: per-CPU send shards transmit
+// from ephemeral-port sockets, so the datagram's source address no
+// longer names the port peers should reply to. Peer learning records
+// addr-from-the-wire + port-from-the-header, which keeps the peer table
+// stable across send shards and lets SO_REUSEPORT hash replies across
+// the remote's receive shards.
 //
 // A bad header CRC drops the datagram (we cannot trust any field); a bad
 // payload CRC delivers it with Damaged set, preserving Flow attribution.
 const (
-	magic      = 0x434D5431 // "CMT1"
-	headerSize = 28
+	magic      = 0x434D5432 // "CMT2"
+	headerSize = 32
 )
 
 // reservableFraction caps advisory admission at this share of the
@@ -71,10 +103,27 @@ const reservableFraction = 0.9
 // and the sender's scratch, so it stays small and fixed.
 const maxBatch = 64
 
+// maxShards bounds SendShards and RecvShards; sockets and loops scale
+// linearly with it.
+const maxShards = 16
+
+// maxSegments is the most packets one GSO super-datagram may carry —
+// the kernel's UDP_MAX_SEGMENTS floor across supported versions.
+const maxSegments = 64
+
+// maxGSOBytes bounds one super-datagram's total wire bytes; the kernel
+// caps a GSO skb at 64KB and an IPv4 UDP payload at 65507.
+const maxGSOBytes = 64000
+
+// groBufSize is the receive buffer size on a UDP_GRO socket: a
+// coalesced super-datagram can be up to 64KB regardless of our MTU.
+const groBufSize = 65535
+
 // socketBuffer is the SO_SNDBUF/SO_RCVBUF request: the kernel default
 // (~200 KB) holds under a hundred MTU-sized datagrams of skb overhead,
-// far too shallow for a line-rate CM burst between two scheduler slices.
-const socketBuffer = 1 << 20
+// far too shallow for a line-rate CM burst between two scheduler slices
+// — and a single GRO super-datagram alone is 64KB.
+const socketBuffer = 1 << 22
 
 // Config parameterises New. Local and Listen are required.
 type Config struct {
@@ -95,7 +144,9 @@ type Config struct {
 	LineRate float64
 	// PaceRate, when positive, paces the sender to this many bytes/sec
 	// so the strict-priority queues become observable; 0 sends as fast
-	// as the socket accepts.
+	// as the socket accepts. Pacing forces a single send shard and a
+	// drain quantum of one packet, so strict priority stays preemptive
+	// at packet granularity.
 	PaceRate float64
 	// Delay is the advertised propagation-delay floor for
 	// PathCapability. Default 0.
@@ -103,8 +154,8 @@ type Config struct {
 	// Jitter is the advertised jitter bound for PathCapability.
 	// Default 1ms (scheduling noise on a real host).
 	Jitter time.Duration
-	// QueueLen bounds each priority queue; excess packets are dropped
-	// like a router's drop-tail queue. Default 256.
+	// QueueLen bounds each priority queue (per send shard); excess
+	// packets are dropped like a router's drop-tail queue. Default 256.
 	QueueLen int
 	// Batch bounds how many same-priority datagrams one
 	// sendmmsg/recvmmsg syscall moves (on platforms with batch I/O;
@@ -112,6 +163,21 @@ type Config struct {
 	// capped at 64. A paced sender always drains one packet at a time
 	// so strict priority stays preemptive at packet granularity.
 	Batch int
+	// SendShards is the number of per-CPU send structures: sockets,
+	// priority rings, buffer pools and send loops. Flows hash-pin to a
+	// shard, so per-flow FIFO order is preserved while distinct flows
+	// enqueue contention-free. Default min(GOMAXPROCS, 8); forced to 1
+	// when PaceRate is set.
+	SendShards int
+	// RecvShards is the number of SO_REUSEPORT sockets sharing the
+	// advertised port; the kernel hashes inbound flows across them.
+	// Default min(GOMAXPROCS, 8); forced to 1 where SO_REUSEPORT is
+	// unavailable (non-Linux builds).
+	RecvShards int
+	// NoOffload disables UDP_SEGMENT/UDP_GRO even where the kernel
+	// supports them — the plain sendmmsg/recvmmsg path of PR 5. Offload
+	// support is probed at runtime, so on old kernels this is implied.
+	NoOffload bool
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +202,30 @@ func (c Config) withDefaults() Config {
 	if c.Batch > maxBatch {
 		c.Batch = maxBatch
 	}
+	defShards := runtime.GOMAXPROCS(0)
+	if defShards > 8 {
+		defShards = 8
+	}
+	if c.SendShards <= 0 {
+		c.SendShards = defShards
+	}
+	if c.RecvShards <= 0 {
+		c.RecvShards = defShards
+	}
+	if c.SendShards > maxShards {
+		c.SendShards = maxShards
+	}
+	if c.RecvShards > maxShards {
+		c.RecvShards = maxShards
+	}
+	if c.PaceRate > 0 {
+		// One paced drain point: strict priority and the pacing budget
+		// are global properties, not per-shard ones.
+		c.SendShards = 1
+	}
+	if c.RecvShards > platformMaxRecvShards {
+		c.RecvShards = platformMaxRecvShards
+	}
 	return c
 }
 
@@ -150,11 +240,15 @@ type outPkt struct {
 	size int            // accounting size: payload + netif.WireOverhead
 }
 
-// inPkt is one datagram queued for handler delivery. buf backs
-// p.Payload and returns to the pool after the handler runs.
+// inPkt is one received super-datagram (or lone datagram) queued for
+// handler delivery: n wire bytes in buf, split into seg-byte segments
+// (the last may be shorter). buf returns to its pool after every
+// segment's handler has run.
 type inPkt struct {
-	p   netif.Packet
-	buf *[]byte
+	buf  *[]byte
+	n    int
+	seg  int
+	from netip.AddrPort // zero = local (loopback) delivery
 }
 
 // ring is a fixed-capacity FIFO of outbound datagrams. It never
@@ -196,37 +290,98 @@ func (r *ring) pop(dst []outPkt) int {
 	return k
 }
 
-// Network is a UDP-socket substrate. Create with New; it is live
-// immediately (no Start).
-type Network struct {
-	cfg  Config
-	clk  clock.Clock
+// shard is one socket's worth of wire machinery. Send shards own
+// priority rings and a send loop next to their receive pipeline; the
+// SO_REUSEPORT receive shards run only the receive pipeline. Every
+// field below the socket is touched by that shard's own goroutines (or
+// under its own lock), so shards never contend with each other.
+type shard struct {
+	net  *Network
+	idx  int
 	conn *net.UDPConn
 	rawc syscall.RawConn // set when batch I/O is available, else nil
-	v4   bool            // socket is AF_INET (affects sockaddr encoding)
+	gso  bool            // UDP_SEGMENT accepted on this socket
+	gro  bool            // UDP_GRO enabled on this socket
 
-	bufSize int
-	pool    sync.Pool // of *[]byte, each bufSize long
-
-	mu      sync.Mutex
-	handler netif.Handler
-	peers   map[core.HostID]netip.AddrPort
-	groups  map[core.HostID][]core.HostID
-	avail   func(src, dst core.HostID) float64
-	damageP float64
-	rng     *rand.Rand
-	closed  bool
+	// pool recycles send-side wire buffers (cap exactly net.bufSize);
+	// rpool recycles receive buffers (cap exactly net.recvBufSize,
+	// which is groBufSize on a UDP_GRO socket). When the two classes
+	// collapse to the same size (no GRO anywhere) both point at one
+	// pool, so capacity-routing in putWire cannot starve either side.
+	// putWire routes each buffer back by capacity and drops any
+	// stranger, so a buffer grown (or shrunk) out of class can never
+	// ratchet pool memory upward.
+	pool  *sync.Pool
+	rpool *sync.Pool
 
 	qmu    sync.Mutex
 	qcond  *sync.Cond
 	queues [netif.NumPriorities]ring
 
 	inbox    chan inPkt
-	wg       sync.WaitGroup // sender + receiver
-	dwg      sync.WaitGroup // delivery
-	sendDone chan struct{}  // sendLoop has drained its queues and exited
+	sendDone chan struct{} // sendLoop has drained its queues and exited
 
 	bio *batchIO // platform batch-I/O state (nil without batch support)
+
+	// writeHook, when set (tests only), replaces the one-datagram
+	// send syscall of the generic write path, so partial-batch error
+	// accounting can be pinned with injected transient errors.
+	writeHook func(wire []byte, addr netip.AddrPort) error
+}
+
+// getSendBuf takes a send wire buffer from the shard's pool.
+func (s *shard) getSendBuf() *[]byte { return s.pool.Get().(*[]byte) }
+
+// getRecvBuf takes a receive buffer from the shard's pool.
+func (s *shard) getRecvBuf() *[]byte { return s.rpool.Get().(*[]byte) }
+
+// putWire returns a wire buffer to the pool that owns its size class.
+// A buffer whose capacity matches neither class — e.g. one a caller
+// grew past bufSize — is dropped for the GC instead of being pooled,
+// pinning steady-state pool memory at shards × poolsize × class size.
+func (s *shard) putWire(b *[]byte) {
+	if b == nil {
+		return
+	}
+	switch cap(*b) {
+	case s.net.recvBufSize:
+		*b = (*b)[:s.net.recvBufSize]
+		s.rpool.Put(b)
+	case s.net.bufSize: // unreachable when the classes are aliased
+		*b = (*b)[:s.net.bufSize]
+		s.pool.Put(b)
+	}
+}
+
+// Network is a UDP-socket substrate. Create with New; it is live
+// immediately (no Start).
+type Network struct {
+	cfg Config
+	clk clock.Clock
+	v4  bool // sockets are AF_INET (affects sockaddr encoding)
+
+	bufSize     int    // send wire buffer size: headerSize + MTU
+	recvBufSize int    // receive buffer size: groBufSize under GRO
+	listenPort  uint16 // advertised port, carried in every wire header
+
+	recv []*shard // SO_REUSEPORT shards on the advertised port
+	send []*shard // per-CPU send shards on ephemeral ports
+
+	// peers is the lock-free read path for the send-side peer lookup: a
+	// copy-on-write map swapped under mu by AddPeer/learnPeer.
+	peers  atomic.Pointer[map[core.HostID]netip.AddrPort]
+	closed atomic.Bool
+
+	handler atomic.Pointer[netif.Handler]
+
+	mu      sync.Mutex // guards writes to peers, plus groups/avail/damage/rng
+	groups  map[core.HostID][]core.HostID
+	avail   func(src, dst core.HostID) float64
+	damageP atomic.Uint64 // math.Float64bits of the damage probability
+	rng     *rand.Rand
+
+	wg  sync.WaitGroup // send + receive loops
+	dwg sync.WaitGroup // delivery loops
 
 	si atomic.Pointer[instr]
 }
@@ -246,8 +401,11 @@ var noInstr instr
 type instr struct {
 	sentPkts, sentBytes   *stats.Counter
 	sentBatches           *stats.Counter
+	sendErrors            *stats.Counter
+	gsoSupers             *stats.Counter
 	recvPkts, recvBytes   *stats.Counter
 	recvBatches           *stats.Counter
+	groSupers             *stats.Counter
 	damaged, hdrErrors    *stats.Counter
 	sendOverflows         *stats.Counter
 	recvOverruns, misaddr *stats.Counter
@@ -258,73 +416,144 @@ var (
 	_ netif.BatchSender = (*Network)(nil)
 )
 
-// New binds the UDP socket and starts the substrate's sender, receiver
-// and delivery goroutines.
+// New binds the sockets and starts the substrate's per-shard sender,
+// receiver and delivery goroutines.
 func New(cfg Config) (*Network, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Local == 0 {
 		return nil, errors.New("udpnet: Local host ID required")
 	}
-	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
-	if err != nil {
-		return nil, fmt.Errorf("udpnet: listen address: %w", err)
+	n := &Network{
+		cfg:    cfg,
+		clk:    cfg.Clock,
+		groups: make(map[core.HostID][]core.HostID),
+		rng:    rand.New(rand.NewSource(1)),
 	}
-	conn, err := net.ListenUDP("udp", laddr)
+	peers := make(map[core.HostID]netip.AddrPort)
+	n.peers.Store(&peers)
+	n.bufSize = headerSize + cfg.MTU
+
+	// The first receive shard binds the advertised address (with
+	// SO_REUSEPORT where supported, so siblings can join); the rest
+	// join its concrete port. Send shards bind ephemeral ports on the
+	// same interface: their traffic carries the advertised port in the
+	// wire header, so peers still reply to the reuseport group.
+	first, err := listenShared(cfg.Listen, cfg.RecvShards > 1)
 	if err != nil {
 		return nil, fmt.Errorf("udpnet: %w", err)
 	}
-	// Deep socket buffers: at line rate the batch receiver drains tens
-	// of datagrams per wakeup, and the kernel must hold them meanwhile.
-	_ = conn.SetReadBuffer(socketBuffer)
-	_ = conn.SetWriteBuffer(socketBuffer)
-	n := &Network{
-		cfg:      cfg,
-		clk:      cfg.Clock,
-		conn:     conn,
-		bufSize:  headerSize + cfg.MTU,
-		peers:    make(map[core.HostID]netip.AddrPort),
-		groups:   make(map[core.HostID][]core.HostID),
-		rng:      rand.New(rand.NewSource(1)),
-		inbox:    make(chan inPkt, 1024),
-		sendDone: make(chan struct{}),
+	local := first.LocalAddr().(*net.UDPAddr).AddrPort()
+	n.v4 = local.Addr().Unmap().Is4()
+	n.listenPort = local.Port()
+	closeAll := func(ss []*shard) {
+		for _, s := range ss {
+			s.conn.Close()
+		}
 	}
-	n.pool.New = func() any {
-		b := make([]byte, n.bufSize)
-		return &b
+	mk := func(conn *net.UDPConn, idx int, sender bool) *shard {
+		s := &shard{net: n, idx: idx, conn: conn, inbox: make(chan inPkt, 1024)}
+		_ = conn.SetReadBuffer(socketBuffer)
+		_ = conn.SetWriteBuffer(socketBuffer)
+		s.qcond = sync.NewCond(&s.qmu)
+		if sender {
+			s.sendDone = make(chan struct{})
+			for pr := range s.queues {
+				s.queues[pr] = newRing(cfg.QueueLen)
+			}
+		}
+		s.initBatchIO()
+		if !cfg.NoOffload && s.bio != nil {
+			s.gso, s.gro = s.probeOffload()
+		}
+		rbs := n.bufSize
+		if s.gro {
+			rbs = groBufSize
+		}
+		if rbs > n.recvBufSize {
+			n.recvBufSize = rbs
+		}
+		return s
 	}
-	local := conn.LocalAddr().(*net.UDPAddr).AddrPort().Addr().Unmap()
-	n.v4 = local.Is4()
-	n.qcond = sync.NewCond(&n.qmu)
-	for pr := range n.queues {
-		n.queues[pr] = newRing(cfg.QueueLen)
+	n.recv = append(n.recv, mk(first, 0, false))
+	for i := 1; i < cfg.RecvShards; i++ {
+		conn, err := listenShared(local.String(), true)
+		if err != nil {
+			closeAll(n.recv)
+			return nil, fmt.Errorf("udpnet: reuseport shard %d: %w", i, err)
+		}
+		n.recv = append(n.recv, mk(conn, i, false))
 	}
-	n.initBatchIO()
+	sendListen := netip.AddrPortFrom(local.Addr(), 0).String()
+	for i := 0; i < cfg.SendShards; i++ {
+		conn, err := listenShared(sendListen, false)
+		if err != nil {
+			closeAll(n.recv)
+			closeAll(n.send)
+			return nil, fmt.Errorf("udpnet: send shard %d: %w", i, err)
+		}
+		n.send = append(n.send, mk(conn, i, true))
+	}
 	for id, addr := range cfg.Peers {
 		if err := n.AddPeer(id, addr); err != nil {
-			conn.Close()
+			closeAll(n.recv)
+			closeAll(n.send)
 			return nil, err
 		}
 	}
-	n.dwg.Add(1)
-	go n.deliverLoop()
-	n.wg.Add(2)
-	go n.sendLoop()
-	go n.recvLoop()
+	// Pool wiring happens after every shard has probed its offloads:
+	// recvBufSize is only final then, and when no socket got GRO the
+	// receive class collapses into the send class — the two pools must
+	// alias, or capacity-routed recycling would starve one of them.
+	for _, s := range append(append([]*shard(nil), n.recv...), n.send...) {
+		s.pool = &sync.Pool{New: func() any {
+			b := make([]byte, n.bufSize)
+			return &b
+		}}
+		if n.recvBufSize == n.bufSize {
+			s.rpool = s.pool
+		} else {
+			s.rpool = &sync.Pool{New: func() any {
+				b := make([]byte, n.recvBufSize)
+				return &b
+			}}
+		}
+	}
+	for _, s := range append(append([]*shard(nil), n.recv...), n.send...) {
+		n.dwg.Add(1)
+		go s.deliverLoop()
+		n.wg.Add(1)
+		go s.recvLoop()
+		if s.sendDone != nil {
+			n.wg.Add(1)
+			go s.sendLoop()
+		}
+	}
 	return n, nil
 }
 
-// getBuf takes a wire buffer from the pool.
-func (n *Network) getBuf() *[]byte { return n.pool.Get().(*[]byte) }
+// Addr returns the advertised bound address (useful with ":0" listens).
+func (n *Network) Addr() *net.UDPAddr { return n.recv[0].conn.LocalAddr().(*net.UDPAddr) }
 
-// putBuf returns a wire buffer to the pool.
-func (n *Network) putBuf(b *[]byte) {
-	if b != nil {
-		n.pool.Put(b)
-	}
+// OffloadActive reports whether send-side GSO and receive-side GRO are
+// live on this substrate's sockets — false on old kernels, non-Linux
+// builds, or with Config.NoOffload.
+func (n *Network) OffloadActive() (gso, gro bool) {
+	return n.send[0].gso, n.recv[0].gro
 }
 
-// Addr returns the socket's bound address (useful with ":0" listens).
-func (n *Network) Addr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+// setPeerLocked installs id -> ap if it changed; callers hold n.mu.
+func (n *Network) setPeerLocked(id core.HostID, ap netip.AddrPort) {
+	cur := *n.peers.Load()
+	if have, ok := cur[id]; ok && have == ap {
+		return
+	}
+	next := make(map[core.HostID]netip.AddrPort, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[id] = ap
+	n.peers.Store(&next)
+}
 
 // AddPeer maps a remote host ID to its UDP address.
 func (n *Network) AddPeer(id core.HostID, addr string) error {
@@ -339,7 +568,7 @@ func (n *Network) AddPeer(id core.HostID, addr string) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.peers[id] = ap
+	n.setPeerLocked(id, ap)
 	return nil
 }
 
@@ -350,9 +579,12 @@ func (n *Network) SetStats(sc stats.Scope) {
 		sentPkts:      s.Counter("sent_packets"),
 		sentBytes:     s.Counter("sent_bytes"),
 		sentBatches:   s.Counter("sent_batches"),
+		sendErrors:    s.Counter("send_errors"),
+		gsoSupers:     s.Counter("gso_supers"),
 		recvPkts:      s.Counter("recv_packets"),
 		recvBytes:     s.Counter("recv_bytes"),
 		recvBatches:   s.Counter("recv_batches"),
+		groSupers:     s.Counter("gro_supers"),
 		damaged:       s.Counter("damaged_packets"),
 		hdrErrors:     s.Counter("header_errors"),
 		sendOverflows: s.Counter("send_overflows"),
@@ -376,9 +608,7 @@ func (n *Network) SetAvailable(fn func(src, dst core.HostID) float64) {
 // bit errors, which loopback paths never produce naturally. Empty
 // payloads carry no bits to flip and pass through untouched.
 func (n *Network) SetDamage(p float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.damageP = p
+	n.damageP.Store(floatBits(p))
 }
 
 // Capacity returns the admissible share of the configured line rate —
@@ -390,9 +620,7 @@ func (n *Network) SetHandler(id core.HostID, h netif.Handler) error {
 	if id != n.cfg.Local {
 		return fmt.Errorf("udpnet: host %v is not local (%v)", id, n.cfg.Local)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.handler = h
+	n.handler.Store(&h)
 	return nil
 }
 
@@ -404,10 +632,7 @@ func (n *Network) Route(src, dst core.HostID) ([]core.HostID, error) {
 	if dst == n.cfg.Local {
 		return []core.HostID{src, dst}, nil
 	}
-	n.mu.Lock()
-	_, ok := n.peers[dst]
-	n.mu.Unlock()
-	if !ok {
+	if _, ok := (*n.peers.Load())[dst]; !ok {
 		return nil, fmt.Errorf("udpnet: unknown peer %v", dst)
 	}
 	return []core.HostID{src, dst}, nil
@@ -459,6 +684,18 @@ func (n *Network) RemoveGroup(gid core.HostID) {
 // MTU returns the payload bound per packet.
 func (n *Network) MTU() int { return n.cfg.MTU }
 
+// sendShard pins a flow to one per-CPU send structure. Flows keep FIFO
+// order within their shard; distinct flows spread across shards (and,
+// because each shard sends from its own source port, across the
+// receiver's SO_REUSEPORT shards too).
+func (n *Network) sendShard(flow core.VCID, dst core.HostID) *shard {
+	if len(n.send) == 1 {
+		return n.send[0]
+	}
+	h := uint32(flow)*0x9E3779B1 ^ uint32(dst)*0x85EBCA77
+	return n.send[h%uint32(len(n.send))]
+}
+
 // Send enqueues one packet at its priority. Group destinations fan out
 // to every member. Delivery is asynchronous and unreliable, like the
 // network underneath. The payload is copied into a wire buffer before
@@ -481,24 +718,26 @@ func (n *Network) Send(p netif.Packet) error {
 		}
 		return firstErr
 	}
-	out, err := n.prepare(p)
+	s := n.sendShard(p.Flow, p.Dst)
+	out, err := n.prepare(s, p)
 	if err != nil {
 		return err
 	}
-	n.enqueue(p.Prio, out)
-	n.qcond.Signal()
+	s.enqueue(p.Prio, out)
+	s.qcond.Signal()
 	return nil
 }
 
 // SendBatch enqueues many packets with one marshal pass and one queue
-// lock acquisition per chunk — the netif.BatchSender fast path. Group
-// destinations fall back to Send's fan-out. Packets that fail
-// validation are skipped; the first such error is returned after the
-// rest of the batch has been enqueued.
+// lock acquisition per shard per chunk — the netif.BatchSender fast
+// path. Group destinations fall back to Send's fan-out. Packets that
+// fail validation are skipped; the first such error is returned after
+// the rest of the batch has been enqueued.
 func (n *Network) SendBatch(ps []netif.Packet) error {
 	var firstErr error
 	var outs [maxBatch]outPkt
 	var prios [maxBatch]netif.Priority
+	var sidx [maxBatch]uint8
 	for len(ps) > 0 {
 		chunk := ps
 		if len(chunk) > maxBatch {
@@ -513,61 +752,75 @@ func (n *Network) SendBatch(ps []netif.Packet) error {
 				}
 				continue
 			}
-			out, err := n.prepare(p)
+			s := n.sendShard(p.Flow, p.Dst)
+			out, err := n.prepare(s, p)
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err
 				}
 				continue
 			}
-			outs[k], prios[k] = out, p.Prio
+			outs[k], prios[k], sidx[k] = out, p.Prio, uint8(s.idx)
 			k++
 		}
 		if k == 0 {
 			continue
 		}
-		n.qmu.Lock()
-		for i := 0; i < k; i++ {
-			if !n.queues[prios[i]].push(outs[i]) {
-				n.putBuf(outs[i].buf)
-				n.stats().sendOverflows.Inc()
+		for si := range n.send {
+			s := n.send[si]
+			pushed := false
+			for i := 0; i < k; i++ {
+				if int(sidx[i]) != si {
+					continue
+				}
+				if !pushed {
+					s.qmu.Lock()
+					pushed = true
+				}
+				if !s.queues[prios[i]].push(outs[i]) {
+					s.putWire(outs[i].buf)
+					n.stats().sendOverflows.Inc()
+				}
+			}
+			if pushed {
+				s.qmu.Unlock()
+				s.qcond.Signal()
 			}
 		}
-		n.qmu.Unlock()
-		n.qcond.Signal()
 	}
 	return firstErr
 }
 
 // prepare validates p, resolves its destination and marshals it into a
-// pooled wire buffer, returning the queue entry.
-func (n *Network) prepare(p netif.Packet) (outPkt, error) {
+// wire buffer from s's pool, returning the queue entry. The fast path
+// takes no locks: the peer table is a copy-on-write snapshot.
+func (n *Network) prepare(s *shard, p netif.Packet) (outPkt, error) {
 	if len(p.Payload) > n.cfg.MTU {
 		return outPkt{}, fmt.Errorf("udpnet: payload %d exceeds MTU %d", len(p.Payload), n.cfg.MTU)
 	}
 	if p.Prio >= netif.NumPriorities {
 		return outPkt{}, fmt.Errorf("udpnet: invalid priority %d", p.Prio)
 	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return outPkt{}, errors.New("udpnet: network closed")
 	}
 	var addr netip.AddrPort // zero = deliver locally
 	if p.Dst != n.cfg.Local {
 		var ok bool
-		addr, ok = n.peers[p.Dst]
+		addr, ok = (*n.peers.Load())[p.Dst]
 		if !ok {
-			n.mu.Unlock()
 			return outPkt{}, fmt.Errorf("udpnet: unknown peer %v", p.Dst)
 		}
 	}
-	damage := n.damageP > 0 && n.rng.Float64() < n.damageP
-	n.mu.Unlock()
-
-	buf := n.getBuf()
+	damage := false
+	if dp := floatFromBits(n.damageP.Load()); dp > 0 {
+		n.mu.Lock()
+		damage = n.rng.Float64() < dp
+		n.mu.Unlock()
+	}
+	buf := s.getSendBuf()
 	wire := (*buf)[:headerSize+len(p.Payload)]
-	marshalInto(wire, p)
+	marshalInto(wire, p, n.listenPort)
 	if damage && len(p.Payload) > 0 {
 		wire[headerSize] ^= 0x40 // flip one payload bit after checksumming
 	}
@@ -576,100 +829,104 @@ func (n *Network) prepare(p netif.Packet) (outPkt, error) {
 
 // enqueue pushes one prepared packet, dropping tail-first when the
 // priority's ring is full, like a congested router.
-func (n *Network) enqueue(prio netif.Priority, out outPkt) {
-	n.qmu.Lock()
-	ok := n.queues[prio].push(out)
-	n.qmu.Unlock()
+func (s *shard) enqueue(prio netif.Priority, out outPkt) {
+	s.qmu.Lock()
+	ok := s.queues[prio].push(out)
+	s.qmu.Unlock()
 	if !ok {
-		n.putBuf(out.buf)
-		n.stats().sendOverflows.Inc()
+		s.putWire(out.buf)
+		s.net.stats().sendOverflows.Inc()
 	}
 }
 
 // marshalInto builds the wire datagram for p in dst, which must be
-// exactly headerSize+len(p.Payload) long.
-func marshalInto(dst []byte, p netif.Packet) {
+// exactly headerSize+len(p.Payload) long. srcPort is the sender's
+// advertised port, which peer learning trusts over the datagram's
+// observed source (per-CPU send shards transmit from ephemeral ports).
+func marshalInto(dst []byte, p netif.Packet, srcPort uint16) {
 	binary.BigEndian.PutUint32(dst[0:], magic)
 	binary.BigEndian.PutUint32(dst[4:], uint32(p.Src))
 	binary.BigEndian.PutUint32(dst[8:], uint32(p.Dst))
 	binary.BigEndian.PutUint32(dst[12:], uint32(p.Flow))
 	dst[16] = byte(p.Prio)
 	dst[17] = 0
-	binary.BigEndian.PutUint16(dst[18:], uint16(len(p.Payload)))
+	binary.BigEndian.PutUint16(dst[18:], srcPort)
+	binary.BigEndian.PutUint16(dst[20:], uint16(len(p.Payload)))
+	binary.BigEndian.PutUint16(dst[22:], 0)
 	copy(dst[headerSize:], p.Payload)
-	binary.BigEndian.PutUint32(dst[20:], crc32.ChecksumIEEE(p.Payload))
-	binary.BigEndian.PutUint32(dst[24:], crc32.ChecksumIEEE(dst[:24]))
+	binary.BigEndian.PutUint32(dst[24:], crc32.ChecksumIEEE(p.Payload))
+	binary.BigEndian.PutUint32(dst[28:], crc32.ChecksumIEEE(dst[:28]))
 }
 
 // marshal builds the wire datagram for p in a fresh buffer (tests and
 // one-off callers; the data path marshals into pooled buffers).
 func marshal(p netif.Packet) []byte {
 	data := make([]byte, headerSize+len(p.Payload))
-	marshalInto(data, p)
+	marshalInto(data, p, 0)
 	return data
 }
 
 // unmarshal parses a wire datagram. ok=false means the header cannot be
-// trusted and the datagram must be dropped. The returned packet's
-// Payload aliases data — it is valid only as long as data is.
-func unmarshal(data []byte) (p netif.Packet, ok bool) {
+// trusted and the datagram must be dropped. srcPort is the sender's
+// advertised port from the header. The returned packet's Payload
+// aliases data — it is valid only as long as data is.
+func unmarshal(data []byte) (p netif.Packet, srcPort uint16, ok bool) {
 	if len(data) < headerSize {
-		return p, false
+		return p, 0, false
 	}
 	if binary.BigEndian.Uint32(data[0:]) != magic {
-		return p, false
+		return p, 0, false
 	}
-	if binary.BigEndian.Uint32(data[24:]) != crc32.ChecksumIEEE(data[:24]) {
-		return p, false
+	if binary.BigEndian.Uint32(data[28:]) != crc32.ChecksumIEEE(data[:28]) {
+		return p, 0, false
 	}
-	plen := int(binary.BigEndian.Uint16(data[18:]))
+	plen := int(binary.BigEndian.Uint16(data[20:]))
 	if plen != len(data)-headerSize {
-		return p, false
+		return p, 0, false
 	}
 	p.Src = core.HostID(binary.BigEndian.Uint32(data[4:]))
 	p.Dst = core.HostID(binary.BigEndian.Uint32(data[8:]))
 	p.Flow = core.VCID(binary.BigEndian.Uint32(data[12:]))
 	p.Prio = netif.Priority(data[16])
+	srcPort = binary.BigEndian.Uint16(data[18:])
 	p.Payload = data[headerSize:]
-	p.Damaged = binary.BigEndian.Uint32(data[20:]) != crc32.ChecksumIEEE(p.Payload)
-	return p, true
+	p.Damaged = binary.BigEndian.Uint32(data[24:]) != crc32.ChecksumIEEE(p.Payload)
+	return p, srcPort, true
 }
 
-// sendLoop drains the priority queues strictly highest-first in batches
-// of up to Config.Batch packets, pacing each batch to PaceRate when
-// configured. A paced sender drains single packets so a control packet
-// can still preempt a queued best-effort burst.
-func (n *Network) sendLoop() {
+// sendLoop drains the shard's priority queues strictly highest-first in
+// batches of up to Config.Batch packets, pacing each batch to PaceRate
+// when configured. A paced sender drains single packets so a control
+// packet can still preempt a queued best-effort burst.
+func (s *shard) sendLoop() {
+	n := s.net
 	defer n.wg.Done()
-	defer close(n.sendDone)
+	defer close(s.sendDone)
 	batch := make([]outPkt, n.cfg.Batch)
 	limit := len(batch)
 	if n.cfg.PaceRate > 0 {
 		limit = 1
 	}
 	for {
-		n.qmu.Lock()
+		s.qmu.Lock()
 		k := 0
 		for k == 0 {
-			for pr := range n.queues {
-				if n.queues[pr].len() > 0 {
-					k = n.queues[pr].pop(batch[:limit])
+			for pr := range s.queues {
+				if s.queues[pr].len() > 0 {
+					k = s.queues[pr].pop(batch[:limit])
 					break
 				}
 			}
 			if k > 0 {
 				break
 			}
-			n.mu.Lock()
-			closed := n.closed
-			n.mu.Unlock()
-			if closed {
-				n.qmu.Unlock()
+			if n.closed.Load() {
+				s.qmu.Unlock()
 				return
 			}
-			n.qcond.Wait()
+			s.qcond.Wait()
 		}
-		n.qmu.Unlock()
+		s.qmu.Unlock()
 		if n.cfg.PaceRate > 0 {
 			total := 0
 			for _, out := range batch[:k] {
@@ -677,20 +934,21 @@ func (n *Network) sendLoop() {
 			}
 			n.clk.Sleep(time.Duration(float64(total) / n.cfg.PaceRate * float64(time.Second)))
 		}
-		n.transmit(batch[:k])
+		s.transmit(batch[:k])
 	}
 }
 
 // transmit moves one dequeued batch to the wire (or the local delivery
 // path), recycling wire buffers as each datagram leaves.
-func (n *Network) transmit(batch []outPkt) {
+func (s *shard) transmit(batch []outPkt) {
+	n := s.net
 	i := 0
 	for i < len(batch) {
 		if !batch[i].addr.IsValid() {
 			// Local destination: hand the wire bytes straight to the
 			// receive path so loopback traffic shares its code. The
 			// buffer's ownership moves to the delivery pipeline.
-			n.ingest(batch[i].buf, batch[i].n, netip.AddrPort{})
+			s.ingest(batch[i].buf, batch[i].n, 0, netip.AddrPort{})
 			i++
 			continue
 		}
@@ -698,130 +956,189 @@ func (n *Network) transmit(batch []outPkt) {
 		for j < len(batch) && batch[j].addr.IsValid() {
 			j++
 		}
-		pkts, bytes, calls := n.writeBatch(batch[i:j])
+		sent, bytes, calls, errs := s.writeBatch(batch[i:j])
 		si := n.stats()
-		si.sentPkts.Add(uint64(pkts))
+		si.sentPkts.Add(uint64(sent))
 		si.sentBytes.Add(uint64(bytes))
 		si.sentBatches.Add(uint64(calls))
+		si.sendErrors.Add(uint64(errs))
 		for ; i < j; i++ {
-			n.putBuf(batch[i].buf)
+			s.putWire(batch[i].buf)
 		}
 	}
 }
 
-// recvLoop reads datagrams off the socket until Close, batching where
-// the platform supports it.
-func (n *Network) recvLoop() {
-	defer n.wg.Done()
-	n.runRecvLoop()
+// recvLoop reads datagrams off the shard's socket until Close, batching
+// and GRO-splitting where the platform supports it.
+func (s *shard) recvLoop() {
+	defer s.net.wg.Done()
+	s.runRecvLoop()
 }
 
 // genericWriteBatch transmits one datagram per syscall — the portable
-// path, also the fallback when batch I/O is unavailable.
-func (n *Network) genericWriteBatch(pkts []outPkt) (sent, bytes, calls int) {
+// path, also the fallback when batch I/O is unavailable. Accounting is
+// exact: every packet lands in either sent/bytes or errs, and calls
+// counts only syscalls that put a datagram on the wire.
+func (s *shard) genericWriteBatch(pkts []outPkt) (sent, bytes, calls, errs int) {
 	for i := range pkts {
 		wire := (*pkts[i].buf)[:pkts[i].n]
-		if _, err := n.conn.WriteToUDPAddrPort(wire, pkts[i].addr); err == nil {
-			sent++
-			bytes += len(wire)
-			calls++
+		var err error
+		if s.writeHook != nil {
+			err = s.writeHook(wire, pkts[i].addr)
+		} else {
+			_, err = s.conn.WriteToUDPAddrPort(wire, pkts[i].addr)
 		}
+		if err != nil {
+			errs++
+			continue
+		}
+		sent++
+		bytes += len(wire)
+		calls++
 	}
-	return sent, bytes, calls
+	return sent, bytes, calls, errs
 }
 
 // genericRecvLoop reads one datagram per syscall into a pooled buffer
 // and hands it to the delivery pipeline.
-func (n *Network) genericRecvLoop() {
+func (s *shard) genericRecvLoop() {
 	for {
-		buf := n.getBuf()
-		nr, from, err := n.conn.ReadFromUDPAddrPort(*buf)
+		buf := s.getRecvBuf()
+		nr, from, err := s.conn.ReadFromUDPAddrPort(*buf)
 		if err != nil {
-			n.putBuf(buf)
+			s.putWire(buf)
 			return // socket closed
 		}
-		si := n.stats()
-		si.recvPkts.Inc()
-		si.recvBytes.Add(uint64(nr))
-		si.recvBatches.Inc()
-		n.ingest(buf, nr, netip.AddrPortFrom(from.Addr().Unmap(), from.Port()))
+		s.net.stats().recvBatches.Inc()
+		s.ingest(buf, nr, 0, netip.AddrPortFrom(from.Addr().Unmap(), from.Port()))
 	}
 }
 
-// learnPeer records (or refreshes) the sender's address for its host ID
-// when a CRC-validated header arrives, so a responder needs no static
-// peer table and a peer that crash-restarts on a new port becomes
-// reachable again as soon as it speaks.
-func (n *Network) learnPeer(src core.HostID, from netip.AddrPort) {
+// learnPeer records (or refreshes) a peer's advertised address when a
+// CRC-validated header arrives, so a responder needs no static peer
+// table and a peer that crash-restarts on a new port becomes reachable
+// again as soon as it speaks. The address pairs the datagram's source
+// IP with the header's advertised port: per-CPU send shards transmit
+// from ephemeral ports, and replies must target the peer's SO_REUSEPORT
+// receive group, not whichever shard socket spoke last.
+func (n *Network) learnPeer(src core.HostID, from netip.AddrPort, advertised uint16) {
 	if src == 0 || src == n.cfg.Local || src >= netif.GroupBase {
 		return
 	}
-	n.mu.Lock()
-	if cur, ok := n.peers[src]; !ok || cur != from {
-		n.peers[src] = from
+	ap := from
+	if advertised != 0 {
+		ap = netip.AddrPortFrom(from.Addr(), advertised)
 	}
+	if have, ok := (*n.peers.Load())[src]; ok && have == ap {
+		return // lock-free fast path: nothing changed
+	}
+	n.mu.Lock()
+	n.setPeerLocked(src, ap)
 	n.mu.Unlock()
 }
 
-// ingest validates one wire datagram sitting in a pooled buffer and
-// queues it for delivery, taking ownership of the buffer. from is the
-// sending socket address for peer learning; the zero AddrPort marks
-// local (loopback) delivery.
-func (n *Network) ingest(buf *[]byte, nr int, from netip.AddrPort) {
-	p, ok := unmarshal((*buf)[:nr])
-	if !ok {
-		n.stats().hdrErrors.Inc()
-		n.putBuf(buf)
-		return
-	}
-	if from.IsValid() {
-		n.learnPeer(p.Src, from)
-	}
-	if p.Dst != n.cfg.Local {
-		n.stats().misaddr.Inc()
-		n.putBuf(buf)
-		return
-	}
-	if p.Damaged {
-		n.stats().damaged.Inc()
+// ingest queues one wire datagram (or GRO super-datagram) sitting in a
+// pooled buffer for delivery, taking ownership of the buffer. seg is
+// the GRO segment size (0 or >= nr means a single datagram); from is
+// the sending socket address for peer learning, zero for local
+// (loopback) delivery. Validation happens per segment on the delivery
+// goroutine, so a damaged or misaddressed segment never censors its
+// neighbours in the same super-datagram.
+func (s *shard) ingest(buf *[]byte, nr, seg int, from netip.AddrPort) {
+	if seg <= 0 || seg > nr {
+		seg = nr
 	}
 	select {
-	case n.inbox <- inPkt{p: p, buf: buf}:
+	case s.inbox <- inPkt{buf: buf, n: nr, seg: seg, from: from}:
 	default:
-		n.stats().recvOverruns.Inc() // receiver overrun; drop like a full NIC ring
-		n.putBuf(buf)
-	}
-}
-
-// deliverLoop runs the handler for inbound packets and recycles each
-// packet's wire buffer once the handler returns — handlers must copy
-// any payload bytes they keep (netif.Handler's contract).
-func (n *Network) deliverLoop() {
-	defer n.dwg.Done()
-	for ip := range n.inbox {
-		n.mu.Lock()
-		h := n.handler
-		n.mu.Unlock()
-		if h != nil {
-			h(ip.p)
+		// Receiver overrun; drop like a full NIC ring. Every segment of
+		// the super-datagram is lost, so count them all.
+		if seg > 0 {
+			s.net.stats().recvOverruns.Add(uint64((nr + seg - 1) / seg))
 		}
-		n.putBuf(ip.buf)
+		s.putWire(buf)
 	}
 }
 
-// Close shuts the substrate down. No handler runs after Close returns.
+// deliverLoop splits each queued buffer into wire segments, validates
+// every segment independently (header CRC, addressing, payload CRC) and
+// runs the handler for each delivered packet, recycling the buffer once
+// the last segment's handler returns — handlers must copy any payload
+// bytes they keep (netif.Handler's contract).
+func (s *shard) deliverLoop() {
+	n := s.net
+	defer n.dwg.Done()
+	for ip := range s.inbox {
+		si := n.stats()
+		var h netif.Handler
+		if hp := n.handler.Load(); hp != nil {
+			h = *hp
+		}
+		learned := false
+		for off := 0; off < ip.n; off += ip.seg {
+			end := off + ip.seg
+			if end > ip.n {
+				end = ip.n
+			}
+			p, srcPort, ok := unmarshal((*ip.buf)[off:end])
+			if !ok {
+				si.hdrErrors.Inc()
+				continue
+			}
+			si.recvPkts.Inc()
+			si.recvBytes.Add(uint64(end - off))
+			if !learned && ip.from.IsValid() {
+				n.learnPeer(p.Src, ip.from, srcPort)
+				learned = true
+			}
+			if p.Dst != n.cfg.Local {
+				si.misaddr.Inc()
+				continue
+			}
+			if p.Damaged {
+				si.damaged.Inc()
+			}
+			if h != nil {
+				h(p)
+			}
+		}
+		s.putWire(ip.buf)
+	}
+}
+
+// floatBits and floatFromBits pack the damage probability into the
+// atomic word that carries it to the lock-free prepare path.
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Close shuts the substrate down. Shutdown order transfers the single-
+// socket drain-before-close guarantee to the sharded layout: every send
+// loop drains its queues and exits before any socket closes, so no
+// write ever lands on a closed descriptor; then the sockets close,
+// unblocking the receive loops; then the delivery pipelines drain. No
+// handler runs after Close returns.
 func (n *Network) Close() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Swap(true) {
 		return
 	}
-	n.closed = true
-	n.mu.Unlock()
-	n.qcond.Broadcast() // unblocks sendLoop
-	<-n.sendDone        // already-queued packets (e.g. a final DiscReq) go out first
-	n.conn.Close()      // unblocks recvLoop
+	for _, s := range n.send {
+		s.qcond.Broadcast() // unblocks sendLoop
+	}
+	for _, s := range n.send {
+		<-s.sendDone // already-queued packets (e.g. a final DiscReq) go out first
+	}
+	for _, s := range n.send {
+		s.conn.Close() // unblocks the shard's recvLoop
+	}
+	for _, s := range n.recv {
+		s.conn.Close()
+	}
 	n.wg.Wait()
-	close(n.inbox)
+	for _, s := range n.send {
+		close(s.inbox)
+	}
+	for _, s := range n.recv {
+		close(s.inbox)
+	}
 	n.dwg.Wait()
 }

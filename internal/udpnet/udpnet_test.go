@@ -16,7 +16,7 @@ func TestWireRoundTrip(t *testing.T) {
 		Src: 1, Dst: 2, Flow: 0x10001, Prio: netif.PrioGuaranteed,
 		Payload: []byte("hello, wire"),
 	}
-	out, ok := unmarshal(marshal(in))
+	out, _, ok := unmarshal(marshal(in))
 	if !ok {
 		t.Fatalf("unmarshal failed")
 	}
@@ -33,7 +33,7 @@ func TestWireDamage(t *testing.T) {
 	in := netif.Packet{Src: 1, Dst: 2, Flow: 7, Prio: netif.PrioControl, Payload: make([]byte, 64)}
 	data := marshal(in)
 	data[headerSize+3] ^= 0x01 // payload bit flip
-	out, ok := unmarshal(data)
+	out, _, ok := unmarshal(data)
 	if !ok {
 		t.Fatalf("payload-damaged datagram must still decode")
 	}
@@ -43,10 +43,10 @@ func TestWireDamage(t *testing.T) {
 
 	data = marshal(in)
 	data[5] ^= 0x01 // header bit flip (src field)
-	if _, ok := unmarshal(data); ok {
+	if _, _, ok := unmarshal(data); ok {
 		t.Fatalf("header-damaged datagram must be dropped")
 	}
-	if _, ok := unmarshal(data[:10]); ok {
+	if _, _, ok := unmarshal(data[:10]); ok {
 		t.Fatalf("truncated datagram must be dropped")
 	}
 }
@@ -275,12 +275,12 @@ func TestSteadyStateAllocs(t *testing.T) {
 		Payload: make([]byte, 512),
 	}
 	dst := make([]byte, headerSize+len(p.Payload))
-	if got := testing.AllocsPerRun(200, func() { marshalInto(dst, p) }); got != 0 {
+	if got := testing.AllocsPerRun(200, func() { marshalInto(dst, p, 0) }); got != 0 {
 		t.Errorf("marshalInto allocates %.1f per packet, want 0", got)
 	}
-	marshalInto(dst, p)
+	marshalInto(dst, p, 0)
 	if got := testing.AllocsPerRun(200, func() {
-		if _, ok := unmarshal(dst); !ok {
+		if _, _, ok := unmarshal(dst); !ok {
 			t.Fatal("unmarshal failed")
 		}
 	}); got != 0 {

@@ -17,9 +17,12 @@ go vet ./...
 go test -race ./...
 
 # Bench smoke: run every udpnet wire-path benchmark for a single
-# iteration so a refactor that breaks the benchmark harness (or
+# iteration — including the offloaded (GSO/GRO) and NoOffload variants
+# behind BENCH_8 — so a refactor that breaks the benchmark harness (or
 # reintroduces a per-packet allocation panic) fails here, not in the
-# nightly bench job.
+# nightly bench job. Offload support is probed at runtime, so on a
+# kernel without UDP_SEGMENT/UDP_GRO the same command exercises the
+# fallback path instead of failing.
 go test -run='^$' -bench=. -benchtime=1x ./internal/udpnet/
 
 # Bench smoke for the transport sharded core: a tiny VC population for a
